@@ -1,0 +1,58 @@
+"""F1 — Engine throughput vs concurrent instance count.
+
+Shape claim: straight-through throughput (instances/second over a 10-task
+automated process) stays roughly flat as the instance count grows — the
+interpreter has no super-linear bookkeeping — until Python-level costs
+dominate.
+"""
+
+import time
+
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.model.builder import ProcessBuilder
+
+COUNTS = [1, 10, 100, 1000]
+
+
+def ten_task_model():
+    builder = ProcessBuilder("straight").start()
+    for k in range(10):
+        builder.script_task(f"t{k}", script=f"v{k} = {k}")
+    return builder.end().build()
+
+
+def run_batch(n):
+    engine = ProcessEngine(clock=VirtualClock(0))
+    engine.deploy(ten_task_model())
+    for _ in range(n):
+        engine.start_instance("straight")
+    return engine
+
+
+def test_f1_throughput_series(benchmark, emit):
+    rows = []
+    for n in COUNTS:
+        started = time.perf_counter()
+        engine = run_batch(n)
+        elapsed = time.perf_counter() - started
+        from repro.engine.instance import InstanceState
+
+        completed = len(engine.instances(InstanceState.COMPLETED))
+        assert completed == n
+        rows.append((n, elapsed, n / elapsed))
+
+    benchmark.pedantic(lambda: run_batch(100), rounds=3, iterations=1)
+
+    emit(
+        "",
+        "== F1: straight-through throughput (10 script tasks/instance) ==",
+        f"{'instances':>10} {'seconds':>9} {'instances/s':>12} {'tasks/s':>10}",
+    )
+    for n, secs, rate in rows:
+        emit(f"{n:>10} {secs:>9.3f} {rate:>12.1f} {rate * 10:>10.0f}")
+
+    # shape: throughput at 1000 instances within ~3x of throughput at 10
+    rate_10 = rows[1][2]
+    rate_1000 = rows[3][2]
+    assert rate_1000 > rate_10 / 3, (rate_10, rate_1000)

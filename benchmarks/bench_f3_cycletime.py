@@ -1,0 +1,85 @@
+"""F3 — Cycle time vs arrival rate: the M/M/c hockey stick.
+
+Shape claims: cycle time stays near pure service time while utilization is
+low, then explodes as offered load approaches capacity (ρ → 1); doubling
+the resource pool moves the knee right by ~2x.
+"""
+
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.model.builder import ProcessBuilder
+from repro.sim.distributions import Exponential
+from repro.sim.kpi import compute_kpis
+from repro.sim.runner import SimulationRunner
+from repro.worklist.allocation import ShortestQueueAllocator
+
+SERVICE_MEAN = 10.0
+RATES = [0.05, 0.10, 0.15, 0.18, 0.19]  # cases per time unit
+POOLS = [2, 4]
+N_CASES = 1200  # long enough for the ρ≈0.95 queue to reach steady growth
+
+
+def claims_model():
+    return (
+        ProcessBuilder("claims")
+        .start()
+        .user_task("assess", role="adjuster")
+        .end()
+        .build()
+    )
+
+
+def run_point(pool, rate, seed=17):
+    engine = ProcessEngine(clock=VirtualClock(0), allocator=ShortestQueueAllocator())
+    for k in range(pool):
+        engine.organization.add(f"adjuster{k}", roles=["adjuster"])
+    engine.deploy(claims_model())
+    runner = SimulationRunner(
+        engine,
+        "claims",
+        n_cases=N_CASES,
+        arrival=Exponential(rate=rate),
+        service_times={"assess": Exponential(rate=1 / SERVICE_MEAN)},
+        seed=seed,
+    )
+    result = runner.run()
+    return compute_kpis(engine.history, engine.worklist, result)
+
+
+def test_f3_mmc_hockey_stick(benchmark, emit):
+    # average 3 seeds per point: near saturation a single 400-case run has
+    # enormous queue-length variance
+    series = {}
+    for pool in POOLS:
+        series[pool] = []
+        for rate in RATES:
+            cycles, utils = [], []
+            for seed in (17, 18, 19):
+                report = run_point(pool, rate, seed=seed)
+                cycles.append(report.mean_cycle_time)
+                utils.append(report.mean_utilization)
+            rho = rate * SERVICE_MEAN / pool
+            series[pool].append(
+                (rate, rho, sum(cycles) / 3, sum(utils) / 3)
+            )
+
+    benchmark.pedantic(lambda: run_point(2, 0.10), rounds=1, iterations=1)
+
+    emit(
+        "",
+        f"== F3: cycle time vs arrival rate (M/M/c, service mean {SERVICE_MEAN}) ==",
+        f"{'λ':>6} | {'ρ(c=2)':>7} {'cycle(c=2)':>11} | {'ρ(c=4)':>7} {'cycle(c=4)':>11}",
+    )
+    for k, rate in enumerate(RATES):
+        _, rho2, cycle2, _ = series[2][k]
+        _, rho4, cycle4, _ = series[4][k]
+        emit(f"{rate:>6.2f} | {rho2:>7.2f} {cycle2:>11.1f} | {rho4:>7.2f} {cycle4:>11.1f}")
+
+    # shape 1: c=2 cycle time grows monotonically and explodes near ρ=1
+    cycles_c2 = [point[2] for point in series[2]]
+    assert cycles_c2[-1] > 4 * cycles_c2[0], cycles_c2
+    # shape 2: at the highest load, doubling capacity collapses the queue
+    assert series[4][-1][2] < series[2][-1][2] / 2
+    # shape 3: at the lowest load, both pools are near pure service time
+    assert series[2][0][2] < 2.5 * SERVICE_MEAN
+    assert series[4][0][2] < 2.0 * SERVICE_MEAN

@@ -1,0 +1,39 @@
+"""T1 — Workflow-pattern support: BPMS engine vs rigid baseline.
+
+Paper-era claim (shape): a BPMS realizes most of the classical control-flow
+patterns; first-generation workflow systems only a handful.  Here every
+'supported' cell is *demonstrated* by executing the pattern fragment on the
+engine and checking its defining behaviour.
+
+Expected shape: BPMS 16/20 (incl. the multi-instance extension covering
+patterns 12 and 14), baseline 5/20 (each baseline-supported pattern also
+BPMS-supported).
+"""
+
+from repro.patterns.catalog import PATTERNS, evaluate_all
+
+
+def test_t1_pattern_support_matrix(benchmark, emit):
+    results = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+
+    emit(
+        "",
+        "== T1: control-flow pattern support ==",
+        f"{'#':>3} {'pattern':<32} {'BPMS':>6} {'baseline':>9}  note",
+    )
+    for spec in PATTERNS:
+        bpms = "yes" if results[spec.number] else "no"
+        base = "yes" if spec.baseline_supported else "no"
+        emit(f"{spec.number:>3} {spec.name:<32} {bpms:>6} {base:>9}  {spec.note}")
+    bpms_total = sum(results.values())
+    base_total = sum(1 for p in PATTERNS if p.baseline_supported)
+    emit(f"{'':>3} {'TOTAL':<32} {bpms_total:>4}/20 {base_total:>7}/20")
+
+    # shape assertions: the BPMS dominates the baseline by ~3x
+    assert bpms_total == 16
+    assert base_total == 5
+    assert all(
+        results[p.number] for p in PATTERNS if p.baseline_supported
+    ), "baseline support must be a strict subset"
+    # every verified pattern actually ran on the engine
+    assert all(results[p.number] == p.supported for p in PATTERNS)

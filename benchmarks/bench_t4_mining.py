@@ -1,0 +1,203 @@
+"""T4 — Process discovery and conformance.
+
+Shape claims: (a) on complete noise-free logs of structured models, the
+alpha algorithm rediscovers a sound net on which the log replays with
+fitness 1.0; (b) injected deviations push token-replay fitness below 1 in
+proportion to the deviation rate; (c) the heuristics miner keeps the true
+dependency edges under noise that would corrupt alpha's relations.
+"""
+
+from repro.history.log import EventLog
+from repro.mining.alpha import alpha_miner
+from repro.mining.conformance import token_replay
+from repro.mining.generators import add_noise, generate_log
+from repro.mining.heuristics import heuristics_miner
+from repro.model.builder import ProcessBuilder
+from repro.petri.workflow_net import check_soundness
+
+N_TRACES = 200
+
+
+def m_sequence():
+    builder = ProcessBuilder("m_seq").start()
+    for name in ("register", "check", "decide", "archive"):
+        builder.script_task(name, script="x = 1")
+    return builder.end().build()
+
+
+def m_choice():
+    return (
+        ProcessBuilder("m_choice")
+        .start()
+        .script_task("receive", script="x = 1")
+        .exclusive_gateway("gw")
+        .branch(condition="true")
+        .script_task("approve", script="x = 2")
+        .exclusive_gateway("merge")
+        .branch_from("gw", default=True)
+        .script_task("reject", script="x = 3")
+        .connect_to("merge")
+        .move_to("merge")
+        .script_task("notify", script="x = 4")
+        .end()
+        .build()
+    )
+
+
+def m_parallel():
+    return (
+        ProcessBuilder("m_par")
+        .start()
+        .script_task("open", script="x = 1")
+        .parallel_gateway("fork")
+        .branch()
+        .script_task("pick", script="x = 2")
+        .parallel_gateway("sync")
+        .branch_from("fork")
+        .script_task("pack", script="x = 3")
+        .connect_to("sync")
+        .move_to("sync")
+        .script_task("ship", script="x = 4")
+        .end()
+        .build()
+    )
+
+
+def m_nested():
+    return (
+        ProcessBuilder("m_nested")
+        .start()
+        .script_task("a", script="x = 1")
+        .exclusive_gateway("gw")
+        .branch(condition="true")
+        .parallel_gateway("fork")
+        .branch()
+        .script_task("b", script="x = 2")
+        .parallel_gateway("sync")
+        .branch_from("fork")
+        .script_task("c", script="x = 3")
+        .connect_to("sync")
+        .move_to("sync")
+        .exclusive_gateway("merge")
+        .branch_from("gw", default=True)
+        .script_task("d", script="x = 4")
+        .connect_to("merge")
+        .move_to("merge")
+        .script_task("e", script="x = 5")
+        .end()
+        .build()
+    )
+
+
+def m_two_choices():
+    return (
+        ProcessBuilder("m_two")
+        .start()
+        .script_task("intake", script="x = 1")
+        .exclusive_gateway("g1")
+        .branch(condition="true")
+        .script_task("fast", script="x = 2")
+        .exclusive_gateway("m1")
+        .branch_from("g1", default=True)
+        .script_task("slow", script="x = 3")
+        .connect_to("m1")
+        .move_to("m1")
+        .exclusive_gateway("g2")
+        .branch(condition="true")
+        .script_task("bill", script="x = 4")
+        .exclusive_gateway("m2")
+        .branch_from("g2", default=True)
+        .script_task("waive", script="x = 5")
+        .connect_to("m2")
+        .move_to("m2")
+        .end()
+        .build()
+    )
+
+
+def m_wide_parallel():
+    builder = ProcessBuilder("m_wide").start().script_task("init", script="x = 1")
+    builder.parallel_gateway("fork")
+    for k, name in enumerate(("scan", "weigh", "label")):
+        builder.branch_from("fork").script_task(name, script="x = 1")
+        if k == 0:
+            builder.parallel_gateway("sync")
+        else:
+            builder.connect_to("sync")
+    return builder.move_to("sync").script_task("done", script="x = 1").end().build()
+
+
+MODELS = [m_sequence, m_choice, m_parallel, m_nested, m_two_choices, m_wide_parallel]
+
+
+def test_t4_rediscovery_and_conformance(benchmark, emit):
+    emit(
+        "",
+        f"== T4: alpha discovery on {N_TRACES}-trace noise-free logs ==",
+        f"{'model':<12} {'acts':>5} {'|P|':>4} {'sound':>6} "
+        f"{'fitness':>8} {'fit-traces':>10}",
+    )
+    for factory in MODELS:
+        model = factory()
+        log = generate_log(model, n_traces=N_TRACES, seed=13)
+        net = alpha_miner(log)
+        soundness = check_soundness(net)
+        replay = token_replay(net, log)
+        emit(
+            f"{model.key:<12} {len(log.activities):>5} {len(net.places):>4} "
+            f"{str(soundness.sound):>6} {replay.fitness:>8.3f} "
+            f"{replay.fitting_traces:>6}/{len(replay.traces)}"
+        )
+        assert soundness.sound, (model.key, soundness.problems)
+        assert replay.fitness == 1.0, model.key
+        assert replay.trace_fitness_ratio == 1.0, model.key
+
+    benchmark.pedantic(
+        lambda: alpha_miner(generate_log(m_nested(), n_traces=N_TRACES, seed=13)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_t4_deviation_detection(benchmark, emit):
+    model = m_nested()
+    log = generate_log(model, n_traces=N_TRACES, seed=13)
+    net = alpha_miner(log)
+    benchmark.pedantic(lambda: token_replay(net, log), rounds=3, iterations=1)
+    emit("", "== T4b: fitness under injected deviations ==",
+         f"{'noise rate':>10} {'fitness':>9} {'fitting traces':>15}")
+    previous = 1.01
+    for rate in (0.0, 0.2, 0.5, 1.0):
+        noisy = add_noise(log, noise_rate=rate, seed=7)
+        replay = token_replay(net, noisy)
+        emit(f"{rate:>10.1f} {replay.fitness:>9.3f} "
+             f"{replay.fitting_traces:>11}/{len(replay.traces)}")
+        assert replay.fitness <= previous + 1e-9
+        previous = replay.fitness
+    assert previous < 1.0  # full noise definitely hurts
+
+
+def test_t4_heuristics_noise_robustness(benchmark, emit):
+    model = m_two_choices()
+    clean = generate_log(model, n_traces=N_TRACES, seed=5)
+    noisy = add_noise(clean, noise_rate=0.2, seed=6)
+    benchmark.pedantic(
+        lambda: heuristics_miner(noisy, dependency_threshold=0.7),
+        rounds=3,
+        iterations=1,
+    )
+    clean_graph = heuristics_miner(clean, dependency_threshold=0.7)
+    noisy_graph = heuristics_miner(noisy, dependency_threshold=0.7)
+    true_edges = set(clean_graph.dependencies)
+    kept = true_edges & set(noisy_graph.dependencies)
+    spurious = {
+        (b, a) for (a, b) in true_edges if (b, a) in noisy_graph.dependencies
+    }
+    emit(
+        "",
+        f"T4c: heuristics miner under 20% noise (threshold 0.7): keeps "
+        f"{len(kept)}/{len(true_edges)} true edges, admits {len(spurious)} "
+        "reverse (noise) edges",
+    )
+    assert len(kept) >= 0.8 * len(true_edges)
+    assert not spurious  # noise never promotes a reverse edge past threshold

@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures.
+
+``emit`` prints experiment tables through pytest's output capture, so the
+rows appear in ``pytest benchmarks/ --benchmark-only`` output (and in
+``bench_output.txt``) alongside pytest-benchmark's timing table.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    def _emit(*lines):
+        with capsys.disabled():
+            for line in lines:
+                print(line, flush=True)
+
+    return _emit

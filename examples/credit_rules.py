@@ -1,0 +1,128 @@
+"""Business rules: externalized credit decisioning with hot-swappable tables.
+
+The era's BPMS suites bundled a rules engine so business users could change
+decision logic without touching process models or code.  This example runs
+a credit process whose approval logic lives in a decision table, then
+swaps the table at run time and shows new instances following the new
+policy while the process model never changed.
+
+Run:  python examples/credit_rules.py
+"""
+
+from repro import ProcessBuilder, ProcessEngine
+from repro.decisions import DecisionTable, HitPolicy
+
+# ---------------------------------------------------------------- the rules
+
+def policy_2025():
+    table = DecisionTable(
+        name="credit_policy",
+        inputs=("amount", "score", "existing_customer"),
+        outputs=("decision", "rate"),
+        hit_policy=HitPolicy.PRIORITY,
+    )
+    table.add_rule(
+        conditions={"score": "score < 500"},
+        outputs={"decision": "'decline'", "rate": "null"},
+        priority=100,
+        annotation="hard floor",
+    )
+    table.add_rule(
+        conditions={"amount": "amount <= 5000", "score": "score >= 500"},
+        outputs={"decision": "'approve'", "rate": "0.12"},
+        priority=10,
+    )
+    table.add_rule(
+        conditions={
+            "amount": "amount > 5000",
+            "score": "score >= 650",
+            "existing_customer": "existing_customer == true",
+        },
+        outputs={"decision": "'approve'", "rate": "0.09"},
+        priority=20,
+    )
+    table.add_rule(
+        outputs={"decision": "'refer'", "rate": "null"},
+        priority=0,
+        annotation="everything else goes to a human",
+    )
+    return table
+
+
+def policy_tightened():
+    """The risk team reacts to a downturn: no big loans to new customers."""
+    table = DecisionTable(
+        name="credit_policy",
+        inputs=("amount", "score", "existing_customer"),
+        outputs=("decision", "rate"),
+        hit_policy=HitPolicy.PRIORITY,
+    )
+    table.add_rule(
+        conditions={"score": "score < 600"},
+        outputs={"decision": "'decline'", "rate": "null"},
+        priority=100,
+    )
+    table.add_rule(
+        conditions={"amount": "amount <= 2000"},
+        outputs={"decision": "'approve'", "rate": "0.15"},
+        priority=10,
+    )
+    table.add_rule(
+        outputs={"decision": "'refer'", "rate": "null"},
+        priority=0,
+    )
+    return table
+
+
+# ---------------------------------------------------------------- the process
+
+model = (
+    ProcessBuilder("credit", name="Credit application")
+    .start()
+    .business_rule_task("decide", decision="credit_policy")
+    .exclusive_gateway("route")
+    .branch(condition="decision == 'approve'")
+    .script_task("open_account", script="status = 'opened at ' + str(rate)")
+    .end("approved")
+    .branch_from("route", condition="decision == 'decline'")
+    .script_task("send_letter", script="status = 'declined'")
+    .end("declined")
+    .branch_from("route", default=True)
+    .user_task("underwriter", role="underwriter")
+    .end("referred")
+    .build()
+)
+
+engine = ProcessEngine()
+engine.organization.add("uma", roles=["underwriter"])
+engine.decisions.register(policy_2025())
+engine.deploy(model, verify=True)
+
+applications = [
+    {"amount": 3000, "score": 720, "existing_customer": False},
+    {"amount": 20000, "score": 700, "existing_customer": True},
+    {"amount": 20000, "score": 700, "existing_customer": False},
+    {"amount": 800, "score": 450, "existing_customer": True},
+]
+
+print("== policy 2025 ==")
+for application in applications:
+    instance = engine.start_instance("credit", dict(application))
+    print(f"  {application['amount']:>6} @ score {application['score']} "
+          f"(existing={application['existing_customer']}): "
+          f"{instance.variables['decision']:<8} "
+          f"-> {instance.variables.get('status', 'waiting for underwriter')}")
+
+# the risk team tightens policy — no redeploy, no migration, same model
+engine.decisions.replace(policy_tightened())
+
+print("\n== tightened policy (same process, swapped table) ==")
+for application in applications:
+    instance = engine.start_instance("credit", dict(application))
+    print(f"  {application['amount']:>6} @ score {application['score']} "
+          f"(existing={application['existing_customer']}): "
+          f"{instance.variables['decision']:<8} "
+          f"-> {instance.variables.get('status', 'waiting for underwriter')}")
+
+referred = engine.find_instances(waiting_at="underwriter")
+print(f"\nunderwriter queue: {len(referred)} referred applications")

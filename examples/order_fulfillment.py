@@ -1,0 +1,104 @@
+"""Order fulfillment: services, retries, business errors, compensation path.
+
+Demonstrates the integration side of the BPMS: service tasks with input
+expressions, retry policies over a flaky payment provider, a BPMN business
+error (out of stock) routed to a boundary event, and parallel shipping
+preparation.
+
+Run:  python examples/order_fulfillment.py
+"""
+
+import random
+
+from repro import ProcessBuilder, ProcessEngine
+from repro.engine.errors import BpmnError
+from repro.model.elements import RetryPolicy
+
+# ---------------------------------------------------------------- services
+
+INVENTORY = {"widget": 5, "gadget": 0}
+rng = random.Random(7)
+
+
+def reserve_stock(sku, quantity):
+    available = INVENTORY.get(sku, 0)
+    if available < quantity:
+        raise BpmnError("OUT_OF_STOCK", f"{sku}: want {quantity}, have {available}")
+    INVENTORY[sku] = available - quantity
+    return {"sku": sku, "reserved": quantity}
+
+
+def charge_card(amount):
+    # a flaky provider: ~30 % transient failures, retried by the engine
+    if rng.random() < 0.3:
+        raise ConnectionError("payment gateway timeout")
+    return {"charged": amount, "txn": f"txn-{rng.randrange(10_000)}"}
+
+
+def print_label(sku):
+    return f"LABEL::{sku}"
+
+
+# ---------------------------------------------------------------- process
+
+model = (
+    ProcessBuilder("order", name="Order fulfillment")
+    .start()
+    .service_task(
+        "reserve",
+        service="reserve_stock",
+        inputs={"sku": "sku", "quantity": "quantity"},
+        output_variable="reservation",
+    )
+    .service_task(
+        "charge",
+        service="charge_card",
+        inputs={"amount": "quantity * unit_price"},
+        output_variable="payment",
+        retry=RetryPolicy(max_attempts=5, initial_backoff=0.01),
+    )
+    .parallel_gateway("prep")
+    .branch()
+    .service_task("label", service="print_label", inputs={"sku": "sku"},
+                  output_variable="label")
+    .parallel_gateway("ready")
+    .branch_from("prep")
+    .script_task("notify", script="notified = true")
+    .connect_to("ready")
+    .move_to("ready")
+    .script_task("close", script="status = 'shipped'")
+    .end("done")
+    # out-of-stock is a *business* outcome, not a crash:
+    .boundary_error("no_stock", attached_to="reserve", error_code="OUT_OF_STOCK")
+    .script_task("backorder", script="status = 'backordered'")
+    .end("backordered")
+    .build()
+)
+
+engine = ProcessEngine()
+engine.services.register("reserve_stock", reserve_stock)
+engine.services.register("charge_card", charge_card)
+engine.services.register("print_label", print_label)
+engine.deploy(model, verify=True)
+
+print(f"{'order':<10} {'sku':<8} {'outcome':<12} {'payment attempts'}")
+for k, (sku, quantity) in enumerate(
+    [("widget", 2), ("gadget", 1), ("widget", 3), ("widget", 9)]
+):
+    instance = engine.start_instance(
+        "order", {"sku": sku, "quantity": quantity, "unit_price": 19.5}
+    )
+    attempts = next(
+        (
+            e.data.get("attempts")
+            for e in engine.history.instance_events(instance.id)
+            if e.data.get("node_id") == "charge" and "attempts" in e.data
+        ),
+        "-",
+    )
+    print(f"{instance.id:<10} {sku:<8} {instance.variables.get('status', instance.state.name):<12} {attempts}")
+
+print(f"\nremaining inventory: {INVENTORY}")
+print(f"invoker stats      : {engine.invoker.stats.calls} calls, "
+      f"{engine.invoker.stats.retries} retries, "
+      f"{engine.invoker.stats.failures} failures")

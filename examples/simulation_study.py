@@ -1,0 +1,78 @@
+"""Simulation study: staffing a claims desk (what-if analysis).
+
+The classic BPMS optimization question: how many adjusters does the claims
+process need?  Sweeps arrival intensity against two staffing levels and
+prints the cycle-time table; the hockey stick appears as utilization
+approaches 1 (experiment F3 is the benchmark version of this).
+
+Run:  python examples/simulation_study.py
+"""
+
+from repro import ProcessBuilder, ProcessEngine
+from repro.clock import VirtualClock
+from repro.sim.distributions import Exponential
+from repro.sim.kpi import compute_kpis
+from repro.sim.runner import SimulationRunner
+from repro.worklist.allocation import ShortestQueueAllocator
+
+
+def claims_model():
+    return (
+        ProcessBuilder("claims", name="Insurance claims")
+        .start()
+        .script_task("register", script="registered = true")
+        .user_task("assess", role="adjuster")
+        .exclusive_gateway("decide")
+        .branch(condition="approve == true")
+        .script_task("payout", script="status = 'paid'")
+        .exclusive_gateway("merge")
+        .branch_from("decide", default=True)
+        .script_task("decline", script="status = 'declined'")
+        .connect_to("merge")
+        .move_to("merge")
+        .end()
+        .build()
+    )
+
+
+def run_configuration(n_adjusters, arrival_rate, n_cases=400, seed=21):
+    engine = ProcessEngine(
+        clock=VirtualClock(0), allocator=ShortestQueueAllocator()
+    )
+    for k in range(n_adjusters):
+        engine.organization.add(f"adjuster{k}", roles=["adjuster"])
+    engine.deploy(claims_model())
+    runner = SimulationRunner(
+        engine,
+        "claims",
+        n_cases=n_cases,
+        arrival=Exponential(rate=arrival_rate),
+        service_times={"assess": Exponential(rate=1 / 20.0)},  # mean 20 min
+        result_fn=lambda rng, node: (
+            {"approve": rng.random() < 0.7} if node == "assess" else {}
+        ),
+        seed=seed,
+    )
+    result = runner.run()
+    return compute_kpis(engine.history, engine.worklist, result)
+
+
+print("service: mean 20 min/case | staffing 2 vs 4 adjusters")
+print(f"{'arrival rate':>14} {'offered load':>13} | "
+      f"{'cycle(c=2)':>11} {'util(c=2)':>10} | {'cycle(c=4)':>11} {'util(c=4)':>10}")
+for rate_per_hour in (3, 6, 9, 11, 12):
+    rate = rate_per_hour / 60.0
+    offered = rate * 20.0  # Erlangs
+    row = []
+    for c in (2, 4):
+        report = run_configuration(c, rate)
+        row.append((report.mean_cycle_time, report.mean_utilization))
+    print(
+        f"{rate_per_hour:>11}/hr {offered:>12.1f}E | "
+        f"{row[0][0]:>11.1f} {row[0][1]:>9.1%} | "
+        f"{row[1][0]:>11.1f} {row[1][1]:>9.1%}"
+    )
+
+print("\nreading: with 2 adjusters the desk saturates near 6/hr (load 2E) and")
+print("cycle times explode; 4 adjusters keep cycle time near pure service")
+print("time until ~12/hr — capacity planning from the same models we execute.")

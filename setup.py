@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel.  This shim
+lets ``python setup.py develop`` perform the editable install instead; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — a complete Business Process Management System (BPMS) in pure Python.
+
+The package reproduces the system described by the ICDE 2003 overview paper
+"Business Process Management Systems": a process-aware information system
+with a formal Petri-net kernel, a BPMN-style process metamodel, a token-game
+execution engine, human-task worklists, service integration, durable
+persistence, history/audit, process mining, and discrete-event simulation.
+
+Quickstart
+----------
+>>> from repro import ProcessBuilder, ProcessEngine
+>>> model = (
+...     ProcessBuilder("hello")
+...     .start()
+...     .script_task("greet", script="result = 'hello ' + str(who)")
+...     .end()
+...     .build()
+... )
+>>> engine = ProcessEngine()
+>>> engine.deploy(model)
+'hello:1'
+>>> instance = engine.start_instance("hello", variables={"who": "world"})
+>>> instance.state.name
+'COMPLETED'
+>>> instance.variables["result"]
+'hello world'
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProcessBuilder",
+    "ProcessDefinition",
+    "ProcessEngine",
+    "ProcessInstance",
+    "InstanceState",
+    "__version__",
+]
+
+# Lazy re-exports (PEP 562) keep `import repro.petri` usable without pulling
+# the whole engine stack, and avoid import cycles between subpackages.
+_LAZY = {
+    "ProcessBuilder": ("repro.model.builder", "ProcessBuilder"),
+    "ProcessDefinition": ("repro.model.process", "ProcessDefinition"),
+    "ProcessEngine": ("repro.engine.engine", "ProcessEngine"),
+    "ProcessInstance": ("repro.engine.instance", "ProcessInstance"),
+    "InstanceState": ("repro.engine.instance", "InstanceState"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

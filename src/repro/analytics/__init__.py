@@ -1,0 +1,11 @@
+"""Analytics over engine history: fleet KPIs, bottlenecks, dashboards.
+
+Where :mod:`repro.sim.kpi` reports on one simulation run, this package
+aggregates across everything an engine has executed — the monitoring
+component of the WfMC reference architecture.
+"""
+
+from repro.analytics.kpis import ActivityStats, FleetReport, fleet_report
+from repro.analytics.dashboard import render_dashboard
+
+__all__ = ["ActivityStats", "FleetReport", "fleet_report", "render_dashboard"]

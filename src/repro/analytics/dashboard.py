@@ -1,0 +1,40 @@
+"""Plain-text monitoring dashboard over a fleet report."""
+
+from __future__ import annotations
+
+from repro.analytics.kpis import FleetReport
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_dashboard(report: FleetReport, title: str = "process monitor") -> str:
+    """Render the fleet report as a fixed-width text dashboard."""
+    lines = [
+        f"== {title} ==",
+        f"instances  : {report.total_instances} total | "
+        f"{report.completed} completed | {report.running} running | "
+        f"{report.failed} failed | {report.terminated} terminated",
+        f"completion : [{_bar(report.completion_rate)}] {report.completion_rate:.1%}",
+    ]
+    if report.cycle_times:
+        lines.append(
+            f"cycle time : mean={report.mean_cycle_time:.2f} "
+            f"median={report.median_cycle_time:.2f}"
+        )
+    bottlenecks = report.bottleneck_activities()
+    if bottlenecks:
+        lines.append("bottlenecks:")
+        worst = bottlenecks[0].mean_duration or 1.0
+        for stats in bottlenecks:
+            lines.append(
+                f"  {stats.node_id:<20} [{_bar(stats.mean_duration / worst, 16)}] "
+                f"mean={stats.mean_duration:.2f} n={stats.executions}"
+            )
+    if report.failures:
+        lines.append("recent failures:")
+        for instance_id, reason in report.failures[-3:]:
+            lines.append(f"  {instance_id}: {reason[:70]}")
+    return "\n".join(lines)

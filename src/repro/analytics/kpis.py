@@ -1,0 +1,102 @@
+"""Fleet-level KPIs aggregated from engine history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, median
+
+from repro.history.audit import HistoryService
+from repro.history.events import EventTypes
+
+
+@dataclass
+class ActivityStats:
+    """Aggregate statistics for one activity across instances."""
+
+    node_id: str
+    executions: int = 0
+    durations: list[float] = field(default_factory=list)
+
+    @property
+    def mean_duration(self) -> float:
+        return mean(self.durations) if self.durations else 0.0
+
+    @property
+    def max_duration(self) -> float:
+        return max(self.durations, default=0.0)
+
+
+@dataclass
+class FleetReport:
+    """Everything the monitoring dashboard needs."""
+
+    total_instances: int = 0
+    completed: int = 0
+    failed: int = 0
+    terminated: int = 0
+    running: int = 0
+    cycle_times: list[float] = field(default_factory=list)
+    activity_stats: dict[str, ActivityStats] = field(default_factory=dict)
+    failures: list[tuple[str, str]] = field(default_factory=list)  # (instance, reason)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.total_instances if self.total_instances else 0.0
+
+    @property
+    def mean_cycle_time(self) -> float:
+        return mean(self.cycle_times) if self.cycle_times else 0.0
+
+    @property
+    def median_cycle_time(self) -> float:
+        return median(self.cycle_times) if self.cycle_times else 0.0
+
+    def bottleneck_activities(self, top: int = 3) -> list[ActivityStats]:
+        """Activities with the largest mean enter→complete duration."""
+        scored = [s for s in self.activity_stats.values() if s.durations]
+        scored.sort(key=lambda s: (-s.mean_duration, s.node_id))
+        return scored[:top]
+
+
+def fleet_report(history: HistoryService) -> FleetReport:
+    """Aggregate per-instance history into a fleet report."""
+    report = FleetReport()
+    for instance_id in history.instances():
+        events = history.instance_events(instance_id)
+        if not any(e.type == EventTypes.INSTANCE_STARTED for e in events):
+            continue
+        report.total_instances += 1
+        terminal = next(
+            (
+                e
+                for e in events
+                if e.type
+                in (
+                    EventTypes.INSTANCE_COMPLETED,
+                    EventTypes.INSTANCE_FAILED,
+                    EventTypes.INSTANCE_TERMINATED,
+                )
+            ),
+            None,
+        )
+        if terminal is None:
+            report.running += 1
+        elif terminal.type == EventTypes.INSTANCE_COMPLETED:
+            report.completed += 1
+            duration = history.instance_duration(instance_id)
+            if duration is not None:
+                report.cycle_times.append(duration)
+        elif terminal.type == EventTypes.INSTANCE_FAILED:
+            report.failed += 1
+            report.failures.append(
+                (instance_id, terminal.data.get("reason", "unknown"))
+            )
+        else:
+            report.terminated += 1
+        for node_id, durations in history.node_durations(instance_id).items():
+            stats = report.activity_stats.setdefault(
+                node_id, ActivityStats(node_id=node_id)
+            )
+            stats.executions += len(durations)
+            stats.durations.extend(durations)
+    return report

@@ -1,0 +1,30 @@
+"""A rigid first-generation 'workflow system' — the comparison baseline.
+
+Before BPMS, process automation meant hard-coded workflow scripts: an
+ordered set of steps wired together in code, executed sequentially, with
+no parallelism, no events, no timers, and — critically for experiment T5 —
+no way to change the process without draining or aborting in-flight work.
+
+The baseline is deliberately capable enough to be a fair paper-era
+comparator (sequential steps, conditional routing, loops, manual steps,
+abort) and deliberately missing everything the BPMS adds (T1's support
+matrix quantifies the gap).
+"""
+
+from repro.baseline.engine import (
+    RigidCase,
+    RigidCaseState,
+    RigidEngine,
+    RigidWorkflow,
+    Step,
+    WorkflowChangeError,
+)
+
+__all__ = [
+    "RigidCase",
+    "RigidCaseState",
+    "RigidEngine",
+    "RigidWorkflow",
+    "Step",
+    "WorkflowChangeError",
+]

@@ -1,0 +1,215 @@
+"""The rigid workflow engine: hard-coded steps, drain-or-abort change."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Action = Callable[[dict[str, Any]], None]
+Router = Callable[[dict[str, Any]], str | None]
+
+
+class WorkflowChangeError(RuntimeError):
+    """Redeploying over in-flight cases is not possible in a rigid system."""
+
+
+@dataclass
+class Step:
+    """One hard-coded workflow step.
+
+    ``action`` mutates the case state (None for manual steps, which pause
+    the case until :meth:`RigidEngine.complete_manual`); ``next_step``
+    names the successor, or ``router`` computes it from state (returning
+    ``None`` ends the case).
+    """
+
+    name: str
+    action: Action | None = None
+    next_step: str | None = None
+    router: Router | None = None
+    manual: bool = False
+
+    def successor(self, state: dict[str, Any]) -> str | None:
+        if self.router is not None:
+            return self.router(state)
+        return self.next_step
+
+
+@dataclass
+class RigidWorkflow:
+    """An ordered, code-wired set of steps."""
+
+    name: str
+    steps: dict[str, Step] = field(default_factory=dict)
+    entry: str | None = None
+
+    def add_step(self, step: Step) -> "RigidWorkflow":
+        if step.name in self.steps:
+            raise ValueError(f"duplicate step {step.name!r}")
+        self.steps[step.name] = step
+        if self.entry is None:
+            self.entry = step.name
+        return self
+
+    def step(self, name: str) -> Step:
+        try:
+            return self.steps[name]
+        except KeyError:
+            raise ValueError(f"unknown step {name!r}") from None
+
+
+class RigidCaseState(enum.Enum):
+    RUNNING = "running"
+    WAITING_MANUAL = "waiting_manual"
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+    FAILED = "failed"
+
+
+@dataclass
+class RigidCase:
+    """One execution of a rigid workflow."""
+
+    id: str
+    workflow_name: str
+    state: RigidCaseState = RigidCaseState.RUNNING
+    current_step: str | None = None
+    variables: dict[str, Any] = field(default_factory=dict)
+    history: list[str] = field(default_factory=list)
+    failure: str | None = None
+
+
+class RigidEngine:
+    """Runs rigid workflows; process change aborts in-flight cases.
+
+    The deliberately painful part: :meth:`redeploy` refuses while cases are
+    in flight unless ``force=True``, which aborts them — the behaviour the
+    T5 flexibility experiment contrasts with BPMS hot migration.
+    """
+
+    def __init__(self) -> None:
+        self._workflows: dict[str, RigidWorkflow] = {}
+        self._cases: dict[str, RigidCase] = {}
+        self._seq = itertools.count(1)
+        self.max_steps = 10_000
+
+    # -- deployment --------------------------------------------------------------
+
+    def deploy(self, workflow: RigidWorkflow) -> None:
+        """Install a workflow; rejects overwriting (use redeploy)."""
+        if workflow.name in self._workflows:
+            raise WorkflowChangeError(
+                f"workflow {workflow.name!r} already deployed; redeploy() to change"
+            )
+        if workflow.entry is None:
+            raise ValueError("workflow has no steps")
+        self._workflows[workflow.name] = workflow
+
+    def redeploy(self, workflow: RigidWorkflow, force: bool = False) -> list[str]:
+        """Replace a workflow version.
+
+        With in-flight cases this raises :class:`WorkflowChangeError`
+        unless ``force=True``, which ABORTS them all (their ids are
+        returned) — rigid systems cannot migrate running work.
+        """
+        in_flight = [
+            c
+            for c in self._cases.values()
+            if c.workflow_name == workflow.name
+            and c.state in (RigidCaseState.RUNNING, RigidCaseState.WAITING_MANUAL)
+        ]
+        if in_flight and not force:
+            raise WorkflowChangeError(
+                f"{len(in_flight)} case(s) in flight; rigid systems must drain "
+                f"or abort (force=True) before changing the process"
+            )
+        aborted = []
+        for case in in_flight:
+            case.state = RigidCaseState.ABORTED
+            case.failure = "aborted by redeploy"
+            aborted.append(case.id)
+        self._workflows[workflow.name] = workflow
+        return aborted
+
+    # -- execution ------------------------------------------------------------------
+
+    def start_case(
+        self, workflow_name: str, variables: dict[str, Any] | None = None
+    ) -> RigidCase:
+        """Start and run a case until completion or the first manual step."""
+        workflow = self._workflows.get(workflow_name)
+        if workflow is None:
+            raise ValueError(f"unknown workflow {workflow_name!r}")
+        case = RigidCase(
+            id=f"case-{next(self._seq)}",
+            workflow_name=workflow_name,
+            current_step=workflow.entry,
+            variables=dict(variables or {}),
+        )
+        self._cases[case.id] = case
+        self._run(case)
+        return case
+
+    def _run(self, case: RigidCase) -> None:
+        workflow = self._workflows[case.workflow_name]
+        steps = 0
+        while case.state is RigidCaseState.RUNNING and case.current_step is not None:
+            steps += 1
+            if steps > self.max_steps:
+                case.state = RigidCaseState.FAILED
+                case.failure = "step budget exhausted"
+                return
+            step = workflow.step(case.current_step)
+            if step.manual:
+                case.state = RigidCaseState.WAITING_MANUAL
+                return
+            case.history.append(step.name)
+            if step.action is not None:
+                try:
+                    step.action(case.variables)
+                except Exception as exc:  # noqa: BLE001 - steps are user code
+                    case.state = RigidCaseState.FAILED
+                    case.failure = f"{type(exc).__name__}: {exc}"
+                    return
+            case.current_step = step.successor(case.variables)
+        if case.state is RigidCaseState.RUNNING:
+            case.state = RigidCaseState.COMPLETED
+
+    def complete_manual(
+        self, case_id: str, result: dict[str, Any] | None = None
+    ) -> RigidCase:
+        """Finish the pending manual step and continue the case."""
+        case = self.case(case_id)
+        if case.state is not RigidCaseState.WAITING_MANUAL:
+            raise ValueError(f"case {case_id!r} is not waiting on a manual step")
+        workflow = self._workflows[case.workflow_name]
+        step = workflow.step(case.current_step)
+        case.variables.update(result or {})
+        case.history.append(step.name)
+        case.state = RigidCaseState.RUNNING
+        case.current_step = step.successor(case.variables)
+        self._run(case)
+        return case
+
+    def abort_case(self, case_id: str) -> RigidCase:
+        """Cancel a case (pattern 20 is the one cancellation rigid systems had)."""
+        case = self.case(case_id)
+        if case.state in (RigidCaseState.RUNNING, RigidCaseState.WAITING_MANUAL):
+            case.state = RigidCaseState.ABORTED
+        return case
+
+    # -- queries ----------------------------------------------------------------------
+
+    def case(self, case_id: str) -> RigidCase:
+        try:
+            return self._cases[case_id]
+        except KeyError:
+            raise ValueError(f"unknown case {case_id!r}") from None
+
+    def cases(self, state: RigidCaseState | None = None) -> list[RigidCase]:
+        values = list(self._cases.values())
+        if state is not None:
+            values = [c for c in values if c.state is state]
+        return values

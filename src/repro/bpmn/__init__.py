@@ -1,0 +1,15 @@
+"""BPMN 2.0 (subset) XML interchange.
+
+Serializes process definitions to a BPMN-flavoured XML document and parses
+them back, so models can be exchanged with external modelling tools.  The
+subset covers every element type in :mod:`repro.model.elements`; engine-
+specific attributes (scripts, service names, roles, retry policies) travel
+in a ``repro:`` extension namespace, mirroring how Camunda/jBPM extend the
+standard.
+"""
+
+from repro.bpmn.errors import BpmnParseError
+from repro.bpmn.reader import parse_bpmn
+from repro.bpmn.writer import to_bpmn_xml
+
+__all__ = ["BpmnParseError", "parse_bpmn", "to_bpmn_xml"]

@@ -1,0 +1,5 @@
+"""Errors raised by the BPMN interchange layer."""
+
+
+class BpmnParseError(Exception):
+    """The XML document is not a parsable BPMN subset document."""

@@ -1,0 +1,231 @@
+"""Parse BPMN-subset XML back into process definitions."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.bpmn.errors import BpmnParseError
+from repro.bpmn.writer import BPMN_NS, EXT_NS, _ext, _q
+from repro.model.elements import (
+    BoundaryEvent,
+    BusinessRuleTask,
+    CallActivity,
+    EndEvent,
+    EventBasedGateway,
+    ExclusiveGateway,
+    InclusiveGateway,
+    IntermediateMessageEvent,
+    IntermediateTimerEvent,
+    ManualTask,
+    MultiInstanceActivity,
+    Node,
+    ParallelGateway,
+    ReceiveTask,
+    RetryPolicy,
+    ScriptTask,
+    SendTask,
+    SequenceFlow,
+    ServiceTask,
+    StartEvent,
+    UserTask,
+)
+from repro.model.errors import ModelError
+from repro.model.process import ProcessDefinition
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _io_mappings(element: ET.Element, direction: str) -> dict[str, str]:
+    result: dict[str, str] = {}
+    for io in element.findall(_ext(direction)):
+        name = io.get("name")
+        if not name:
+            raise BpmnParseError(f"{direction} mapping missing a name")
+        result[name] = io.text or ""
+    return result
+
+
+def _parse_node(element: ET.Element) -> Node:
+    tag = _local(element.tag)
+    node_id = element.get("id") or ""
+    name = element.get("name") or ""
+    if tag == "startEvent":
+        return StartEvent(node_id, name)
+    if tag == "endEvent":
+        terminate = element.find(_q("terminateEventDefinition")) is not None
+        return EndEvent(node_id, name, terminate=terminate)
+    if tag == "intermediateCatchEvent":
+        timer = element.find(_q("timerEventDefinition"))
+        if timer is not None:
+            duration_el = timer.find(_q("timeDuration"))
+            duration = float(duration_el.text) if duration_el is not None else 0.0
+            return IntermediateTimerEvent(node_id, name, duration=duration)
+        message = element.find(_q("messageEventDefinition"))
+        if message is not None:
+            return IntermediateMessageEvent(
+                node_id,
+                name,
+                message_name=message.get(_ext("messageName")) or "",
+                correlation_expression=message.get(_ext("correlation")),
+            )
+        raise BpmnParseError(f"catch event {node_id!r} has no known definition")
+    if tag == "boundaryEvent":
+        attached = element.get("attachedToRef") or ""
+        error = element.find(_q("errorEventDefinition"))
+        if error is not None:
+            return BoundaryEvent(
+                node_id,
+                name,
+                attached_to=attached,
+                kind="error",
+                error_code=error.get("errorRef"),
+            )
+        timer = element.find(_q("timerEventDefinition"))
+        if timer is not None:
+            duration_el = timer.find(_q("timeDuration"))
+            duration = float(duration_el.text) if duration_el is not None else 0.0
+            return BoundaryEvent(
+                node_id, name, attached_to=attached, kind="timer", duration=duration
+            )
+        raise BpmnParseError(f"boundary event {node_id!r} has no known definition")
+    if tag == "userTask":
+        due_raw = element.get(_ext("dueSeconds"))
+        fields_raw = element.get(_ext("formFields")) or ""
+        separate_raw = element.get(_ext("separateFrom")) or ""
+        return UserTask(
+            node_id,
+            name,
+            role=element.get(_ext("role")) or "",
+            priority=int(element.get(_ext("priority")) or 0),
+            due_seconds=float(due_raw) if due_raw else None,
+            form_fields=tuple(f for f in fields_raw.split(",") if f),
+            separate_from=tuple(s for s in separate_raw.split(",") if s),
+        )
+    if tag == "manualTask":
+        return ManualTask(node_id, name)
+    if tag == "serviceTask":
+        return ServiceTask(
+            node_id,
+            name,
+            service=element.get(_ext("service")) or "",
+            inputs=_io_mappings(element, "input"),
+            output_variable=element.get(_ext("outputVariable")),
+            retry=RetryPolicy(
+                max_attempts=int(element.get(_ext("retryMaxAttempts")) or 3),
+                initial_backoff=float(element.get(_ext("retryInitialBackoff")) or 0.1),
+                backoff_multiplier=float(element.get(_ext("retryMultiplier")) or 2.0),
+            ),
+            async_execution=element.get(_ext("async")) == "true",
+        )
+    if tag == "scriptTask":
+        script_el = element.find(_q("script"))
+        return ScriptTask(node_id, name, script=(script_el.text or "") if script_el is not None else "")
+    if tag == "businessRuleTask":
+        return BusinessRuleTask(
+            node_id,
+            name,
+            decision=element.get(_ext("decision")) or "",
+            result_variable=element.get(_ext("resultVariable")),
+        )
+    if tag == "sendTask":
+        return SendTask(
+            node_id,
+            name,
+            message_name=element.get(_ext("messageName")) or "",
+            payload_expression=element.get(_ext("payload")),
+        )
+    if tag == "receiveTask":
+        return ReceiveTask(
+            node_id,
+            name,
+            message_name=element.get(_ext("messageName")) or "",
+            correlation_expression=element.get(_ext("correlation")),
+        )
+    if tag == "callActivity":
+        loop = element.find(_q("multiInstanceLoopCharacteristics"))
+        if loop is not None:
+            cardinality_el = loop.find(_q("loopCardinality"))
+            return MultiInstanceActivity(
+                node_id,
+                name,
+                process_key=element.get("calledElement") or "",
+                cardinality_expression=(
+                    (cardinality_el.text or "") if cardinality_el is not None else ""
+                ),
+                input_mappings=_io_mappings(element, "input"),
+                output_mappings=_io_mappings(element, "output"),
+                output_collection=loop.get(_ext("outputCollection")),
+                sequential=loop.get("isSequential") == "true",
+                wait_for_completion=loop.get(_ext("waitForCompletion")) != "false",
+            )
+        return CallActivity(
+            node_id,
+            name,
+            process_key=element.get("calledElement") or "",
+            input_mappings=_io_mappings(element, "input"),
+            output_mappings=_io_mappings(element, "output"),
+        )
+    if tag == "exclusiveGateway":
+        return ExclusiveGateway(node_id, name)
+    if tag == "parallelGateway":
+        return ParallelGateway(node_id, name)
+    if tag == "inclusiveGateway":
+        return InclusiveGateway(node_id, name)
+    if tag == "eventBasedGateway":
+        return EventBasedGateway(node_id, name)
+    raise BpmnParseError(f"unsupported BPMN element <{tag}>")
+
+
+def parse_bpmn(xml_text: str) -> ProcessDefinition:
+    """Parse one BPMN document into a process definition.
+
+    Raises :class:`BpmnParseError` for malformed XML or unsupported
+    elements; model-level constraint violations surface as
+    :class:`~repro.model.errors.ModelError`.
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise BpmnParseError(f"not well-formed XML: {exc}") from exc
+    if _local(root.tag) != "definitions":
+        raise BpmnParseError(f"expected <definitions> root, got <{_local(root.tag)}>")
+    process_el = root.find(_q("process"))
+    if process_el is None:
+        raise BpmnParseError("document contains no <process>")
+
+    doc_el = process_el.find(_q("documentation"))
+    definition = ProcessDefinition(
+        key=process_el.get("id") or "",
+        name=process_el.get("name") or "",
+        version=int(process_el.get(_ext("version")) or 0),
+        description=(doc_el.text or "") if doc_el is not None else "",
+    )
+    flows: list[SequenceFlow] = []
+    for element in process_el:
+        tag = _local(element.tag)
+        if tag == "documentation":
+            continue
+        if tag == "sequenceFlow":
+            condition_el = element.find(_q("conditionExpression"))
+            flows.append(
+                SequenceFlow(
+                    id=element.get("id") or "",
+                    source=element.get("sourceRef") or "",
+                    target=element.get("targetRef") or "",
+                    condition=(condition_el.text if condition_el is not None else None),
+                    is_default=element.get(_ext("default")) == "true",
+                )
+            )
+        else:
+            try:
+                definition.add_node(_parse_node(element))
+            except ModelError as exc:
+                raise BpmnParseError(str(exc)) from exc
+    for flow in flows:
+        try:
+            definition.add_flow(flow)
+        except ModelError as exc:
+            raise BpmnParseError(str(exc)) from exc
+    return definition

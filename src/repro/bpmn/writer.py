@@ -1,0 +1,189 @@
+"""Serialize process definitions to BPMN-subset XML."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.model.elements import (
+    BoundaryEvent,
+    BusinessRuleTask,
+    CallActivity,
+    EndEvent,
+    EventBasedGateway,
+    ExclusiveGateway,
+    InclusiveGateway,
+    IntermediateMessageEvent,
+    IntermediateTimerEvent,
+    ManualTask,
+    MultiInstanceActivity,
+    ParallelGateway,
+    ReceiveTask,
+    ScriptTask,
+    SendTask,
+    ServiceTask,
+    StartEvent,
+    UserTask,
+)
+from repro.model.process import ProcessDefinition
+
+BPMN_NS = "http://www.omg.org/spec/BPMN/20100524/MODEL"
+EXT_NS = "https://repro.example/schema/bpmn-ext"
+
+_TAGS = {
+    StartEvent: "startEvent",
+    EndEvent: "endEvent",
+    IntermediateTimerEvent: "intermediateCatchEvent",
+    IntermediateMessageEvent: "intermediateCatchEvent",
+    BoundaryEvent: "boundaryEvent",
+    UserTask: "userTask",
+    ManualTask: "manualTask",
+    ServiceTask: "serviceTask",
+    ScriptTask: "scriptTask",
+    BusinessRuleTask: "businessRuleTask",
+    SendTask: "sendTask",
+    ReceiveTask: "receiveTask",
+    CallActivity: "callActivity",
+    MultiInstanceActivity: "callActivity",  # + multiInstanceLoopCharacteristics
+    ExclusiveGateway: "exclusiveGateway",
+    ParallelGateway: "parallelGateway",
+    InclusiveGateway: "inclusiveGateway",
+    EventBasedGateway: "eventBasedGateway",
+}
+
+
+def _q(tag: str) -> str:
+    return f"{{{BPMN_NS}}}{tag}"
+
+
+def _ext(tag: str) -> str:
+    return f"{{{EXT_NS}}}{tag}"
+
+
+def to_bpmn_xml(definition: ProcessDefinition) -> str:
+    """Render a definition as a BPMN XML string (UTF-8, pretty-ordered)."""
+    ET.register_namespace("bpmn", BPMN_NS)
+    ET.register_namespace("repro", EXT_NS)
+    root = ET.Element(
+        _q("definitions"),
+        {"id": f"defs_{definition.key}", "targetNamespace": EXT_NS},
+    )
+    process = ET.SubElement(
+        root,
+        _q("process"),
+        {
+            "id": definition.key,
+            "name": definition.name,
+            "isExecutable": "true",
+            _ext("version"): str(definition.version),
+        },
+    )
+    if definition.description:
+        doc = ET.SubElement(process, _q("documentation"))
+        doc.text = definition.description
+
+    for node in definition.nodes.values():
+        tag = _TAGS.get(type(node))
+        if tag is None:
+            raise ValueError(f"cannot serialize node type {type(node).__name__}")
+        attributes = {"id": node.id, "name": node.name}
+        element = ET.SubElement(process, _q(tag), attributes)
+        if isinstance(node, EndEvent) and node.terminate:
+            ET.SubElement(element, _q("terminateEventDefinition"))
+        elif isinstance(node, IntermediateTimerEvent):
+            timer = ET.SubElement(element, _q("timerEventDefinition"))
+            duration = ET.SubElement(timer, _q("timeDuration"))
+            duration.text = str(node.duration)
+        elif isinstance(node, IntermediateMessageEvent):
+            message = ET.SubElement(element, _q("messageEventDefinition"))
+            message.set(_ext("messageName"), node.message_name)
+            if node.correlation_expression:
+                message.set(_ext("correlation"), node.correlation_expression)
+        elif isinstance(node, BoundaryEvent):
+            element.set("attachedToRef", node.attached_to)
+            if node.kind == "error":
+                error = ET.SubElement(element, _q("errorEventDefinition"))
+                if node.error_code:
+                    error.set("errorRef", node.error_code)
+            else:
+                timer = ET.SubElement(element, _q("timerEventDefinition"))
+                duration = ET.SubElement(timer, _q("timeDuration"))
+                duration.text = str(node.duration)
+        elif isinstance(node, UserTask):
+            element.set(_ext("role"), node.role)
+            element.set(_ext("priority"), str(node.priority))
+            if node.due_seconds is not None:
+                element.set(_ext("dueSeconds"), str(node.due_seconds))
+            if node.form_fields:
+                element.set(_ext("formFields"), ",".join(node.form_fields))
+            if node.separate_from:
+                element.set(_ext("separateFrom"), ",".join(node.separate_from))
+        elif isinstance(node, ServiceTask):
+            element.set(_ext("service"), node.service)
+            if node.async_execution:
+                element.set(_ext("async"), "true")
+            if node.output_variable:
+                element.set(_ext("outputVariable"), node.output_variable)
+            element.set(_ext("retryMaxAttempts"), str(node.retry.max_attempts))
+            element.set(_ext("retryInitialBackoff"), str(node.retry.initial_backoff))
+            element.set(_ext("retryMultiplier"), str(node.retry.backoff_multiplier))
+            for name, expr in sorted(node.inputs.items()):
+                io = ET.SubElement(element, _ext("input"), {"name": name})
+                io.text = expr
+        elif isinstance(node, ScriptTask):
+            script = ET.SubElement(element, _q("script"))
+            script.text = node.script
+        elif isinstance(node, BusinessRuleTask):
+            element.set(_ext("decision"), node.decision)
+            if node.result_variable:
+                element.set(_ext("resultVariable"), node.result_variable)
+        elif isinstance(node, SendTask):
+            element.set(_ext("messageName"), node.message_name)
+            if node.payload_expression:
+                element.set(_ext("payload"), node.payload_expression)
+        elif isinstance(node, ReceiveTask):
+            element.set(_ext("messageName"), node.message_name)
+            if node.correlation_expression:
+                element.set(_ext("correlation"), node.correlation_expression)
+        elif isinstance(node, CallActivity):
+            element.set("calledElement", node.process_key)
+            for name, expr in sorted(node.input_mappings.items()):
+                io = ET.SubElement(element, _ext("input"), {"name": name})
+                io.text = expr
+            for name, expr in sorted(node.output_mappings.items()):
+                io = ET.SubElement(element, _ext("output"), {"name": name})
+                io.text = expr
+        elif isinstance(node, MultiInstanceActivity):
+            element.set("calledElement", node.process_key)
+            loop = ET.SubElement(
+                element,
+                _q("multiInstanceLoopCharacteristics"),
+                {"isSequential": "true" if node.sequential else "false"},
+            )
+            cardinality = ET.SubElement(loop, _q("loopCardinality"))
+            cardinality.text = node.cardinality_expression
+            if not node.wait_for_completion:
+                loop.set(_ext("waitForCompletion"), "false")
+            if node.output_collection is not None:
+                loop.set(_ext("outputCollection"), node.output_collection)
+            for name, expr in sorted(node.input_mappings.items()):
+                io = ET.SubElement(element, _ext("input"), {"name": name})
+                io.text = expr
+            for name, expr in sorted(node.output_mappings.items()):
+                io = ET.SubElement(element, _ext("output"), {"name": name})
+                io.text = expr
+
+    for flow in definition.flows.values():
+        attributes = {
+            "id": flow.id,
+            "sourceRef": flow.source,
+            "targetRef": flow.target,
+        }
+        element = ET.SubElement(process, _q("sequenceFlow"), attributes)
+        if flow.is_default:
+            element.set(_ext("default"), "true")
+        if flow.condition is not None:
+            condition = ET.SubElement(element, _q("conditionExpression"))
+            condition.text = flow.condition
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``validate FILE.bpmn [--soundness]`` — structural (and optionally
+  behavioural) verification; exit code 1 on errors.
+* ``info FILE.bpmn``                   — model summary.
+* ``run FILE.bpmn [--var k=v ...]``    — deploy and run one instance of a
+  fully automated model, printing the outcome and final variables.
+* ``mine LOG.json [--threshold X]``    — discovery summary for an event
+  log (``EventLog.to_json`` format).
+* ``patterns``                         — the pattern support matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.bpmn import BpmnParseError, parse_bpmn
+from repro.history.log import EventLog
+from repro.model.mapping import to_workflow_net
+from repro.model.validation import validate as validate_model
+from repro.petri.workflow_net import check_soundness
+
+
+def _load_model(path: str):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return parse_bpmn(fh.read())
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {path}")
+    except BpmnParseError as exc:
+        raise SystemExit(f"error: cannot parse {path}: {exc}")
+
+
+def _parse_var(raw: str):
+    name, sep, value = raw.partition("=")
+    if not sep:
+        raise SystemExit(f"error: --var expects name=value, got {raw!r}")
+    try:
+        return name, json.loads(value)
+    except json.JSONDecodeError:
+        return name, value  # plain string
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    model = _load_model(args.file)
+    report = validate_model(model)
+    for issue in report.issues:
+        print(issue)
+    if not report.ok:
+        print(f"INVALID: {len(report.errors)} error(s)")
+        return 1
+    print(f"valid: {len(model.nodes)} nodes, {len(model.flows)} flows"
+          + (f", {len(report.warnings)} warning(s)" if report.warnings else ""))
+    if args.soundness:
+        soundness = check_soundness(
+            to_workflow_net(model).net, max_states=args.max_states
+        )
+        if soundness.sound:
+            print(f"sound: verified over {soundness.state_count} states")
+        else:
+            print("UNSOUND:")
+            for problem in soundness.problems:
+                print(f"  - {problem}")
+            return 1
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    model = _load_model(args.file)
+    print(f"process   : {model.key} (name={model.name!r}, version={model.version})")
+    if model.description:
+        print(f"docs      : {model.description}")
+    by_type: dict[str, int] = {}
+    for node in model.nodes.values():
+        by_type[node.type_name] = by_type.get(node.type_name, 0) + 1
+    print(f"nodes     : {len(model.nodes)}")
+    for type_name, count in sorted(by_type.items()):
+        print(f"  {type_name:<26} {count}")
+    guarded = sum(1 for f in model.flows.values() if f.condition)
+    print(f"flows     : {len(model.flows)} ({guarded} guarded)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.engine.engine import ProcessEngine
+    from repro.model.elements import ReceiveTask, UserTask
+
+    model = _load_model(args.file)
+    human = [n.id for n in model.nodes.values() if isinstance(n, (UserTask, ReceiveTask))]
+    if human:
+        print(f"note: model has waiting nodes {human}; the run may not complete")
+    engine = ProcessEngine()
+    engine.deploy(model)
+    variables = dict(_parse_var(raw) for raw in args.var or [])
+    instance = engine.start_instance(model.key, variables)
+    print(f"instance  : {instance.id}")
+    print(f"state     : {instance.state.value}")
+    if instance.failure:
+        print(f"failure   : {instance.failure}")
+    print("variables :")
+    for name in sorted(instance.variables):
+        print(f"  {name} = {instance.variables[name]!r}")
+    trace = [
+        e.data["node_id"]
+        for e in engine.history.instance_events(instance.id)
+        if e.type == "node.completed" and e.data.get("is_activity")
+    ]
+    print(f"trace     : {' -> '.join(trace) if trace else '(no activities)'}")
+    return 0 if instance.state.value in ("completed", "running") else 1
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    from repro.mining.alpha import alpha_miner
+    from repro.mining.conformance import token_replay
+    from repro.mining.dfg import DirectlyFollowsGraph
+    from repro.mining.heuristics import heuristics_miner
+
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            payload = fh.read()
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {args.file}")
+    if args.file.endswith(".xes") or payload.lstrip().startswith("<"):
+        from repro.history.xes import XesParseError, parse_xes
+
+        try:
+            log = parse_xes(payload)
+        except XesParseError as exc:
+            raise SystemExit(f"error: not an XES file: {exc}")
+    else:
+        try:
+            log = EventLog.from_json(payload)
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise SystemExit(f"error: not an EventLog JSON file: {exc}")
+
+    print(f"log       : {len(log)} traces, {len(log.variants())} variants, "
+          f"{len(log.activities)} activities")
+    dfg = DirectlyFollowsGraph.from_log(log)
+    print("top edges :")
+    for a, b, count in dfg.edges()[:8]:
+        print(f"  {a} -> {b}  ({count})")
+    net = alpha_miner(log)
+    replay = token_replay(net, log)
+    print(f"alpha net : |P|={len(net.places)} |T|={len(net.transitions)} "
+          f"fitness={replay.fitness:.3f}")
+    graph = heuristics_miner(log, dependency_threshold=args.threshold)
+    print(f"heuristics: {len(graph.dependencies)} dependencies "
+          f"at threshold {args.threshold}")
+    if args.footprint:
+        from repro.mining.footprint import FootprintMatrix
+
+        print("footprint :")
+        print(FootprintMatrix.from_log(log).render())
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from repro.model.render import to_ascii, to_dot
+
+    model = _load_model(args.file)
+    if args.format == "dot":
+        print(to_dot(model))
+    else:
+        print(to_ascii(model))
+    return 0
+
+
+def cmd_patterns(args: argparse.Namespace) -> int:
+    from repro.patterns.catalog import PATTERNS
+
+    for spec in PATTERNS:
+        mark = "yes" if spec.supported else " no"
+        print(f"{spec.number:>2} [{mark}] {spec.name:<30} {spec.note}")
+    total = sum(1 for p in PATTERNS if p.supported)
+    print(f"supported: {total}/20")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BPMS command-line tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="validate a BPMN model")
+    p_validate.add_argument("file")
+    p_validate.add_argument("--soundness", action="store_true",
+                            help="also run the WF-net soundness check")
+    p_validate.add_argument("--max-states", type=int, default=100_000)
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_info = sub.add_parser("info", help="summarize a BPMN model")
+    p_info.add_argument("file")
+    p_info.set_defaults(func=cmd_info)
+
+    p_run = sub.add_parser("run", help="run one instance of an automated model")
+    p_run.add_argument("file")
+    p_run.add_argument("--var", action="append", metavar="NAME=VALUE")
+    p_run.set_defaults(func=cmd_run)
+
+    p_mine = sub.add_parser(
+        "mine", help="discovery summary for an event log (JSON or XES)"
+    )
+    p_mine.add_argument("file")
+    p_mine.add_argument("--threshold", type=float, default=0.9)
+    p_mine.add_argument("--footprint", action="store_true",
+                        help="also print the footprint matrix")
+    p_mine.set_defaults(func=cmd_mine)
+
+    p_render = sub.add_parser("render", help="render a model (dot/ascii)")
+    p_render.add_argument("file")
+    p_render.add_argument("--format", choices=("dot", "ascii"), default="ascii")
+    p_render.set_defaults(func=cmd_render)
+
+    p_patterns = sub.add_parser("patterns", help="pattern support matrix")
+    p_patterns.set_defaults(func=cmd_patterns)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

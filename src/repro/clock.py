@@ -1,0 +1,72 @@
+"""Clock abstraction shared by the engine, worklists, services, and simulator.
+
+Everything time-dependent (timers, deadlines, retry backoff, circuit-breaker
+resets, history timestamps) reads time through a :class:`Clock` so that:
+
+* production uses :class:`WallClock` (real time);
+* tests and the discrete-event simulator use :class:`VirtualClock`, which
+  only moves when explicitly advanced — deterministic and instant.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Time source interface."""
+
+    def now(self) -> float:
+        """Current time in seconds (epoch-like; only differences matter)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or virtually advance) for ``seconds``."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time, for production use."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Manually advanced time, for tests and simulation.
+
+    >>> clock = VirtualClock(start=100.0)
+    >>> clock.now()
+    100.0
+    >>> clock.advance(5)
+    105.0
+    >>> clock.sleep(2.5)   # sleeping just advances
+    >>> clock.now()
+    107.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = float(timestamp)

@@ -1,0 +1,31 @@
+"""Decision tables: declarative business rules for process routing.
+
+The BPMS suites of the paper's generation bundled a rules component so
+that volatile business logic (pricing bands, approval thresholds, risk
+classes) lived in *tables* owned by business users rather than in code or
+in gateway guards.  This package provides:
+
+* :class:`~repro.decisions.table.DecisionTable` — typed inputs/outputs,
+  rules with expression-language conditions, and the classic hit policies
+  (UNIQUE, FIRST, PRIORITY, COLLECT);
+* a :class:`~repro.decisions.table.DecisionRegistry` the engine resolves
+  tables from;
+* the :class:`~repro.model.elements.BusinessRuleTask` node type executes a
+  table against instance variables and merges the outputs.
+"""
+
+from repro.decisions.table import (
+    DecisionError,
+    DecisionRegistry,
+    DecisionRule,
+    DecisionTable,
+    HitPolicy,
+)
+
+__all__ = [
+    "DecisionError",
+    "DecisionRegistry",
+    "DecisionRule",
+    "DecisionTable",
+    "HitPolicy",
+]

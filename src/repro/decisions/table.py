@@ -1,0 +1,230 @@
+"""Decision tables with expression-language conditions and hit policies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.expr import EvaluationError, ParseError, compile_expression
+
+
+class DecisionError(Exception):
+    """Table definition or evaluation failure."""
+
+
+class HitPolicy(enum.Enum):
+    """How multiple matching rules combine.
+
+    * ``UNIQUE``   — exactly one rule may match; several matching is an error.
+    * ``FIRST``    — the first matching rule (table order) wins.
+    * ``PRIORITY`` — the matching rule with the highest ``priority`` wins.
+    * ``COLLECT``  — all matches contribute; each output name collects a list.
+    """
+
+    UNIQUE = "unique"
+    FIRST = "first"
+    PRIORITY = "priority"
+    COLLECT = "collect"
+
+
+@dataclass
+class DecisionRule:
+    """One row: conditions per input name, output expressions per output name.
+
+    A missing condition for an input means "any value".  Conditions and
+    outputs are expression-language strings evaluated against the decision
+    context (the instance variables, for business-rule tasks).
+    """
+
+    conditions: dict[str, str] = field(default_factory=dict)
+    outputs: dict[str, str] = field(default_factory=dict)
+    priority: int = 0
+    annotation: str = ""
+
+
+@dataclass
+class DecisionTable:
+    """A named decision: inputs, outputs, rules, hit policy."""
+
+    name: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    rules: list[DecisionRule] = field(default_factory=list)
+    hit_policy: HitPolicy = HitPolicy.FIRST
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DecisionError("decision table requires a name")
+        if not self.outputs:
+            raise DecisionError(f"table {self.name!r} declares no outputs")
+
+    def add_rule(
+        self,
+        conditions: dict[str, str] | None = None,
+        outputs: dict[str, str] | None = None,
+        priority: int = 0,
+        annotation: str = "",
+    ) -> "DecisionTable":
+        """Append a rule (fluent); validates names and expression syntax."""
+        rule = DecisionRule(
+            conditions=dict(conditions or {}),
+            outputs=dict(outputs or {}),
+            priority=priority,
+            annotation=annotation,
+        )
+        for input_name in rule.conditions:
+            if input_name not in self.inputs:
+                raise DecisionError(
+                    f"table {self.name!r}: condition on undeclared input "
+                    f"{input_name!r}"
+                )
+        for output_name in rule.outputs:
+            if output_name not in self.outputs:
+                raise DecisionError(
+                    f"table {self.name!r}: value for undeclared output "
+                    f"{output_name!r}"
+                )
+        missing = set(self.outputs) - set(rule.outputs)
+        if missing:
+            raise DecisionError(
+                f"table {self.name!r}: rule lacks outputs {sorted(missing)}"
+            )
+        for expression in (*rule.conditions.values(), *rule.outputs.values()):
+            try:
+                compile_expression(expression)
+            except ParseError as exc:
+                raise DecisionError(
+                    f"table {self.name!r}: bad expression {expression!r}: {exc}"
+                ) from exc
+        self.rules.append(rule)
+        return self
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _matches(self, rule: DecisionRule, context: Mapping[str, Any]) -> bool:
+        for input_name, condition in rule.conditions.items():
+            if input_name not in context:
+                raise DecisionError(
+                    f"table {self.name!r}: input {input_name!r} missing from context"
+                )
+            try:
+                if not compile_expression(condition).evaluate_bool(context):
+                    return False
+            except EvaluationError as exc:
+                raise DecisionError(
+                    f"table {self.name!r}: condition {condition!r} failed: {exc}"
+                ) from exc
+        return True
+
+    def _rule_outputs(
+        self, rule: DecisionRule, context: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        try:
+            return {
+                name: compile_expression(expr).evaluate(context)
+                for name, expr in rule.outputs.items()
+            }
+        except EvaluationError as exc:
+            raise DecisionError(
+                f"table {self.name!r}: output evaluation failed: {exc}"
+            ) from exc
+
+    def evaluate(self, context: Mapping[str, Any]) -> dict[str, Any]:
+        """Evaluate the table; returns the output assignment.
+
+        Raises :class:`DecisionError` when no rule matches, or when UNIQUE
+        finds several matches.  COLLECT returns each output as a list (in
+        table order).
+        """
+        matches = [rule for rule in self.rules if self._matches(rule, context)]
+        if not matches:
+            raise DecisionError(
+                f"table {self.name!r}: no rule matches "
+                f"(inputs: { {k: context.get(k) for k in self.inputs} })"
+            )
+        if self.hit_policy is HitPolicy.UNIQUE:
+            if len(matches) > 1:
+                raise DecisionError(
+                    f"table {self.name!r}: UNIQUE policy violated, "
+                    f"{len(matches)} rules match"
+                )
+            return self._rule_outputs(matches[0], context)
+        if self.hit_policy is HitPolicy.FIRST:
+            return self._rule_outputs(matches[0], context)
+        if self.hit_policy is HitPolicy.PRIORITY:
+            best = max(matches, key=lambda r: r.priority)
+            return self._rule_outputs(best, context)
+        # COLLECT
+        collected: dict[str, list[Any]] = {name: [] for name in self.outputs}
+        for rule in matches:
+            values = self._rule_outputs(rule, context)
+            for name in self.outputs:
+                collected[name].append(values[name])
+        return dict(collected)
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "hit_policy": self.hit_policy.value,
+            "rules": [
+                {
+                    "conditions": dict(rule.conditions),
+                    "outputs": dict(rule.outputs),
+                    "priority": rule.priority,
+                    "annotation": rule.annotation,
+                }
+                for rule in self.rules
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "DecisionTable":
+        table = cls(
+            name=raw["name"],
+            inputs=tuple(raw.get("inputs", ())),
+            outputs=tuple(raw.get("outputs", ())),
+            hit_policy=HitPolicy(raw.get("hit_policy", "first")),
+        )
+        for rule_raw in raw.get("rules", ()):
+            table.add_rule(
+                conditions=rule_raw.get("conditions", {}),
+                outputs=rule_raw.get("outputs", {}),
+                priority=rule_raw.get("priority", 0),
+                annotation=rule_raw.get("annotation", ""),
+            )
+        return table
+
+
+class DecisionRegistry:
+    """Named decision tables the engine resolves business-rule tasks from."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, DecisionTable] = {}
+
+    def register(self, table: DecisionTable) -> None:
+        if table.name in self._tables:
+            raise DecisionError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+
+    def replace(self, table: DecisionTable) -> None:
+        """Hot-swap a table (the whole point of externalized rules)."""
+        if table.name not in self._tables:
+            raise DecisionError(f"table {table.name!r} not registered")
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> DecisionTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise DecisionError(f"unknown decision table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)

@@ -1,0 +1,40 @@
+"""The process engine: token-game enactment of process definitions.
+
+The engine is the WfMC 'workflow enactment service': it deploys versioned
+definitions, starts instances, advances tokens through nodes, creates work
+items for user tasks, invokes services, schedules timers, correlates
+messages, records history, persists every quiescent state, and recovers
+in-flight instances from storage after a crash.
+"""
+
+from repro.engine.engine import ProcessEngine
+from repro.engine.errors import (
+    BpmnError,
+    DefinitionNotFoundError,
+    EngineError,
+    IllegalInstanceStateError,
+    InstanceNotFoundError,
+    MigrationError,
+    NoFlowSelectedError,
+)
+from repro.engine.instance import InstanceState, ProcessInstance, Token, TokenState
+from repro.engine.jobs import Job, JobScheduler
+from repro.engine.migration import MigrationPlan
+
+__all__ = [
+    "BpmnError",
+    "DefinitionNotFoundError",
+    "EngineError",
+    "IllegalInstanceStateError",
+    "InstanceNotFoundError",
+    "InstanceState",
+    "Job",
+    "JobScheduler",
+    "MigrationError",
+    "MigrationPlan",
+    "NoFlowSelectedError",
+    "ProcessEngine",
+    "ProcessInstance",
+    "Token",
+    "TokenState",
+]

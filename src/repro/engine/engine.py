@@ -1,0 +1,682 @@
+"""The process engine: deployment, instances, timers, messages, recovery.
+
+Typical wiring::
+
+    engine = ProcessEngine()                  # volatile, wall clock
+    engine.services.register("charge", charge_card)
+    engine.organization.add("ana", roles=["clerk"])
+    engine.deploy(model)
+    instance = engine.start_instance("order", {"amount": 120})
+
+For durability pass a :class:`~repro.storage.kvstore.DurableKV`; after a
+crash, construct an engine over the same store (with services re-registered
+— code is not persisted, state is) and call :meth:`ProcessEngine.recover`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.clock import Clock, VirtualClock, WallClock
+from repro.engine.errors import (
+    DefinitionNotFoundError,
+    EngineError,
+    IllegalInstanceStateError,
+    InstanceNotFoundError,
+)
+from repro.engine.execution import ExecutionMixin
+from repro.engine.instance import InstanceState, ProcessInstance, TokenState
+from repro.engine.jobs import JobScheduler
+from repro.engine.metrics import EngineMetrics
+from repro.engine.migration import MigrationPlan, apply_migration
+from repro.history.audit import HistoryService
+from repro.history.events import EventTypes
+from repro.model.mapping import to_workflow_net
+from repro.model.process import ProcessDefinition
+from repro.model.serialization import definition_from_dict, definition_to_dict
+from repro.model.validation import validate as validate_definition
+from repro.petri.workflow_net import check_soundness
+from repro.services.bus import Message, MessageBus
+from repro.services.invoker import ServiceInvoker
+from repro.services.registry import ServiceRegistry
+from repro.storage.kvstore import KeyValueStore, MemoryKV
+from repro.worklist.allocation import Allocator
+from repro.worklist.items import WorkItem
+from repro.worklist.resources import OrganizationalModel
+from repro.worklist.service import WorklistService
+
+
+class ProcessEngine(ExecutionMixin):
+    """The workflow enactment service."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        store: KeyValueStore | None = None,
+        history: HistoryService | None = None,
+        organization: OrganizationalModel | None = None,
+        allocator: Allocator | None = None,
+        services: ServiceRegistry | None = None,
+        bus: MessageBus | None = None,
+        verify_soundness: bool = False,
+        soundness_max_states: int = 50_000,
+        max_steps: int = 100_000,
+    ) -> None:
+        # `is None` checks throughout: several of these are container-like
+        # (empty store/org would be falsy under `or`)
+        self.clock = clock if clock is not None else WallClock()
+        self.store = store if store is not None else MemoryKV()
+        self.history = (
+            history if history is not None else HistoryService(clock=self.clock)
+        )
+        self.organization = (
+            organization if organization is not None else OrganizationalModel()
+        )
+        self.services = services if services is not None else ServiceRegistry()
+        self.bus = bus if bus is not None else MessageBus()
+        self.verify_soundness = verify_soundness
+        self.soundness_max_states = soundness_max_states
+        self.max_steps = max_steps
+
+        from repro.decisions.table import DecisionRegistry
+
+        self.decisions = DecisionRegistry()
+        self.metrics = EngineMetrics()
+        self.scheduler = JobScheduler()
+        self.worklist = WorklistService(
+            organization=self.organization,
+            allocator=allocator,
+            clock=self.clock,
+            history=self.history,
+        )
+        self.worklist.on_completion(self._on_work_item_completed)
+        self.invoker = ServiceInvoker(self.services, clock=self.clock)
+        self.bus.subscribe(self._on_bus_message)
+
+        self._definitions: dict[str, ProcessDefinition] = {}
+        self._latest_version: dict[str, int] = {}
+        self._instances: dict[str, ProcessInstance] = {}
+        self._message_waits: list[dict[str, Any]] = []
+        self._reach_cache: dict[str, dict[tuple[str, str], bool]] = {}
+        self._instance_seq = 0
+        self._dirty: set[str] = set()
+        self._advancing: set[str] = set()
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(
+        self, definition: ProcessDefinition, verify: bool | None = None
+    ) -> str:
+        """Deploy a definition; returns its ``key:version`` identifier.
+
+        Validation always runs; the WF-net soundness check runs when
+        ``verify`` (or the engine-wide ``verify_soundness``) is true and
+        raises :class:`EngineError` listing the behavioural defects.
+        """
+        report = validate_definition(definition)
+        if not report.ok:
+            raise EngineError(
+                f"definition {definition.key!r} invalid: "
+                + "; ".join(str(i) for i in report.errors)
+            )
+        if verify if verify is not None else self.verify_soundness:
+            soundness = check_soundness(
+                to_workflow_net(definition).net,
+                max_states=self.soundness_max_states,
+            )
+            if not soundness.sound:
+                raise EngineError(
+                    f"definition {definition.key!r} is unsound: "
+                    + "; ".join(soundness.problems)
+                )
+        version = self._latest_version.get(definition.key, 0) + 1
+        deployed = definition.with_version(version)
+        self._definitions[deployed.identifier] = deployed
+        self._latest_version[definition.key] = version
+        self.store.put(
+            f"definition/{deployed.identifier}", definition_to_dict(deployed)
+        )
+        self.store.put("engine/latest_versions", dict(self._latest_version))
+        self.history.record(
+            HistoryService.ENGINE_STREAM,
+            EventTypes.DEFINITION_DEPLOYED,
+            definition_id=deployed.identifier,
+        )
+        return deployed.identifier
+
+    def definition(self, key: str, version: int | None = None) -> ProcessDefinition:
+        """Look up a deployed definition (latest version by default)."""
+        if version is None:
+            version = self._latest_version.get(key, 0)
+        identifier = f"{key}:{version}"
+        try:
+            return self._definitions[identifier]
+        except KeyError:
+            raise DefinitionNotFoundError(
+                f"no deployed definition {identifier!r}"
+            ) from None
+
+    def definitions(self) -> list[ProcessDefinition]:
+        """All deployed definitions, sorted by identifier."""
+        return [self._definitions[k] for k in sorted(self._definitions)]
+
+    def _definition_of(self, instance: ProcessInstance) -> ProcessDefinition:
+        try:
+            return self._definitions[instance.definition_id]
+        except KeyError:
+            raise DefinitionNotFoundError(
+                f"instance {instance.id!r} references missing definition "
+                f"{instance.definition_id!r}"
+            ) from None
+
+    # -- history plumbing --------------------------------------------------------
+
+    def _record(self, instance: ProcessInstance, event_type: str, **data: Any) -> None:
+        self.history.record(instance.id, event_type, **data)
+
+    # -- instances -----------------------------------------------------------------
+
+    def start_instance(
+        self,
+        key: str,
+        variables: dict[str, Any] | None = None,
+        business_key: str | None = None,
+        version: int | None = None,
+    ) -> ProcessInstance:
+        """Create and advance a new instance of a deployed definition."""
+        instance = self._start_instance_internal(
+            key, version, dict(variables or {}), business_key, None, None
+        )
+        self._flush()
+        return instance
+
+    def _start_instance_internal(
+        self,
+        key: str,
+        version: int | None,
+        variables: dict[str, Any],
+        business_key: str | None,
+        parent_instance_id: str | None,
+        parent_token_id: int | None,
+    ) -> ProcessInstance:
+        definition = self.definition(key, version)
+        starts = definition.start_events()
+        if len(starts) != 1:
+            raise EngineError(f"definition {key!r} needs exactly one start event")
+        self._instance_seq += 1
+        instance = ProcessInstance(
+            id=f"{key}-{self._instance_seq}",
+            definition_id=definition.identifier,
+            business_key=business_key,
+            variables=variables,
+            created_at=self.clock.now(),
+            parent_instance_id=parent_instance_id,
+            parent_token_id=parent_token_id,
+        )
+        self._instances[instance.id] = instance
+        instance.new_token(starts[0].id)
+        self.metrics.instances_started += 1
+        self._record(
+            instance,
+            EventTypes.INSTANCE_STARTED,
+            definition_id=definition.identifier,
+            business_key=business_key,
+            parent=parent_instance_id,
+        )
+        self._advance(instance)
+        return instance
+
+    def instance(self, instance_id: str) -> ProcessInstance:
+        """Look up an instance; raises :class:`InstanceNotFoundError`."""
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise InstanceNotFoundError(f"unknown instance {instance_id!r}") from None
+
+    def instances(self, state: InstanceState | None = None) -> list[ProcessInstance]:
+        """All instances (optionally by state), in creation order."""
+        values = list(self._instances.values())
+        if state is not None:
+            values = [i for i in values if i.state is state]
+        return values
+
+    def find_instances(
+        self,
+        state: InstanceState | None = None,
+        definition_key: str | None = None,
+        business_key: str | None = None,
+        where: dict[str, Any] | None = None,
+        waiting_at: str | None = None,
+    ) -> list[ProcessInstance]:
+        """Query instances by state, definition, business key, variable
+        equality (``where``), and/or the node a token is parked at.
+
+        >>> # engine.find_instances(business_key="ORD-7",
+        >>> #                       where={"priority": "high"})
+        """
+        results = []
+        for instance in self._instances.values():
+            if state is not None and instance.state is not state:
+                continue
+            if definition_key is not None and instance.definition_key != definition_key:
+                continue
+            if business_key is not None and instance.business_key != business_key:
+                continue
+            if where is not None and any(
+                instance.variables.get(name) != value
+                for name, value in where.items()
+            ):
+                continue
+            if waiting_at is not None and not any(
+                t.node_id == waiting_at for t in instance.tokens
+            ):
+                continue
+            results.append(instance)
+        return results
+
+    # -- instance lifecycle transitions ------------------------------------------------
+
+    def _complete_instance(self, instance: ProcessInstance) -> None:
+        self.metrics.instances_completed += 1
+        instance.state = InstanceState.COMPLETED
+        instance.ended_at = self.clock.now()
+        self._record(instance, EventTypes.INSTANCE_COMPLETED)
+        self._dirty.add(instance.id)
+        self._notify_parent(instance)
+
+    def _terminate_instance(self, instance: ProcessInstance, reason: str) -> None:
+        self.metrics.instances_terminated += 1
+        instance.state = InstanceState.TERMINATED
+        instance.ended_at = self.clock.now()
+        self._record(instance, EventTypes.INSTANCE_TERMINATED, reason=reason)
+        self._dirty.add(instance.id)
+        self._notify_parent(instance)
+
+    def _terminate_instance_internal(self, instance: ProcessInstance, reason: str) -> None:
+        for token in list(instance.tokens):
+            self._cancel_token(instance, token, reason=reason)
+        self._terminate_instance(instance, reason)
+
+    def _fail_instance(self, instance: ProcessInstance, reason: str) -> None:
+        self.metrics.instances_failed += 1
+        instance.state = InstanceState.FAILED
+        instance.ended_at = self.clock.now()
+        instance.failure = reason
+        self._record(instance, EventTypes.INSTANCE_FAILED, reason=reason)
+        self._dirty.add(instance.id)
+        self._notify_parent(instance, failed=True)
+
+    def _notify_parent(self, child: ProcessInstance, failed: bool = False) -> None:
+        """Resume the parent token waiting on a finished child instance."""
+        if child.parent_instance_id is None:
+            return
+        parent = self._instances.get(child.parent_instance_id)
+        if parent is None or parent.state.is_finished:
+            return
+        token = parent.token(child.parent_token_id)
+        if token is None:
+            return
+        reason = token.waiting_on.get("reason")
+        if reason == "mi":
+            definition = self._definition_of(parent)
+            node = definition.node(token.node_id)
+            self._on_mi_child_finished(parent, definition, token, node, child, failed)
+            return
+        if reason != "child":
+            return
+        definition = self._definition_of(parent)
+        node = definition.node(token.node_id)
+        self._cancel_boundary_jobs(parent, token)
+        if failed:
+            from repro.engine.execution import TECHNICAL_ERROR_CODE
+
+            token.waiting_on = {}
+            self._handle_error(
+                parent,
+                definition,
+                token,
+                TECHNICAL_ERROR_CODE,
+                f"child instance {child.id!r} failed: {child.failure}",
+            )
+            self._advance(parent)
+            return
+        # map child outputs into parent variables
+        from repro.expr import ExpressionError, compile_expression
+
+        mappings = getattr(node, "output_mappings", {})
+        try:
+            if mappings:
+                for name, expr in mappings.items():
+                    parent.variables[name] = compile_expression(expr).evaluate(
+                        child.variables
+                    )
+            else:
+                parent.variables.update(child.variables)
+        except ExpressionError as exc:
+            from repro.engine.execution import TECHNICAL_ERROR_CODE
+
+            token.waiting_on = {}
+            self._handle_error(parent, definition, token, TECHNICAL_ERROR_CODE, str(exc))
+            self._advance(parent)
+            return
+        self._record(
+            parent,
+            EventTypes.NODE_COMPLETED,
+            node_id=node.id,
+            is_activity=True,
+            child_id=child.id,
+        )
+        flow = self._single_outgoing(definition, node)
+        token.resume(flow.target, arrived_via=flow.id)
+        self._advance(parent)
+
+    def terminate_instance(self, instance_id: str, reason: str = "user request") -> None:
+        """Administratively cancel a running instance."""
+        instance = self.instance(instance_id)
+        if instance.state.is_finished:
+            raise IllegalInstanceStateError(
+                f"instance {instance_id!r} already {instance.state.value}"
+            )
+        self._terminate_instance_internal(instance, reason)
+        self._flush()
+
+    def suspend_instance(self, instance_id: str) -> None:
+        """Pause an instance: waiting triggers are deferred until resume."""
+        instance = self.instance(instance_id)
+        if instance.state is not InstanceState.RUNNING:
+            raise IllegalInstanceStateError(
+                f"cannot suspend instance in state {instance.state.value}"
+            )
+        instance.state = InstanceState.SUSPENDED
+        self._record(instance, EventTypes.INSTANCE_SUSPENDED)
+        self._dirty.add(instance.id)
+        self._flush()
+
+    def resume_instance(self, instance_id: str) -> None:
+        """Resume a suspended instance and advance it."""
+        instance = self.instance(instance_id)
+        if instance.state is not InstanceState.SUSPENDED:
+            raise IllegalInstanceStateError(
+                f"cannot resume instance in state {instance.state.value}"
+            )
+        instance.state = InstanceState.RUNNING
+        self._record(instance, EventTypes.INSTANCE_RESUMED)
+        self._advance(instance)
+        self._redeliver_retained(instance)
+        self._flush()
+
+    # -- work items -----------------------------------------------------------------------
+
+    def complete_work_item(
+        self, item_id: str, result: dict[str, Any] | None = None
+    ) -> WorkItem:
+        """Complete a started work item; the owning token advances."""
+        item = self.worklist.complete(item_id, result)
+        self._flush()
+        return item
+
+    def _on_work_item_completed(self, item: WorkItem) -> None:
+        instance = self._instances.get(item.instance_id)
+        if instance is None or instance.state.is_finished:
+            return
+        token = instance.token(item.data.get("token_id"))
+        if token is None or token.waiting_on.get("work_item_id") != item.id:
+            return
+        definition = self._definition_of(instance)
+        node = definition.node(token.node_id)
+        self._cancel_boundary_jobs(instance, token)
+        if item.result:
+            instance.variables.update(item.result)
+            self._record(
+                instance,
+                EventTypes.VARIABLES_UPDATED,
+                node_id=node.id,
+                keys=sorted(item.result.keys()),
+            )
+        self._record(
+            instance,
+            EventTypes.NODE_COMPLETED,
+            node_id=node.id,
+            is_activity=True,
+            resource=item.allocated_to,
+        )
+        flow = self._single_outgoing(definition, node)
+        token.resume(flow.target, arrived_via=flow.id)
+        if instance.state is InstanceState.RUNNING:
+            self._advance(instance)
+        else:
+            self._dirty.add(instance.id)
+
+    # -- timers ------------------------------------------------------------------------------
+
+    def run_due_jobs(self) -> int:
+        """Fire every due job; returns the number processed.
+
+        Jobs whose instance is suspended are *deferred* (re-queued with
+        their original due time) so they fire after the instance resumes.
+        """
+        processed = 0
+        deferred: list = []
+        while True:
+            due = self.scheduler.due_jobs(self.clock.now())
+            if not due:
+                break
+            for job in due:
+                instance = self._instances.get(job.instance_id)
+                if instance is not None and instance.state is InstanceState.SUSPENDED:
+                    deferred.append(job)
+                    continue
+                processed += 1
+                self._dispatch_job(job)
+        for job in deferred:
+            self.scheduler.schedule(
+                job.due, job.kind, job.instance_id, job.data, job_id=job.id
+            )
+        self.worklist.check_deadlines()
+        self._flush()
+        return processed
+
+    def advance_time(self, seconds: float) -> int:
+        """Advance a virtual clock and fire everything that became due."""
+        if not isinstance(self.clock, VirtualClock):
+            raise EngineError("advance_time requires a VirtualClock")
+        self.clock.advance(seconds)
+        return self.run_due_jobs()
+
+    def _dispatch_job(self, job) -> None:
+        instance = self._instances.get(job.instance_id)
+        if instance is None or instance.state is not InstanceState.RUNNING:
+            return
+        definition = self._definition_of(instance)
+        token = instance.token(job.data.get("token_id"))
+        if token is None:
+            return
+        if job.kind == "timer":
+            if token.waiting_on.get("job_id") != job.id:
+                return
+            node = definition.node(job.data["node_id"])
+            self.metrics.timers_fired += 1
+            self._record(
+                instance, EventTypes.TIMER_FIRED, node_id=node.id, job_id=job.id
+            )
+            token.waiting_on = {}
+            self._move_through(instance, definition, token, node, is_activity=False)
+            self._advance(instance)
+        elif job.kind == "boundary_timer":
+            boundary = definition.node(job.data["boundary_id"])
+            if token.node_id != boundary.attached_to:
+                return  # the activity already finished; stale job
+            self.metrics.timers_fired += 1
+            self._record(
+                instance, EventTypes.TIMER_FIRED, node_id=boundary.id, job_id=job.id
+            )
+            self._trigger_boundary(
+                instance, definition, boundary, token, detail="boundary timer"
+            )
+            self._advance(instance)
+        elif job.kind == "async_service":
+            if token.waiting_on.get("job_id") != job.id:
+                return
+            node = definition.node(job.data["node_id"])
+            token.waiting_on = {}
+            self._perform_service_invocation(instance, definition, token, node)
+            self._advance(instance)
+        elif job.kind == "event_race_timer":
+            if token.waiting_on.get("reason") != "event_race":
+                return
+            event = definition.node(job.data["event_id"])
+            self._settle_race(instance, token)
+            self.metrics.timers_fired += 1
+            self._record(
+                instance, EventTypes.TIMER_FIRED, node_id=event.id, job_id=job.id
+            )
+            self._enter(instance, event, is_activity=False)
+            self._move_through(instance, definition, token, event, is_activity=False)
+            self._advance(instance)
+        else:
+            raise EngineError(f"unknown job kind {job.kind!r}")
+
+    # -- messages ---------------------------------------------------------------------------------
+
+    def correlate_message(
+        self,
+        name: str,
+        correlation: Any = None,
+        payload: dict[str, Any] | None = None,
+    ) -> Message:
+        """Publish a message into the engine's bus (external entry point).
+
+        If a waiting catch matches it is delivered immediately; otherwise
+        the message is retained for a future receiver.
+        """
+        message = self.bus.publish(name, correlation=correlation, payload=payload)
+        self._flush()
+        return message
+
+    def _on_bus_message(self, message: Message) -> bool:
+        for wait in list(self._message_waits):
+            if wait["name"] != message.name:
+                continue
+            if not wait.get("match_any") and wait.get("correlation") != message.correlation:
+                continue
+            instance = self._instances.get(wait["instance_id"])
+            if instance is None or instance.state.is_finished:
+                self._message_waits.remove(wait)
+                continue
+            if instance.state is not InstanceState.RUNNING:
+                # suspended: keep the subscription, let the message be
+                # retained for delivery after resume
+                continue
+            token = instance.token(wait["token_id"])
+            if token is None or token.state is not TokenState.WAITING:
+                self._message_waits.remove(wait)
+                continue
+            self._deliver_to_wait(instance, token, wait, message.payload)
+            return True
+        return False
+
+    def _deliver_to_wait(
+        self, instance: ProcessInstance, token, wait: dict[str, Any],
+        payload: dict[str, Any],
+    ) -> None:
+        definition = self._definition_of(instance)
+        self.metrics.messages_delivered += 1
+        if "race_event" in wait:
+            self._deliver_race_message(instance, definition, token, wait, payload)
+        else:
+            self._message_waits.remove(wait)
+            node = definition.node(wait["node_id"])
+            self._apply_message(instance, node, payload)
+            token.waiting_on = {}
+            self._move_through(
+                instance, definition, token, node,
+                is_activity=wait.get("is_activity", True),
+            )
+            self._advance(instance)
+
+    def _redeliver_retained(self, instance: ProcessInstance) -> None:
+        """Match bus-retained messages against this instance's waits
+        (used after resume, when deliveries were deferred)."""
+        for wait in [
+            w for w in self._message_waits if w["instance_id"] == instance.id
+        ]:
+            token = instance.token(wait["token_id"])
+            if token is None or token.state is not TokenState.WAITING:
+                continue
+            message = self.bus.consume_retained(
+                wait["name"], wait.get("correlation"), wait.get("match_any", False)
+            )
+            if message is not None:
+                self._deliver_to_wait(instance, token, wait, message.payload)
+
+    # -- migration -------------------------------------------------------------------------------------
+
+    def migrate_instance(
+        self, instance_id: str, target_version: int, plan: MigrationPlan | None = None
+    ) -> ProcessInstance:
+        """Move a running instance to another deployed version.
+
+        See :mod:`repro.engine.migration` for the compatibility rules.
+        """
+        instance = self.instance(instance_id)
+        target = self.definition(instance.definition_key, target_version)
+        apply_migration(self, instance, target, plan or MigrationPlan())
+        self.metrics.migrations += 1
+        self._record(
+            instance,
+            EventTypes.INSTANCE_MIGRATED,
+            to_version=target_version,
+        )
+        self._advance(instance)
+        self._flush()
+        return instance
+
+    # -- persistence & recovery ---------------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Persist all dirty state in one transaction."""
+        if not self._dirty and not self._instances:
+            # still persist counters lazily on first use
+            pass
+        with self.store.transaction():
+            for instance_id in self._dirty:
+                instance = self._instances.get(instance_id)
+                if instance is not None:
+                    self.store.put(f"instance/{instance_id}", instance.to_dict())
+            self.store.put("engine/jobs", self.scheduler.export())
+            self.store.put("engine/workitems", self.worklist.export_items())
+            self.store.put("engine/message_waits", list(self._message_waits))
+            self.store.put(
+                "engine/meta",
+                {"instance_seq": self._instance_seq},
+            )
+        self._dirty.clear()
+
+    def recover(self) -> dict[str, int]:
+        """Rebuild engine state from the backing store after a restart.
+
+        Definitions, instances, pending jobs, work items, and message waits
+        are restored; services and resources must be re-registered by the
+        host application (code is not persisted).  Returns counts per
+        category.
+        """
+        counts = {"definitions": 0, "instances": 0, "jobs": 0, "workitems": 0}
+        self._latest_version = dict(self.store.get("engine/latest_versions", {}))
+        for key, raw in self.store.scan("definition/"):
+            definition = definition_from_dict(raw)
+            self._definitions[definition.identifier] = definition
+            counts["definitions"] += 1
+        for key, raw in self.store.scan("instance/"):
+            instance = ProcessInstance.from_dict(raw)
+            self._instances[instance.id] = instance
+            counts["instances"] += 1
+        jobs = self.store.get("engine/jobs", [])
+        self.scheduler.import_jobs(jobs)
+        counts["jobs"] = len(jobs)
+        items = self.store.get("engine/workitems", [])
+        self.worklist.import_items(items)
+        counts["workitems"] = len(items)
+        self._message_waits = list(self.store.get("engine/message_waits", []))
+        meta = self.store.get("engine/meta", {})
+        self._instance_seq = max(meta.get("instance_seq", 0), self._instance_seq)
+        return counts

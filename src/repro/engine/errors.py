@@ -1,0 +1,51 @@
+"""Errors raised by the process engine."""
+
+
+class EngineError(Exception):
+    """Base class for engine errors."""
+
+
+class DefinitionNotFoundError(EngineError):
+    """No deployed definition matches the requested key/version."""
+
+
+class InstanceNotFoundError(EngineError):
+    """No instance with the requested id."""
+
+
+class IllegalInstanceStateError(EngineError):
+    """The operation is not allowed in the instance's current state."""
+
+
+class NoFlowSelectedError(EngineError):
+    """An exclusive/inclusive gateway found no outgoing flow to take."""
+
+    def __init__(self, node_id: str, variables: dict) -> None:
+        super().__init__(
+            f"gateway {node_id!r}: no condition matched and no default flow "
+            f"(variables: {sorted(variables)})"
+        )
+        self.node_id = node_id
+
+
+class MigrationError(EngineError):
+    """Instance migration between versions was rejected."""
+
+
+class BpmnError(Exception):
+    """A *business* error raised inside a service or script.
+
+    Unlike technical failures, BPMN errors are part of the process design:
+    they are caught by error boundary events with a matching ``code``
+    (``None`` catches any) and routed along the boundary's flow.
+
+    >>> raise BpmnError("OUT_OF_STOCK", "item unavailable")
+    Traceback (most recent call last):
+    ...
+    repro.engine.errors.BpmnError: [OUT_OF_STOCK] item unavailable
+    """
+
+    def __init__(self, code: str, message: str = "") -> None:
+        super().__init__(f"[{code}] {message}" if message else f"[{code}]")
+        self.code = code
+        self.detail = message

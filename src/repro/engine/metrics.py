@@ -1,0 +1,51 @@
+"""Lightweight engine counters for operational monitoring.
+
+Counters are in-memory and monotone; they complement (not replace) the
+durable history.  Exposed as ``engine.metrics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineMetrics:
+    """Monotone counters over one engine's lifetime."""
+
+    instances_started: int = 0
+    instances_completed: int = 0
+    instances_failed: int = 0
+    instances_terminated: int = 0
+    nodes_executed: dict[str, int] = field(default_factory=dict)
+    timers_fired: int = 0
+    messages_delivered: int = 0
+    migrations: int = 0
+
+    def count_node(self, type_name: str) -> None:
+        self.nodes_executed[type_name] = self.nodes_executed.get(type_name, 0) + 1
+
+    @property
+    def total_nodes_executed(self) -> int:
+        return sum(self.nodes_executed.values())
+
+    @property
+    def instances_finished(self) -> int:
+        return (
+            self.instances_completed
+            + self.instances_failed
+            + self.instances_terminated
+        )
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-safe copy for dashboards."""
+        return {
+            "instances_started": self.instances_started,
+            "instances_completed": self.instances_completed,
+            "instances_failed": self.instances_failed,
+            "instances_terminated": self.instances_terminated,
+            "nodes_executed": dict(self.nodes_executed),
+            "timers_fired": self.timers_fired,
+            "messages_delivered": self.messages_delivered,
+            "migrations": self.migrations,
+        }

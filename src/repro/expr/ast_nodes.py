@@ -1,0 +1,105 @@
+"""AST node types for the expression language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant: number, string, bool, or None."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    """A variable reference resolved against the environment."""
+
+    identifier: str
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    """Unary operator: ``-x``, ``+x``, ``not x``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    """Arithmetic binary operator."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class BoolOp(Node):
+    """Short-circuiting ``and`` / ``or`` over two or more operands."""
+
+    op: str
+    operands: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Compare(Node):
+    """A (possibly chained) comparison: ``a < b <= c``."""
+
+    first: Node
+    rest: tuple[tuple[str, Node], ...]
+
+
+@dataclass(frozen=True)
+class Conditional(Node):
+    """Python-style conditional: ``then if condition else otherwise``."""
+
+    condition: Node
+    then: Node
+    otherwise: Node
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """Whitelisted function call: ``len(items)``."""
+
+    function: str
+    args: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    """Subscript: ``data["key"]`` or ``items[0]``."""
+
+    container: Node
+    key: Node
+
+
+@dataclass(frozen=True)
+class Attribute(Node):
+    """Dotted access, resolved as mapping key first, then safe getattr."""
+
+    subject: Node
+    name: str
+
+
+@dataclass(frozen=True)
+class ListDisplay(Node):
+    """A list literal: ``[a, b, c]``."""
+
+    items: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class DictDisplay(Node):
+    """A dict literal: ``{"a": 1}``."""
+
+    pairs: tuple[tuple[Node, Node], ...]

@@ -1,0 +1,18 @@
+"""Errors raised by the expression language."""
+
+
+class ExpressionError(Exception):
+    """Base class for expression-language errors."""
+
+
+class ParseError(ExpressionError):
+    """The expression text is syntactically invalid."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        suffix = f" at position {position}" if position >= 0 else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position
+
+
+class EvaluationError(ExpressionError):
+    """The expression failed at evaluation time (unknown name, bad types, ...)."""

@@ -1,0 +1,231 @@
+"""Sandboxed evaluation of expression ASTs against an environment."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.expr.ast_nodes import (
+    Attribute,
+    Binary,
+    BoolOp,
+    Call,
+    Compare,
+    Conditional,
+    DictDisplay,
+    Index,
+    ListDisplay,
+    Literal,
+    Name,
+    Node,
+    Unary,
+)
+from repro.expr.errors import EvaluationError
+from repro.expr.parser import parse
+
+
+def _safe_contains(container: Any, item: Any) -> bool:
+    try:
+        return item in container
+    except TypeError as exc:
+        raise EvaluationError(f"'in' not supported: {exc}") from exc
+
+
+# Whitelisted pure functions available to expressions and scripts.
+SAFE_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": abs,
+    "bool": bool,
+    "float": float,
+    "int": int,
+    "len": len,
+    "max": max,
+    "min": min,
+    "round": round,
+    "sorted": sorted,
+    "str": str,
+    "sum": sum,
+    "any": any,
+    "all": all,
+    "lower": lambda s: str(s).lower(),
+    "upper": lambda s: str(s).upper(),
+    "strip": lambda s: str(s).strip(),
+    "startswith": lambda s, prefix: str(s).startswith(prefix),
+    "endswith": lambda s, suffix: str(s).endswith(suffix),
+    "contains": _safe_contains,
+    "get": lambda mapping, key, default=None: mapping.get(key, default),
+    "keys": lambda mapping: list(mapping.keys()),
+    "values": lambda mapping: list(mapping.values()),
+}
+
+_BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "**": lambda a, b: a**b,
+}
+
+_COMPARE_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: _safe_contains(b, a),
+    "not in": lambda a, b: not _safe_contains(b, a),
+}
+
+_MAX_POWER_EXPONENT = 10_000
+
+
+def _evaluate(node: Node, env: Mapping[str, Any]) -> Any:
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, Name):
+        if node.identifier in env:
+            return env[node.identifier]
+        raise EvaluationError(f"unknown variable {node.identifier!r}")
+    if isinstance(node, Unary):
+        value = _evaluate(node.operand, env)
+        try:
+            if node.op == "-":
+                return -value
+            if node.op == "+":
+                return +value
+            if node.op == "not":
+                return not value
+        except TypeError as exc:
+            raise EvaluationError(f"bad operand for unary {node.op}: {exc}") from exc
+        raise EvaluationError(f"unknown unary operator {node.op!r}")
+    if isinstance(node, Binary):
+        left = _evaluate(node.left, env)
+        right = _evaluate(node.right, env)
+        if node.op == "**" and isinstance(right, (int, float)) and abs(right) > _MAX_POWER_EXPONENT:
+            raise EvaluationError("exponent too large")
+        try:
+            return _BINARY_OPS[node.op](left, right)
+        except KeyError:
+            raise EvaluationError(f"unknown operator {node.op!r}") from None
+        except ZeroDivisionError as exc:
+            raise EvaluationError("division by zero") from exc
+        except TypeError as exc:
+            raise EvaluationError(f"bad operands for {node.op}: {exc}") from exc
+    if isinstance(node, BoolOp):
+        if node.op == "and":
+            result: Any = True
+            for operand in node.operands:
+                result = _evaluate(operand, env)
+                if not result:
+                    return result
+            return result
+        result = False
+        for operand in node.operands:
+            result = _evaluate(operand, env)
+            if result:
+                return result
+        return result
+    if isinstance(node, Compare):
+        left = _evaluate(node.first, env)
+        for op, right_node in node.rest:
+            right = _evaluate(right_node, env)
+            try:
+                if not _COMPARE_OPS[op](left, right):
+                    return False
+            except TypeError as exc:
+                raise EvaluationError(f"cannot compare with {op}: {exc}") from exc
+            left = right
+        return True
+    if isinstance(node, Conditional):
+        if _evaluate(node.condition, env):
+            return _evaluate(node.then, env)
+        return _evaluate(node.otherwise, env)
+    if isinstance(node, Call):
+        function = SAFE_FUNCTIONS.get(node.function)
+        if function is None:
+            raise EvaluationError(f"unknown function {node.function!r}")
+        args = [_evaluate(arg, env) for arg in node.args]
+        try:
+            return function(*args)
+        except EvaluationError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surface as language error
+            raise EvaluationError(f"{node.function}() failed: {exc}") from exc
+    if isinstance(node, Index):
+        container = _evaluate(node.container, env)
+        key = _evaluate(node.key, env)
+        try:
+            return container[key]
+        except (KeyError, IndexError, TypeError) as exc:
+            raise EvaluationError(f"bad subscript {key!r}: {exc}") from exc
+    if isinstance(node, Attribute):
+        subject = _evaluate(node.subject, env)
+        if isinstance(subject, Mapping):
+            if node.name in subject:
+                return subject[node.name]
+            raise EvaluationError(f"mapping has no key {node.name!r}")
+        if node.name.startswith("_"):
+            raise EvaluationError("access to private attributes is forbidden")
+        try:
+            value = getattr(subject, node.name)
+        except AttributeError as exc:
+            raise EvaluationError(str(exc)) from exc
+        if callable(value):
+            raise EvaluationError("method access is forbidden; use whitelisted functions")
+        return value
+    if isinstance(node, ListDisplay):
+        return [_evaluate(item, env) for item in node.items]
+    if isinstance(node, DictDisplay):
+        return {_evaluate(k, env): _evaluate(v, env) for k, v in node.pairs}
+    raise EvaluationError(f"cannot evaluate node {type(node).__name__}")
+
+
+class CompiledExpression:
+    """A parsed expression, reusable across evaluations.
+
+    >>> expr = compile_expression("amount > 100 and status == 'open'")
+    >>> expr.evaluate({"amount": 250, "status": "open"})
+    True
+    """
+
+    __slots__ = ("source", "_ast")
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._ast = parse(source)
+
+    @property
+    def ast(self) -> Node:
+        return self._ast
+
+    def evaluate(self, env: Mapping[str, Any] | None = None) -> Any:
+        """Evaluate against an environment (variable mapping)."""
+        return _evaluate(self._ast, env or {})
+
+    def evaluate_bool(self, env: Mapping[str, Any] | None = None) -> bool:
+        """Evaluate and coerce to bool — the gateway-condition entry point."""
+        return bool(self.evaluate(env))
+
+    def __repr__(self) -> str:
+        return f"CompiledExpression({self.source!r})"
+
+
+_COMPILE_CACHE: dict[str, CompiledExpression] = {}
+_COMPILE_CACHE_LIMIT = 4096
+
+
+def compile_expression(source: str) -> CompiledExpression:
+    """Parse with a process-wide cache (models re-evaluate the same guards)."""
+    cached = _COMPILE_CACHE.get(source)
+    if cached is None:
+        cached = CompiledExpression(source)
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+            _COMPILE_CACHE.clear()
+        _COMPILE_CACHE[source] = cached
+    return cached
+
+
+def evaluate(source: str, env: Mapping[str, Any] | None = None) -> Any:
+    """One-shot convenience: compile (cached) and evaluate."""
+    return compile_expression(source).evaluate(env)

@@ -1,0 +1,252 @@
+"""Recursive-descent parser producing the expression AST.
+
+Precedence (loosest to tightest):
+
+    conditional  (x if c else y)
+    or
+    and
+    not
+    comparison   (== != < <= > >= in, not in; chained)
+    + -
+    * / // %
+    unary - +
+    **           (right-associative)
+    postfix      call, [index], .attr
+    primary      literal, name, (expr), [list], {dict}
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast_nodes import (
+    Attribute,
+    Binary,
+    BoolOp,
+    Call,
+    Compare,
+    Conditional,
+    DictDisplay,
+    Index,
+    ListDisplay,
+    Literal,
+    Name,
+    Node,
+    Unary,
+)
+from repro.expr.errors import ParseError
+from repro.expr.tokenizer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.END:
+            self._pos += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        if not self.current.is_op(op):
+            raise ParseError(f"expected {op!r}, got {self.current.value!r}", self.current.position)
+        self.advance()
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_expression(self) -> Node:
+        return self.parse_conditional()
+
+    def parse_conditional(self) -> Node:
+        then = self.parse_or()
+        if self.current.is_keyword("if"):
+            self.advance()
+            condition = self.parse_or()
+            if not self.current.is_keyword("else"):
+                raise ParseError("conditional missing 'else'", self.current.position)
+            self.advance()
+            otherwise = self.parse_conditional()
+            return Conditional(condition, then, otherwise)
+        return then
+
+    def parse_or(self) -> Node:
+        operands = [self.parse_and()]
+        while self.current.is_keyword("or"):
+            self.advance()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("or", tuple(operands))
+
+    def parse_and(self) -> Node:
+        operands = [self.parse_not()]
+        while self.current.is_keyword("and"):
+            self.advance()
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("and", tuple(operands))
+
+    def parse_not(self) -> Node:
+        if self.current.is_keyword("not"):
+            self.advance()
+            return Unary("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Node:
+        first = self.parse_additive()
+        rest: list[tuple[str, Node]] = []
+        while True:
+            token = self.current
+            if token.type is TokenType.OP and token.value in _COMPARISON_OPS:
+                self.advance()
+                rest.append((str(token.value), self.parse_additive()))
+            elif token.is_keyword("in"):
+                self.advance()
+                rest.append(("in", self.parse_additive()))
+            elif token.is_keyword("not"):
+                # 'not in'
+                nxt = self._tokens[self._pos + 1]
+                if nxt.is_keyword("in"):
+                    self.advance()
+                    self.advance()
+                    rest.append(("not in", self.parse_additive()))
+                else:
+                    raise ParseError("unexpected 'not'", token.position)
+            else:
+                break
+        if not rest:
+            return first
+        return Compare(first, tuple(rest))
+
+    def parse_additive(self) -> Node:
+        node = self.parse_multiplicative()
+        while self.current.is_op("+", "-"):
+            op = str(self.advance().value)
+            node = Binary(op, node, self.parse_multiplicative())
+        return node
+
+    def parse_multiplicative(self) -> Node:
+        node = self.parse_unary()
+        while self.current.is_op("*", "/", "//", "%"):
+            op = str(self.advance().value)
+            node = Binary(op, node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> Node:
+        if self.current.is_op("-", "+"):
+            op = str(self.advance().value)
+            return Unary(op, self.parse_unary())
+        return self.parse_power()
+
+    def parse_power(self) -> Node:
+        base = self.parse_postfix()
+        if self.current.is_op("**"):
+            self.advance()
+            # right-associative: recurse through unary so -x binds correctly
+            exponent = self.parse_unary()
+            return Binary("**", base, exponent)
+        return base
+
+    def parse_postfix(self) -> Node:
+        node = self.parse_primary()
+        while True:
+            if self.current.is_op("("):
+                if not isinstance(node, Name):
+                    raise ParseError(
+                        "only simple named functions may be called", self.current.position
+                    )
+                self.advance()
+                args: list[Node] = []
+                if not self.current.is_op(")"):
+                    args.append(self.parse_expression())
+                    while self.current.is_op(","):
+                        self.advance()
+                        args.append(self.parse_expression())
+                self.expect_op(")")
+                node = Call(node.identifier, tuple(args))
+            elif self.current.is_op("["):
+                self.advance()
+                key = self.parse_expression()
+                self.expect_op("]")
+                node = Index(node, key)
+            elif self.current.is_op("."):
+                self.advance()
+                token = self.advance()
+                if token.type is not TokenType.NAME:
+                    raise ParseError("expected attribute name after '.'", token.position)
+                node = Attribute(node, str(token.value))
+            else:
+                return node
+
+    def parse_primary(self) -> Node:
+        token = self.current
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("true", "True"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("false", "False"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("null", "None"):
+            self.advance()
+            return Literal(None)
+        if token.type is TokenType.NAME:
+            self.advance()
+            return Name(str(token.value))
+        if token.is_op("("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_op(")")
+            return inner
+        if token.is_op("["):
+            self.advance()
+            items: list[Node] = []
+            if not self.current.is_op("]"):
+                items.append(self.parse_expression())
+                while self.current.is_op(","):
+                    self.advance()
+                    if self.current.is_op("]"):
+                        break
+                    items.append(self.parse_expression())
+            self.expect_op("]")
+            return ListDisplay(tuple(items))
+        if token.is_op("{"):
+            self.advance()
+            pairs: list[tuple[Node, Node]] = []
+            if not self.current.is_op("}"):
+                pairs.append(self._parse_pair())
+                while self.current.is_op(","):
+                    self.advance()
+                    if self.current.is_op("}"):
+                        break
+                    pairs.append(self._parse_pair())
+            self.expect_op("}")
+            return DictDisplay(tuple(pairs))
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    def _parse_pair(self) -> tuple[Node, Node]:
+        key = self.parse_expression()
+        self.expect_op(":")
+        value = self.parse_expression()
+        return key, value
+
+
+def parse(text: str) -> Node:
+    """Parse expression text into an AST; raises :class:`ParseError`."""
+    parser = _Parser(tokenize(text))
+    node = parser.parse_expression()
+    if parser.current.type is not TokenType.END:
+        raise ParseError(
+            f"unexpected trailing input {parser.current.value!r}",
+            parser.current.position,
+        )
+    return node

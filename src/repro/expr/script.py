@@ -1,0 +1,81 @@
+"""A restricted statement language for script tasks.
+
+A script is a sequence of assignment statements, one per line (or separated
+by ``;``), each of the form ``name = expression`` or ``name += expression``
+(and the other augmented forms).  Blank lines and ``#`` comments are
+allowed.  Scripts read and write the instance-variable dictionary and cannot
+touch anything else — there is no attribute assignment, no loops, and no
+imports, by construction.
+
+>>> variables = {"amount": 120}
+>>> run_script("fee = amount * 0.05\\ntotal = amount + fee", variables)
+{'amount': 120, 'fee': 6.0, 'total': 126.0}
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, MutableMapping
+
+from repro.expr.errors import EvaluationError, ParseError
+from repro.expr.evaluator import compile_expression
+
+_ASSIGN_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?P<op>=|\+=|-=|\*=|/=)\s*(?P<expr>.+)$"
+)
+
+_RESERVED = {"and", "or", "not", "in", "if", "else", "true", "false", "null", "True", "False", "None"}
+
+
+def _split_statements(script: str) -> list[tuple[int, str]]:
+    statements: list[tuple[int, str]] = []
+    for line_no, raw_line in enumerate(script.splitlines(), start=1):
+        for piece in raw_line.split(";"):
+            stripped = piece.strip()
+            if stripped and not stripped.startswith("#"):
+                statements.append((line_no, stripped))
+    return statements
+
+
+def run_script(
+    script: str,
+    variables: MutableMapping[str, Any],
+) -> MutableMapping[str, Any]:
+    """Execute a script against (and mutating) ``variables``.
+
+    Returns the same mapping for chaining.  Raises :class:`ParseError` for
+    malformed statements and :class:`EvaluationError` for runtime failures.
+    """
+    for line_no, statement in _split_statements(script):
+        match = _ASSIGN_RE.match(statement)
+        if match is None:
+            raise ParseError(
+                f"line {line_no}: expected 'name = expression', got {statement!r}"
+            )
+        name = match.group("name")
+        if name in _RESERVED:
+            raise ParseError(f"line {line_no}: cannot assign to keyword {name!r}")
+        op = match.group("op")
+        value = compile_expression(match.group("expr")).evaluate(variables)
+        if op == "=":
+            variables[name] = value
+        else:
+            if name not in variables:
+                raise EvaluationError(
+                    f"line {line_no}: augmented assignment to undefined {name!r}"
+                )
+            current = variables[name]
+            try:
+                if op == "+=":
+                    variables[name] = current + value
+                elif op == "-=":
+                    variables[name] = current - value
+                elif op == "*=":
+                    variables[name] = current * value
+                else:
+                    variables[name] = current / value
+            except TypeError as exc:
+                raise EvaluationError(f"line {line_no}: {exc}") from exc
+            except ZeroDivisionError as exc:
+                raise EvaluationError(f"line {line_no}: division by zero") from exc
+    return variables

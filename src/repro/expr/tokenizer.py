@@ -1,0 +1,108 @@
+"""Tokenizer for the expression language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.expr.errors import ParseError
+
+KEYWORDS = {"and", "or", "not", "in", "if", "else", "true", "false", "null", "True", "False", "None"}
+
+_TWO_CHAR_OPS = {"==", "!=", "<=", ">=", "//", "**"}
+_ONE_CHAR_OPS = set("+-*/%<>()[]{},.:=")
+
+
+class TokenType(enum.Enum):
+    NUMBER = "number"
+    STRING = "string"
+    NAME = "name"
+    KEYWORD = "keyword"
+    OP = "op"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: object
+    position: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.type is TokenType.OP and self.value in ops
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split expression text into tokens; raises :class:`ParseError`."""
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # don't swallow a trailing attribute dot like `1 .x` — but
+                    # a digit must follow for it to be part of the number
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            raw = text[start:i]
+            value: object = float(raw) if "." in raw else int(raw)
+            tokens.append(Token(TokenType.NUMBER, value, start))
+            continue
+        if ch in "'\"":
+            start = i
+            quote = ch
+            i += 1
+            parts: list[str] = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    escape = text[i + 1]
+                    mapped = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}.get(escape)
+                    if mapped is None:
+                        raise ParseError(f"unknown escape \\{escape}", i)
+                    parts.append(mapped)
+                    i += 2
+                else:
+                    parts.append(text[i])
+                    i += 1
+            if i >= n:
+                raise ParseError("unterminated string literal", start)
+            i += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word, start))
+            else:
+                tokens.append(Token(TokenType.NAME, word, start))
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(TokenType.OP, two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(TokenType.OP, ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, None, n))
+    return tokens

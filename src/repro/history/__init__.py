@@ -1,0 +1,30 @@
+"""History and audit: the BPMS's flight recorder.
+
+Every engine state change is appended to a
+:class:`~repro.history.audit.HistoryService` as a typed event.  History
+serves three consumers:
+
+* **audit** — who did what, when, to which instance;
+* **analytics** — cycle times, waiting times, bottlenecks
+  (:mod:`repro.analytics`);
+* **process mining** — event logs in activity-trace form
+  (:func:`~repro.history.log.to_event_log`, consumed by
+  :mod:`repro.mining`).
+"""
+
+from repro.history.audit import HistoryService
+from repro.history.events import EventTypes
+from repro.history.log import EventLog, LogEvent, Trace, to_event_log
+from repro.history.xes import XesParseError, parse_xes, to_xes_xml
+
+__all__ = [
+    "EventLog",
+    "EventTypes",
+    "HistoryService",
+    "LogEvent",
+    "Trace",
+    "XesParseError",
+    "parse_xes",
+    "to_event_log",
+    "to_xes_xml",
+]

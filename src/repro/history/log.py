@@ -1,0 +1,177 @@
+"""Event logs in activity-trace form (XES-style), for process mining.
+
+A :class:`Trace` is the ordered sequence of *activity* events of one case
+(process instance); an :class:`EventLog` is a bag of traces.  Logs come
+from three places: converted engine history (:func:`to_event_log`),
+synthetic generators (:mod:`repro.mining.generators`), and JSON import.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.history.events import EventTypes
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One activity occurrence inside a trace."""
+
+    activity: str
+    timestamp: float = 0.0
+    resource: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass
+class Trace:
+    """One case: an ordered list of activity events."""
+
+    case_id: str
+    events: list[LogEvent] = field(default_factory=list)
+
+    @property
+    def activities(self) -> tuple[str, ...]:
+        """The activity sequence (the trace's 'control-flow shadow')."""
+        return tuple(e.activity for e in self.events)
+
+    @property
+    def duration(self) -> float:
+        """Last minus first timestamp (0 for empty/singleton traces)."""
+        if len(self.events) < 2:
+            return 0.0
+        return self.events[-1].timestamp - self.events[0].timestamp
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        return iter(self.events)
+
+
+@dataclass
+class EventLog:
+    """A collection of traces plus log-level helpers."""
+
+    traces: list[Trace] = field(default_factory=list)
+    name: str = "log"
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)
+
+    def add(self, trace: Trace) -> None:
+        """Append one trace."""
+        self.traces.append(trace)
+
+    @property
+    def activities(self) -> set[str]:
+        """All activities occurring anywhere in the log."""
+        return {e.activity for t in self.traces for e in t.events}
+
+    def variants(self) -> Counter:
+        """Distinct activity sequences with their frequencies."""
+        return Counter(t.activities for t in self.traces)
+
+    def start_activities(self) -> set[str]:
+        """Activities that begin at least one trace."""
+        return {t.activities[0] for t in self.traces if t.events}
+
+    def end_activities(self) -> set[str]:
+        """Activities that end at least one trace."""
+        return {t.activities[-1] for t in self.traces if t.events}
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the log (activities, timestamps, resources)."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "traces": [
+                    {
+                        "case_id": t.case_id,
+                        "events": [
+                            {
+                                "activity": e.activity,
+                                "timestamp": e.timestamp,
+                                "resource": e.resource,
+                                "attributes": e.attributes,
+                            }
+                            for e in t.events
+                        ],
+                    }
+                    for t in self.traces
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "EventLog":
+        """Inverse of :meth:`to_json`."""
+        raw = json.loads(payload)
+        log = cls(name=raw.get("name", "log"))
+        for t in raw["traces"]:
+            log.add(
+                Trace(
+                    case_id=t["case_id"],
+                    events=[
+                        LogEvent(
+                            activity=e["activity"],
+                            timestamp=e.get("timestamp", 0.0),
+                            resource=e.get("resource"),
+                            attributes=e.get("attributes", {}),
+                        )
+                        for e in t["events"]
+                    ],
+                )
+            )
+        return log
+
+    @classmethod
+    def from_sequences(
+        cls, sequences: Iterable[Iterable[str]], name: str = "log"
+    ) -> "EventLog":
+        """Build a log from bare activity sequences (tests, generators)."""
+        log = cls(name=name)
+        for idx, sequence in enumerate(sequences):
+            events = [LogEvent(activity=a, timestamp=float(k)) for k, a in enumerate(sequence)]
+            log.add(Trace(case_id=f"case-{idx}", events=events))
+        return log
+
+
+def to_event_log(history, activity_event: str = EventTypes.NODE_COMPLETED) -> EventLog:
+    """Convert engine history into an activity-trace event log.
+
+    By default each completed *activity* node becomes one log event;
+    routing nodes (gateways, silent events) are excluded via the
+    ``is_activity`` flag the engine stamps on node events.
+    """
+    log = EventLog(name="engine-history")
+    for instance_id in history.instances():
+        events: list[LogEvent] = []
+        for record in history.instance_events(instance_id):
+            if record.type != activity_event:
+                continue
+            if not record.data.get("is_activity", True):
+                continue
+            events.append(
+                LogEvent(
+                    activity=record.data.get("node_id", "?"),
+                    timestamp=record.timestamp,
+                    resource=record.data.get("resource"),
+                    attributes={
+                        k: v
+                        for k, v in record.data.items()
+                        if k not in ("node_id", "resource", "is_activity")
+                    },
+                )
+            )
+        if events:
+            log.add(Trace(case_id=instance_id, events=events))
+    return log

@@ -1,0 +1,110 @@
+"""XES (eXtensible Event Stream) XML export/import for event logs.
+
+XES is the IEEE-standard interchange format consumed by ProM, Disco,
+pm4py, and friends.  This module covers the core attributes the miners
+here use: ``concept:name`` (case id / activity), ``org:resource``, and
+``time:timestamp``.  Extra event attributes round-trip as string
+attributes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from datetime import datetime, timezone
+
+from repro.history.log import EventLog, LogEvent, Trace
+
+
+class XesParseError(Exception):
+    """The document is not a parsable XES log."""
+
+
+def _format_timestamp(seconds: float) -> str:
+    return datetime.fromtimestamp(seconds, tz=timezone.utc).isoformat()
+
+
+def _parse_timestamp(text: str) -> float:
+    try:
+        return datetime.fromisoformat(text).timestamp()
+    except ValueError as exc:
+        raise XesParseError(f"bad timestamp {text!r}: {exc}") from exc
+
+
+def to_xes_xml(log: EventLog) -> str:
+    """Serialize an event log to XES XML."""
+    root = ET.Element("log", {"xes.version": "1.0"})
+    ET.SubElement(root, "string", {"key": "concept:name", "value": log.name})
+    for trace in log:
+        trace_el = ET.SubElement(root, "trace")
+        ET.SubElement(
+            trace_el, "string", {"key": "concept:name", "value": trace.case_id}
+        )
+        for event in trace:
+            event_el = ET.SubElement(trace_el, "event")
+            ET.SubElement(
+                event_el, "string", {"key": "concept:name", "value": event.activity}
+            )
+            ET.SubElement(
+                event_el,
+                "date",
+                {"key": "time:timestamp", "value": _format_timestamp(event.timestamp)},
+            )
+            if event.resource is not None:
+                ET.SubElement(
+                    event_el, "string", {"key": "org:resource", "value": event.resource}
+                )
+            for key, value in sorted(event.attributes.items()):
+                ET.SubElement(
+                    event_el, "string", {"key": key, "value": str(value)}
+                )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def parse_xes(xml_text: str) -> EventLog:
+    """Parse XES XML into an event log; raises :class:`XesParseError`."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise XesParseError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "log":
+        raise XesParseError(f"expected <log> root, got <{root.tag}>")
+    name = "xes-import"
+    for attribute in root.findall("string"):
+        if attribute.get("key") == "concept:name":
+            name = attribute.get("value", name)
+    log = EventLog(name=name)
+    for index, trace_el in enumerate(root.findall("trace")):
+        case_id = f"case-{index}"
+        for attribute in trace_el.findall("string"):
+            if attribute.get("key") == "concept:name":
+                case_id = attribute.get("value", case_id)
+        events: list[LogEvent] = []
+        for event_el in trace_el.findall("event"):
+            activity = None
+            timestamp = 0.0
+            resource = None
+            extras: dict[str, str] = {}
+            for attribute in event_el:
+                key = attribute.get("key", "")
+                value = attribute.get("value", "")
+                if key == "concept:name":
+                    activity = value
+                elif key == "time:timestamp":
+                    timestamp = _parse_timestamp(value)
+                elif key == "org:resource":
+                    resource = value
+                elif key:
+                    extras[key] = value
+            if activity is None:
+                raise XesParseError("event without concept:name")
+            events.append(
+                LogEvent(
+                    activity=activity,
+                    timestamp=timestamp,
+                    resource=resource,
+                    attributes=extras,
+                )
+            )
+        log.add(Trace(case_id=case_id, events=events))
+    return log

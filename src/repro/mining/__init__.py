@@ -1,0 +1,47 @@
+"""Process mining: discovery, conformance, and performance from event logs.
+
+The diagnosis phase of the BPM lifecycle: engine history (or any
+:class:`~repro.history.log.EventLog`) is analysed to
+
+* build the **directly-follows graph** (:mod:`repro.mining.dfg`);
+* **discover** a workflow net with the classical alpha algorithm
+  (:mod:`repro.mining.alpha`) or a dependency graph with the heuristics
+  approach (:mod:`repro.mining.heuristics`);
+* check **conformance** of a log against a net by token replay
+  (:mod:`repro.mining.conformance`);
+* extract **performance** diagnostics (bottlenecks, sojourn times)
+  (:mod:`repro.mining.performance`);
+* generate synthetic logs from process definitions, with optional noise
+  (:mod:`repro.mining.generators`) — the workload of experiment T4.
+"""
+
+from repro.mining.alpha import alpha_miner
+from repro.mining.conformance import ReplayResult, token_replay
+from repro.mining.dfg import DirectlyFollowsGraph
+from repro.mining.footprint import (
+    FootprintComparison,
+    FootprintMatrix,
+    compare_footprints,
+)
+from repro.mining.generators import add_noise, generate_log
+from repro.mining.heuristics import DependencyGraph, heuristics_miner
+from repro.mining.performance import PerformanceProfile, analyze_performance
+from repro.mining.social import HandoverNetwork, working_together
+
+__all__ = [
+    "DependencyGraph",
+    "DirectlyFollowsGraph",
+    "FootprintComparison",
+    "FootprintMatrix",
+    "HandoverNetwork",
+    "PerformanceProfile",
+    "ReplayResult",
+    "add_noise",
+    "alpha_miner",
+    "analyze_performance",
+    "compare_footprints",
+    "generate_log",
+    "heuristics_miner",
+    "token_replay",
+    "working_together",
+]

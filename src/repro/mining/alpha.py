@@ -1,0 +1,109 @@
+"""The classical alpha algorithm (van der Aalst): log → workflow net.
+
+Given a complete, noise-free log of a structured workflow net without
+short loops or duplicate activities, the alpha algorithm rediscovers the
+generating net.  Experiment T4 verifies exactly that property on our
+generator models.
+
+Steps (following the original formulation):
+
+1. ``T_L``  — all activities; ``T_I`` — trace starters; ``T_O`` — enders.
+2. Relations from the DFG: causality ``a → b``, parallel ``a ∥ b``,
+   choice ``a # b``.
+3. ``X_L`` — pairs ``(A, B)`` with every ``a ∈ A`` causal to every
+   ``b ∈ B``, and both A and B internally pairwise-``#``.
+4. ``Y_L`` — the maximal pairs of ``X_L``.
+5. One place per pair, plus source and sink.
+
+The candidate pairs are grown by fixpoint merging from the singleton
+causal pairs — equivalent to subset enumeration on the nets this supports,
+without the exponential sweep.
+"""
+
+from __future__ import annotations
+
+from repro.history.log import EventLog
+from repro.mining.dfg import DirectlyFollowsGraph
+from repro.petri.net import PetriNet
+
+
+def _all_unrelated(dfg: DirectlyFollowsGraph, items: frozenset[str]) -> bool:
+    members = sorted(items)
+    for i, a in enumerate(members):
+        for b in members[i:]:
+            # note: a # a must hold too (no self-loop in the log)
+            if not dfg.unrelated(a, b):
+                return False
+    return True
+
+
+def _all_causal(
+    dfg: DirectlyFollowsGraph, sources: frozenset[str], targets: frozenset[str]
+) -> bool:
+    return all(dfg.causal(a, b) for a in sources for b in targets)
+
+
+def alpha_miner(log: EventLog, name: str = "alpha") -> PetriNet:
+    """Discover a workflow net from an event log.
+
+    Returns a net with one transition per activity (transition id ==
+    activity name), a source place ``i`` and sink place ``o``.
+    """
+    dfg = DirectlyFollowsGraph.from_log(log)
+    activities = sorted(dfg.activities)
+
+    # step 3: fixpoint merge of causal pairs
+    pairs: set[tuple[frozenset[str], frozenset[str]]] = set()
+    for a in activities:
+        for b in activities:
+            if dfg.causal(a, b) and dfg.unrelated(a, a) and dfg.unrelated(b, b):
+                pairs.add((frozenset([a]), frozenset([b])))
+    changed = True
+    while changed:
+        changed = False
+        current = list(pairs)
+        for i, (a1, b1) in enumerate(current):
+            for a2, b2 in current[i + 1 :]:
+                merged = (a1 | a2, b1 | b2)
+                if merged in pairs:
+                    continue
+                sources, targets = merged
+                if (
+                    _all_unrelated(dfg, sources)
+                    and _all_unrelated(dfg, targets)
+                    and _all_causal(dfg, sources, targets)
+                ):
+                    pairs.add(merged)
+                    changed = True
+
+    # step 4: keep only maximal pairs
+    maximal = [
+        (sources, targets)
+        for sources, targets in pairs
+        if not any(
+            (sources, targets) != (s2, t2) and sources <= s2 and targets <= t2
+            for s2, t2 in pairs
+        )
+    ]
+
+    # step 5: build the net
+    net = PetriNet(name)
+    for activity in activities:
+        net.add_transition(activity, label=activity)
+    net.add_place("i")
+    net.add_place("o")
+    for starter in sorted(dfg.start_activities):
+        net.add_arc("i", starter)
+    for ender in sorted(dfg.end_activities):
+        net.add_arc(ender, "o")
+    for index, (sources, targets) in enumerate(
+        sorted(maximal, key=lambda p: (sorted(p[0]), sorted(p[1])))
+    ):
+        place = net.add_place(
+            f"p_{'+'.join(sorted(sources))}__{'+'.join(sorted(targets))}"
+        )
+        for a in sorted(sources):
+            net.add_arc(a, place.id)
+        for b in sorted(targets):
+            net.add_arc(place.id, b)
+    return net

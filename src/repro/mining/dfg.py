@@ -1,0 +1,69 @@
+"""Directly-follows graphs: the shared substrate of the discovery miners."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.history.log import EventLog
+
+
+@dataclass
+class DirectlyFollowsGraph:
+    """Activity-pair succession counts extracted from a log."""
+
+    activities: set[str] = field(default_factory=set)
+    counts: Counter = field(default_factory=Counter)  # (a, b) -> frequency
+    start_activities: Counter = field(default_factory=Counter)
+    end_activities: Counter = field(default_factory=Counter)
+    activity_counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_log(cls, log: EventLog) -> "DirectlyFollowsGraph":
+        """Count direct successions over every trace."""
+        dfg = cls()
+        for trace in log:
+            sequence = trace.activities
+            if not sequence:
+                continue
+            dfg.start_activities[sequence[0]] += 1
+            dfg.end_activities[sequence[-1]] += 1
+            for activity in sequence:
+                dfg.activities.add(activity)
+                dfg.activity_counts[activity] += 1
+            for a, b in zip(sequence, sequence[1:]):
+                dfg.counts[(a, b)] += 1
+        return dfg
+
+    def follows(self, a: str, b: str) -> int:
+        """How often ``b`` directly follows ``a``."""
+        return self.counts.get((a, b), 0)
+
+    # -- alpha relations --------------------------------------------------------
+
+    def causal(self, a: str, b: str) -> bool:
+        """a → b : a is directly followed by b but never vice versa."""
+        return self.follows(a, b) > 0 and self.follows(b, a) == 0
+
+    def parallel(self, a: str, b: str) -> bool:
+        """a ∥ b : both orders observed."""
+        return self.follows(a, b) > 0 and self.follows(b, a) > 0
+
+    def unrelated(self, a: str, b: str) -> bool:
+        """a # b : neither order observed."""
+        return self.follows(a, b) == 0 and self.follows(b, a) == 0
+
+    def successors(self, a: str) -> set[str]:
+        """Activities observed directly after ``a``."""
+        return {b for (x, b), n in self.counts.items() if x == a and n > 0}
+
+    def predecessors(self, b: str) -> set[str]:
+        """Activities observed directly before ``b``."""
+        return {a for (a, y), n in self.counts.items() if y == b and n > 0}
+
+    def edges(self) -> list[tuple[str, str, int]]:
+        """All (a, b, count) successions, most frequent first."""
+        return sorted(
+            ((a, b, n) for (a, b), n in self.counts.items() if n > 0),
+            key=lambda e: (-e[2], e[0], e[1]),
+        )

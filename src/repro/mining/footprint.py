@@ -1,0 +1,104 @@
+"""Footprint matrices: the alpha relations as a comparable artifact.
+
+The *footprint* of a log is the matrix of basic ordering relations between
+every pair of activities — ``#`` (never follow each other), ``→`` / ``←``
+(causality), ``∥`` (both orders observed).  Comparing the footprints of
+two logs (or of a log and a model's generated language) gives a simple,
+explainable conformance measure: the fraction of agreeing cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.history.log import EventLog
+from repro.mining.dfg import DirectlyFollowsGraph
+
+NEVER = "#"
+CAUSES = "→"
+CAUSED_BY = "←"
+PARALLEL = "∥"
+
+
+@dataclass
+class FootprintMatrix:
+    """Pairwise ordering relations over a fixed activity alphabet."""
+
+    activities: tuple[str, ...] = ()
+    relations: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def from_log(cls, log: EventLog) -> "FootprintMatrix":
+        """Derive the footprint from a log's directly-follows relations."""
+        dfg = DirectlyFollowsGraph.from_log(log)
+        activities = tuple(sorted(dfg.activities))
+        matrix = cls(activities=activities)
+        for a in activities:
+            for b in activities:
+                if dfg.parallel(a, b):
+                    relation = PARALLEL
+                elif dfg.causal(a, b):
+                    relation = CAUSES
+                elif dfg.causal(b, a):
+                    relation = CAUSED_BY
+                else:
+                    relation = NEVER
+                matrix.relations[(a, b)] = relation
+        return matrix
+
+    def relation(self, a: str, b: str) -> str:
+        """The relation symbol for a pair (``#`` for unknown activities)."""
+        return self.relations.get((a, b), NEVER)
+
+    def render(self) -> str:
+        """A fixed-width text table of the matrix."""
+        if not self.activities:
+            return "(empty footprint)"
+        width = max(len(a) for a in self.activities)
+        header = " " * (width + 1) + " ".join(
+            f"{a:^{width}}" for a in self.activities
+        )
+        lines = [header]
+        for a in self.activities:
+            row = " ".join(
+                f"{self.relation(a, b):^{width}}" for b in self.activities
+            )
+            lines.append(f"{a:<{width}} {row}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FootprintComparison:
+    """Cell-level agreement between two footprints."""
+
+    agreement: float
+    differences: list[tuple[str, str, str, str]]  # (a, b, left, right)
+    alphabet: tuple[str, ...]
+
+    @property
+    def conforms(self) -> bool:
+        return not self.differences
+
+
+def compare_footprints(
+    left: FootprintMatrix, right: FootprintMatrix
+) -> FootprintComparison:
+    """Compare two footprints over the union alphabet.
+
+    ``agreement`` is the share of identical cells — 1.0 means the two logs
+    exhibit exactly the same basic ordering behaviour.
+    """
+    alphabet = tuple(sorted(set(left.activities) | set(right.activities)))
+    differences: list[tuple[str, str, str, str]] = []
+    total = 0
+    for a in alphabet:
+        for b in alphabet:
+            total += 1
+            l_rel = left.relation(a, b)
+            r_rel = right.relation(a, b)
+            if l_rel != r_rel:
+                differences.append((a, b, l_rel, r_rel))
+    agreement = 1.0 if total == 0 else 1 - len(differences) / total
+    return FootprintComparison(
+        agreement=agreement, differences=differences, alphabet=alphabet
+    )

@@ -1,0 +1,79 @@
+"""Organizational mining: social networks from event-log resources.
+
+The classic "handover of work" metric: resource A hands over to resource B
+whenever B performs the next activity of a case after A.  The resulting
+weighted digraph exposes the real collaboration structure (and the
+overloaded hubs) behind the org chart.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.history.log import EventLog
+
+
+@dataclass
+class HandoverNetwork:
+    """Weighted handover-of-work digraph over resources."""
+
+    resources: set[str] = field(default_factory=set)
+    handovers: Counter = field(default_factory=Counter)  # (from, to) -> count
+    workload: Counter = field(default_factory=Counter)  # resource -> events
+
+    @classmethod
+    def from_log(cls, log: EventLog) -> "HandoverNetwork":
+        """Count handovers between consecutive resource-attributed events."""
+        network = cls()
+        for trace in log:
+            previous = None
+            for event in trace:
+                if event.resource is None:
+                    continue
+                network.resources.add(event.resource)
+                network.workload[event.resource] += 1
+                if previous is not None and previous != event.resource:
+                    network.handovers[(previous, event.resource)] += 1
+                previous = event.resource
+        return network
+
+    def handover_count(self, source: str, target: str) -> int:
+        return self.handovers.get((source, target), 0)
+
+    def top_handovers(self, top: int = 5) -> list[tuple[str, str, int]]:
+        """The busiest handover pairs, heaviest first."""
+        ranked = sorted(
+            ((a, b, n) for (a, b), n in self.handovers.items()),
+            key=lambda e: (-e[2], e[0], e[1]),
+        )
+        return ranked[:top]
+
+    def central_resources(self, top: int = 3) -> list[tuple[str, int]]:
+        """Resources by degree (in + out handover volume) — the hubs."""
+        degree: Counter = Counter()
+        for (a, b), n in self.handovers.items():
+            degree[a] += n
+            degree[b] += n
+        return [
+            (r, degree[r])
+            for r in sorted(degree, key=lambda r: (-degree[r], r))[:top]
+        ]
+
+    def render(self) -> str:
+        """A text summary of the network."""
+        lines = [f"resources: {len(self.resources)}"]
+        for a, b, n in self.top_handovers():
+            lines.append(f"  {a} -> {b}: {n}")
+        return "\n".join(lines)
+
+
+def working_together(log: EventLog) -> Counter:
+    """Count, per unordered resource pair, the cases both worked on."""
+    together: Counter = Counter()
+    for trace in log:
+        participants = sorted({e.resource for e in trace if e.resource})
+        for i, a in enumerate(participants):
+            for b in participants[i + 1 :]:
+                together[(a, b)] += 1
+    return together

@@ -1,0 +1,73 @@
+"""Process metamodel: nodes, flows, definitions, builder, and validation.
+
+A :class:`~repro.model.process.ProcessDefinition` is a typed graph of
+:mod:`~repro.model.elements` (events, tasks, gateways) connected by
+sequence flows.  Models are plain data: they are built with the fluent
+:class:`~repro.model.builder.ProcessBuilder` (or parsed from BPMN XML, see
+:mod:`repro.bpmn`), validated structurally
+(:mod:`repro.model.validation`), mapped onto workflow nets for formal
+soundness analysis (:mod:`repro.model.mapping`), and interpreted by the
+engine (:mod:`repro.engine`).
+"""
+
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import (
+    BoundaryEvent,
+    CallActivity,
+    EndEvent,
+    EventBasedGateway,
+    ExclusiveGateway,
+    InclusiveGateway,
+    IntermediateMessageEvent,
+    IntermediateTimerEvent,
+    ManualTask,
+    MultiInstanceActivity,
+    Node,
+    ParallelGateway,
+    ReceiveTask,
+    RetryPolicy,
+    ScriptTask,
+    SendTask,
+    SequenceFlow,
+    ServiceTask,
+    StartEvent,
+    UserTask,
+)
+from repro.model.errors import ModelError, ValidationFailed
+from repro.model.mapping import to_workflow_net
+from repro.model.process import ProcessDefinition
+from repro.model.render import to_ascii, to_dot
+from repro.model.validation import ValidationIssue, ValidationReport, validate
+
+__all__ = [
+    "BoundaryEvent",
+    "CallActivity",
+    "EndEvent",
+    "EventBasedGateway",
+    "ExclusiveGateway",
+    "InclusiveGateway",
+    "IntermediateMessageEvent",
+    "IntermediateTimerEvent",
+    "ManualTask",
+    "ModelError",
+    "MultiInstanceActivity",
+    "Node",
+    "ParallelGateway",
+    "ProcessBuilder",
+    "ProcessDefinition",
+    "ReceiveTask",
+    "RetryPolicy",
+    "ScriptTask",
+    "SendTask",
+    "SequenceFlow",
+    "ServiceTask",
+    "StartEvent",
+    "UserTask",
+    "ValidationFailed",
+    "ValidationIssue",
+    "ValidationReport",
+    "to_ascii",
+    "to_dot",
+    "to_workflow_net",
+    "validate",
+]

@@ -1,0 +1,416 @@
+"""Fluent construction of process definitions.
+
+The builder keeps a *cursor* (the most recently added node) and connects
+each new node to it, so straight-line fragments read top-to-bottom:
+
+>>> from repro.model.builder import ProcessBuilder
+>>> model = (
+...     ProcessBuilder("approve_invoice")
+...     .start()
+...     .user_task("review", role="clerk")
+...     .exclusive_gateway("decide")
+...     .branch(condition="approved == true")
+...     .script_task("book", script="status = 'booked'")
+...     .end("done")
+...     .branch_from("decide", default=True)
+...     .end("rejected")
+...     .build()
+... )
+>>> sorted(model.nodes)[:3]
+['book', 'decide', 'done']
+
+Branching: ``.branch(condition=...)`` re-anchors the cursor at the most
+recent gateway; ``.branch_from(node_id, ...)`` at any node.  ``.connect_to``
+closes diamonds by linking the cursor to an existing node.  ``.build()``
+validates and raises :class:`~repro.model.errors.ValidationFailed` on
+errors (pass ``validate=False`` to skip).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.model.elements import (
+    BoundaryEvent,
+    BusinessRuleTask,
+    CallActivity,
+    EndEvent,
+    EventBasedGateway,
+    ExclusiveGateway,
+    GATEWAY_TYPES,
+    InclusiveGateway,
+    IntermediateMessageEvent,
+    IntermediateTimerEvent,
+    ManualTask,
+    MultiInstanceActivity,
+    Node,
+    ParallelGateway,
+    ReceiveTask,
+    RetryPolicy,
+    ScriptTask,
+    SendTask,
+    SequenceFlow,
+    ServiceTask,
+    StartEvent,
+    UserTask,
+)
+from repro.model.errors import ModelError, ValidationFailed
+from repro.model.process import ProcessDefinition
+from repro.model.validation import validate as validate_definition
+
+
+class ProcessBuilder:
+    """Fluent builder for :class:`~repro.model.process.ProcessDefinition`."""
+
+    def __init__(self, key: str, name: str = "", description: str = "") -> None:
+        self._definition = ProcessDefinition(key=key, name=name, description=description)
+        self._cursor: str | None = None
+        self._pending_condition: str | None = None
+        self._pending_default: bool = False
+        self._last_gateway: str | None = None
+        self._flow_counter = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _attach(self, node: Node) -> "ProcessBuilder":
+        self._definition.add_node(node)
+        if self._cursor is not None:
+            self._add_flow(self._cursor, node.id)
+        elif self._pending_condition is not None or self._pending_default:
+            raise ModelError("branch() must be followed by a node, and needs a cursor")
+        self._cursor = node.id
+        if isinstance(node, GATEWAY_TYPES):
+            self._last_gateway = node.id
+        return self
+
+    def _add_flow(self, source: str, target: str) -> None:
+        self._flow_counter += 1
+        flow = SequenceFlow(
+            id=f"flow_{self._flow_counter}_{source}__{target}",
+            source=source,
+            target=target,
+            condition=self._pending_condition,
+            is_default=self._pending_default,
+        )
+        self._pending_condition = None
+        self._pending_default = False
+        self._definition.add_flow(flow)
+
+    # -- events ---------------------------------------------------------------
+
+    def start(self, node_id: str = "start", name: str = "") -> "ProcessBuilder":
+        """Add the start event (cursor must be empty)."""
+        if self._cursor is not None:
+            raise ModelError("start() must be the first node")
+        return self._attach(StartEvent(node_id, name))
+
+    def end(self, node_id: str = "end", name: str = "", terminate: bool = False) -> "ProcessBuilder":
+        """Add an end event and clear the cursor (branch is finished)."""
+        self._attach(EndEvent(node_id, name, terminate=terminate))
+        self._cursor = None
+        return self
+
+    def timer(self, node_id: str, duration: float, name: str = "") -> "ProcessBuilder":
+        """Add an intermediate timer catch event."""
+        return self._attach(IntermediateTimerEvent(node_id, name, duration=duration))
+
+    def message_catch(
+        self,
+        node_id: str,
+        message_name: str,
+        correlation_expression: str | None = None,
+        name: str = "",
+    ) -> "ProcessBuilder":
+        """Add an intermediate message catch event."""
+        return self._attach(
+            IntermediateMessageEvent(
+                node_id,
+                name,
+                message_name=message_name,
+                correlation_expression=correlation_expression,
+            )
+        )
+
+    def boundary_error(
+        self,
+        node_id: str,
+        attached_to: str,
+        error_code: str | None = None,
+        name: str = "",
+    ) -> "ProcessBuilder":
+        """Attach an interrupting error boundary event to an activity.
+
+        The cursor moves to the boundary event so the error path can be
+        chained directly after this call.
+        """
+        node = BoundaryEvent(
+            node_id, name, attached_to=attached_to, kind="error", error_code=error_code
+        )
+        self._definition.add_node(node)
+        self._cursor = node.id
+        return self
+
+    def boundary_timer(
+        self, node_id: str, attached_to: str, duration: float, name: str = ""
+    ) -> "ProcessBuilder":
+        """Attach an interrupting timer boundary event to an activity."""
+        node = BoundaryEvent(
+            node_id, name, attached_to=attached_to, kind="timer", duration=duration
+        )
+        self._definition.add_node(node)
+        self._cursor = node.id
+        return self
+
+    # -- tasks ------------------------------------------------------------------
+
+    def user_task(
+        self,
+        node_id: str,
+        role: str,
+        name: str = "",
+        priority: int = 0,
+        due_seconds: float | None = None,
+        form_fields: tuple[str, ...] = (),
+        separate_from: tuple[str, ...] = (),
+    ) -> "ProcessBuilder":
+        """Add a human task routed to ``role`` via the worklist.
+
+        ``separate_from`` names earlier user tasks whose performers are
+        excluded from this one (four-eyes principle).
+        """
+        return self._attach(
+            UserTask(
+                node_id,
+                name,
+                role=role,
+                priority=priority,
+                due_seconds=due_seconds,
+                form_fields=form_fields,
+                separate_from=separate_from,
+            )
+        )
+
+    def manual_task(self, node_id: str, name: str = "") -> "ProcessBuilder":
+        """Add a manual (outside-any-system) task."""
+        return self._attach(ManualTask(node_id, name))
+
+    def service_task(
+        self,
+        node_id: str,
+        service: str,
+        inputs: dict[str, str] | None = None,
+        output_variable: str | None = None,
+        retry: RetryPolicy | None = None,
+        async_execution: bool = False,
+        name: str = "",
+    ) -> "ProcessBuilder":
+        """Add an automated task calling a registered service."""
+        return self._attach(
+            ServiceTask(
+                node_id,
+                name,
+                service=service,
+                inputs=dict(inputs or {}),
+                output_variable=output_variable,
+                retry=retry or RetryPolicy(),
+                async_execution=async_execution,
+            )
+        )
+
+    def script_task(self, node_id: str, script: str, name: str = "") -> "ProcessBuilder":
+        """Add a script task mutating instance variables."""
+        return self._attach(ScriptTask(node_id, name, script=script))
+
+    def business_rule_task(
+        self,
+        node_id: str,
+        decision: str,
+        result_variable: str | None = None,
+        name: str = "",
+    ) -> "ProcessBuilder":
+        """Add a task evaluating a registered decision table."""
+        return self._attach(
+            BusinessRuleTask(
+                node_id, name, decision=decision, result_variable=result_variable
+            )
+        )
+
+    def send_task(
+        self,
+        node_id: str,
+        message_name: str,
+        payload_expression: str | None = None,
+        name: str = "",
+    ) -> "ProcessBuilder":
+        """Add a message-publishing task."""
+        return self._attach(
+            SendTask(node_id, name, message_name=message_name, payload_expression=payload_expression)
+        )
+
+    def receive_task(
+        self,
+        node_id: str,
+        message_name: str,
+        correlation_expression: str | None = None,
+        name: str = "",
+    ) -> "ProcessBuilder":
+        """Add a task waiting for a correlated message."""
+        return self._attach(
+            ReceiveTask(
+                node_id,
+                name,
+                message_name=message_name,
+                correlation_expression=correlation_expression,
+            )
+        )
+
+    def call_activity(
+        self,
+        node_id: str,
+        process_key: str,
+        input_mappings: dict[str, str] | None = None,
+        output_mappings: dict[str, str] | None = None,
+        name: str = "",
+    ) -> "ProcessBuilder":
+        """Add a call activity invoking another deployed process."""
+        return self._attach(
+            CallActivity(
+                node_id,
+                name,
+                process_key=process_key,
+                input_mappings=dict(input_mappings or {}),
+                output_mappings=dict(output_mappings or {}),
+            )
+        )
+
+    def multi_instance(
+        self,
+        node_id: str,
+        process_key: str,
+        cardinality: str,
+        input_mappings: dict[str, str] | None = None,
+        output_mappings: dict[str, str] | None = None,
+        output_collection: str | None = None,
+        sequential: bool = False,
+        wait_for_completion: bool = True,
+        name: str = "",
+    ) -> "ProcessBuilder":
+        """Add a multi-instance activity (N child processes, N at run time)."""
+        return self._attach(
+            MultiInstanceActivity(
+                node_id,
+                name,
+                process_key=process_key,
+                cardinality_expression=cardinality,
+                input_mappings=dict(input_mappings or {}),
+                output_mappings=dict(output_mappings or {}),
+                output_collection=output_collection,
+                sequential=sequential,
+                wait_for_completion=wait_for_completion,
+            )
+        )
+
+    # -- gateways -----------------------------------------------------------------
+
+    def exclusive_gateway(self, node_id: str, name: str = "") -> "ProcessBuilder":
+        """Add an XOR gateway (split or join)."""
+        return self._attach(ExclusiveGateway(node_id, name))
+
+    def parallel_gateway(self, node_id: str, name: str = "") -> "ProcessBuilder":
+        """Add an AND gateway (split or join)."""
+        return self._attach(ParallelGateway(node_id, name))
+
+    def inclusive_gateway(self, node_id: str, name: str = "") -> "ProcessBuilder":
+        """Add an OR gateway (split or join)."""
+        return self._attach(InclusiveGateway(node_id, name))
+
+    def event_gateway(self, node_id: str, name: str = "") -> "ProcessBuilder":
+        """Add an event-based (deferred choice) gateway."""
+        return self._attach(EventBasedGateway(node_id, name))
+
+    # -- branching ----------------------------------------------------------------
+
+    def branch(self, condition: str | None = None, default: bool = False) -> "ProcessBuilder":
+        """Re-anchor the cursor at the most recent gateway for a new branch."""
+        if self._last_gateway is None:
+            raise ModelError("branch() requires a gateway to branch from")
+        return self.branch_from(self._last_gateway, condition=condition, default=default)
+
+    def branch_from(
+        self, node_id: str, condition: str | None = None, default: bool = False
+    ) -> "ProcessBuilder":
+        """Re-anchor the cursor at any existing node for a new branch."""
+        self._definition.node(node_id)  # raises if unknown
+        self._cursor = node_id
+        self._pending_condition = condition
+        self._pending_default = default
+        return self
+
+    def connect_to(self, node_id: str) -> "ProcessBuilder":
+        """Connect the cursor to an existing node (closes a diamond);
+        the cursor moves to the target."""
+        if self._cursor is None:
+            raise ModelError("connect_to() requires a cursor")
+        self._definition.node(node_id)
+        self._add_flow(self._cursor, node_id)
+        self._cursor = node_id
+        return self
+
+    def condition(self, condition: str) -> "ProcessBuilder":
+        """Set the guard for the *next* flow added from the cursor."""
+        self._pending_condition = condition
+        return self
+
+    def default_flow(self) -> "ProcessBuilder":
+        """Mark the *next* flow added from the cursor as the default."""
+        self._pending_default = True
+        return self
+
+    # -- escape hatches --------------------------------------------------------
+
+    def add_node(self, node: Node) -> "ProcessBuilder":
+        """Add a pre-built node without touching the cursor."""
+        self._definition.add_node(node)
+        return self
+
+    def add_flow(
+        self,
+        source: str,
+        target: str,
+        condition: str | None = None,
+        default: bool = False,
+        flow_id: str | None = None,
+    ) -> "ProcessBuilder":
+        """Add an explicit flow between two existing nodes."""
+        self._flow_counter += 1
+        self._definition.add_flow(
+            SequenceFlow(
+                id=flow_id or f"flow_{self._flow_counter}_{source}__{target}",
+                source=source,
+                target=target,
+                condition=condition,
+                is_default=default,
+            )
+        )
+        return self
+
+    def move_to(self, node_id: str) -> "ProcessBuilder":
+        """Move the cursor without creating a flow."""
+        self._definition.node(node_id)
+        self._cursor = node_id
+        return self
+
+    # -- finish -----------------------------------------------------------------
+
+    def build(self, validate: bool = True, **metadata: Any) -> ProcessDefinition:
+        """Finish and (by default) validate the definition.
+
+        Raises :class:`~repro.model.errors.ValidationFailed` if validation
+        reports errors.
+        """
+        definition = self._definition
+        if validate:
+            report = validate_definition(definition)
+            if not report.ok:
+                raise ValidationFailed(report)
+        return definition

@@ -1,0 +1,14 @@
+"""Errors raised by the process metamodel."""
+
+
+class ModelError(Exception):
+    """Base class for model construction errors."""
+
+
+class ValidationFailed(ModelError):
+    """A definition failed validation; carries the full report."""
+
+    def __init__(self, report) -> None:
+        lines = "; ".join(str(issue) for issue in report.errors)
+        super().__init__(f"process definition invalid: {lines}")
+        self.report = report

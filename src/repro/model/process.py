@@ -1,0 +1,158 @@
+"""Process definitions: the deployable unit of the BPMS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.model.elements import (
+    BoundaryEvent,
+    EndEvent,
+    Node,
+    SequenceFlow,
+    StartEvent,
+)
+from repro.model.errors import ModelError
+
+
+@dataclass
+class ProcessDefinition:
+    """A complete process model: nodes, flows, and metadata.
+
+    Definitions are identified by ``key`` (stable across versions) and
+    ``version`` (assigned by the engine at deployment).  They are pure data:
+    the same definition object can be analysed, serialized, simulated, and
+    executed.
+    """
+
+    key: str
+    name: str = ""
+    version: int = 0
+    description: str = ""
+    nodes: dict[str, Node] = field(default_factory=dict)
+    flows: dict[str, SequenceFlow] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ModelError("process definition requires a non-empty key")
+        if not self.name:
+            self.name = self.key
+        self._outgoing: dict[str, list[SequenceFlow]] = {}
+        self._incoming: dict[str, list[SequenceFlow]] = {}
+        for flow in self.flows.values():
+            self._index_flow(flow)
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Add a node; raises on duplicate id."""
+        if node.id in self.nodes or node.id in self.flows:
+            raise ModelError(f"duplicate element id {node.id!r}")
+        self.nodes[node.id] = node
+        return node
+
+    def add_flow(self, flow: SequenceFlow) -> SequenceFlow:
+        """Add a sequence flow between existing nodes; raises on duplicates."""
+        if flow.id in self.flows or flow.id in self.nodes:
+            raise ModelError(f"duplicate element id {flow.id!r}")
+        if flow.source not in self.nodes:
+            raise ModelError(f"flow {flow.id!r} has unknown source {flow.source!r}")
+        if flow.target not in self.nodes:
+            raise ModelError(f"flow {flow.id!r} has unknown target {flow.target!r}")
+        self.flows[flow.id] = flow
+        self._index_flow(flow)
+        return flow
+
+    def _index_flow(self, flow: SequenceFlow) -> None:
+        self._outgoing.setdefault(flow.source, []).append(flow)
+        self._incoming.setdefault(flow.target, []).append(flow)
+
+    # -- queries ------------------------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        """Look up a node by id; raises :class:`ModelError` if missing."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ModelError(f"unknown node {node_id!r}") from None
+
+    def flow(self, flow_id: str) -> SequenceFlow:
+        """Look up a flow by id; raises :class:`ModelError` if missing."""
+        try:
+            return self.flows[flow_id]
+        except KeyError:
+            raise ModelError(f"unknown flow {flow_id!r}") from None
+
+    def outgoing(self, node_id: str) -> list[SequenceFlow]:
+        """Outgoing flows of a node, in insertion order."""
+        return list(self._outgoing.get(node_id, ()))
+
+    def incoming(self, node_id: str) -> list[SequenceFlow]:
+        """Incoming flows of a node, in insertion order."""
+        return list(self._incoming.get(node_id, ()))
+
+    def start_events(self) -> list[StartEvent]:
+        """All start events (a valid definition has exactly one)."""
+        return [n for n in self.nodes.values() if isinstance(n, StartEvent)]
+
+    def end_events(self) -> list[EndEvent]:
+        """All end events."""
+        return [n for n in self.nodes.values() if isinstance(n, EndEvent)]
+
+    def boundary_events_of(self, activity_id: str) -> list[BoundaryEvent]:
+        """Boundary events attached to the given activity."""
+        return [
+            n
+            for n in self.nodes.values()
+            if isinstance(n, BoundaryEvent) and n.attached_to == activity_id
+        ]
+
+    def nodes_of_type(self, node_type: type) -> Iterator[Node]:
+        """Iterate nodes of a given element class."""
+        return (n for n in self.nodes.values() if isinstance(n, node_type))
+
+    @property
+    def identifier(self) -> str:
+        """The engine-facing ``key:version`` identifier."""
+        return f"{self.key}:{self.version}"
+
+    def with_version(self, version: int) -> "ProcessDefinition":
+        """A shallow copy at a different version (deployment stamping).
+
+        Nodes and flows are shared — definitions are treated as immutable
+        once deployed.
+        """
+        return ProcessDefinition(
+            key=self.key,
+            name=self.name,
+            version=version,
+            description=self.description,
+            nodes=dict(self.nodes),
+            flows=dict(self.flows),
+        )
+
+    def reachable_from_start(self) -> set[str]:
+        """Node ids reachable from the start event along flows (plus
+        boundary-event attachments)."""
+        starts = self.start_events()
+        if not starts:
+            return set()
+        seen: set[str] = set()
+        stack = [starts[0].id]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            for flow in self._outgoing.get(node_id, ()):
+                stack.append(flow.target)
+            # a boundary event is "reachable" when its host activity is
+            for boundary in self.boundary_events_of(node_id):
+                stack.append(boundary.id)
+        return seen
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessDefinition({self.identifier!r}, nodes={len(self.nodes)}, "
+            f"flows={len(self.flows)})"
+        )

@@ -1,0 +1,109 @@
+"""Render process definitions to Graphviz DOT and ASCII summaries.
+
+The modelling tools of a BPMS are graphical; this module gives the
+text-first equivalent: ``to_dot`` produces a Graphviz document (pipe into
+``dot -Tsvg``) with BPMN-ish shapes, and ``to_ascii`` a quick indented
+outline for terminals and docstrings.
+"""
+
+from __future__ import annotations
+
+from repro.model.elements import (
+    BoundaryEvent,
+    EndEvent,
+    EventBasedGateway,
+    ExclusiveGateway,
+    GATEWAY_TYPES,
+    InclusiveGateway,
+    ParallelGateway,
+    StartEvent,
+)
+from repro.model.process import ProcessDefinition
+
+_GATEWAY_LABELS = {
+    ExclusiveGateway: "X",
+    ParallelGateway: "+",
+    InclusiveGateway: "O",
+    EventBasedGateway: "*",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def to_dot(definition: ProcessDefinition) -> str:
+    """A Graphviz DOT document for the definition."""
+    lines = [
+        f"digraph {_quote(definition.key)} {{",
+        "  rankdir=LR;",
+        '  node [fontsize=10, fontname="Helvetica"];',
+        '  edge [fontsize=9, fontname="Helvetica"];',
+    ]
+    for node in definition.nodes.values():
+        attributes: dict[str, str] = {"label": _quote(node.name)}
+        if isinstance(node, StartEvent):
+            attributes.update(shape="circle", label='""', width="0.3",
+                              style="filled", fillcolor="palegreen")
+        elif isinstance(node, EndEvent):
+            attributes.update(shape="doublecircle", label='""', width="0.25",
+                              style="filled", fillcolor="lightcoral")
+        elif isinstance(node, BoundaryEvent):
+            attributes.update(shape="circle", style="dashed")
+        elif isinstance(node, GATEWAY_TYPES):
+            mark = _GATEWAY_LABELS[type(node)]
+            attributes.update(shape="diamond", label=_quote(mark))
+        else:
+            attributes.update(shape="box", style="rounded")
+        rendered = ", ".join(f"{k}={v}" for k, v in attributes.items())
+        lines.append(f"  {_quote(node.id)} [{rendered}];")
+    for flow in definition.flows.values():
+        edge_attributes = []
+        if flow.condition:
+            edge_attributes.append(f"label={_quote(flow.condition)}")
+        if flow.is_default:
+            edge_attributes.append('style="bold"')
+        suffix = f" [{', '.join(edge_attributes)}]" if edge_attributes else ""
+        lines.append(f"  {_quote(flow.source)} -> {_quote(flow.target)}{suffix};")
+    for node in definition.nodes.values():
+        if isinstance(node, BoundaryEvent):
+            lines.append(
+                f"  {_quote(node.attached_to)} -> {_quote(node.id)} "
+                '[style="dotted", arrowhead="none"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(definition: ProcessDefinition) -> str:
+    """A depth-first outline of the flow graph (loops marked, not followed)."""
+    starts = definition.start_events()
+    if not starts:
+        return f"{definition.key}: (no start event)"
+    lines = [f"{definition.key} (v{definition.version})"]
+    seen: set[str] = set()
+
+    def walk(node_id: str, depth: int, via: str | None) -> None:
+        node = definition.node(node_id)
+        prefix = "  " * depth
+        guard = ""
+        if via is not None:
+            flow = definition.flow(via)
+            if flow.is_default:
+                guard = " [default]"
+            elif flow.condition:
+                guard = f" [{flow.condition}]"
+        marker = " (loop)" if node_id in seen else ""
+        lines.append(f"{prefix}{node.type_name}: {node.id}{guard}{marker}")
+        if node_id in seen:
+            return
+        seen.add(node_id)
+        for boundary in definition.boundary_events_of(node_id):
+            lines.append(f"{prefix}  ~ boundary {boundary.kind}: {boundary.id}")
+            for flow in definition.outgoing(boundary.id):
+                walk(flow.target, depth + 2, flow.id)
+        for flow in definition.outgoing(node_id):
+            walk(flow.target, depth + 1, flow.id)
+
+    walk(starts[0].id, 1, None)
+    return "\n".join(lines)

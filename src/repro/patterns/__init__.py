@@ -1,0 +1,19 @@
+"""The 20 classical control-flow workflow patterns (van der Aalst et al.).
+
+Each pattern is a :class:`~repro.patterns.catalog.PatternSpec` with a
+runnable process fragment and a *verification* that executes it on a real
+engine and checks the pattern's defining behaviour — pattern support is
+demonstrated, not declared.  Unsupported patterns carry the reason.
+
+Experiment T1 evaluates this catalog against the BPMS engine and the rigid
+first-generation baseline (:mod:`repro.baseline`).
+"""
+
+from repro.patterns.catalog import (
+    PATTERNS,
+    PatternSpec,
+    evaluate_all,
+    evaluate_pattern,
+)
+
+__all__ = ["PATTERNS", "PatternSpec", "evaluate_all", "evaluate_pattern"]

@@ -1,0 +1,477 @@
+"""Pattern definitions, fragments, and runtime verifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.engine.instance import InstanceState
+from repro.history.events import EventTypes
+from repro.model.builder import ProcessBuilder
+from repro.worklist.allocation import ShortestQueueAllocator
+
+
+def _fresh_engine() -> ProcessEngine:
+    engine = ProcessEngine(
+        clock=VirtualClock(0), allocator=ShortestQueueAllocator()
+    )
+    engine.organization.add("worker", roles=["staff"])
+    return engine
+
+
+def _activity_completions(engine: ProcessEngine, instance_id: str) -> list[str]:
+    return [
+        e.data["node_id"]
+        for e in engine.history.instance_events(instance_id)
+        if e.type == EventTypes.NODE_COMPLETED and e.data.get("is_activity")
+    ]
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One control-flow pattern and how (whether) this BPMS realizes it."""
+
+    number: int
+    name: str
+    supported: bool
+    baseline_supported: bool
+    note: str
+    verify: Callable[[], bool] | None = None
+
+    def check(self) -> bool:
+        """Execute the verification; unsupported patterns return False."""
+        if not self.supported or self.verify is None:
+            return False
+        return self.verify()
+
+
+# -- verifications (one per supported pattern) ---------------------------------
+
+
+def _verify_sequence() -> bool:
+    engine = _fresh_engine()
+    model = (
+        ProcessBuilder("p01")
+        .start()
+        .script_task("a", script="x = 1")
+        .script_task("b", script="y = x + 1")
+        .end()
+        .build()
+    )
+    engine.deploy(model)
+    instance = engine.start_instance("p01")
+    return (
+        instance.state is InstanceState.COMPLETED
+        and _activity_completions(engine, instance.id) == ["a", "b"]
+    )
+
+
+def _parallel_block(key: str):
+    return (
+        ProcessBuilder(key)
+        .start()
+        .parallel_gateway("fork")
+        .branch()
+        .script_task("a", script="a = 1")
+        .parallel_gateway("sync")
+        .branch_from("fork")
+        .script_task("b", script="b = 1")
+        .connect_to("sync")
+        .move_to("sync")
+        .script_task("after", script="after = a + b")
+        .end()
+        .build()
+    )
+
+
+def _verify_parallel_split() -> bool:
+    engine = _fresh_engine()
+    engine.deploy(_parallel_block("p02"))
+    instance = engine.start_instance("p02")
+    done = set(_activity_completions(engine, instance.id))
+    return instance.state is InstanceState.COMPLETED and {"a", "b"} <= done
+
+
+def _verify_synchronization() -> bool:
+    engine = _fresh_engine()
+    engine.deploy(_parallel_block("p03"))
+    instance = engine.start_instance("p03")
+    completions = _activity_completions(engine, instance.id)
+    # 'after' runs exactly once, and only after both branches
+    return (
+        completions.count("after") == 1
+        and completions.index("after") > completions.index("a")
+        and completions.index("after") > completions.index("b")
+    )
+
+
+def _choice_model(key: str):
+    return (
+        ProcessBuilder(key)
+        .start()
+        .exclusive_gateway("choose")
+        .branch(condition="go_left == true")
+        .script_task("left", script="taken = 'left'")
+        .exclusive_gateway("merge")
+        .branch_from("choose", default=True)
+        .script_task("right", script="taken = 'right'")
+        .connect_to("merge")
+        .move_to("merge")
+        .script_task("after", script="done = true")
+        .end()
+        .build()
+    )
+
+
+def _verify_exclusive_choice() -> bool:
+    engine = _fresh_engine()
+    engine.deploy(_choice_model("p04"))
+    left = engine.start_instance("p04", {"go_left": True})
+    right = engine.start_instance("p04", {"go_left": False})
+    return (
+        left.variables["taken"] == "left"
+        and right.variables["taken"] == "right"
+        and "right" not in _activity_completions(engine, left.id)
+    )
+
+
+def _verify_simple_merge() -> bool:
+    engine = _fresh_engine()
+    engine.deploy(_choice_model("p05"))
+    instance = engine.start_instance("p05", {"go_left": True})
+    completions = _activity_completions(engine, instance.id)
+    return completions.count("after") == 1
+
+
+def _multi_choice_model(key: str):
+    return (
+        ProcessBuilder(key)
+        .start()
+        .inclusive_gateway("or_split")
+        .branch(condition="want_a == true")
+        .script_task("a", script="a_done = true")
+        .inclusive_gateway("or_join")
+        .branch_from("or_split", condition="want_b == true")
+        .script_task("b", script="b_done = true")
+        .connect_to("or_join")
+        .branch_from("or_split", default=True)
+        .script_task("neither", script="neither_done = true")
+        .connect_to("or_join")
+        .move_to("or_join")
+        .script_task("after", script="after_done = true")
+        .end()
+        .build()
+    )
+
+
+def _verify_multi_choice() -> bool:
+    engine = _fresh_engine()
+    engine.deploy(_multi_choice_model("p06"))
+    both = engine.start_instance("p06", {"want_a": True, "want_b": True})
+    only_a = engine.start_instance("p06", {"want_a": True, "want_b": False})
+    return (
+        both.variables.get("a_done") and both.variables.get("b_done")
+        and only_a.variables.get("a_done")
+        and "b_done" not in only_a.variables
+    )
+
+
+def _verify_synchronizing_merge() -> bool:
+    engine = _fresh_engine()
+    engine.deploy(_multi_choice_model("p07"))
+    both = engine.start_instance("p07", {"want_a": True, "want_b": True})
+    completions = _activity_completions(engine, both.id)
+    return completions.count("after") == 1  # OR-join synchronized both
+
+
+def _verify_multi_merge() -> bool:
+    engine = _fresh_engine()
+    model = (
+        ProcessBuilder("p08")
+        .start()
+        .parallel_gateway("fork")
+        .branch()
+        .script_task("a", script="a = 1")
+        .exclusive_gateway("xor_merge")
+        .branch_from("fork")
+        .script_task("b", script="b = 1")
+        .connect_to("xor_merge")
+        .move_to("xor_merge")
+        .script_task("after", script="count = 0")
+        .end()
+        .build()
+    )
+    engine.deploy(model)
+    instance = engine.start_instance("p08")
+    completions = _activity_completions(engine, instance.id)
+    # multi-merge: 'after' executes once per incoming token (twice)
+    return (
+        instance.state is InstanceState.COMPLETED
+        and completions.count("after") == 2
+    )
+
+
+def _verify_arbitrary_cycles() -> bool:
+    engine = _fresh_engine()
+    model = (
+        ProcessBuilder("p10")
+        .start()
+        .script_task("init", script="n = 0")
+        .exclusive_gateway("back")
+        .script_task("work", script="n = n + 1")
+        .exclusive_gateway("test")
+        .branch(condition="n < 3")
+        .connect_to("back")
+        .branch_from("test", default=True)
+        .end()
+        .build()
+    )
+    engine.deploy(model)
+    instance = engine.start_instance("p10")
+    return instance.variables.get("n") == 3
+
+
+def _verify_implicit_termination() -> bool:
+    engine = _fresh_engine()
+    model = (
+        ProcessBuilder("p11")
+        .start()
+        .parallel_gateway("fork")
+        .branch()
+        .script_task("a", script="a = 1")
+        .end("end_a")
+        .branch_from("fork")
+        .script_task("b", script="b = 1")
+        .end("end_b")
+        .build()
+    )
+    engine.deploy(model)
+    instance = engine.start_instance("p11")
+    # completes when no tokens remain, despite two separate end events
+    return instance.state is InstanceState.COMPLETED
+
+
+def _verify_mi_design_time() -> bool:
+    engine = _fresh_engine()
+    child = (
+        ProcessBuilder("p13_child")
+        .start()
+        .script_task("inspect", script="inspected = true")
+        .end()
+        .build()
+    )
+    engine.deploy(child)
+    builder = ProcessBuilder("p13").start().parallel_gateway("fork")
+    for k in range(3):
+        builder.branch_from("fork").call_activity(
+            f"instance_{k}", process_key="p13_child"
+        )
+        if k == 0:
+            builder.parallel_gateway("sync")
+        else:
+            builder.connect_to("sync")
+    engine.deploy(builder.move_to("sync").end().build())
+    instance = engine.start_instance("p13")
+    children = [
+        i for i in engine.instances() if i.parent_instance_id == instance.id
+    ]
+    return instance.state is InstanceState.COMPLETED and len(children) == 3
+
+
+def _verify_mi_without_sync() -> bool:
+    engine = _fresh_engine()
+    child = (
+        ProcessBuilder("p12_child")
+        .start()
+        .user_task("linger", role="staff")
+        .end()
+        .build()
+    )
+    engine.deploy(child)
+    parent = (
+        ProcessBuilder("p12")
+        .start()
+        .multi_instance(
+            "spawn",
+            process_key="p12_child",
+            cardinality="2",
+            wait_for_completion=False,
+        )
+        .script_task("carry_on", script="moved = true")
+        .end()
+        .build()
+    )
+    engine.deploy(parent)
+    instance = engine.start_instance("p12")
+    spawned = [i for i in engine.instances() if i.definition_key == "p12_child"]
+    return (
+        instance.state is InstanceState.COMPLETED
+        and instance.variables.get("moved") is True
+        and len(spawned) == 2
+        and all(i.state is InstanceState.RUNNING for i in spawned)
+    )
+
+
+def _verify_mi_run_time() -> bool:
+    engine = _fresh_engine()
+    child = (
+        ProcessBuilder("p14_child")
+        .start()
+        .script_task("handle", script="handled = instance_index")
+        .end()
+        .build()
+    )
+    engine.deploy(child)
+    parent = (
+        ProcessBuilder("p14")
+        .start()
+        .multi_instance(
+            "per_item",
+            process_key="p14_child",
+            cardinality="len(items)",  # known only when the case runs
+            output_mappings={"handled": "handled"},
+            output_collection="outcomes",
+        )
+        .end()
+        .build()
+    )
+    engine.deploy(parent)
+    short = engine.start_instance("p14", {"items": [1, 2]})
+    long = engine.start_instance("p14", {"items": [1, 2, 3, 4, 5]})
+    return (
+        short.state is InstanceState.COMPLETED
+        and long.state is InstanceState.COMPLETED
+        and len(short.variables["outcomes"]) == 2
+        and len(long.variables["outcomes"]) == 5
+    )
+
+
+def _verify_deferred_choice() -> bool:
+    engine = _fresh_engine()
+    model = (
+        ProcessBuilder("p16")
+        .start()
+        .event_gateway("defer")
+        .branch()
+        .message_catch("on_msg", message_name="go")
+        .script_task("via_msg", script="path = 'msg'")
+        .exclusive_gateway("merge")
+        .branch_from("defer")
+        .timer("on_time", duration=100)
+        .script_task("via_timer", script="path = 'timer'")
+        .connect_to("merge")
+        .move_to("merge")
+        .end()
+        .build()
+    )
+    engine.deploy(model)
+    msg_instance = engine.start_instance("p16")
+    engine.correlate_message("go")
+    timer_instance = engine.start_instance("p16")
+    engine.advance_time(101)
+    return (
+        msg_instance.variables.get("path") == "msg"
+        and timer_instance.variables.get("path") == "timer"
+    )
+
+
+def _verify_cancel_activity() -> bool:
+    engine = _fresh_engine()
+    model = (
+        ProcessBuilder("p19")
+        .start()
+        .user_task("long_task", role="staff")
+        .end("done")
+        .boundary_timer("deadline", attached_to="long_task", duration=50)
+        .script_task("cancelled_path", script="cancelled = true")
+        .end("cancel_end")
+        .build()
+    )
+    engine.deploy(model)
+    instance = engine.start_instance("p19")
+    engine.advance_time(51)
+    from repro.worklist.items import WorkItemState
+
+    item = engine.worklist.items()[0]
+    return (
+        instance.state is InstanceState.COMPLETED
+        and instance.variables.get("cancelled") is True
+        and item.state is WorkItemState.CANCELLED
+    )
+
+
+def _verify_cancel_case() -> bool:
+    engine = _fresh_engine()
+    model = (
+        ProcessBuilder("p20")
+        .start()
+        .parallel_gateway("fork")
+        .branch()
+        .script_task("fast", script="f = 1")
+        .end("killer", terminate=True)
+        .branch_from("fork")
+        .user_task("slow", role="staff")
+        .end("never")
+        .build()
+    )
+    engine.deploy(model)
+    instance = engine.start_instance("p20")
+    return instance.state is InstanceState.TERMINATED and not instance.tokens
+
+
+#: The catalog, in the original numbering.
+PATTERNS: list[PatternSpec] = [
+    PatternSpec(1, "Sequence", True, True, "sequence flows", _verify_sequence),
+    PatternSpec(2, "Parallel Split", True, False, "AND gateway split", _verify_parallel_split),
+    PatternSpec(3, "Synchronization", True, False, "AND gateway join", _verify_synchronization),
+    PatternSpec(4, "Exclusive Choice", True, True, "XOR gateway with guards", _verify_exclusive_choice),
+    PatternSpec(5, "Simple Merge", True, True, "XOR gateway join", _verify_simple_merge),
+    PatternSpec(6, "Multi-Choice", True, False, "OR gateway split", _verify_multi_choice),
+    PatternSpec(7, "Synchronizing Merge", True, False, "OR gateway join (can-still-arrive)", _verify_synchronizing_merge),
+    PatternSpec(8, "Multi-Merge", True, False, "XOR join passes each token", _verify_multi_merge),
+    PatternSpec(
+        9, "Discriminator", False, False,
+        "needs an n-out-of-m join; not offered by the gateway set", None,
+    ),
+    PatternSpec(10, "Arbitrary Cycles", True, True, "back-edges through XOR gateways", _verify_arbitrary_cycles),
+    PatternSpec(11, "Implicit Termination", True, False, "instance ends when no tokens remain", _verify_implicit_termination),
+    PatternSpec(
+        12, "MI Without Synchronization", True, False,
+        "multi-instance activity with wait_for_completion=False",
+        _verify_mi_without_sync,
+    ),
+    PatternSpec(13, "MI Design-Time Knowledge", True, False, "fixed parallel call activities", _verify_mi_design_time),
+    PatternSpec(
+        14, "MI Run-Time Knowledge", True, False,
+        "multi-instance activity with run-time cardinality expression",
+        _verify_mi_run_time,
+    ),
+    PatternSpec(
+        15, "MI No A Priori Knowledge", False, False,
+        "cannot add instances after the multi-instance activity started", None,
+    ),
+    PatternSpec(16, "Deferred Choice", True, False, "event-based gateway", _verify_deferred_choice),
+    PatternSpec(
+        17, "Interleaved Parallel Routing", False, False,
+        "no mutual-exclusion construct over unordered activities", None,
+    ),
+    PatternSpec(
+        18, "Milestone", False, False,
+        "no state-condition-gated enablement", None,
+    ),
+    PatternSpec(19, "Cancel Activity", True, False, "interrupting boundary events", _verify_cancel_activity),
+    PatternSpec(20, "Cancel Case", True, True, "terminate end events (baseline: abort)", _verify_cancel_case),
+]
+
+
+def evaluate_pattern(number: int) -> bool:
+    """Run one pattern's verification on a fresh engine."""
+    spec = next(p for p in PATTERNS if p.number == number)
+    return spec.check()
+
+
+def evaluate_all() -> dict[int, bool]:
+    """Run every supported pattern's verification; unsupported → False."""
+    return {spec.number: spec.check() for spec in PATTERNS}

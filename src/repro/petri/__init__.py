@@ -1,0 +1,57 @@
+"""Petri-net formal kernel.
+
+Place/transition nets with weighted arcs, immutable markings, the token-game
+firing rule, reachability and coverability analysis, place/transition
+invariants, and workflow nets (WF-nets) with the classical soundness check.
+
+This kernel is the semantic foundation of the BPMS: every process model in
+:mod:`repro.model` maps to a WF-net (see
+:func:`repro.model.mapping.to_workflow_net`) so that the very models the
+engine executes can be verified before deployment.
+"""
+
+from repro.petri.coverability import CoverabilityGraph, OMEGA, build_coverability_graph
+from repro.petri.errors import (
+    AnalysisBudgetExceeded,
+    NetStructureError,
+    NotAWorkflowNetError,
+    PetriError,
+    TransitionNotEnabledError,
+)
+from repro.petri.invariants import (
+    incidence_matrix,
+    p_invariants,
+    p_semiflows,
+    place_invariant_cover,
+    t_invariants,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import Arc, PetriNet, Place, Transition
+from repro.petri.reachability import ReachabilityGraph, build_reachability_graph
+from repro.petri.workflow_net import SoundnessReport, WorkflowNet, check_soundness
+
+__all__ = [
+    "Arc",
+    "AnalysisBudgetExceeded",
+    "CoverabilityGraph",
+    "Marking",
+    "NetStructureError",
+    "NotAWorkflowNetError",
+    "OMEGA",
+    "PetriError",
+    "PetriNet",
+    "Place",
+    "ReachabilityGraph",
+    "SoundnessReport",
+    "Transition",
+    "TransitionNotEnabledError",
+    "WorkflowNet",
+    "build_coverability_graph",
+    "build_reachability_graph",
+    "check_soundness",
+    "incidence_matrix",
+    "p_invariants",
+    "p_semiflows",
+    "place_invariant_cover",
+    "t_invariants",
+]

@@ -1,0 +1,249 @@
+"""Parametric net families used by tests and the evaluation harness.
+
+Each builder returns a structurally valid WF-net (except the deliberately
+defective variants used to exercise the soundness diagnostics).
+"""
+
+from __future__ import annotations
+
+from repro.petri.net import PetriNet
+
+
+def sequence_net(n_tasks: int, name: str = "sequence") -> PetriNet:
+    """i -> t1 -> p1 -> t2 -> ... -> tn -> o."""
+    if n_tasks < 1:
+        raise ValueError("need at least one task")
+    net = PetriNet(name)
+    net.add_place("i")
+    previous = "i"
+    for k in range(1, n_tasks + 1):
+        task = f"t{k}"
+        net.add_transition(task, label=f"task {k}")
+        net.add_arc(previous, task)
+        if k < n_tasks:
+            place = f"p{k}"
+            net.add_place(place)
+            net.add_arc(task, place)
+            previous = place
+    net.add_place("o")
+    net.add_arc(f"t{n_tasks}", "o")
+    return net
+
+
+def parallel_net(n_branches: int, name: str = "parallel") -> PetriNet:
+    """AND-split into n branches of one task each, then AND-join.
+
+    The reachability graph has 2**n interleaving markings — the state-space
+    explosion workload of experiment F5.
+    """
+    if n_branches < 1:
+        raise ValueError("need at least one branch")
+    net = PetriNet(name)
+    net.add_place("i")
+    net.add_place("o")
+    net.add_transition("split", silent=True)
+    net.add_transition("join", silent=True)
+    net.add_arc("i", "split")
+    for k in range(1, n_branches + 1):
+        before, after, task = f"b{k}", f"a{k}", f"t{k}"
+        net.add_place(before)
+        net.add_place(after)
+        net.add_transition(task, label=f"branch {k}")
+        net.add_arc("split", before)
+        net.add_arc(before, task)
+        net.add_arc(task, after)
+        net.add_arc(after, "join")
+    net.add_arc("join", "o")
+    return net
+
+
+def choice_net(n_branches: int, name: str = "choice") -> PetriNet:
+    """XOR-split into n alternative tasks, then XOR-join."""
+    if n_branches < 1:
+        raise ValueError("need at least one branch")
+    net = PetriNet(name)
+    net.add_place("i")
+    net.add_place("o")
+    for k in range(1, n_branches + 1):
+        task = f"t{k}"
+        net.add_transition(task, label=f"option {k}")
+        net.add_arc("i", task)
+        net.add_arc(task, "o")
+    return net
+
+
+def loop_net(name: str = "loop") -> PetriNet:
+    """A rework loop: do -> check -> (redo back to do | done)."""
+    net = PetriNet(name)
+    for place in ("i", "todo", "ready", "checked", "o"):
+        net.add_place(place)
+    net.add_transition("start", silent=True)
+    net.add_transition("do", label="do work")
+    net.add_transition("check", label="check work")
+    net.add_transition("redo", label="redo", silent=True)
+    net.add_transition("done", label="accept", silent=True)
+    net.add_arc("i", "start")
+    net.add_arc("start", "todo")
+    net.add_arc("todo", "do")
+    net.add_arc("do", "ready")
+    net.add_arc("ready", "check")
+    net.add_arc("check", "checked")
+    net.add_arc("checked", "redo")
+    net.add_arc("redo", "todo")
+    net.add_arc("checked", "done")
+    net.add_arc("done", "o")
+    return net
+
+
+def structured_net(n_tasks: int, name: str = "structured") -> PetriNet:
+    """A mixed sequential/parallel/choice net with roughly ``n_tasks`` tasks.
+
+    Deterministic layout: blocks of (sequence, parallel pair, choice pair)
+    chained until the task budget is used — the T2 soundness workload.
+    """
+    if n_tasks < 1:
+        raise ValueError("need at least one task")
+    net = PetriNet(name)
+    net.add_place("i")
+    previous = "i"
+    produced = 0
+    block = 0
+    while produced < n_tasks:
+        block += 1
+        remaining = n_tasks - produced
+        kind = block % 3
+        if kind == 1 or remaining < 2:
+            task = f"s{block}"
+            net.add_transition(task, label=f"seq {block}")
+            net.add_arc(previous, task)
+            place = f"ps{block}"
+            net.add_place(place)
+            net.add_arc(task, place)
+            previous = place
+            produced += 1
+        elif kind == 2:
+            split, join = f"and_split{block}", f"and_join{block}"
+            net.add_transition(split, silent=True)
+            net.add_transition(join, silent=True)
+            net.add_arc(previous, split)
+            for branch in ("l", "r"):
+                before, after, task = (
+                    f"pb{block}{branch}",
+                    f"pa{block}{branch}",
+                    f"par{block}{branch}",
+                )
+                net.add_place(before)
+                net.add_place(after)
+                net.add_transition(task, label=f"par {block}{branch}")
+                net.add_arc(split, before)
+                net.add_arc(before, task)
+                net.add_arc(task, after)
+                net.add_arc(after, join)
+            place = f"pj{block}"
+            net.add_place(place)
+            net.add_arc(join, place)
+            previous = place
+            produced += 2
+        else:
+            entry = previous
+            place = f"pc{block}"
+            net.add_place(place)
+            for branch in ("a", "b"):
+                task = f"cho{block}{branch}"
+                net.add_transition(task, label=f"choice {block}{branch}")
+                net.add_arc(entry, task)
+                net.add_arc(task, place)
+            previous = place
+            produced += 2
+    net.add_place("o")
+    final = "finish"
+    net.add_transition(final, silent=True)
+    net.add_arc(previous, final)
+    net.add_arc(final, "o")
+    return net
+
+
+def deadlocking_net(name: str = "deadlocking") -> PetriNet:
+    """An unsound net: XOR-split feeding an AND-join (classic modelling bug).
+
+    One branch of the choice leaves the join waiting forever — violates the
+    option to complete.
+    """
+    net = PetriNet(name)
+    for place in ("i", "pa", "pb", "o"):
+        net.add_place(place)
+    net.add_transition("choose_a")
+    net.add_transition("choose_b")
+    net.add_transition("join_ab", silent=True)
+    net.add_arc("i", "choose_a")
+    net.add_arc("i", "choose_b")
+    net.add_arc("choose_a", "pa")
+    net.add_arc("choose_b", "pb")
+    net.add_arc("pa", "join_ab")
+    net.add_arc("pb", "join_ab")
+    net.add_arc("join_ab", "o")
+    return net
+
+
+def improper_completion_net(name: str = "improper") -> PetriNet:
+    """An unsound net: AND-split feeding an XOR-join leaves a token behind."""
+    net = PetriNet(name)
+    for place in ("i", "pa", "pb", "o"):
+        net.add_place(place)
+    net.add_transition("split", silent=True)
+    net.add_transition("finish_a")
+    net.add_transition("finish_b")
+    net.add_arc("i", "split")
+    net.add_arc("split", "pa")
+    net.add_arc("split", "pb")
+    net.add_arc("pa", "finish_a")
+    net.add_arc("pb", "finish_b")
+    net.add_arc("finish_a", "o")
+    net.add_arc("finish_b", "o")
+    return net
+
+
+def dead_transition_net(name: str = "dead_transition") -> PetriNet:
+    """A net with a transition that can never fire (unsatisfiable preset).
+
+    ``ghost`` needs two tokens on ``p1`` but the net is safe, so it is
+    structurally on a path from source to sink (a valid WF-net) yet dead.
+    """
+    net = PetriNet(name)
+    for place in ("i", "p1", "o"):
+        net.add_place(place)
+    net.add_transition("work")
+    net.add_transition("finish")
+    net.add_transition("ghost")
+    net.add_arc("i", "work")
+    net.add_arc("work", "p1")
+    net.add_arc("p1", "finish")
+    net.add_arc("finish", "o")
+    net.add_arc("p1", "ghost", weight=2)
+    net.add_arc("ghost", "o")
+    return net
+
+
+def unbounded_net(name: str = "unbounded") -> PetriNet:
+    """A structurally valid WF-net that is unbounded.
+
+    ``pump`` regenerates its own input while emitting into ``buffer``, so
+    ``buffer`` can accumulate arbitrarily many tokens.
+    """
+    net = PetriNet(name)
+    for place in ("i", "p1", "buffer", "o"):
+        net.add_place(place)
+    net.add_transition("start")
+    net.add_transition("pump")
+    net.add_transition("finish")
+    net.add_transition("drain")
+    net.add_arc("i", "start")
+    net.add_arc("start", "p1")
+    net.add_arc("p1", "pump")
+    net.add_arc("pump", "p1")
+    net.add_arc("pump", "buffer")
+    net.add_arc("p1", "finish")
+    net.add_arc("finish", "o")
+    net.add_arc("buffer", "drain")
+    net.add_arc("drain", "o")
+    return net

@@ -1,0 +1,39 @@
+"""Exceptions raised by the Petri-net kernel."""
+
+
+class PetriError(Exception):
+    """Base class for all Petri-net kernel errors."""
+
+
+class NetStructureError(PetriError):
+    """The net definition is malformed (duplicate ids, dangling arcs, ...)."""
+
+
+class TransitionNotEnabledError(PetriError):
+    """An attempt was made to fire a transition that is not enabled."""
+
+    def __init__(self, transition_id: str, marking) -> None:
+        super().__init__(
+            f"transition {transition_id!r} is not enabled in marking {marking}"
+        )
+        self.transition_id = transition_id
+        self.marking = marking
+
+
+class NotAWorkflowNetError(PetriError):
+    """The net violates the structural WF-net requirements."""
+
+
+class AnalysisBudgetExceeded(PetriError):
+    """State-space exploration exceeded its configured budget.
+
+    Reachability graphs can be exponential in net size (see experiment F5);
+    analyses take an explicit ``max_states`` budget and raise this error
+    instead of exhausting memory.
+    """
+
+    def __init__(self, max_states: int) -> None:
+        super().__init__(
+            f"state-space exploration exceeded the budget of {max_states} states"
+        )
+        self.max_states = max_states

@@ -1,0 +1,216 @@
+"""Structural (linear-algebraic) analysis: incidence matrix and invariants.
+
+P-invariants (place invariants) are integer row vectors ``y`` with
+``y · C = 0`` where ``C`` is the |P|×|T| incidence matrix: the weighted token
+count ``y · M`` is then constant over all reachable markings.  A net covered
+by positive P-invariants is structurally bounded — this is the polynomial
+counterpart to the exponential reachability check (experiment F5).
+
+T-invariants are integer column vectors ``x`` with ``C · x = 0``: firing each
+transition ``x[t]`` times reproduces the marking, witnessing cyclic behaviour.
+
+The null-space basis is computed with exact ``fractions.Fraction`` Gaussian
+elimination and scaled to the smallest integer vectors, so results are exact
+(numpy floats would mis-classify near-zero pivots on larger nets).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+
+from repro.petri.net import PetriNet
+
+
+def incidence_matrix(net: PetriNet) -> tuple[list[str], list[str], list[list[int]]]:
+    """The incidence matrix ``C[p][t] = post(t)[p] - pre(t)[p]``.
+
+    Returns ``(place_ids, transition_ids, rows)`` with rows indexed by place.
+    """
+    place_ids = sorted(net.places)
+    transition_ids = sorted(net.transitions)
+    place_index = {p: i for i, p in enumerate(place_ids)}
+    rows = [[0] * len(transition_ids) for _ in place_ids]
+    for j, transition_id in enumerate(transition_ids):
+        for place, weight in net.preset(transition_id).items():
+            rows[place_index[place]][j] -= weight
+        for place, weight in net.postset(transition_id).items():
+            rows[place_index[place]][j] += weight
+    return place_ids, transition_ids, rows
+
+
+def _nullspace_basis(matrix: list[list[int]]) -> list[list[Fraction]]:
+    """Exact basis of the right null space of an integer matrix."""
+    if not matrix:
+        return []
+    rows = [[Fraction(v) for v in row] for row in matrix]
+    n_cols = len(rows[0])
+    pivots: list[int] = []
+    rank = 0
+    for col in range(n_cols):
+        pivot_row = None
+        for r in range(rank, len(rows)):
+            if rows[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][col]
+        rows[rank] = [v / pivot for v in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][col] != 0:
+                factor = rows[r][col]
+                rows[r] = [a - factor * b for a, b in zip(rows[r], rows[rank])]
+        pivots.append(col)
+        rank += 1
+        if rank == len(rows):
+            break
+    free_cols = [c for c in range(n_cols) if c not in pivots]
+    basis: list[list[Fraction]] = []
+    for free in free_cols:
+        vector = [Fraction(0)] * n_cols
+        vector[free] = Fraction(1)
+        for r, pivot_col in enumerate(pivots):
+            vector[pivot_col] = -rows[r][free]
+        basis.append(vector)
+    return basis
+
+
+def _to_integer_vector(vector: list[Fraction]) -> list[int]:
+    """Scale a rational vector to the smallest integer multiple."""
+    lcm = 1
+    for value in vector:
+        if value.denominator != 1:
+            lcm = lcm * value.denominator // gcd(lcm, value.denominator)
+    ints = [int(value * lcm) for value in vector]
+    common = 0
+    for value in ints:
+        common = gcd(common, abs(value))
+    if common > 1:
+        ints = [value // common for value in ints]
+    # canonical sign: first non-zero entry positive
+    for value in ints:
+        if value:
+            if value < 0:
+                ints = [-v for v in ints]
+            break
+    return ints
+
+
+def p_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """A basis of place invariants as ``{place: weight}`` dicts.
+
+    Solves ``Cᵀ y = 0`` (equivalently ``y · C = 0``).
+    """
+    place_ids, _, rows = incidence_matrix(net)
+    transposed = [list(col) for col in zip(*rows)] if rows and rows[0] else []
+    if not transposed:
+        # no transitions: every unit vector is an invariant
+        return [{p: 1} for p in place_ids]
+    basis = _nullspace_basis(transposed)
+    result = []
+    for vector in basis:
+        ints = _to_integer_vector(vector)
+        result.append({p: w for p, w in zip(place_ids, ints) if w})
+    return result
+
+
+def t_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """A basis of transition invariants as ``{transition: count}`` dicts.
+
+    Solves ``C x = 0``.
+    """
+    _, transition_ids, rows = incidence_matrix(net)
+    if not rows:
+        return [{t: 1} for t in transition_ids]
+    basis = _nullspace_basis(rows)
+    result = []
+    for vector in basis:
+        ints = _to_integer_vector(vector)
+        result.append({t: c for t, c in zip(transition_ids, ints) if c})
+    return result
+
+
+def p_semiflows(net: PetriNet, max_rows: int = 10_000) -> list[dict[str, int]]:
+    """Non-negative place invariants (P-semiflows) via Farkas' algorithm.
+
+    Starts from ``[C | I]`` with one row per place and eliminates each
+    transition column by combining rows of opposite sign; surviving rows'
+    identity parts are semiflows (``y ≥ 0`` with ``y·C = 0``).  The result
+    is reduced to minimal-support semiflows.  ``max_rows`` bounds the
+    intermediate table (the algorithm is worst-case exponential).
+    """
+    place_ids, transition_ids, rows = incidence_matrix(net)
+    n_places = len(place_ids)
+    table: list[tuple[list[int], list[int]]] = []
+    for index, row in enumerate(rows):
+        identity = [0] * n_places
+        identity[index] = 1
+        table.append((list(row), identity))
+
+    for j in range(len(transition_ids)):
+        zero = [entry for entry in table if entry[0][j] == 0]
+        positive = [entry for entry in table if entry[0][j] > 0]
+        negative = [entry for entry in table if entry[0][j] < 0]
+        combined: list[tuple[list[int], list[int]]] = []
+        seen: set[tuple[int, ...]] = set()
+        for c_pos, i_pos in positive:
+            for c_neg, i_neg in negative:
+                a, b = -c_neg[j], c_pos[j]
+                new_c = [a * x + b * y for x, y in zip(c_pos, c_neg)]
+                new_i = [a * x + b * y for x, y in zip(i_pos, i_neg)]
+                common = 0
+                for value in new_c + new_i:
+                    common = gcd(common, abs(value))
+                if common > 1:
+                    new_c = [v // common for v in new_c]
+                    new_i = [v // common for v in new_i]
+                key = tuple(new_i)
+                if key not in seen:
+                    seen.add(key)
+                    combined.append((new_c, new_i))
+        table = zero + combined
+        if len(table) > max_rows:
+            raise AnalysisBudget(len(table))
+
+    semiflows = []
+    for _, identity in table:
+        if any(identity):
+            semiflows.append(
+                {p: w for p, w in zip(place_ids, identity) if w}
+            )
+    # keep only minimal-support semiflows (standard normalization)
+    minimal: list[dict[str, int]] = []
+    for flow in sorted(semiflows, key=lambda f: len(f)):
+        support = set(flow)
+        if not any(set(other) <= support for other in minimal):
+            minimal.append(flow)
+    return minimal
+
+
+class AnalysisBudget(Exception):
+    """Farkas table exceeded its row budget."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__(f"Farkas table grew to {size} rows")
+        self.size = size
+
+
+def place_invariant_cover(net: PetriNet) -> tuple[bool, set[str]]:
+    """Check whether every place is covered by a P-semiflow.
+
+    Returns ``(covered, uncovered_places)``.  Coverage by semi-positive
+    invariants implies structural boundedness, for any initial marking.
+    """
+    cover: dict[str, int] = {}
+    for semiflow in p_semiflows(net):
+        for place, weight in semiflow.items():
+            cover[place] = cover.get(place, 0) + weight
+    uncovered = {p for p in net.places if cover.get(p, 0) <= 0}
+    return not uncovered, uncovered
+
+
+def invariant_value(invariant: dict[str, int], marking) -> int:
+    """Evaluate ``y · M`` for a place invariant and a marking."""
+    return sum(weight * marking[place] for place, weight in invariant.items())

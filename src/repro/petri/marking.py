@@ -1,0 +1,124 @@
+"""Immutable markings (multisets of tokens over places).
+
+A marking assigns a non-negative token count to every place of a net.  Only
+places with at least one token are stored, so markings over different nets
+compare structurally.  Markings are hashable and therefore usable as nodes of
+reachability/coverability graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+
+class Marking(Mapping[str, int]):
+    """An immutable multiset ``place id -> token count``.
+
+    Zero counts are normalized away, so ``Marking({"p": 0}) == Marking()``.
+
+    >>> m = Marking({"i": 1})
+    >>> m["i"], m["other"]
+    (1, 0)
+    >>> m.plus({"o": 2}).minus({"i": 1})
+    Marking({'o': 2})
+    """
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, counts: Mapping[str, int] | Iterable[tuple[str, int]] = ()) -> None:
+        items = counts.items() if isinstance(counts, Mapping) else counts
+        cleaned: dict[str, int] = {}
+        for place, count in items:
+            if count < 0:
+                raise ValueError(f"negative token count {count} for place {place!r}")
+            if count:
+                cleaned[place] = cleaned.get(place, 0) + count
+        self._counts: dict[str, int] = cleaned
+        self._hash: int | None = None
+
+    @classmethod
+    def single(cls, place: str, count: int = 1) -> "Marking":
+        """Build a marking with tokens on a single place."""
+        return cls({place: count})
+
+    # -- Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, place: str) -> int:
+        return self._counts.get(place, 0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, place: object) -> bool:
+        return place in self._counts
+
+    # -- algebra ------------------------------------------------------------
+
+    def plus(self, other: Mapping[str, int]) -> "Marking":
+        """Return this marking with ``other`` added (multiset union)."""
+        merged = dict(self._counts)
+        for place, count in other.items():
+            merged[place] = merged.get(place, 0) + count
+        return Marking(merged)
+
+    def minus(self, other: Mapping[str, int]) -> "Marking":
+        """Return this marking with ``other`` subtracted.
+
+        Raises ``ValueError`` if the result would be negative anywhere.
+        """
+        merged = dict(self._counts)
+        for place, count in other.items():
+            remaining = merged.get(place, 0) - count
+            if remaining < 0:
+                raise ValueError(
+                    f"cannot remove {count} token(s) from place {place!r} "
+                    f"holding {merged.get(place, 0)}"
+                )
+            if remaining:
+                merged[place] = remaining
+            else:
+                merged.pop(place, None)
+        return Marking(merged)
+
+    def covers(self, other: Mapping[str, int]) -> bool:
+        """True if this marking has at least as many tokens everywhere."""
+        return all(self._counts.get(place, 0) >= count for place, count in other.items())
+
+    def strictly_covers(self, other: "Marking") -> bool:
+        """True if this marking covers ``other`` and differs from it."""
+        return self.covers(other) and self._counts != other._counts
+
+    @property
+    def total(self) -> int:
+        """Total number of tokens in the marking."""
+        return sum(self._counts.values())
+
+    @property
+    def support(self) -> frozenset[str]:
+        """The set of places holding at least one token."""
+        return frozenset(self._counts)
+
+    # -- identity -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Marking):
+            return self._counts == other._counts
+        if isinstance(other, Mapping):
+            return self._counts == {p: c for p, c in other.items() if c}
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p!r}: {c}" for p, c in sorted(self._counts.items()))
+        return f"Marking({{{inner}}})"
+
+    def to_dict(self) -> dict[str, int]:
+        """A plain-dict copy, for serialization."""
+        return dict(self._counts)

@@ -1,0 +1,235 @@
+"""Place/transition nets with weighted arcs and the token-game firing rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.petri.errors import NetStructureError, TransitionNotEnabledError
+from repro.petri.marking import Marking
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place (condition / state holder) of a net."""
+
+    id: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise NetStructureError("place id must be non-empty")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A transition (event / activity) of a net."""
+
+    id: str
+    label: str = ""
+    # Silent transitions (tau) are routing-only; mining/conformance skip them.
+    silent: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise NetStructureError("transition id must be non-empty")
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A weighted arc between a place and a transition (either direction)."""
+
+    source: str
+    target: str
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight < 1:
+            raise NetStructureError(
+                f"arc {self.source!r}->{self.target!r} has non-positive weight"
+            )
+
+
+@dataclass
+class PetriNet:
+    """A place/transition net.
+
+    Structure is mutable while the net is being built; analyses treat it as
+    immutable.  Place and transition ids share one namespace so that arcs can
+    name either end unambiguously.
+
+    >>> net = PetriNet("demo")
+    >>> net.add_place("p1"); net.add_transition("t1"); net.add_place("p2")
+    Place(id='p1', label='')
+    Transition(id='t1', label='', silent=False)
+    Place(id='p2', label='')
+    >>> net.add_arc("p1", "t1"); net.add_arc("t1", "p2")
+    Arc(source='p1', target='t1', weight=1)
+    Arc(source='t1', target='p2', weight=1)
+    >>> m = Marking({"p1": 1})
+    >>> net.enabled(m)
+    ['t1']
+    >>> net.fire(m, "t1")
+    Marking({'p2': 1})
+    """
+
+    name: str = "net"
+    places: dict[str, Place] = field(default_factory=dict)
+    transitions: dict[str, Transition] = field(default_factory=dict)
+    arcs: list[Arc] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # preset/postset caches: transition id -> {place id: weight}
+        self._pre: dict[str, dict[str, int]] = {}
+        self._post: dict[str, dict[str, int]] = {}
+        self._place_out: dict[str, set[str]] = {}
+        self._place_in: dict[str, set[str]] = {}
+        for arc in list(self.arcs):
+            self._index_arc(arc)
+
+    # -- construction --------------------------------------------------------
+
+    def add_place(self, place_id: str, label: str = "") -> Place:
+        """Add a place; raises on id collision with any node."""
+        self._check_fresh(place_id)
+        place = Place(place_id, label)
+        self.places[place_id] = place
+        self._place_out.setdefault(place_id, set())
+        self._place_in.setdefault(place_id, set())
+        return place
+
+    def add_transition(self, transition_id: str, label: str = "", silent: bool = False) -> Transition:
+        """Add a transition; raises on id collision with any node."""
+        self._check_fresh(transition_id)
+        transition = Transition(transition_id, label, silent)
+        self.transitions[transition_id] = transition
+        self._pre.setdefault(transition_id, {})
+        self._post.setdefault(transition_id, {})
+        return transition
+
+    def add_arc(self, source: str, target: str, weight: int = 1) -> Arc:
+        """Add an arc between a place and a transition.
+
+        The two endpoints must be one place and one transition, both already
+        present in the net.  Parallel arcs accumulate into the weight.
+        """
+        arc = Arc(source, target, weight)
+        src_is_place = source in self.places
+        src_is_trans = source in self.transitions
+        tgt_is_place = target in self.places
+        tgt_is_trans = target in self.transitions
+        if not (src_is_place or src_is_trans):
+            raise NetStructureError(f"arc source {source!r} is not a node of the net")
+        if not (tgt_is_place or tgt_is_trans):
+            raise NetStructureError(f"arc target {target!r} is not a node of the net")
+        if src_is_place == tgt_is_place:
+            raise NetStructureError(
+                f"arc {source!r}->{target!r} must connect a place and a transition"
+            )
+        self.arcs.append(arc)
+        self._index_arc(arc)
+        return arc
+
+    def _check_fresh(self, node_id: str) -> None:
+        if node_id in self.places or node_id in self.transitions:
+            raise NetStructureError(f"duplicate node id {node_id!r}")
+
+    def _index_arc(self, arc: Arc) -> None:
+        if arc.source in self.places:
+            pre = self._pre.setdefault(arc.target, {})
+            pre[arc.source] = pre.get(arc.source, 0) + arc.weight
+            self._place_out.setdefault(arc.source, set()).add(arc.target)
+        else:
+            post = self._post.setdefault(arc.source, {})
+            post[arc.target] = post.get(arc.target, 0) + arc.weight
+            self._place_in.setdefault(arc.target, set()).add(arc.source)
+
+    # -- structure queries ----------------------------------------------------
+
+    def preset(self, transition_id: str) -> dict[str, int]:
+        """Input places of a transition with consumed weights."""
+        self._require_transition(transition_id)
+        return dict(self._pre.get(transition_id, {}))
+
+    def postset(self, transition_id: str) -> dict[str, int]:
+        """Output places of a transition with produced weights."""
+        self._require_transition(transition_id)
+        return dict(self._post.get(transition_id, {}))
+
+    def place_outputs(self, place_id: str) -> frozenset[str]:
+        """Transitions consuming from a place."""
+        self._require_place(place_id)
+        return frozenset(self._place_out.get(place_id, ()))
+
+    def place_inputs(self, place_id: str) -> frozenset[str]:
+        """Transitions producing into a place."""
+        self._require_place(place_id)
+        return frozenset(self._place_in.get(place_id, ()))
+
+    def _require_transition(self, transition_id: str) -> None:
+        if transition_id not in self.transitions:
+            raise NetStructureError(f"unknown transition {transition_id!r}")
+
+    def _require_place(self, place_id: str) -> None:
+        if place_id not in self.places:
+            raise NetStructureError(f"unknown place {place_id!r}")
+
+    # -- token game -----------------------------------------------------------
+
+    def is_enabled(self, marking: Marking, transition_id: str) -> bool:
+        """True if the marking covers the transition's preset."""
+        self._require_transition(transition_id)
+        return marking.covers(self._pre.get(transition_id, {}))
+
+    def enabled(self, marking: Marking) -> list[str]:
+        """All transitions enabled in the marking, in insertion order."""
+        return [t for t in self.transitions if marking.covers(self._pre.get(t, {}))]
+
+    def fire(self, marking: Marking, transition_id: str) -> Marking:
+        """Fire a transition, returning the successor marking."""
+        if not self.is_enabled(marking, transition_id):
+            raise TransitionNotEnabledError(transition_id, marking)
+        return marking.minus(self._pre.get(transition_id, {})).plus(
+            self._post.get(transition_id, {})
+        )
+
+    def fire_sequence(self, marking: Marking, sequence: list[str]) -> Marking:
+        """Fire a sequence of transitions from a marking."""
+        current = marking
+        for transition_id in sequence:
+            current = self.fire(current, transition_id)
+        return current
+
+    # -- misc -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raises ``NetStructureError``.
+
+        Every arc must reference existing nodes (guaranteed by ``add_arc``),
+        and the net must have at least one place and one transition.
+        """
+        if not self.places:
+            raise NetStructureError("net has no places")
+        if not self.transitions:
+            raise NetStructureError("net has no transitions")
+
+    def copy(self, name: str | None = None) -> "PetriNet":
+        """A structural deep copy (nodes are immutable, so shared)."""
+        clone = PetriNet(name or self.name)
+        clone.places = dict(self.places)
+        clone.transitions = dict(self.transitions)
+        for arc in self.arcs:
+            clone.arcs.append(arc)
+            clone._index_arc(arc)
+        for place_id in clone.places:
+            clone._place_out.setdefault(place_id, set())
+            clone._place_in.setdefault(place_id, set())
+        for transition_id in clone.transitions:
+            clone._pre.setdefault(transition_id, {})
+            clone._post.setdefault(transition_id, {})
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"PetriNet(name={self.name!r}, |P|={len(self.places)}, "
+            f"|T|={len(self.transitions)}, |F|={len(self.arcs)})"
+        )

@@ -1,0 +1,216 @@
+"""Workflow nets (WF-nets) and the classical soundness check.
+
+A WF-net is a Petri net with one source place ``i`` (empty preset), one sink
+place ``o`` (empty postset), and every node on a path from ``i`` to ``o``.
+Soundness (van der Aalst) requires, from the initial marking [i]:
+
+* **option to complete** — [o] is reachable from every reachable marking;
+* **proper completion** — any reachable marking covering ``o`` equals [o];
+* **no dead transitions** — every transition fires in some run.
+
+The checker first runs Karp–Miller to rule out unboundedness (an unbounded
+WF-net is never sound), then decides the three properties on the explicit
+reachability graph and reports diagnostics with counterexample markings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.petri.coverability import build_coverability_graph
+from repro.petri.errors import AnalysisBudgetExceeded, NotAWorkflowNetError
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.reachability import build_reachability_graph
+
+
+@dataclass
+class WorkflowNet:
+    """A Petri net with designated source and sink places."""
+
+    net: PetriNet
+    source: str
+    sink: str
+
+    @classmethod
+    def detect(cls, net: PetriNet) -> "WorkflowNet":
+        """Find the unique source/sink places and verify connectedness."""
+        sources = [p for p in net.places if not net.place_inputs(p)]
+        sinks = [p for p in net.places if not net.place_outputs(p)]
+        if len(sources) != 1:
+            raise NotAWorkflowNetError(
+                f"expected exactly one source place, found {sorted(sources)}"
+            )
+        if len(sinks) != 1:
+            raise NotAWorkflowNetError(
+                f"expected exactly one sink place, found {sorted(sinks)}"
+            )
+        wf_net = cls(net=net, source=sources[0], sink=sinks[0])
+        stranded = wf_net.nodes_off_path()
+        if stranded:
+            raise NotAWorkflowNetError(
+                f"nodes not on a path from source to sink: {sorted(stranded)}"
+            )
+        return wf_net
+
+    def initial_marking(self) -> Marking:
+        """The canonical initial marking [i]."""
+        return Marking.single(self.source)
+
+    def final_marking(self) -> Marking:
+        """The canonical final marking [o]."""
+        return Marking.single(self.sink)
+
+    def _adjacency(self) -> dict[str, set[str]]:
+        forward: dict[str, set[str]] = {
+            **{p: set() for p in self.net.places},
+            **{t: set() for t in self.net.transitions},
+        }
+        for arc in self.net.arcs:
+            forward[arc.source].add(arc.target)
+        return forward
+
+    def nodes_off_path(self) -> set[str]:
+        """Nodes not on any directed path from source to sink."""
+        forward = self._adjacency()
+        reverse: dict[str, set[str]] = {n: set() for n in forward}
+        for src, targets in forward.items():
+            for tgt in targets:
+                reverse[tgt].add(src)
+
+        def closure(start: str, adj: dict[str, set[str]]) -> set[str]:
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nxt in adj[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return seen
+
+        from_source = closure(self.source, forward)
+        to_sink = closure(self.sink, reverse)
+        all_nodes = set(forward)
+        return all_nodes - (from_source & to_sink)
+
+    def short_circuit(self) -> PetriNet:
+        """The short-circuited net: add ``t* : o -> i``.
+
+        The classical theorem: a WF-net is sound iff its short-circuited net
+        is live and bounded.  Exposed for tests and the invariant-based
+        boundedness shortcut.
+        """
+        closed = self.net.copy(name=f"{self.net.name}*")
+        star = "__short_circuit__"
+        closed.add_transition(star, label="t*", silent=True)
+        closed.add_arc(self.sink, star)
+        closed.add_arc(star, self.source)
+        return closed
+
+
+@dataclass
+class SoundnessReport:
+    """Outcome and diagnostics of a soundness check."""
+
+    is_workflow_net: bool
+    sound: bool
+    bounded: bool | None = None
+    option_to_complete: bool | None = None
+    proper_completion: bool | None = None
+    dead_transitions: set[str] = field(default_factory=set)
+    structural_errors: list[str] = field(default_factory=list)
+    counterexample: Marking | None = None
+    state_count: int = 0
+
+    @property
+    def problems(self) -> list[str]:
+        """Human-readable list of everything that failed."""
+        issues: list[str] = list(self.structural_errors)
+        if self.bounded is False:
+            issues.append("net is unbounded")
+        if self.option_to_complete is False:
+            issues.append(
+                f"option to complete violated (stuck at {self.counterexample})"
+            )
+        if self.proper_completion is False:
+            issues.append(
+                f"proper completion violated (tokens left behind in {self.counterexample})"
+            )
+        if self.dead_transitions:
+            issues.append(f"dead transitions: {sorted(self.dead_transitions)}")
+        return issues
+
+
+def check_soundness(
+    net: PetriNet,
+    max_states: int = 100_000,
+) -> SoundnessReport:
+    """Decide classical soundness of a WF-net with diagnostics.
+
+    Never raises for analysable nets: structural violations and budget
+    exhaustion are reported in the returned :class:`SoundnessReport`.
+    """
+    try:
+        wf_net = WorkflowNet.detect(net)
+    except NotAWorkflowNetError as exc:
+        return SoundnessReport(
+            is_workflow_net=False, sound=False, structural_errors=[str(exc)]
+        )
+
+    initial = wf_net.initial_marking()
+    final = wf_net.final_marking()
+
+    # Step 1: boundedness via Karp-Miller (reachability would diverge).
+    try:
+        coverability = build_coverability_graph(net, initial, max_states=max_states)
+    except AnalysisBudgetExceeded as exc:
+        return SoundnessReport(
+            is_workflow_net=True,
+            sound=False,
+            structural_errors=[f"analysis budget exceeded: {exc}"],
+        )
+    if not coverability.is_bounded():
+        return SoundnessReport(
+            is_workflow_net=True,
+            sound=False,
+            bounded=False,
+            state_count=coverability.size,
+        )
+
+    # Step 2: exact properties on the explicit reachability graph.
+    try:
+        graph = build_reachability_graph(net, initial, max_states=max_states)
+    except AnalysisBudgetExceeded as exc:
+        return SoundnessReport(
+            is_workflow_net=True,
+            sound=False,
+            bounded=True,
+            structural_errors=[f"analysis budget exceeded: {exc}"],
+        )
+
+    report = SoundnessReport(
+        is_workflow_net=True, sound=True, bounded=True, state_count=graph.size
+    )
+
+    reaching_final = graph.markings_reaching(final) if final in graph.markings else set()
+    stuck = graph.markings - reaching_final
+    report.option_to_complete = not stuck
+    if stuck:
+        report.counterexample = next(iter(stuck))
+
+    improper = [
+        m for m in graph.markings if m[wf_net.sink] >= 1 and m != final
+    ]
+    report.proper_completion = not improper
+    if improper and report.counterexample is None:
+        report.counterexample = improper[0]
+
+    report.dead_transitions = graph.dead_transitions()
+
+    report.sound = bool(
+        report.option_to_complete
+        and report.proper_completion
+        and not report.dead_transitions
+    )
+    return report

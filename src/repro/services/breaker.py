@@ -1,0 +1,94 @@
+"""Circuit breaker for service invocation.
+
+Classic three-state breaker: CLOSED (normal) → OPEN after
+``failure_threshold`` consecutive failures (calls rejected instantly) →
+HALF_OPEN after ``reset_timeout`` (one trial call; success closes, failure
+re-opens).  Keeps a failing downstream from eating every instance's retry
+budget.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.clock import Clock, WallClock
+from repro.services.errors import ServiceError
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(ServiceError):
+    """The breaker rejected the call without invoking the service."""
+
+    def __init__(self, service: str, retry_at: float) -> None:
+        super().__init__(f"circuit open for service {service!r} until {retry_at:.3f}")
+        self.service = service
+        self.retry_at = retry_at
+
+
+class CircuitBreaker:
+    """Per-service breaker; thread-unsafe by design (single-writer engine)."""
+
+    def __init__(
+        self,
+        service: str,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Clock | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.service = service
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock or WallClock()
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.rejected_calls = 0
+
+    @property
+    def state(self) -> CircuitState:
+        """Current state, accounting for timeout-driven OPEN → HALF_OPEN."""
+        if (
+            self._state is CircuitState.OPEN
+            and self.clock.now() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = CircuitState.HALF_OPEN
+        return self._state
+
+    def before_call(self) -> None:
+        """Gate a call; raises :class:`CircuitOpenError` when OPEN."""
+        if self.state is CircuitState.OPEN:
+            self.rejected_calls += 1
+            raise CircuitOpenError(self.service, self._opened_at + self.reset_timeout)
+
+    def record_success(self) -> None:
+        """Feed back a successful call."""
+        self._consecutive_failures = 0
+        self._state = CircuitState.CLOSED
+
+    def record_failure(self) -> None:
+        """Feed back a failed call; may trip the breaker."""
+        if self.state is CircuitState.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = CircuitState.OPEN
+        self._opened_at = self.clock.now()
+        self._consecutive_failures = 0
+
+    def reset(self) -> None:
+        """Force-close (administrative override)."""
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0

@@ -1,0 +1,94 @@
+"""In-memory message bus: publish/subscribe with correlation payloads.
+
+Send tasks publish; the engine subscribes a catch-all and correlates
+messages to waiting receive tasks / message events.  Undelivered messages
+are retained per message name so a message arriving *before* its receiver
+is not lost (at-least-once, buffer semantics).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Subscriber = Callable[["Message"], bool]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published message."""
+
+    id: int
+    name: str
+    correlation: Any = None
+    payload: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+
+class MessageBus:
+    """Named-topic bus with retained undelivered messages.
+
+    Subscribers return ``True`` when they consumed the message; consumed
+    messages are not retained.  ``deliver_retained`` lets late subscribers
+    (a receive task activating after the send) drain the buffer.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[Subscriber] = []
+        self._retained: dict[str, list[Message]] = {}
+        self._ids = itertools.count(1)
+        self.published_count = 0
+        self.delivered_count = 0
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a consumer; called for every published message."""
+        self._subscribers.append(subscriber)
+
+    def publish(
+        self,
+        name: str,
+        correlation: Any = None,
+        payload: dict[str, Any] | None = None,
+    ) -> Message:
+        """Publish a message; retained if no subscriber consumes it."""
+        if not name:
+            raise ValueError("message name must be non-empty")
+        message = Message(
+            id=next(self._ids),
+            name=name,
+            correlation=correlation,
+            payload=dict(payload or {}),
+        )
+        self.published_count += 1
+        for subscriber in self._subscribers:
+            if subscriber(message):
+                self.delivered_count += 1
+                return message
+        self._retained.setdefault(name, []).append(message)
+        return message
+
+    def retained(self, name: str) -> list[Message]:
+        """Undelivered messages for a name, oldest first."""
+        return list(self._retained.get(name, ()))
+
+    def consume_retained(
+        self, name: str, correlation: Any = None, match_any: bool = False
+    ) -> Message | None:
+        """Pop the oldest retained message matching name (and correlation).
+
+        ``match_any=True`` ignores the correlation value (used by catch
+        events without a correlation expression).
+        """
+        queue = self._retained.get(name)
+        if not queue:
+            return None
+        for index, message in enumerate(queue):
+            if match_any or message.correlation == correlation:
+                self.delivered_count += 1
+                return queue.pop(index)
+        return None
+
+    @property
+    def retained_count(self) -> int:
+        """Total undelivered messages across names."""
+        return sum(len(q) for q in self._retained.values())

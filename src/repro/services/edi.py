@@ -1,0 +1,153 @@
+"""A small EDIFACT-style flat-file codec.
+
+Port logistics of the paper's era ran on EDI messages (IFTMIN transport
+instructions, CUSDEC customs declarations, cargo manifests).  This module
+provides a faithful-enough codec so examples and benchmarks can exercise
+the legacy-integration path of service tasks: segments separated by ``'``,
+elements by ``+``, components by ``:``, with ``?`` as the escape character.
+
+    UNH+1+CUSDEC:D:96B'BGM+929+DOC123'...'UNT+4+1'
+
+No external format dependency: this is a self-contained substitute for the
+proprietary EDI gateways the paper-era systems integrated with (see
+DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SEGMENT_TERMINATOR = "'"
+ELEMENT_SEPARATOR = "+"
+COMPONENT_SEPARATOR = ":"
+ESCAPE = "?"
+
+_SPECIAL = (ESCAPE, SEGMENT_TERMINATOR, ELEMENT_SEPARATOR, COMPONENT_SEPARATOR)
+
+
+class EdiDecodeError(ValueError):
+    """The EDI text is malformed."""
+
+
+@dataclass(frozen=True)
+class EdiSegment:
+    """One segment: a 3-letter tag plus elements (each a component tuple)."""
+
+    tag: str
+    elements: tuple[tuple[str, ...], ...] = ()
+
+    def element(self, index: int, component: int = 0, default: str = "") -> str:
+        """Safe positional accessor."""
+        try:
+            return self.elements[index][component]
+        except IndexError:
+            return default
+
+
+@dataclass
+class EdiMessage:
+    """An ordered list of segments."""
+
+    segments: list[EdiSegment] = field(default_factory=list)
+
+    def first(self, tag: str) -> EdiSegment | None:
+        """The first segment with the tag, if any."""
+        return next((s for s in self.segments if s.tag == tag), None)
+
+    def all(self, tag: str) -> list[EdiSegment]:
+        """All segments with the tag, in order."""
+        return [s for s in self.segments if s.tag == tag]
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+
+def _escape(text: str) -> str:
+    for char in _SPECIAL:
+        text = text.replace(char, ESCAPE + char)
+    return text
+
+
+def encode_edi(message: EdiMessage) -> str:
+    """Serialize a message to EDI text."""
+    parts = []
+    for segment in message.segments:
+        if not segment.tag or not segment.tag.isalnum():
+            raise ValueError(f"bad segment tag {segment.tag!r}")
+        rendered_elements = [
+            COMPONENT_SEPARATOR.join(_escape(c) for c in components)
+            for components in segment.elements
+        ]
+        parts.append(ELEMENT_SEPARATOR.join([segment.tag, *rendered_elements]))
+    return SEGMENT_TERMINATOR.join(parts) + (SEGMENT_TERMINATOR if parts else "")
+
+
+def _split_escaped(text: str, separator: str, keep_escapes: bool = False) -> list[str]:
+    """Split on an unescaped separator.
+
+    ``keep_escapes=True`` preserves escape sequences verbatim for a later
+    splitting stage (segments → elements → components unescape only at the
+    innermost level).
+    """
+    pieces: list[str] = []
+    current: list[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == ESCAPE:
+            if i + 1 >= len(text):
+                raise EdiDecodeError("dangling escape character")
+            if keep_escapes:
+                current.append(char)
+            current.append(text[i + 1])
+            i += 2
+        elif char == separator:
+            pieces.append("".join(current))
+            current = []
+            i += 1
+        else:
+            current.append(char)
+            i += 1
+    pieces.append("".join(current))
+    return pieces
+
+
+def decode_edi(text: str) -> EdiMessage:
+    """Parse EDI text into a message; raises :class:`EdiDecodeError`."""
+    message = EdiMessage()
+    stripped = text.strip()
+    if not stripped:
+        return message
+    # split into segments honouring escapes
+    raw_segments: list[str] = []
+    current: list[str] = []
+    i = 0
+    while i < len(stripped):
+        char = stripped[i]
+        if char == ESCAPE:
+            if i + 1 >= len(stripped):
+                raise EdiDecodeError("dangling escape character")
+            current.append(char)
+            current.append(stripped[i + 1])
+            i += 2
+        elif char == SEGMENT_TERMINATOR:
+            raw_segments.append("".join(current))
+            current = []
+            i += 1
+        else:
+            current.append(char)
+            i += 1
+    if "".join(current).strip():
+        raise EdiDecodeError("unterminated final segment")
+    for raw in raw_segments:
+        if not raw:
+            continue
+        element_parts = _split_escaped(raw, ELEMENT_SEPARATOR, keep_escapes=True)
+        tag = element_parts[0]
+        if not tag or len(tag) > 3 or not tag.isalnum():
+            raise EdiDecodeError(f"bad segment tag {tag!r}")
+        elements = tuple(
+            tuple(_split_escaped(e, COMPONENT_SEPARATOR)) for e in element_parts[1:]
+        )
+        message.segments.append(EdiSegment(tag=tag.upper(), elements=elements))
+    return message

@@ -1,0 +1,23 @@
+"""Errors raised by the service-integration subsystem."""
+
+
+class ServiceError(Exception):
+    """Base class for service errors."""
+
+
+class ServiceNotFoundError(ServiceError):
+    """No service registered under the requested name."""
+
+
+class ServiceFailure(ServiceError):
+    """A service raised; wraps the original exception.
+
+    ``transient=True`` marks failures worth retrying (the default);
+    permanent failures bypass the retry loop.
+    """
+
+    def __init__(self, service: str, cause: Exception, transient: bool = True) -> None:
+        super().__init__(f"service {service!r} failed: {cause}")
+        self.service = service
+        self.cause = cause
+        self.transient = transient

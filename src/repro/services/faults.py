@@ -1,0 +1,52 @@
+"""Fault injection for resilience experiments.
+
+Wraps a service callable so it fails with a configured probability (seeded,
+reproducible) or for a deterministic failure window.  Used by experiment T6
+and the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+
+class InjectedFault(RuntimeError):
+    """The failure raised by the injector (transient by default)."""
+
+    transient = True
+
+
+class FaultInjector:
+    """Probabilistic / windowed fault wrapper around a callable.
+
+    >>> injector = FaultInjector(lambda: "ok", failure_rate=0.0)
+    >>> injector()
+    'ok'
+    """
+
+    def __init__(
+        self,
+        handler: Callable[..., Any],
+        failure_rate: float = 0.0,
+        fail_first: int = 0,
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        self.handler = handler
+        self.failure_rate = failure_rate
+        self.fail_first = fail_first
+        self._rng = random.Random(seed)
+        self.calls = 0
+        self.faults = 0
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            self.faults += 1
+            raise InjectedFault(f"injected fault (deterministic window, call {self.calls})")
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            self.faults += 1
+            raise InjectedFault(f"injected fault (rate {self.failure_rate})")
+        return self.handler(*args, **kwargs)

@@ -1,0 +1,149 @@
+"""Resilient service invocation: retry with backoff behind a breaker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.clock import Clock, WallClock
+from repro.model.elements import RetryPolicy
+from repro.services.breaker import CircuitBreaker, CircuitOpenError
+from repro.services.errors import ServiceFailure
+from repro.services.registry import ServiceRegistry
+
+
+@dataclass
+class InvocationResult:
+    """Outcome of one logical invocation (possibly several attempts)."""
+
+    service: str
+    value: Any = None
+    succeeded: bool = False
+    attempts: int = 0
+    total_backoff: float = 0.0
+    error: str | None = None
+    rejected_by_breaker: bool = False
+
+
+@dataclass
+class InvokerStats:
+    """Aggregate counters, for dashboards and the T6 bench."""
+
+    calls: int = 0
+    successes: int = 0
+    failures: int = 0
+    retries: int = 0
+    breaker_rejections: int = 0
+    per_service: dict[str, int] = field(default_factory=dict)
+
+
+class ServiceInvoker:
+    """Invokes registry services with retry + circuit-breaker protection.
+
+    ``use_breaker=False`` and ``RetryPolicy(max_attempts=1)`` reduce this to
+    the 'naive invocation' baseline of experiment T6.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        clock: Clock | None = None,
+        use_breaker: bool = True,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_timeout: float = 30.0,
+    ) -> None:
+        self.registry = registry
+        self.clock = clock or WallClock()
+        self.use_breaker = use_breaker
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_reset_timeout = breaker_reset_timeout
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.stats = InvokerStats()
+
+    def breaker_for(self, service: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding one service."""
+        breaker = self._breakers.get(service)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                service,
+                failure_threshold=self.breaker_failure_threshold,
+                reset_timeout=self.breaker_reset_timeout,
+                clock=self.clock,
+            )
+            self._breakers[service] = breaker
+        return breaker
+
+    def invoke(
+        self,
+        service: str,
+        arguments: dict[str, Any] | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> InvocationResult:
+        """Call a service with the given keyword arguments.
+
+        Returns an :class:`InvocationResult` — the caller decides whether a
+        failure is fatal (engine: boundary event or incident).  Permanent
+        failures (``ServiceFailure.transient=False`` or any
+        ``repro.engine.errors.BpmnError``) skip remaining retries.
+        """
+        from repro.engine.errors import BpmnError  # local import: avoid cycle
+
+        policy = retry or RetryPolicy()
+        handler = self.registry.get(service)
+        result = InvocationResult(service=service)
+        self.stats.calls += 1
+        self.stats.per_service[service] = self.stats.per_service.get(service, 0) + 1
+        breaker = self.breaker_for(service) if self.use_breaker else None
+
+        for attempt in range(1, policy.max_attempts + 1):
+            if breaker is not None:
+                try:
+                    breaker.before_call()
+                except CircuitOpenError as exc:
+                    result.error = str(exc)
+                    result.rejected_by_breaker = True
+                    self.stats.breaker_rejections += 1
+                    self.stats.failures += 1
+                    return result
+            result.attempts = attempt
+            try:
+                result.value = handler(**(arguments or {}))
+            except BpmnError:
+                # business errors propagate to boundary-event routing
+                if breaker is not None:
+                    breaker.record_success()  # the service *worked*
+                raise
+            except Exception as exc:  # noqa: BLE001 - downstream code is untrusted
+                if breaker is not None:
+                    breaker.record_failure()
+                transient = getattr(exc, "transient", True)
+                result.error = f"{type(exc).__name__}: {exc}"
+                if not transient or attempt >= policy.max_attempts:
+                    self.stats.failures += 1
+                    return result
+                backoff = policy.backoff(attempt)
+                result.total_backoff += backoff
+                self.stats.retries += 1
+                self.clock.sleep(backoff)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                result.succeeded = True
+                result.error = None
+                self.stats.successes += 1
+                return result
+        return result
+
+    def invoke_or_raise(
+        self,
+        service: str,
+        arguments: dict[str, Any] | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> Any:
+        """Like :meth:`invoke` but raises :class:`ServiceFailure` on failure."""
+        result = self.invoke(service, arguments, retry)
+        if not result.succeeded:
+            raise ServiceFailure(
+                service, RuntimeError(result.error or "unknown failure")
+            )
+        return result.value

@@ -1,0 +1,63 @@
+"""The service registry: names bound to callables."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.services.errors import ServiceNotFoundError
+
+Service = Callable[..., Any]
+
+
+class ServiceRegistry:
+    """Registry mapping service names to Python callables.
+
+    >>> registry = ServiceRegistry()
+    >>> @registry.service("credit_check")
+    ... def credit_check(customer_id, amount):
+    ...     return {"approved": amount < 1000}
+    >>> registry.get("credit_check")(customer_id="c1", amount=50)
+    {'approved': True}
+    """
+
+    def __init__(self) -> None:
+        self._services: dict[str, Service] = {}
+
+    def register(self, name: str, handler: Service) -> None:
+        """Bind a callable; raises ``ValueError`` on duplicate names."""
+        if not name:
+            raise ValueError("service name must be non-empty")
+        if name in self._services:
+            raise ValueError(f"service {name!r} already registered")
+        if not callable(handler):
+            raise ValueError(f"service {name!r} handler is not callable")
+        self._services[name] = handler
+
+    def service(self, name: str) -> Callable[[Service], Service]:
+        """Decorator form of :meth:`register`."""
+
+        def decorator(handler: Service) -> Service:
+            self.register(name, handler)
+            return handler
+
+        return decorator
+
+    def replace(self, name: str, handler: Service) -> None:
+        """Rebind an existing name (hot swap for tests / fault injection)."""
+        if name not in self._services:
+            raise ServiceNotFoundError(f"unknown service {name!r}")
+        self._services[name] = handler
+
+    def get(self, name: str) -> Service:
+        """Look up a service; raises :class:`ServiceNotFoundError`."""
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ServiceNotFoundError(f"unknown service {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._services)

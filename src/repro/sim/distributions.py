@@ -1,0 +1,116 @@
+"""Seedable sampling distributions for arrivals and service times."""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class Distribution:
+    """Interface: ``sample(rng)`` draws one non-negative value."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        """Analytic mean, used by workload calibration."""
+        raise NotImplementedError
+
+
+class Fixed(Distribution):
+    """A constant (deterministic) duration."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("duration must be non-negative")
+        self.value = float(value)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Fixed({self.value})"
+
+
+class Uniform(Distribution):
+    """Uniform on [low, high]."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given rate (mean = 1/rate): Poisson arrivals."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(self.rate)
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self.rate})"
+
+
+class LogNormal(Distribution):
+    """Log-normal via underlying normal(mu, sigma) — skewed service times."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self.mu}, sigma={self.sigma})"
+
+
+class Erlang(Distribution):
+    """Erlang-k (sum of k exponentials) — lower-variance service times."""
+
+    def __init__(self, k: int, rate: float) -> None:
+        if k < 1 or rate <= 0:
+            raise ValueError("need k >= 1 and rate > 0")
+        self.k = int(k)
+        self.rate = float(rate)
+
+    def sample(self, rng: random.Random) -> float:
+        return sum(rng.expovariate(self.rate) for _ in range(self.k))
+
+    @property
+    def mean(self) -> float:
+        return self.k / self.rate
+
+    def __repr__(self) -> str:
+        return f"Erlang(k={self.k}, rate={self.rate})"

@@ -1,0 +1,105 @@
+"""KPI computation over simulation output (engine history + counters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, median
+
+from repro.history.audit import HistoryService
+from repro.sim.runner import SimulationResult
+from repro.worklist.items import WorkItemState
+from repro.worklist.service import WorklistService
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(int(q * (len(ordered) - 1) + 0.5), len(ordered) - 1)
+    return ordered[index]
+
+
+@dataclass
+class KpiReport:
+    """The classic BPM performance dashboard."""
+
+    cases_started: int = 0
+    cases_completed: int = 0
+    horizon: float = 0.0
+    cycle_times: list[float] = field(default_factory=list)
+    waiting_times: list[float] = field(default_factory=list)
+    service_times: list[float] = field(default_factory=list)
+    utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed cases per time unit."""
+        return self.cases_completed / self.horizon if self.horizon else 0.0
+
+    @property
+    def mean_cycle_time(self) -> float:
+        return mean(self.cycle_times) if self.cycle_times else 0.0
+
+    @property
+    def median_cycle_time(self) -> float:
+        return median(self.cycle_times) if self.cycle_times else 0.0
+
+    @property
+    def p95_cycle_time(self) -> float:
+        return _percentile(self.cycle_times, 0.95)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        return mean(self.waiting_times) if self.waiting_times else 0.0
+
+    @property
+    def mean_service_time(self) -> float:
+        return mean(self.service_times) if self.service_times else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        return mean(self.utilization.values()) if self.utilization else 0.0
+
+    def summary(self) -> str:
+        """A one-screen text dashboard."""
+        lines = [
+            f"cases            : {self.cases_completed}/{self.cases_started} completed",
+            f"horizon          : {self.horizon:.2f}",
+            f"throughput       : {self.throughput:.4f} cases/unit",
+            f"cycle time       : mean={self.mean_cycle_time:.2f} "
+            f"median={self.median_cycle_time:.2f} p95={self.p95_cycle_time:.2f}",
+            f"waiting time     : mean={self.mean_waiting_time:.2f}",
+            f"service time     : mean={self.mean_service_time:.2f}",
+            f"utilization      : mean={self.mean_utilization:.2%}",
+        ]
+        for resource, value in sorted(self.utilization.items()):
+            lines.append(f"  {resource:<14} : {value:.2%}")
+        return "\n".join(lines)
+
+
+def compute_kpis(
+    history: HistoryService,
+    worklist: WorklistService,
+    result: SimulationResult,
+) -> KpiReport:
+    """Aggregate KPIs from history, work items, and simulation counters."""
+    report = KpiReport(
+        cases_started=result.started_cases,
+        cases_completed=result.completed_cases,
+        horizon=result.horizon,
+    )
+    for instance_id in history.completed_instances():
+        duration = history.instance_duration(instance_id)
+        if duration is not None:
+            report.cycle_times.append(duration)
+    for item in worklist.items(WorkItemState.COMPLETED):
+        waiting = item.waiting_time()
+        if waiting is not None:
+            report.waiting_times.append(waiting)
+        service = item.service_time()
+        if service is not None:
+            report.service_times.append(service)
+    if result.horizon > 0:
+        for resource, busy in result.busy_time.items():
+            report.utilization[resource] = min(busy / result.horizon, 1.0)
+    return report

@@ -1,0 +1,177 @@
+"""The simulation driver: arrivals + simulated resources over a real engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.engine.errors import EngineError
+from repro.sim.distributions import Distribution, Exponential, Fixed
+from repro.worklist.items import WorkItemState
+
+
+@dataclass
+class SimulationResult:
+    """Raw counters; compute KPIs with :func:`repro.sim.kpi.compute_kpis`."""
+
+    started_cases: int = 0
+    completed_cases: int = 0
+    end_time: float = 0.0
+    start_time: float = 0.0
+    busy_time: dict[str, float] = field(default_factory=dict)
+    items_processed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def horizon(self) -> float:
+        return max(self.end_time - self.start_time, 0.0)
+
+
+class SimulationRunner:
+    """Feeds an engine with cases and plays its human resources.
+
+    The engine must run on a :class:`~repro.clock.VirtualClock`.  Resources
+    work one item at a time: when idle they take the best item from their
+    queue (or claim from their role queues), 'work' for a sampled service
+    time, then complete the item with ``result_fn``'s payload.
+    """
+
+    def __init__(
+        self,
+        engine: ProcessEngine,
+        process_key: str,
+        n_cases: int,
+        arrival: Distribution | None = None,
+        service_times: dict[str, Distribution] | None = None,
+        default_service: Distribution | None = None,
+        variables_fn: Callable[[random.Random, int], dict[str, Any]] | None = None,
+        result_fn: Callable[[random.Random, str], dict[str, Any]] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not isinstance(engine.clock, VirtualClock):
+            raise EngineError("simulation requires an engine on a VirtualClock")
+        self.engine = engine
+        self.process_key = process_key
+        self.n_cases = n_cases
+        self.arrival = arrival if arrival is not None else Exponential(rate=1.0)
+        self.service_times = dict(service_times or {})
+        self.default_service = (
+            default_service if default_service is not None else Fixed(1.0)
+        )
+        self.variables_fn = variables_fn or (lambda rng, k: {})
+        self.result_fn = result_fn or (lambda rng, node_id: {})
+        self.rng = random.Random(seed)
+        self._events: list[tuple[float, int, str, dict[str, Any]]] = []
+        self._seq = itertools.count()
+        self._busy: set[str] = set()
+        self.result = SimulationResult()
+
+    # -- event plumbing -----------------------------------------------------------
+
+    def _push(self, time: float, kind: str, data: dict[str, Any]) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), kind, data))
+
+    def _service_for(self, node_id: str) -> Distribution:
+        return self.service_times.get(node_id, self.default_service)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run until all cases are finished; returns raw counters."""
+        clock: VirtualClock = self.engine.clock  # type: ignore[assignment]
+        self.result.start_time = clock.now()
+        self._push(clock.now() + self.arrival.sample(self.rng), "arrival", {"k": 0})
+
+        while self._events or len(self.engine.scheduler):
+            next_event_time = self._events[0][0] if self._events else None
+            next_job_time = self.engine.scheduler.next_due()
+            if next_event_time is None and next_job_time is None:
+                break
+            if next_job_time is not None and (
+                next_event_time is None or next_job_time < next_event_time
+            ):
+                clock.set(max(clock.now(), next_job_time))
+                self.engine.run_due_jobs()
+                self._dispatch_idle_resources()
+                continue
+            time, _, kind, data = heapq.heappop(self._events)
+            clock.set(max(clock.now(), time))
+            self.engine.run_due_jobs()
+            if kind == "arrival":
+                self._handle_arrival(data["k"])
+            elif kind == "completion":
+                self._handle_completion(data["resource_id"], data["item_id"])
+            self._dispatch_idle_resources()
+        self.result.end_time = clock.now()
+        from repro.engine.instance import InstanceState
+
+        self.result.completed_cases = sum(
+            1
+            for i in self.engine.instances(InstanceState.COMPLETED)
+            if i.definition_key == self.process_key
+        )
+        return self.result
+
+    # -- handlers ----------------------------------------------------------------------
+
+    def _handle_arrival(self, k: int) -> None:
+        self.engine.start_instance(
+            self.process_key, variables=self.variables_fn(self.rng, k)
+        )
+        self.result.started_cases += 1
+        if k + 1 < self.n_cases:
+            self._push(
+                self.engine.clock.now() + self.arrival.sample(self.rng),
+                "arrival",
+                {"k": k + 1},
+            )
+
+    def _handle_completion(self, resource_id: str, item_id: str) -> None:
+        self._busy.discard(resource_id)
+        item = self.engine.worklist.item(item_id)
+        if item.state is not WorkItemState.STARTED:
+            return  # withdrawn while 'being worked on' (boundary fired, ...)
+        self.engine.complete_work_item(
+            item_id, self.result_fn(self.rng, item.node_id)
+        )
+        self.result.items_processed[resource_id] = (
+            self.result.items_processed.get(resource_id, 0) + 1
+        )
+
+    def _dispatch_idle_resources(self) -> None:
+        """Every idle resource starts its best available item."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for resource in self.engine.organization.all():
+                if resource.id in self._busy:
+                    continue
+                item = self._take_item(resource.id)
+                if item is None:
+                    continue
+                self.engine.worklist.start(item.id)
+                duration = self._service_for(item.node_id).sample(self.rng)
+                self._busy.add(resource.id)
+                self.result.busy_time[resource.id] = (
+                    self.result.busy_time.get(resource.id, 0.0) + duration
+                )
+                self._push(
+                    self.engine.clock.now() + duration,
+                    "completion",
+                    {"resource_id": resource.id, "item_id": item.id},
+                )
+                progressed = True
+
+    def _take_item(self, resource_id: str):
+        queue = self.engine.worklist.queue_of(resource_id)
+        for item in queue:
+            if item.state is WorkItemState.ALLOCATED:
+                return item
+        offered = self.engine.worklist.offered_for_resource(resource_id)
+        if offered:
+            return self.engine.worklist.claim(offered[0].id, resource_id)
+        return None

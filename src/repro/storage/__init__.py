@@ -1,0 +1,41 @@
+"""Persistence substrate: journal (WAL), KV store, and event store.
+
+The paper-era BPMS persisted engine state in a commercial RDBMS.  This
+package substitutes an embedded, single-writer storage stack with the same
+guarantees the engine relies on:
+
+* **durability** — every committed mutation is in the append-only journal
+  (CRC-checked, torn-write-safe) before the call returns;
+* **atomicity** — multi-key transactions commit as one journal record;
+* **recoverability** — state = latest snapshot + journal replay.
+
+Two interchangeable key-value backends exist: :class:`MemoryKV` (fast,
+volatile — the default for tests and simulation) and :class:`DurableKV`
+(journal + snapshot).  The engine only sees the
+:class:`~repro.storage.kvstore.KeyValueStore` interface.
+"""
+
+from repro.storage.errors import (
+    CorruptRecordError,
+    StorageError,
+    TransactionError,
+)
+from repro.storage.eventstore import EventRecord, EventStore
+from repro.storage.journal import Journal, JournalRecord
+from repro.storage.kvstore import DurableKV, KeyValueStore, MemoryKV
+from repro.storage.serializers import json_decode, json_encode
+
+__all__ = [
+    "CorruptRecordError",
+    "DurableKV",
+    "EventRecord",
+    "EventStore",
+    "Journal",
+    "JournalRecord",
+    "KeyValueStore",
+    "MemoryKV",
+    "StorageError",
+    "TransactionError",
+    "json_decode",
+    "json_encode",
+]

@@ -1,0 +1,17 @@
+"""Errors raised by the storage substrate."""
+
+
+class StorageError(Exception):
+    """Base class for storage errors."""
+
+
+class CorruptRecordError(StorageError):
+    """A journal record failed its CRC or length check.
+
+    Raised only for corruption *before* the journal tail; a torn final
+    record is expected after a crash and is silently truncated.
+    """
+
+
+class TransactionError(StorageError):
+    """Illegal transaction usage (nested begin, commit without begin, ...)."""

@@ -1,0 +1,130 @@
+"""Append-only event store with per-stream indexes.
+
+The history service (:mod:`repro.history`) records every engine state
+change as an event.  Events are grouped into *streams* (one per process
+instance) and globally sequenced.  The store is backed by a
+:class:`~repro.storage.journal.Journal` when given a path, or kept purely
+in memory otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.storage.errors import StorageError
+from repro.storage.journal import Journal
+from repro.storage.serializers import json_decode, json_encode
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One immutable event."""
+
+    sequence: int
+    stream: str
+    type: str
+    timestamp: float
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sequence": self.sequence,
+            "stream": self.stream,
+            "type": self.type,
+            "timestamp": self.timestamp,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "EventRecord":
+        return cls(
+            sequence=raw["sequence"],
+            stream=raw["stream"],
+            type=raw["type"],
+            timestamp=raw["timestamp"],
+            data=raw.get("data", {}),
+        )
+
+
+class EventStore:
+    """Globally ordered, stream-indexed, append-only event log."""
+
+    def __init__(self, path: str | None = None, sync_writes: bool = False) -> None:
+        self._events: list[EventRecord] = []
+        self._streams: dict[str, list[int]] = {}
+        self._journal: Journal | None = None
+        self.sync_writes = sync_writes
+        if path is not None:
+            self._journal = Journal(path)
+            for record in self._journal.replay():
+                event = EventRecord.from_dict(json_decode(record.payload))
+                self._index(event)
+
+    def _index(self, event: EventRecord) -> None:
+        if event.sequence != len(self._events):
+            raise StorageError(
+                f"event sequence gap: expected {len(self._events)}, "
+                f"got {event.sequence}"
+            )
+        self._events.append(event)
+        self._streams.setdefault(event.stream, []).append(event.sequence)
+
+    # -- writing ------------------------------------------------------------
+
+    def append(
+        self,
+        stream: str,
+        event_type: str,
+        timestamp: float,
+        data: dict[str, Any] | None = None,
+    ) -> EventRecord:
+        """Append one event; returns the sequenced record."""
+        if not stream or not event_type:
+            raise StorageError("stream and event_type must be non-empty")
+        event = EventRecord(
+            sequence=len(self._events),
+            stream=stream,
+            type=event_type,
+            timestamp=timestamp,
+            data=dict(data or {}),
+        )
+        if self._journal is not None:
+            self._journal.append(json_encode(event.to_dict()), sync=self.sync_writes)
+        self._index(event)
+        return event
+
+    def sync(self) -> None:
+        """Fsync buffered events when journal-backed."""
+        if self._journal is not None:
+            self._journal.sync()
+
+    # -- reading ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def all(self) -> Iterator[EventRecord]:
+        """All events in global order."""
+        return iter(self._events)
+
+    def stream(self, stream: str) -> list[EventRecord]:
+        """All events of one stream, in order."""
+        return [self._events[i] for i in self._streams.get(stream, ())]
+
+    def streams(self) -> list[str]:
+        """All stream names, sorted."""
+        return sorted(self._streams)
+
+    def of_type(self, event_type: str) -> list[EventRecord]:
+        """All events of a given type, in global order."""
+        return [e for e in self._events if e.type == event_type]
+
+    def since(self, sequence: int) -> list[EventRecord]:
+        """Events with ``sequence >= sequence`` (catch-up reads)."""
+        return self._events[sequence:]
+
+    def close(self) -> None:
+        """Close the backing journal, if any."""
+        if self._journal is not None:
+            self._journal.close()

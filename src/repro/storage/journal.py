@@ -1,0 +1,175 @@
+"""Append-only journal (write-ahead log).
+
+Record layout on disk::
+
+    +----------------+----------------+------------------+
+    | length (u32 LE)| crc32 (u32 LE) | payload (length) |
+    +----------------+----------------+------------------+
+
+Properties:
+
+* **torn-write safety** — replay stops at the first record whose header or
+  body is incomplete or whose CRC fails *at the tail*; the file is truncated
+  to the last good record on open, so a crash mid-append never corrupts
+  recovery.
+* **group commit** — ``append`` buffers; ``sync`` flushes+fsyncs once for
+  all buffered records.  ``append(..., sync=True)`` is the single-record
+  durable path.  Experiment F4 measures the batch-size/throughput shape
+  this design gives.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.storage.errors import CorruptRecordError, StorageError
+
+_HEADER = struct.Struct("<II")  # length, crc32
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One replayed record: its byte offset and payload."""
+
+    offset: int
+    payload: bytes
+
+
+class Journal:
+    """A single-writer append-only log file."""
+
+    def __init__(self, path: str, auto_recover: bool = True) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # crash-safe open: scan and truncate a torn tail before appending
+        if auto_recover and os.path.exists(path):
+            self._truncate_torn_tail()
+        self._file = open(path, "ab")
+        self._pending = 0
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, payload: bytes, sync: bool = False) -> int:
+        """Append one record; returns its byte offset.
+
+        With ``sync=False`` the record is buffered — call :meth:`sync` to
+        make it (and everything before it) durable in one fsync.
+        """
+        if self._file.closed:
+            raise StorageError("journal is closed")
+        offset = self._file.tell()
+        crc = zlib.crc32(payload)
+        self._file.write(_HEADER.pack(len(payload), crc))
+        self._file.write(payload)
+        self._pending += 1
+        if sync:
+            self.sync()
+        return offset
+
+    def append_many(self, payloads: list[bytes], sync: bool = True) -> list[int]:
+        """Group-commit helper: append a batch, then one sync."""
+        offsets = [self.append(p, sync=False) for p in payloads]
+        if sync:
+            self.sync()
+        return offsets
+
+    def sync(self) -> None:
+        """Flush buffered records and fsync the file."""
+        if self._file.closed:
+            raise StorageError("journal is closed")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._pending = 0
+
+    @property
+    def pending_records(self) -> int:
+        """Records appended since the last sync."""
+        return self._pending
+
+    @property
+    def size(self) -> int:
+        """Current journal length in bytes."""
+        return self._file.tell() if not self._file.closed else os.path.getsize(self.path)
+
+    # -- reading ------------------------------------------------------------
+
+    def replay(self) -> Iterator[JournalRecord]:
+        """Yield all intact records in append order.
+
+        Raises :class:`CorruptRecordError` for corruption in the *middle*
+        of the log (data loss); a torn tail (crash artifact) ends iteration
+        silently.
+        """
+        self._file.flush()
+        with open(self.path, "rb") as reader:
+            file_size = os.fstat(reader.fileno()).st_size
+            offset = 0
+            while True:
+                header = reader.read(_HEADER.size)
+                if len(header) == 0:
+                    return
+                if len(header) < _HEADER.size:
+                    return  # torn header at tail
+                length, crc = _HEADER.unpack(header)
+                payload = reader.read(length)
+                if len(payload) < length:
+                    return  # torn body at tail
+                if zlib.crc32(payload) != crc:
+                    if reader.tell() == file_size:
+                        return  # corrupt final record: treat as torn tail
+                    raise CorruptRecordError(
+                        f"CRC mismatch at offset {offset} in {self.path}"
+                    )
+                yield JournalRecord(offset=offset, payload=payload)
+                offset = reader.tell()
+
+    def _truncate_torn_tail(self) -> None:
+        """Cut the file back to the end of the last intact record."""
+        good_end = 0
+        try:
+            with open(self.path, "rb") as reader:
+                while True:
+                    header = reader.read(_HEADER.size)
+                    if len(header) < _HEADER.size:
+                        break
+                    length, crc = _HEADER.unpack(header)
+                    payload = reader.read(length)
+                    if len(payload) < length or zlib.crc32(payload) != crc:
+                        break
+                    good_end = reader.tell()
+        except OSError as exc:
+            raise StorageError(f"cannot scan journal {self.path}: {exc}") from exc
+        if good_end < os.path.getsize(self.path):
+            with open(self.path, "r+b") as writer:
+                writer.truncate(good_end)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Erase the journal (after a snapshot made its contents redundant)."""
+        if self._file.closed:
+            raise StorageError("journal is closed")
+        self._file.close()
+        self._file = open(self.path, "wb")
+        self._file.close()
+        self._file = open(self.path, "ab")
+        self._pending = 0
+
+    def close(self) -> None:
+        """Flush and close; further writes raise."""
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

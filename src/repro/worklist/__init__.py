@@ -1,0 +1,48 @@
+"""Human-task management: work items, organizational model, allocation.
+
+The WfMC reference architecture calls this the *worklist handler*: the
+component connecting people to the tasks the engine schedules for them.
+The engine creates a :class:`~repro.worklist.items.WorkItem` whenever a
+token reaches a user task; the :class:`~repro.worklist.service.WorklistService`
+routes it to a resource using a pluggable
+:class:`~repro.worklist.allocation.Allocator`, tracks its lifecycle, and
+notifies the engine on completion.
+"""
+
+from repro.worklist.allocation import (
+    Allocator,
+    CapabilityAllocator,
+    ChainedAllocator,
+    RandomAllocator,
+    RoundRobinAllocator,
+    ShortestQueueAllocator,
+)
+from repro.worklist.errors import (
+    AllocationError,
+    IllegalWorkItemTransition,
+    UnknownResourceError,
+    UnknownWorkItemError,
+    WorklistError,
+)
+from repro.worklist.items import WorkItem, WorkItemState
+from repro.worklist.resources import OrganizationalModel, Resource
+from repro.worklist.service import WorklistService
+
+__all__ = [
+    "AllocationError",
+    "Allocator",
+    "CapabilityAllocator",
+    "ChainedAllocator",
+    "IllegalWorkItemTransition",
+    "OrganizationalModel",
+    "RandomAllocator",
+    "Resource",
+    "RoundRobinAllocator",
+    "ShortestQueueAllocator",
+    "UnknownResourceError",
+    "UnknownWorkItemError",
+    "WorkItem",
+    "WorkItemState",
+    "WorklistError",
+    "WorklistService",
+]

@@ -1,0 +1,111 @@
+"""Pluggable work-item allocation strategies.
+
+An :class:`Allocator` picks the resource a new work item is pushed to.
+Returning ``None`` leaves the item *offered* in its role queue for
+pull-based claiming.  Experiment T3 compares these strategies under a
+skewed-service-time workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.worklist.items import WorkItem
+from repro.worklist.resources import Resource
+
+
+class Allocator:
+    """Strategy interface."""
+
+    def choose(
+        self,
+        item: WorkItem,
+        candidates: list[Resource],
+        queue_lengths: dict[str, int],
+    ) -> Resource | None:
+        """Pick a resource for ``item`` from role-eligible ``candidates``.
+
+        ``queue_lengths`` maps resource id to its current number of open
+        items.  Return ``None`` to leave the item offered (pull mode).
+        """
+        raise NotImplementedError
+
+
+class OfferOnlyAllocator(Allocator):
+    """Never push: all items wait in role queues to be claimed."""
+
+    def choose(self, item, candidates, queue_lengths):
+        return None
+
+
+class RoundRobinAllocator(Allocator):
+    """Cycle through candidates per role, independent of load."""
+
+    def __init__(self) -> None:
+        self._cursor: dict[str, int] = {}
+
+    def choose(self, item, candidates, queue_lengths):
+        if not candidates:
+            return None
+        index = self._cursor.get(item.role, 0) % len(candidates)
+        self._cursor[item.role] = index + 1
+        return candidates[index]
+
+
+class RandomAllocator(Allocator):
+    """Uniform random candidate (seeded for reproducibility)."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, item, candidates, queue_lengths):
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+
+class ShortestQueueAllocator(Allocator):
+    """Least-loaded candidate; id-order tie-break keeps runs deterministic."""
+
+    def choose(self, item, candidates, queue_lengths):
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (queue_lengths.get(r.id, 0), r.id))
+
+
+class CapabilityAllocator(Allocator):
+    """Filter by a required capability (item.data['capability']), then
+    delegate to an inner strategy for the final pick."""
+
+    def __init__(self, fallback: Allocator | None = None) -> None:
+        self.fallback = fallback or ShortestQueueAllocator()
+
+    def choose(self, item, candidates, queue_lengths):
+        required = item.data.get("capability")
+        if required:
+            candidates = [r for r in candidates if r.has_capability(required)]
+        return self.fallback.choose(item, candidates, queue_lengths)
+
+
+class ChainedAllocator(Allocator):
+    """Case-handling: prefer whoever already worked on the same instance.
+
+    Falls back to the inner strategy when the instance has no previous
+    performer among the candidates.
+    """
+
+    def __init__(self, fallback: Allocator | None = None) -> None:
+        self.fallback = fallback or ShortestQueueAllocator()
+        self._last_performer: dict[str, str] = {}
+
+    def record_completion(self, instance_id: str, resource_id: str) -> None:
+        """Called by the worklist service when an item completes."""
+        self._last_performer[instance_id] = resource_id
+
+    def choose(self, item, candidates, queue_lengths):
+        previous = self._last_performer.get(item.instance_id)
+        if previous is not None:
+            for resource in candidates:
+                if resource.id == previous:
+                    return resource
+        return self.fallback.choose(item, candidates, queue_lengths)

@@ -1,0 +1,29 @@
+"""Errors raised by the worklist subsystem."""
+
+
+class WorklistError(Exception):
+    """Base class for worklist errors."""
+
+
+class UnknownWorkItemError(WorklistError):
+    """The referenced work item does not exist."""
+
+
+class UnknownResourceError(WorklistError):
+    """The referenced resource does not exist in the organizational model."""
+
+
+class IllegalWorkItemTransition(WorklistError):
+    """A lifecycle transition was attempted from the wrong state."""
+
+    def __init__(self, item_id: str, current: str, attempted: str) -> None:
+        super().__init__(
+            f"work item {item_id!r} cannot go from {current} to {attempted}"
+        )
+        self.item_id = item_id
+        self.current = current
+        self.attempted = attempted
+
+
+class AllocationError(WorklistError):
+    """No resource could be selected for a work item."""

@@ -1,0 +1,89 @@
+"""Organizational model: resources, roles, and capabilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.worklist.errors import UnknownResourceError
+
+
+@dataclass
+class Resource:
+    """A person (or automated agent) who can perform user tasks."""
+
+    id: str
+    name: str = ""
+    roles: frozenset[str] = frozenset()
+    capabilities: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("resource requires a non-empty id")
+        if not self.name:
+            self.name = self.id
+        self.roles = frozenset(self.roles)
+        self.capabilities = frozenset(self.capabilities)
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+    def has_capability(self, capability: str) -> bool:
+        return capability in self.capabilities
+
+
+class OrganizationalModel:
+    """Registry of resources with role/capability queries.
+
+    >>> org = OrganizationalModel()
+    >>> _ = org.add("ana", roles=["clerk"])
+    >>> _ = org.add("bo", roles=["clerk", "manager"])
+    >>> sorted(r.id for r in org.with_role("clerk"))
+    ['ana', 'bo']
+    """
+
+    def __init__(self) -> None:
+        self._resources: dict[str, Resource] = {}
+
+    def add(
+        self,
+        resource_id: str,
+        name: str = "",
+        roles: list[str] | frozenset[str] = frozenset(),
+        capabilities: list[str] | frozenset[str] = frozenset(),
+    ) -> Resource:
+        """Register a resource; raises ``ValueError`` on duplicates."""
+        if resource_id in self._resources:
+            raise ValueError(f"duplicate resource id {resource_id!r}")
+        resource = Resource(
+            id=resource_id,
+            name=name,
+            roles=frozenset(roles),
+            capabilities=frozenset(capabilities),
+        )
+        self._resources[resource_id] = resource
+        return resource
+
+    def get(self, resource_id: str) -> Resource:
+        """Look up a resource; raises :class:`UnknownResourceError`."""
+        try:
+            return self._resources[resource_id]
+        except KeyError:
+            raise UnknownResourceError(f"unknown resource {resource_id!r}") from None
+
+    def __contains__(self, resource_id: str) -> bool:
+        return resource_id in self._resources
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def all(self) -> list[Resource]:
+        """All resources, sorted by id."""
+        return [self._resources[k] for k in sorted(self._resources)]
+
+    def with_role(self, role: str) -> list[Resource]:
+        """Resources holding the role, sorted by id."""
+        return [r for r in self.all() if r.has_role(role)]
+
+    def with_capability(self, capability: str) -> list[Resource]:
+        """Resources holding the capability, sorted by id."""
+        return [r for r in self.all() if r.has_capability(capability)]

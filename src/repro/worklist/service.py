@@ -1,0 +1,284 @@
+"""The worklist service: queues, lifecycle operations, deadlines.
+
+The engine calls :meth:`WorklistService.create_item` when a token reaches a
+user task and registers a completion listener to resume the token.  People
+(or the simulator) interact through ``claim``/``start``/``complete``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.clock import Clock, WallClock
+from repro.history.audit import HistoryService
+from repro.history.events import EventTypes
+from repro.worklist.allocation import Allocator, OfferOnlyAllocator
+from repro.worklist.errors import UnknownWorkItemError, WorklistError
+from repro.worklist.items import WorkItem, WorkItemState
+from repro.worklist.resources import OrganizationalModel
+
+CompletionListener = Callable[[WorkItem], None]
+
+
+class WorklistService:
+    """Work-item routing and lifecycle management."""
+
+    def __init__(
+        self,
+        organization: OrganizationalModel | None = None,
+        allocator: Allocator | None = None,
+        clock: Clock | None = None,
+        history: HistoryService | None = None,
+    ) -> None:
+        # `is None` checks: an empty OrganizationalModel is falsy (__len__)
+        self.organization = (
+            organization if organization is not None else OrganizationalModel()
+        )
+        self.allocator = allocator if allocator is not None else OfferOnlyAllocator()
+        self.clock = clock if clock is not None else WallClock()
+        self.history = history
+        self._items: dict[str, WorkItem] = {}
+        self._completion_listeners: list[CompletionListener] = []
+        self._cancellation_listeners: list[CompletionListener] = []
+        self._id_counter = itertools.count(1)
+
+    # -- wiring -----------------------------------------------------------------
+
+    def on_completion(self, listener: CompletionListener) -> None:
+        """Register a callback fired on every completed item (engine hook)."""
+        self._completion_listeners.append(listener)
+
+    def on_cancellation(self, listener: CompletionListener) -> None:
+        """Register a callback fired on every cancelled item."""
+        self._cancellation_listeners.append(listener)
+
+    def _record(self, item: WorkItem, event_type: str, **data: Any) -> None:
+        if self.history is not None:
+            self.history.record(
+                item.instance_id,
+                event_type,
+                work_item_id=item.id,
+                node_id=item.node_id,
+                role=item.role,
+                **data,
+            )
+
+    # -- creation & routing -------------------------------------------------------
+
+    def create_item(
+        self,
+        instance_id: str,
+        node_id: str,
+        role: str,
+        priority: int = 0,
+        due_seconds: float | None = None,
+        data: dict[str, Any] | None = None,
+        item_id: str | None = None,
+    ) -> WorkItem:
+        """Create, then offer/allocate a work item per the allocator."""
+        now = self.clock.now()
+        item = WorkItem(
+            id=item_id or f"wi-{next(self._id_counter)}",
+            instance_id=instance_id,
+            node_id=node_id,
+            role=role,
+            priority=priority,
+            created_at=now,
+            due_at=None if due_seconds is None else now + due_seconds,
+            data=dict(data or {}),
+        )
+        if item.id in self._items:
+            raise WorklistError(f"duplicate work item id {item.id!r}")
+        self._items[item.id] = item
+        self._record(item, EventTypes.WORKITEM_CREATED, priority=priority)
+        self._route(item)
+        return item
+
+    def _route(self, item: WorkItem) -> None:
+        now = self.clock.now()
+        candidates = self.organization.with_role(item.role)
+        excluded = set(item.data.get("excluded_resources", ()))
+        if excluded:
+            candidates = [r for r in candidates if r.id not in excluded]
+        chosen = self.allocator.choose(item, candidates, self.queue_lengths())
+        if chosen is None:
+            item.offer(now)
+            self._record(item, EventTypes.WORKITEM_OFFERED)
+        else:
+            item.offer(now)
+            item.allocate(chosen.id, now)
+            self._record(item, EventTypes.WORKITEM_ALLOCATED, resource=chosen.id)
+
+    # -- queries ----------------------------------------------------------------
+
+    def item(self, item_id: str) -> WorkItem:
+        """Look up an item; raises :class:`UnknownWorkItemError`."""
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise UnknownWorkItemError(f"unknown work item {item_id!r}") from None
+
+    def items(self, state: WorkItemState | None = None) -> list[WorkItem]:
+        """All items (optionally filtered by state), by creation order."""
+        values = list(self._items.values())
+        if state is not None:
+            values = [i for i in values if i.state is state]
+        return values
+
+    def queue_of(self, resource_id: str) -> list[WorkItem]:
+        """Open items allocated to (or started by) one resource,
+        highest priority first, then oldest first."""
+        mine = [
+            i
+            for i in self._items.values()
+            if i.allocated_to == resource_id and not i.state.is_terminal
+        ]
+        return sorted(mine, key=lambda i: (-i.priority, i.created_at))
+
+    def offered_for_role(self, role: str) -> list[WorkItem]:
+        """Unclaimed items in a role queue, highest priority first."""
+        offered = [
+            i
+            for i in self._items.values()
+            if i.role == role and i.state is WorkItemState.OFFERED
+        ]
+        return sorted(offered, key=lambda i: (-i.priority, i.created_at))
+
+    def offered_for_resource(self, resource_id: str) -> list[WorkItem]:
+        """Union of role queues visible to one resource (minus items the
+        resource is excluded from by separation of duties)."""
+        resource = self.organization.get(resource_id)
+        visible: list[WorkItem] = []
+        for role in sorted(resource.roles):
+            visible.extend(
+                item
+                for item in self.offered_for_role(role)
+                if resource_id not in item.data.get("excluded_resources", ())
+            )
+        return sorted(visible, key=lambda i: (-i.priority, i.created_at))
+
+    def queue_lengths(self) -> dict[str, int]:
+        """Open (non-terminal) item count per resource."""
+        lengths: dict[str, int] = {}
+        for item in self._items.values():
+            if item.allocated_to and not item.state.is_terminal:
+                lengths[item.allocated_to] = lengths.get(item.allocated_to, 0) + 1
+        return lengths
+
+    # -- lifecycle operations ------------------------------------------------------
+
+    def claim(self, item_id: str, resource_id: str) -> WorkItem:
+        """A resource pulls an offered item from its role queue.
+
+        Rejected if the resource lacks the role or is excluded by a
+        separation-of-duties constraint (``excluded_resources`` in the
+        item's data).
+        """
+        item = self.item(item_id)
+        resource = self.organization.get(resource_id)
+        if not resource.has_role(item.role):
+            raise WorklistError(
+                f"resource {resource_id!r} lacks role {item.role!r} for {item_id!r}"
+            )
+        if resource_id in item.data.get("excluded_resources", ()):
+            raise WorklistError(
+                f"resource {resource_id!r} is excluded from {item_id!r} "
+                "(separation of duties)"
+            )
+        item.allocate(resource_id, self.clock.now())
+        self._record(item, EventTypes.WORKITEM_ALLOCATED, resource=resource_id)
+        return item
+
+    def delegate(self, item_id: str) -> WorkItem:
+        """Return an allocated item to its role queue."""
+        item = self.item(item_id)
+        item.reoffer(self.clock.now())
+        self._record(item, EventTypes.WORKITEM_OFFERED, delegated=True)
+        return item
+
+    def start(self, item_id: str) -> WorkItem:
+        """The allocated resource begins work."""
+        item = self.item(item_id)
+        item.start(self.clock.now())
+        self._record(item, EventTypes.WORKITEM_STARTED, resource=item.allocated_to)
+        return item
+
+    def complete(self, item_id: str, result: dict[str, Any] | None = None) -> WorkItem:
+        """Finish an item; fires completion listeners (the engine resumes)."""
+        item = self.item(item_id)
+        item.complete(result, self.clock.now())
+        self._record(
+            item,
+            EventTypes.WORKITEM_COMPLETED,
+            resource=item.allocated_to,
+            result_keys=sorted((result or {}).keys()),
+        )
+        record_completion = getattr(self.allocator, "record_completion", None)
+        if record_completion is not None and item.allocated_to:
+            record_completion(item.instance_id, item.allocated_to)
+        for listener in self._completion_listeners:
+            listener(item)
+        return item
+
+    def cancel(self, item_id: str) -> WorkItem:
+        """Withdraw a live item (engine calls this on interrupts)."""
+        item = self.item(item_id)
+        item.cancel(self.clock.now())
+        self._record(item, EventTypes.WORKITEM_CANCELLED)
+        for listener in self._cancellation_listeners:
+            listener(item)
+        return item
+
+    def cancel_for_instance(self, instance_id: str) -> int:
+        """Cancel every live item of one instance; returns the count."""
+        cancelled = 0
+        for item in list(self._items.values()):
+            if item.instance_id == instance_id and not item.state.is_terminal:
+                self.cancel(item.id)
+                cancelled += 1
+        return cancelled
+
+    # -- deadlines -----------------------------------------------------------------
+
+    def check_deadlines(self) -> list[WorkItem]:
+        """Escalate every overdue live item.
+
+        Escalation policy: bump priority and return allocated-but-unstarted
+        items to their role queue so a less-loaded resource can claim them.
+        Items already started are only bumped.  Returns escalated items.
+        """
+        now = self.clock.now()
+        escalated = []
+        for item in self._items.values():
+            if not item.is_overdue(now):
+                continue
+            item.priority += 1
+            item.escalations += 1
+            item.due_at = None  # one escalation per deadline
+            if item.state is WorkItemState.ALLOCATED:
+                item.reoffer(now)
+            self._record(
+                item, EventTypes.WORKITEM_ESCALATED, new_priority=item.priority
+            )
+            escalated.append(item)
+        return escalated
+
+    # -- persistence hooks -----------------------------------------------------------
+
+    def export_items(self) -> list[dict[str, Any]]:
+        """Serializable snapshot of all items (engine persistence)."""
+        return [item.to_dict() for item in self._items.values()]
+
+    def import_items(self, raw_items: list[dict[str, Any]]) -> None:
+        """Restore items from a snapshot (engine recovery)."""
+        for raw in raw_items:
+            item = WorkItem.from_dict(raw)
+            self._items[item.id] = item
+        # keep generated ids unique after recovery
+        numeric = [
+            int(i.id[3:]) for i in self._items.values()
+            if i.id.startswith("wi-") and i.id[3:].isdigit()
+        ]
+        if numeric:
+            self._id_counter = itertools.count(max(numeric) + 1)

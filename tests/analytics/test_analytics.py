@@ -1,0 +1,118 @@
+"""Tests for fleet analytics and the text dashboard."""
+
+from repro.analytics.dashboard import render_dashboard
+from repro.analytics.kpis import fleet_report
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.model.builder import ProcessBuilder
+from repro.worklist.allocation import ShortestQueueAllocator
+
+
+def run_fleet():
+    clock = VirtualClock(0)
+    engine = ProcessEngine(clock=clock, allocator=ShortestQueueAllocator())
+    engine.organization.add("ana", roles=["clerk"])
+    ok = (
+        ProcessBuilder("ok")
+        .start()
+        .script_task("work", script="x = 1")
+        .end()
+        .build()
+    )
+    bad = (
+        ProcessBuilder("bad")
+        .start()
+        .script_task("boom", script="x = 1 / 0")
+        .end()
+        .build()
+    )
+    waiting = (
+        ProcessBuilder("waiting")
+        .start()
+        .user_task("review", role="clerk")
+        .end()
+        .build()
+    )
+    for model in (ok, bad, waiting):
+        engine.deploy(model)
+    for _ in range(3):
+        engine.start_instance("ok")
+    engine.start_instance("bad")
+    engine.start_instance("waiting")
+    terminated = engine.start_instance("waiting")
+    engine.terminate_instance(terminated.id)
+    return engine, clock
+
+
+class TestFleetReport:
+    def test_state_counts(self):
+        engine, _ = run_fleet()
+        report = fleet_report(engine.history)
+        assert report.total_instances == 6
+        assert report.completed == 3
+        assert report.failed == 1
+        assert report.terminated == 1
+        assert report.running == 1
+        assert 0 < report.completion_rate < 1
+
+    def test_failures_carry_reasons(self):
+        engine, _ = run_fleet()
+        report = fleet_report(engine.history)
+        assert len(report.failures) == 1
+        assert "division by zero" in report.failures[0][1]
+
+    def test_activity_stats_collected(self):
+        engine, _ = run_fleet()
+        report = fleet_report(engine.history)
+        assert report.activity_stats["work"].executions == 3
+
+    def test_bottlenecks_ordered_by_mean_duration(self):
+        clock = VirtualClock(0)
+        engine = ProcessEngine(clock=clock)
+        model = (
+            ProcessBuilder("slowfast")
+            .start()
+            .timer("slow", duration=100)
+            .timer("fast", duration=1)
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        engine.start_instance("slowfast")
+        engine.advance_time(100)
+        engine.advance_time(1)
+        report = fleet_report(engine.history)
+        top = report.bottleneck_activities(top=2)
+        assert top[0].node_id == "slow"
+        assert top[0].mean_duration == 100
+
+    def test_empty_history(self):
+        engine = ProcessEngine(clock=VirtualClock(0))
+        report = fleet_report(engine.history)
+        assert report.total_instances == 0
+        assert report.completion_rate == 0.0
+        assert report.bottleneck_activities() == []
+
+
+class TestDashboard:
+    def test_renders_all_sections(self):
+        engine, _ = run_fleet()
+        text = render_dashboard(fleet_report(engine.history), title="ops")
+        assert "== ops ==" in text
+        assert "instances" in text
+        assert "completion" in text
+        assert "recent failures" in text
+
+    def test_renders_for_empty_report(self):
+        from repro.analytics.kpis import FleetReport
+
+        text = render_dashboard(FleetReport())
+        assert "0 total" in text
+
+    def test_bar_is_bounded(self):
+        from repro.analytics.dashboard import _bar
+
+        assert _bar(0.0) == "." * 24
+        assert _bar(1.0) == "#" * 24
+        assert _bar(5.0) == "#" * 24
+        assert len(_bar(0.3)) == 24

@@ -1,0 +1,164 @@
+"""Tests for the rigid first-generation workflow baseline."""
+
+import pytest
+
+from repro.baseline.engine import (
+    RigidCaseState,
+    RigidEngine,
+    RigidWorkflow,
+    Step,
+    WorkflowChangeError,
+)
+
+
+def linear_workflow(name="order"):
+    workflow = RigidWorkflow(name)
+    workflow.add_step(Step("receive", action=lambda s: s.update(received=True), next_step="check"))
+    workflow.add_step(
+        Step(
+            "check",
+            action=lambda s: s.update(ok=s.get("amount", 0) < 100),
+            router=lambda s: "approve" if s["ok"] else "reject",
+        )
+    )
+    workflow.add_step(Step("approve", action=lambda s: s.update(status="approved"), next_step=None))
+    workflow.add_step(Step("reject", action=lambda s: s.update(status="rejected"), next_step=None))
+    return workflow
+
+
+def manual_workflow(name="manual_flow"):
+    workflow = RigidWorkflow(name)
+    workflow.add_step(Step("intake", action=lambda s: s.update(logged=True), next_step="review"))
+    workflow.add_step(Step("review", manual=True, next_step="finish"))
+    workflow.add_step(Step("finish", action=lambda s: s.update(done=True), next_step=None))
+    return workflow
+
+
+class TestExecution:
+    def test_straight_through(self):
+        engine = RigidEngine()
+        engine.deploy(linear_workflow())
+        case = engine.start_case("order", {"amount": 50})
+        assert case.state is RigidCaseState.COMPLETED
+        assert case.variables["status"] == "approved"
+        assert case.history == ["receive", "check", "approve"]
+
+    def test_conditional_routing(self):
+        engine = RigidEngine()
+        engine.deploy(linear_workflow())
+        case = engine.start_case("order", {"amount": 500})
+        assert case.variables["status"] == "rejected"
+
+    def test_loop_via_router(self):
+        workflow = RigidWorkflow("loop")
+        workflow.add_step(Step("init", action=lambda s: s.update(n=0), next_step="work"))
+        workflow.add_step(
+            Step(
+                "work",
+                action=lambda s: s.update(n=s["n"] + 1),
+                router=lambda s: "work" if s["n"] < 4 else None,
+            )
+        )
+        engine = RigidEngine()
+        engine.deploy(workflow)
+        case = engine.start_case("loop")
+        assert case.variables["n"] == 4
+
+    def test_manual_step_pauses_and_resumes(self):
+        engine = RigidEngine()
+        engine.deploy(manual_workflow())
+        case = engine.start_case("manual_flow")
+        assert case.state is RigidCaseState.WAITING_MANUAL
+        assert case.current_step == "review"
+        engine.complete_manual(case.id, {"approved": True})
+        assert case.state is RigidCaseState.COMPLETED
+        assert case.variables["done"] is True
+
+    def test_complete_manual_requires_waiting_state(self):
+        engine = RigidEngine()
+        engine.deploy(linear_workflow())
+        case = engine.start_case("order", {"amount": 1})
+        with pytest.raises(ValueError, match="not waiting"):
+            engine.complete_manual(case.id)
+
+    def test_failing_action_fails_case(self):
+        workflow = RigidWorkflow("boom")
+        workflow.add_step(Step("explode", action=lambda s: 1 / 0, next_step=None))
+        engine = RigidEngine()
+        engine.deploy(workflow)
+        case = engine.start_case("boom")
+        assert case.state is RigidCaseState.FAILED
+        assert "ZeroDivisionError" in case.failure
+
+    def test_runaway_loop_fails(self):
+        workflow = RigidWorkflow("spin")
+        workflow.add_step(Step("again", action=lambda s: None, next_step="again"))
+        engine = RigidEngine()
+        engine.deploy(workflow)
+        engine.max_steps = 100
+        case = engine.start_case("spin")
+        assert case.state is RigidCaseState.FAILED
+
+    def test_abort_case(self):
+        engine = RigidEngine()
+        engine.deploy(manual_workflow())
+        case = engine.start_case("manual_flow")
+        engine.abort_case(case.id)
+        assert case.state is RigidCaseState.ABORTED
+
+
+class TestRigidity:
+    def test_deploy_twice_rejected(self):
+        engine = RigidEngine()
+        engine.deploy(linear_workflow())
+        with pytest.raises(WorkflowChangeError):
+            engine.deploy(linear_workflow())
+
+    def test_redeploy_with_in_flight_cases_refused(self):
+        engine = RigidEngine()
+        engine.deploy(manual_workflow())
+        engine.start_case("manual_flow")
+        with pytest.raises(WorkflowChangeError, match="in flight"):
+            engine.redeploy(manual_workflow())
+
+    def test_forced_redeploy_aborts_in_flight_work(self):
+        engine = RigidEngine()
+        engine.deploy(manual_workflow())
+        cases = [engine.start_case("manual_flow") for _ in range(5)]
+        aborted = engine.redeploy(manual_workflow(), force=True)
+        assert len(aborted) == 5
+        assert all(c.state is RigidCaseState.ABORTED for c in cases)
+
+    def test_redeploy_with_only_finished_cases_is_clean(self):
+        engine = RigidEngine()
+        engine.deploy(linear_workflow())
+        engine.start_case("order", {"amount": 1})
+        aborted = engine.redeploy(linear_workflow())
+        assert aborted == []
+
+    def test_cases_query_by_state(self):
+        engine = RigidEngine()
+        engine.deploy(manual_workflow())
+        engine.deploy(linear_workflow())
+        engine.start_case("manual_flow")
+        engine.start_case("order", {"amount": 1})
+        assert len(engine.cases(RigidCaseState.WAITING_MANUAL)) == 1
+        assert len(engine.cases(RigidCaseState.COMPLETED)) == 1
+        assert len(engine.cases()) == 2
+
+    def test_unknown_workflow_or_case(self):
+        engine = RigidEngine()
+        with pytest.raises(ValueError):
+            engine.start_case("ghost")
+        with pytest.raises(ValueError):
+            engine.case("ghost")
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(ValueError):
+            RigidEngine().deploy(RigidWorkflow("empty"))
+
+    def test_duplicate_step_rejected(self):
+        workflow = RigidWorkflow("dup")
+        workflow.add_step(Step("a", next_step=None))
+        with pytest.raises(ValueError):
+            workflow.add_step(Step("a", next_step=None))

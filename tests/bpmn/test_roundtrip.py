@@ -1,0 +1,211 @@
+"""Tests for BPMN XML serialization and parsing (round-trip fidelity)."""
+
+import pytest
+
+from repro.bpmn import BpmnParseError, parse_bpmn, to_bpmn_xml
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import RetryPolicy
+from repro.model.serialization import definition_to_dict
+from repro.model.validation import validate
+
+
+def kitchen_sink():
+    """A model exercising every element type the subset supports."""
+    return (
+        ProcessBuilder("sink", name="Kitchen sink", description="all elements")
+        .start()
+        .user_task(
+            "review",
+            role="clerk",
+            priority=3,
+            due_seconds=3600,
+            form_fields=("approved", "notes"),
+        )
+        .service_task(
+            "charge",
+            service="payments",
+            inputs={"amount": "total * 1.2", "card": "card_id"},
+            output_variable="receipt",
+            retry=RetryPolicy(max_attempts=5, initial_backoff=0.5, backoff_multiplier=3.0),
+        )
+        .script_task("calc", script="fee = total * 0.05")
+        .manual_task("pack")
+        .send_task("notify", message_name="shipped", payload_expression="{'correlation': order_id}")
+        .receive_task("ack", message_name="ack", correlation_expression="order_id")
+        .call_activity(
+            "subflow",
+            process_key="sub",
+            input_mappings={"x": "total"},
+            output_mappings={"y": "result"},
+        )
+        .timer("cooldown", duration=60)
+        .message_catch("wait_msg", message_name="resume", correlation_expression="order_id")
+        .exclusive_gateway("xor")
+        .branch(condition="approved == true")
+        .parallel_gateway("fork")
+        .branch()
+        .inclusive_gateway("or_gw")
+        .branch(condition="a > 1")
+        .end("e1")
+        .branch_from("or_gw", default=True)
+        .end("e2")
+        .branch_from("fork")
+        .event_gateway("race")
+        .branch()
+        .timer("t_out", duration=5)
+        .end("e3")
+        .branch_from("race")
+        .message_catch("m_in", message_name="go")
+        .end("e4")
+        .branch_from("xor", default=True)
+        .end("e5", terminate=True)
+        .build(validate=False)
+    )
+
+
+def simple():
+    return (
+        ProcessBuilder("simple")
+        .start()
+        .script_task("work", script="x = 1")
+        .end()
+        .build()
+    )
+
+
+class TestWriter:
+    def test_produces_xml_declaration_and_namespaces(self):
+        xml = to_bpmn_xml(simple())
+        assert xml.startswith("<?xml")
+        assert "http://www.omg.org/spec/BPMN/20100524/MODEL" in xml
+        assert "<bpmn:process" in xml
+
+    def test_elements_rendered_with_standard_tags(self):
+        xml = to_bpmn_xml(kitchen_sink())
+        for tag in (
+            "userTask", "serviceTask", "scriptTask", "manualTask", "sendTask",
+            "receiveTask", "callActivity", "exclusiveGateway", "parallelGateway",
+            "inclusiveGateway", "eventBasedGateway", "boundaryEvent",
+        ):
+            if tag == "boundaryEvent":
+                continue  # kitchen sink has none; covered below
+            assert f"bpmn:{tag}" in xml, tag
+
+    def test_boundary_events_render_attachment(self):
+        model = (
+            ProcessBuilder("b")
+            .start()
+            .service_task("risky", service="svc")
+            .end()
+            .boundary_error("guard", attached_to="risky", error_code="E1")
+            .end("e2")
+            .build()
+        )
+        xml = to_bpmn_xml(model)
+        assert 'attachedToRef="risky"' in xml
+        assert 'errorRef="E1"' in xml
+
+
+class TestRoundTrip:
+    def test_simple_model_roundtrips_exactly(self):
+        original = simple()
+        restored = parse_bpmn(to_bpmn_xml(original))
+        assert definition_to_dict(restored) == definition_to_dict(original)
+
+    def test_kitchen_sink_roundtrips_exactly(self):
+        original = kitchen_sink()
+        restored = parse_bpmn(to_bpmn_xml(original))
+        assert definition_to_dict(restored) == definition_to_dict(original)
+
+    def test_boundary_model_roundtrips(self):
+        original = (
+            ProcessBuilder("b")
+            .start()
+            .service_task("risky", service="svc")
+            .end()
+            .boundary_error("guard", attached_to="risky", error_code="E1")
+            .end("e2")
+            .boundary_timer("slow", attached_to="risky", duration=30)
+            .end("e3")
+            .build(validate=False)
+        )
+        restored = parse_bpmn(to_bpmn_xml(original))
+        assert definition_to_dict(restored) == definition_to_dict(original)
+
+    def test_roundtripped_model_still_validates(self):
+        model = (
+            ProcessBuilder("ok")
+            .start()
+            .user_task("review", role="clerk")
+            .end()
+            .build()
+        )
+        restored = parse_bpmn(to_bpmn_xml(model))
+        assert validate(restored).ok
+
+    def test_roundtripped_model_executes(self):
+        from repro.clock import VirtualClock
+        from repro.engine.engine import ProcessEngine
+
+        restored = parse_bpmn(to_bpmn_xml(simple()))
+        engine = ProcessEngine(clock=VirtualClock(0))
+        engine.deploy(restored)
+        instance = engine.start_instance("simple")
+        assert instance.state.name == "COMPLETED"
+        assert instance.variables == {"x": 1}
+
+    def test_conditions_and_defaults_roundtrip(self):
+        model = (
+            ProcessBuilder("cond")
+            .start()
+            .exclusive_gateway("gw")
+            .branch(condition="amount > 10 and status == 'open'")
+            .end("e1")
+            .branch_from("gw", default=True)
+            .end("e2")
+            .build()
+        )
+        restored = parse_bpmn(to_bpmn_xml(model))
+        flows = list(restored.outgoing("gw"))
+        conditions = {f.condition for f in flows}
+        assert "amount > 10 and status == 'open'" in conditions
+        assert any(f.is_default for f in flows)
+
+
+class TestReaderErrors:
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(BpmnParseError, match="well-formed"):
+            parse_bpmn("<unclosed")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(BpmnParseError, match="definitions"):
+            parse_bpmn("<foo/>")
+
+    def test_missing_process_rejected(self):
+        with pytest.raises(BpmnParseError, match="no <process>"):
+            parse_bpmn(
+                '<bpmn:definitions xmlns:bpmn='
+                '"http://www.omg.org/spec/BPMN/20100524/MODEL"/>'
+            )
+
+    def test_unsupported_element_rejected(self):
+        xml = (
+            '<bpmn:definitions xmlns:bpmn='
+            '"http://www.omg.org/spec/BPMN/20100524/MODEL">'
+            '<bpmn:process id="p"><bpmn:weirdElement id="w"/></bpmn:process>'
+            "</bpmn:definitions>"
+        )
+        with pytest.raises(BpmnParseError, match="unsupported"):
+            parse_bpmn(xml)
+
+    def test_flow_to_unknown_node_rejected(self):
+        xml = (
+            '<bpmn:definitions xmlns:bpmn='
+            '"http://www.omg.org/spec/BPMN/20100524/MODEL">'
+            '<bpmn:process id="p">'
+            '<bpmn:startEvent id="s"/>'
+            '<bpmn:sequenceFlow id="f" sourceRef="s" targetRef="ghost"/>'
+            "</bpmn:process></bpmn:definitions>"
+        )
+        with pytest.raises(BpmnParseError, match="unknown target"):
+            parse_bpmn(xml)

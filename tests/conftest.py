@@ -1,0 +1,20 @@
+"""Shared fixtures: a virtual-clock engine with a small staffed organization."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.worklist.allocation import ShortestQueueAllocator
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock(start=1000.0)
+
+
+@pytest.fixture
+def engine(clock):
+    engine = ProcessEngine(clock=clock, allocator=ShortestQueueAllocator())
+    engine.organization.add("ana", roles=["clerk", "manager"])
+    engine.organization.add("bo", roles=["clerk"])
+    return engine

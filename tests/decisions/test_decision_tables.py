@@ -1,0 +1,255 @@
+"""Tests for decision tables, hit policies, and business-rule tasks."""
+
+import pytest
+
+from repro.decisions.table import (
+    DecisionError,
+    DecisionRegistry,
+    DecisionTable,
+    HitPolicy,
+)
+
+
+def risk_table(policy=HitPolicy.FIRST):
+    table = DecisionTable(
+        name="risk_class",
+        inputs=("amount", "country"),
+        outputs=("risk", "review"),
+        hit_policy=policy,
+    )
+    table.add_rule(
+        conditions={"amount": "amount < 1000"},
+        outputs={"risk": "'low'", "review": "false"},
+        annotation="small amounts are fine",
+    )
+    table.add_rule(
+        conditions={"amount": "amount >= 1000", "country": "country == 'XX'"},
+        outputs={"risk": "'high'", "review": "true"},
+        priority=10,
+    )
+    table.add_rule(
+        conditions={"amount": "amount >= 1000"},
+        outputs={"risk": "'medium'", "review": "true"},
+        priority=1,
+    )
+    return table
+
+
+class TestDefinition:
+    def test_requires_name_and_outputs(self):
+        with pytest.raises(DecisionError):
+            DecisionTable(name="", outputs=("x",))
+        with pytest.raises(DecisionError):
+            DecisionTable(name="t")
+
+    def test_rejects_undeclared_input(self):
+        table = DecisionTable(name="t", inputs=("a",), outputs=("o",))
+        with pytest.raises(DecisionError, match="undeclared input"):
+            table.add_rule(conditions={"zzz": "true"}, outputs={"o": "1"})
+
+    def test_rejects_undeclared_output(self):
+        table = DecisionTable(name="t", inputs=("a",), outputs=("o",))
+        with pytest.raises(DecisionError, match="undeclared output"):
+            table.add_rule(outputs={"o": "1", "zzz": "2"})
+
+    def test_rejects_missing_output(self):
+        table = DecisionTable(name="t", outputs=("o", "p"))
+        with pytest.raises(DecisionError, match="lacks outputs"):
+            table.add_rule(outputs={"o": "1"})
+
+    def test_rejects_bad_expression(self):
+        table = DecisionTable(name="t", inputs=("a",), outputs=("o",))
+        with pytest.raises(DecisionError, match="bad expression"):
+            table.add_rule(conditions={"a": "((("}, outputs={"o": "1"})
+
+    def test_dict_roundtrip(self):
+        table = risk_table(HitPolicy.PRIORITY)
+        restored = DecisionTable.from_dict(table.to_dict())
+        assert restored.to_dict() == table.to_dict()
+        assert restored.hit_policy is HitPolicy.PRIORITY
+
+
+class TestEvaluation:
+    def test_first_policy_takes_table_order(self):
+        table = risk_table(HitPolicy.FIRST)
+        assert table.evaluate({"amount": 100, "country": "DE"}) == {
+            "risk": "low", "review": False,
+        }
+        # amount >= 1000 and country XX matches rules 2 and 3; rule 2 first
+        assert table.evaluate({"amount": 5000, "country": "XX"})["risk"] == "high"
+
+    def test_priority_policy(self):
+        table = risk_table(HitPolicy.PRIORITY)
+        result = table.evaluate({"amount": 5000, "country": "XX"})
+        assert result["risk"] == "high"  # priority 10 beats 1
+
+    def test_unique_policy_rejects_overlap(self):
+        table = risk_table(HitPolicy.UNIQUE)
+        with pytest.raises(DecisionError, match="UNIQUE"):
+            table.evaluate({"amount": 5000, "country": "XX"})
+        # non-overlapping region is fine
+        assert table.evaluate({"amount": 10, "country": "DE"})["risk"] == "low"
+
+    def test_collect_policy_gathers_lists(self):
+        table = risk_table(HitPolicy.COLLECT)
+        result = table.evaluate({"amount": 5000, "country": "XX"})
+        assert result["risk"] == ["high", "medium"]
+        assert result["review"] == [True, True]
+
+    def test_no_match_raises_with_context(self):
+        table = DecisionTable(name="t", inputs=("a",), outputs=("o",))
+        table.add_rule(conditions={"a": "a > 10"}, outputs={"o": "1"})
+        with pytest.raises(DecisionError, match="no rule matches"):
+            table.evaluate({"a": 1})
+
+    def test_missing_input_raises(self):
+        table = risk_table()
+        with pytest.raises(DecisionError, match="missing from context"):
+            table.evaluate({"amount": 5000})  # country absent but rule needs it
+
+    def test_unconditioned_rule_matches_anything(self):
+        table = DecisionTable(name="t", outputs=("o",))
+        table.add_rule(outputs={"o": "42"})
+        assert table.evaluate({}) == {"o": 42}
+
+    def test_outputs_are_expressions_over_context(self):
+        table = DecisionTable(name="fee", inputs=("amount",), outputs=("fee",))
+        table.add_rule(outputs={"fee": "amount * 0.05"})
+        assert table.evaluate({"amount": 200}) == {"fee": 10.0}
+
+
+class TestRegistry:
+    def test_register_get_replace(self):
+        registry = DecisionRegistry()
+        registry.register(risk_table())
+        assert "risk_class" in registry
+        assert registry.names() == ["risk_class"]
+        with pytest.raises(DecisionError, match="already"):
+            registry.register(risk_table())
+        registry.replace(risk_table(HitPolicy.PRIORITY))
+        assert registry.get("risk_class").hit_policy is HitPolicy.PRIORITY
+
+    def test_unknown_lookups(self):
+        registry = DecisionRegistry()
+        with pytest.raises(DecisionError, match="unknown"):
+            registry.get("ghost")
+        with pytest.raises(DecisionError, match="not registered"):
+            registry.replace(risk_table())
+
+
+class TestBusinessRuleTask:
+    def deploy(self, engine, result_variable=None):
+        from repro.model.builder import ProcessBuilder
+
+        engine.decisions.register(risk_table(HitPolicy.PRIORITY))
+        model = (
+            ProcessBuilder("scoring")
+            .start()
+            .business_rule_task(
+                "classify", decision="risk_class", result_variable=result_variable
+            )
+            .exclusive_gateway("route")
+            .branch(condition="review == true" if result_variable is None
+                    else "decision.review == true")
+            .user_task("manual_review", role="clerk")
+            .exclusive_gateway("merge")
+            .branch_from("route", default=True)
+            .script_task("auto", script="approved = true")
+            .connect_to("merge")
+            .move_to("merge")
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+
+    def test_outputs_merge_into_variables_and_route(self, engine):
+        from repro.engine.instance import InstanceState
+
+        self.deploy(engine)
+        low = engine.start_instance("scoring", {"amount": 50, "country": "DE"})
+        assert low.state is InstanceState.COMPLETED
+        assert low.variables["risk"] == "low"
+        assert low.variables["approved"] is True
+
+        high = engine.start_instance("scoring", {"amount": 9000, "country": "XX"})
+        assert high.state is InstanceState.RUNNING  # waiting on manual review
+        assert high.variables["risk"] == "high"
+
+    def test_result_variable_scopes_outputs(self, engine):
+        self.deploy(engine, result_variable="decision")
+        instance = engine.start_instance("scoring", {"amount": 10, "country": "DE"})
+        assert instance.variables["decision"] == {"risk": "low", "review": False}
+        assert "risk" not in instance.variables
+
+    def test_unknown_decision_fails_instance(self, engine):
+        from repro.engine.instance import InstanceState
+        from repro.model.builder import ProcessBuilder
+
+        model = (
+            ProcessBuilder("missing")
+            .start()
+            .business_rule_task("classify", decision="nope")
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        instance = engine.start_instance("missing")
+        assert instance.state is InstanceState.FAILED
+        assert "unknown decision table" in instance.failure
+
+    def test_no_matching_rule_routed_to_boundary(self, engine):
+        from repro.engine.instance import InstanceState
+        from repro.model.builder import ProcessBuilder
+
+        table = DecisionTable(name="narrow", inputs=("x",), outputs=("o",))
+        table.add_rule(conditions={"x": "x > 100"}, outputs={"o": "1"})
+        engine.decisions.register(table)
+        model = (
+            ProcessBuilder("guarded")
+            .start()
+            .business_rule_task("decide", decision="narrow")
+            .end("done")
+            .boundary_error("no_rule", attached_to="decide")
+            .script_task("fallback", script="o = 0")
+            .end("fb")
+            .build()
+        )
+        engine.deploy(model)
+        instance = engine.start_instance("guarded", {"x": 5})
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["o"] == 0
+
+    def test_hot_swap_changes_routing_for_new_instances(self, engine):
+        self.deploy(engine)
+        before = engine.start_instance("scoring", {"amount": 2000, "country": "DE"})
+        assert before.variables["risk"] == "medium"
+        # the business tightens the rules: everything over 500 is high now
+        new_table = DecisionTable(
+            name="risk_class", inputs=("amount", "country"),
+            outputs=("risk", "review"),
+        )
+        new_table.add_rule(
+            conditions={"amount": "amount > 500"},
+            outputs={"risk": "'high'", "review": "true"},
+        )
+        new_table.add_rule(outputs={"risk": "'low'", "review": "false"})
+        engine.decisions.replace(new_table)
+        after = engine.start_instance("scoring", {"amount": 2000, "country": "DE"})
+        assert after.variables["risk"] == "high"
+
+    def test_bpmn_and_dict_roundtrip(self):
+        from repro.bpmn import parse_bpmn, to_bpmn_xml
+        from repro.model.builder import ProcessBuilder
+        from repro.model.serialization import definition_from_dict, definition_to_dict
+
+        model = (
+            ProcessBuilder("rt")
+            .start()
+            .business_rule_task("d", decision="risk_class", result_variable="r")
+            .end()
+            .build()
+        )
+        assert definition_from_dict(definition_to_dict(model)).node("d").decision == "risk_class"
+        restored = parse_bpmn(to_bpmn_xml(model))
+        assert restored.node("d").decision == "risk_class"
+        assert restored.node("d").result_variable == "r"

@@ -1,0 +1,238 @@
+"""Engine tests: BPMN errors, technical failures, boundary routing."""
+
+import pytest
+
+from repro.engine.errors import BpmnError
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import RetryPolicy
+
+
+@pytest.fixture
+def flaky_state():
+    return {"calls": 0}
+
+
+class TestBpmnErrors:
+    def make_model(self):
+        return (
+            ProcessBuilder("payment")
+            .start()
+            .service_task(
+                "charge",
+                service="charge_card",
+                inputs={"amount": "amount"},
+                output_variable="receipt",
+            )
+            .script_task("ok", script="status = 'paid'")
+            .end("done")
+            .boundary_error("insufficient", attached_to="charge", error_code="NO_FUNDS")
+            .script_task("dunning", script="status = 'dunning'")
+            .end("dunning_end")
+            .build()
+        )
+
+    def test_happy_path(self, engine):
+        engine.services.register("charge_card", lambda amount: {"charged": amount})
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("payment", {"amount": 100})
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["status"] == "paid"
+        assert instance.variables["receipt"] == {"charged": 100}
+
+    def test_matching_error_code_routes_to_boundary(self, engine):
+        def charge_card(amount):
+            raise BpmnError("NO_FUNDS", "card declined")
+
+        engine.services.register("charge_card", charge_card)
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("payment", {"amount": 100})
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["status"] == "dunning"
+
+    def test_unmatched_error_code_fails_instance(self, engine):
+        def charge_card(amount):
+            raise BpmnError("FRAUD", "blocked")
+
+        engine.services.register("charge_card", charge_card)
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("payment", {"amount": 100})
+        assert instance.state is InstanceState.FAILED
+        assert "FRAUD" in instance.failure
+
+    def test_catch_all_boundary_catches_any_code(self, engine):
+        model = (
+            ProcessBuilder("catchall")
+            .start()
+            .service_task("risky", service="svc")
+            .end("done")
+            .boundary_error("any_error", attached_to="risky", error_code=None)
+            .script_task("cleanup", script="handled = true")
+            .end("handled_end")
+            .build()
+        )
+
+        def svc():
+            raise BpmnError("WHATEVER")
+
+        engine.services.register("svc", svc)
+        engine.deploy(model)
+        instance = engine.start_instance("catchall")
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["handled"] is True
+
+
+class TestTechnicalFailures:
+    def test_exhausted_retries_fail_instance_without_boundary(self, engine):
+        def always_down():
+            raise ConnectionError("refused")
+
+        engine.services.register("down", always_down)
+        model = (
+            ProcessBuilder("fragile")
+            .start()
+            .service_task(
+                "call",
+                service="down",
+                retry=RetryPolicy(max_attempts=2, initial_backoff=0.0),
+            )
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        instance = engine.start_instance("fragile")
+        assert instance.state is InstanceState.FAILED
+        assert "refused" in instance.failure
+
+    def test_retry_eventually_succeeds(self, engine, flaky_state):
+        def flaky():
+            flaky_state["calls"] += 1
+            if flaky_state["calls"] < 3:
+                raise ConnectionError("hiccup")
+            return "ok"
+
+        engine.services.register("flaky", flaky)
+        model = (
+            ProcessBuilder("retrying")
+            .start()
+            .service_task(
+                "call",
+                service="flaky",
+                output_variable="result",
+                retry=RetryPolicy(max_attempts=5, initial_backoff=0.0),
+            )
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        instance = engine.start_instance("retrying")
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["result"] == "ok"
+        assert flaky_state["calls"] == 3
+
+    def test_technical_failure_caught_by_catch_all_boundary(self, engine):
+        def always_down():
+            raise ConnectionError("refused")
+
+        engine.services.register("down", always_down)
+        model = (
+            ProcessBuilder("resilient")
+            .start()
+            .service_task(
+                "call",
+                service="down",
+                retry=RetryPolicy(max_attempts=1),
+            )
+            .end("done")
+            .boundary_error("fallback", attached_to="call")
+            .script_task("degrade", script="mode = 'degraded'")
+            .end("degraded_end")
+            .build()
+        )
+        engine.deploy(model)
+        instance = engine.start_instance("resilient")
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["mode"] == "degraded"
+
+    def test_unknown_service_fails_instance(self, engine):
+        model = (
+            ProcessBuilder("missing_svc")
+            .start()
+            .service_task("call", service="not_registered")
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        from repro.services.errors import ServiceNotFoundError
+
+        with pytest.raises(ServiceNotFoundError):
+            engine.start_instance("missing_svc")
+
+    def test_service_input_expressions_evaluated(self, engine):
+        seen = {}
+
+        def record(total, doubled):
+            seen["total"] = total
+            seen["doubled"] = doubled
+
+        engine.services.register("record", record)
+        model = (
+            ProcessBuilder("inputs")
+            .start()
+            .service_task(
+                "call",
+                service="record",
+                inputs={"total": "a + b", "doubled": "a * 2"},
+            )
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        engine.start_instance("inputs", {"a": 2, "b": 3})
+        assert seen == {"total": 5, "doubled": 4}
+
+    def test_bad_input_expression_fails_instance(self, engine):
+        engine.services.register("noop", lambda **kw: None)
+        model = (
+            ProcessBuilder("badinput")
+            .start()
+            .service_task("call", service="noop", inputs={"x": "missing_var"})
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        instance = engine.start_instance("badinput")
+        assert instance.state is InstanceState.FAILED
+
+
+class TestScriptErrorBoundary:
+    def test_script_error_routed_to_boundary(self, engine):
+        model = (
+            ProcessBuilder("script_err")
+            .start()
+            .script_task("calc", script="x = 1 / divisor")
+            .end("done")
+            .boundary_error("oops", attached_to="calc")
+            .script_task("fallback", script="x = 0")
+            .end("fb_end")
+            .build()
+        )
+        engine.deploy(model)
+        instance = engine.start_instance("script_err", {"divisor": 0})
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["x"] == 0
+
+    def test_script_ok_skips_boundary(self, engine):
+        model = (
+            ProcessBuilder("script_ok")
+            .start()
+            .script_task("calc", script="x = 1 / divisor")
+            .end("done")
+            .boundary_error("oops", attached_to="calc")
+            .script_task("fallback", script="x = 0")
+            .end("fb_end")
+            .build()
+        )
+        engine.deploy(model)
+        instance = engine.start_instance("script_ok", {"divisor": 4})
+        assert instance.variables["x"] == 0.25

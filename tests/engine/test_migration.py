@@ -1,0 +1,149 @@
+"""Engine tests: hot redeploy and instance migration (T5 mechanics)."""
+
+import pytest
+
+from repro.engine.errors import MigrationError
+from repro.engine.instance import InstanceState
+from repro.engine.migration import MigrationPlan
+from repro.model.builder import ProcessBuilder
+
+
+def v1():
+    return (
+        ProcessBuilder("claim")
+        .start()
+        .user_task("assess", role="clerk")
+        .script_task("settle", script="settled = true")
+        .end()
+        .build()
+    )
+
+
+def v2_extra_step():
+    """v2 adds a fraud-check script after assessment."""
+    return (
+        ProcessBuilder("claim")
+        .start()
+        .user_task("assess", role="clerk")
+        .script_task("fraud_check", script="fraud_checked = true")
+        .script_task("settle", script="settled = true")
+        .end()
+        .build()
+    )
+
+
+def v2_renamed():
+    """v2 renames the user task."""
+    return (
+        ProcessBuilder("claim")
+        .start()
+        .user_task("triage", role="clerk")
+        .script_task("settle", script="settled = true")
+        .end()
+        .build()
+    )
+
+
+def v2_incompatible():
+    """v2 replaces the user task with a script (type change)."""
+    return (
+        ProcessBuilder("claim")
+        .start()
+        .script_task("assess", script="auto = true")
+        .script_task("settle", script="settled = true")
+        .end()
+        .build()
+    )
+
+
+class TestMigration:
+    def test_waiting_instance_migrates_and_takes_new_path(self, engine):
+        engine.deploy(v1())
+        instance = engine.start_instance("claim")
+        engine.deploy(v2_extra_step())
+        engine.migrate_instance(instance.id, target_version=2)
+        assert instance.definition_id == "claim:2"
+        # complete the pending user task: the NEW path runs
+        item = engine.worklist.items()[0]
+        engine.worklist.start(item.id)
+        engine.complete_work_item(item.id)
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables.get("fraud_checked") is True
+        assert instance.variables.get("settled") is True
+
+    def test_migration_with_node_mapping(self, engine):
+        engine.deploy(v1())
+        instance = engine.start_instance("claim")
+        engine.deploy(v2_renamed())
+        engine.migrate_instance(
+            instance.id,
+            target_version=2,
+            plan=MigrationPlan(node_mapping={"assess": "triage"}),
+        )
+        assert instance.tokens[0].node_id == "triage"
+        item = engine.worklist.items()[0]
+        engine.worklist.start(item.id)
+        engine.complete_work_item(item.id)
+        assert instance.state is InstanceState.COMPLETED
+
+    def test_incompatible_type_change_rejected(self, engine):
+        engine.deploy(v1())
+        instance = engine.start_instance("claim")
+        engine.deploy(v2_incompatible())
+        with pytest.raises(MigrationError, match="type changed"):
+            engine.migrate_instance(instance.id, target_version=2)
+        # instance untouched
+        assert instance.definition_id == "claim:1"
+
+    def test_missing_node_rejected(self, engine):
+        engine.deploy(v1())
+        instance = engine.start_instance("claim")
+        v2 = (
+            ProcessBuilder("claim")
+            .start()
+            .script_task("totally_new", script="x = 1")
+            .end()
+            .build()
+        )
+        engine.deploy(v2)
+        with pytest.raises(MigrationError, match="no node"):
+            engine.migrate_instance(instance.id, target_version=2)
+
+    def test_finished_instance_cannot_migrate(self, engine):
+        engine.deploy(v1())
+        instance = engine.start_instance("claim")
+        item = engine.worklist.items()[0]
+        engine.worklist.start(item.id)
+        engine.complete_work_item(item.id)
+        engine.deploy(v2_extra_step())
+        with pytest.raises(MigrationError, match="finished"):
+            engine.migrate_instance(instance.id, target_version=2)
+
+    def test_old_instances_keep_running_on_old_version(self, engine):
+        engine.deploy(v1())
+        old_instance = engine.start_instance("claim")
+        engine.deploy(v2_extra_step())
+        new_instance = engine.start_instance("claim")
+        assert old_instance.definition_id == "claim:1"
+        assert new_instance.definition_id == "claim:2"
+        # completing the old one follows the v1 path (no fraud check)
+        old_item = [
+            i for i in engine.worklist.items() if i.instance_id == old_instance.id
+        ][0]
+        engine.worklist.start(old_item.id)
+        engine.complete_work_item(old_item.id)
+        assert old_instance.state is InstanceState.COMPLETED
+        assert "fraud_checked" not in old_instance.variables
+
+    def test_bulk_migration_of_waiting_instances(self, engine):
+        engine.deploy(v1())
+        instances = [engine.start_instance("claim") for _ in range(10)]
+        engine.deploy(v2_extra_step())
+        for instance in instances:
+            engine.migrate_instance(instance.id, target_version=2)
+        assert all(i.definition_id == "claim:2" for i in instances)
+        for item in list(engine.worklist.items()):
+            engine.worklist.start(item.id)
+            engine.complete_work_item(item.id)
+        assert all(i.state is InstanceState.COMPLETED for i in instances)
+        assert all(i.variables.get("fraud_checked") for i in instances)

@@ -1,0 +1,211 @@
+"""Engine tests: durable persistence and crash recovery.
+
+'Crash' here means: drop the engine object, keep the store directory, build
+a fresh engine over the same store, re-register code, call recover().
+"""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+from repro.storage.kvstore import DurableKV
+from repro.worklist.allocation import ShortestQueueAllocator
+
+
+def approval_model():
+    return (
+        ProcessBuilder("approval")
+        .start()
+        .user_task("review", role="clerk")
+        .script_task("after", script="done = true")
+        .end()
+        .build()
+    )
+
+
+def timed_model():
+    return (
+        ProcessBuilder("timed")
+        .start()
+        .timer("wait", duration=600)
+        .script_task("after", script="fired = true")
+        .end()
+        .build()
+    )
+
+
+def build_engine(store, clock):
+    engine = ProcessEngine(
+        clock=clock, store=store, allocator=ShortestQueueAllocator()
+    )
+    engine.organization.add("ana", roles=["clerk"])
+    return engine
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "engine-store")
+
+
+class TestRecovery:
+    def test_in_flight_instance_recovers_and_completes(self, store_path):
+        clock = VirtualClock(1000)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(approval_model())
+        original = engine.start_instance("approval", {"amount": 9})
+        original_id = original.id
+        item_id = engine.worklist.items()[0].id
+        store.close()  # crash
+
+        store2 = DurableKV(store_path)
+        engine2 = build_engine(store2, clock)
+        counts = engine2.recover()
+        assert counts["definitions"] == 1
+        assert counts["instances"] == 1
+        assert counts["workitems"] == 1
+
+        recovered = engine2.instance(original_id)
+        assert recovered.state is InstanceState.RUNNING
+        assert recovered.variables == {"amount": 9}
+        engine2.worklist.start(item_id)
+        engine2.complete_work_item(item_id, {"approved": True})
+        assert recovered.state is InstanceState.COMPLETED
+        assert recovered.variables["done"] is True
+        store2.close()
+
+    def test_pending_timer_survives_crash(self, store_path):
+        clock = VirtualClock(1000)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(timed_model())
+        instance_id = engine.start_instance("timed").id
+        store.close()
+
+        store2 = DurableKV(store_path)
+        clock2 = VirtualClock(1000)
+        engine2 = build_engine(store2, clock2)
+        counts = engine2.recover()
+        assert counts["jobs"] == 1
+        clock2.advance(601)
+        engine2.run_due_jobs()
+        assert engine2.instance(instance_id).state is InstanceState.COMPLETED
+        assert engine2.instance(instance_id).variables["fired"] is True
+        store2.close()
+
+    def test_completed_instances_recover_as_completed(self, store_path):
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        model = (
+            ProcessBuilder("quick").start().script_task("t", script="x = 1").end().build()
+        )
+        engine.deploy(model)
+        done_id = engine.start_instance("quick").id
+        store.close()
+
+        store2 = DurableKV(store_path)
+        engine2 = build_engine(store2, VirtualClock(0))
+        engine2.recover()
+        assert engine2.instance(done_id).state is InstanceState.COMPLETED
+        store2.close()
+
+    def test_new_instances_after_recovery_get_fresh_ids(self, store_path):
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(approval_model())
+        first_id = engine.start_instance("approval").id
+        store.close()
+
+        store2 = DurableKV(store_path)
+        engine2 = build_engine(store2, clock)
+        engine2.recover()
+        second_id = engine2.start_instance("approval").id
+        assert second_id != first_id
+        store2.close()
+
+    def test_message_wait_survives_crash(self, store_path):
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        model = (
+            ProcessBuilder("msg")
+            .start()
+            .receive_task("wait", message_name="go", correlation_expression="key")
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        instance_id = engine.start_instance("msg", {"key": "k1"}).id
+        store.close()
+
+        store2 = DurableKV(store_path)
+        engine2 = build_engine(store2, clock)
+        engine2.recover()
+        engine2.correlate_message("go", "k1", {"ok": True})
+        assert engine2.instance(instance_id).state is InstanceState.COMPLETED
+        store2.close()
+
+    def test_deployments_after_recovery_continue_version_numbering(self, store_path):
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        assert engine.deploy(approval_model()) == "approval:1"
+        store.close()
+
+        store2 = DurableKV(store_path)
+        engine2 = build_engine(store2, clock)
+        engine2.recover()
+        assert engine2.deploy(approval_model()) == "approval:2"
+        store2.close()
+
+    def test_recovery_with_memory_store_is_empty(self):
+        engine = ProcessEngine(clock=VirtualClock(0))
+        counts = engine.recover()
+        assert counts == {
+            "definitions": 0,
+            "instances": 0,
+            "jobs": 0,
+            "workitems": 0,
+        }
+
+
+class TestPersistenceDetail:
+    def test_instance_state_persisted_per_operation(self, store_path):
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(approval_model())
+        instance = engine.start_instance("approval")
+        raw = store.get(f"instance/{instance.id}")
+        assert raw is not None
+        assert raw["state"] == "running"
+        assert raw["tokens"][0]["node_id"] == "review"
+        store.close()
+
+    def test_work_items_persisted(self, store_path):
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(approval_model())
+        engine.start_instance("approval")
+        items = store.get("engine/workitems")
+        assert len(items) == 1
+        assert items[0]["node_id"] == "review"
+        store.close()
+
+    def test_definition_persisted_roundtrip(self, store_path):
+        from repro.model.serialization import definition_from_dict
+
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(approval_model())
+        raw = store.get("definition/approval:1")
+        definition = definition_from_dict(raw)
+        assert definition.identifier == "approval:1"
+        assert set(definition.nodes) == {"start", "review", "after", "end"}
+        store.close()

@@ -1,0 +1,73 @@
+"""Tests for the instance query API."""
+
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+
+
+def deploy_models(engine):
+    engine.deploy(
+        ProcessBuilder("order")
+        .start()
+        .user_task("review", role="clerk")
+        .end()
+        .build()
+    )
+    engine.deploy(
+        ProcessBuilder("quick").start().script_task("t", script="x = 1").end().build()
+    )
+
+
+class TestFindInstances:
+    def test_by_definition_key(self, engine):
+        deploy_models(engine)
+        engine.start_instance("order")
+        engine.start_instance("quick")
+        assert len(engine.find_instances(definition_key="order")) == 1
+
+    def test_by_state(self, engine):
+        deploy_models(engine)
+        engine.start_instance("order")
+        engine.start_instance("quick")
+        running = engine.find_instances(state=InstanceState.RUNNING)
+        assert [i.definition_key for i in running] == ["order"]
+
+    def test_by_business_key(self, engine):
+        deploy_models(engine)
+        engine.start_instance("quick", business_key="K-1")
+        engine.start_instance("quick", business_key="K-2")
+        found = engine.find_instances(business_key="K-2")
+        assert len(found) == 1
+        assert found[0].business_key == "K-2"
+
+    def test_by_variable_equality(self, engine):
+        deploy_models(engine)
+        engine.start_instance("quick", {"region": "EU", "tier": 1})
+        engine.start_instance("quick", {"region": "US", "tier": 1})
+        assert len(engine.find_instances(where={"tier": 1})) == 2
+        assert len(engine.find_instances(where={"region": "EU"})) == 1
+        assert engine.find_instances(where={"region": "EU", "tier": 2}) == []
+
+    def test_by_waiting_node(self, engine):
+        deploy_models(engine)
+        waiting = engine.start_instance("order")
+        engine.start_instance("quick")
+        found = engine.find_instances(waiting_at="review")
+        assert found == [waiting]
+
+    def test_combined_filters(self, engine):
+        deploy_models(engine)
+        engine.start_instance("order", {"vip": True}, business_key="A")
+        engine.start_instance("order", {"vip": False}, business_key="A")
+        found = engine.find_instances(
+            definition_key="order",
+            business_key="A",
+            where={"vip": True},
+            state=InstanceState.RUNNING,
+        )
+        assert len(found) == 1
+
+    def test_missing_variable_does_not_match(self, engine):
+        deploy_models(engine)
+        engine.start_instance("quick")
+        assert engine.find_instances(where={"ghost": None}) != []  # None == missing
+        assert engine.find_instances(where={"ghost": 1}) == []

@@ -1,0 +1,100 @@
+"""Suspension edge cases: timers and messages must survive a suspend.
+
+These were real bugs: due jobs of suspended instances were consumed and
+lost, and message subscriptions were dropped on first non-delivery.
+"""
+
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+
+
+class TestTimersUnderSuspension:
+    def make_model(self):
+        return (
+            ProcessBuilder("timed")
+            .start()
+            .timer("cooldown", duration=60)
+            .script_task("after", script="fired = true")
+            .end()
+            .build()
+        )
+
+    def test_due_timer_deferred_while_suspended(self, engine, clock):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("timed")
+        engine.suspend_instance(instance.id)
+        clock.advance(120)
+        assert engine.run_due_jobs() == 0  # deferred, not consumed
+        assert instance.state is InstanceState.SUSPENDED
+        assert len(engine.scheduler) == 1  # the job still exists
+
+        engine.resume_instance(instance.id)
+        assert engine.run_due_jobs() == 1
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["fired"] is True
+
+    def test_repeated_pumps_while_suspended_do_not_lose_job(self, engine, clock):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("timed")
+        engine.suspend_instance(instance.id)
+        clock.advance(120)
+        for _ in range(3):
+            engine.run_due_jobs()
+        assert len(engine.scheduler) == 1
+        engine.resume_instance(instance.id)
+        engine.run_due_jobs()
+        assert instance.state is InstanceState.COMPLETED
+
+    def test_other_instances_unaffected_by_deferral(self, engine, clock):
+        engine.deploy(self.make_model())
+        suspended = engine.start_instance("timed")
+        active = engine.start_instance("timed")
+        engine.suspend_instance(suspended.id)
+        clock.advance(120)
+        engine.run_due_jobs()
+        assert active.state is InstanceState.COMPLETED
+        assert suspended.state is InstanceState.SUSPENDED
+
+
+class TestMessagesUnderSuspension:
+    def make_model(self):
+        return (
+            ProcessBuilder("msg")
+            .start()
+            .receive_task("wait", message_name="go", correlation_expression="key")
+            .script_task("after", script="delivered = true")
+            .end()
+            .build()
+        )
+
+    def test_message_during_suspension_delivered_on_resume(self, engine):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("msg", {"key": "k1"})
+        engine.suspend_instance(instance.id)
+        engine.correlate_message("go", "k1", {"payload": 1})
+        # suspended: retained, subscription kept
+        assert instance.state is InstanceState.SUSPENDED
+        assert engine.bus.retained_count == 1
+        engine.resume_instance(instance.id)
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["payload"] == 1
+        assert instance.variables["delivered"] is True
+        assert engine.bus.retained_count == 0
+
+    def test_message_after_resume_still_delivers(self, engine):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("msg", {"key": "k1"})
+        engine.suspend_instance(instance.id)
+        engine.resume_instance(instance.id)
+        engine.correlate_message("go", "k1")
+        assert instance.state is InstanceState.COMPLETED
+
+    def test_unrelated_retained_messages_stay_retained(self, engine):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("msg", {"key": "k1"})
+        engine.suspend_instance(instance.id)
+        engine.correlate_message("go", "OTHER")
+        engine.resume_instance(instance.id)
+        # wrong correlation: still waiting, message still retained
+        assert instance.state is InstanceState.RUNNING
+        assert engine.bus.retained_count == 1

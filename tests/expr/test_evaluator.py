@@ -1,0 +1,211 @@
+"""Tests for expression parsing and sandboxed evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr import EvaluationError, ParseError, compile_expression, evaluate
+
+
+class TestLiteralsAndNames:
+    def test_literals(self):
+        assert evaluate("42") == 42
+        assert evaluate("3.5") == 3.5
+        assert evaluate("'hi'") == "hi"
+        assert evaluate("true") is True
+        assert evaluate("False") is False
+        assert evaluate("null") is None
+
+    def test_name_resolution(self):
+        assert evaluate("x", {"x": 7}) == 7
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(EvaluationError, match="unknown variable"):
+            evaluate("missing")
+
+    def test_list_and_dict_displays(self):
+        assert evaluate("[1, 2, 3]") == [1, 2, 3]
+        assert evaluate("[1, 2,]") == [1, 2]
+        assert evaluate("{'a': 1, 'b': x}", {"x": 2}) == {"a": 1, "b": 2}
+        assert evaluate("[]") == []
+        assert evaluate("{}") == {}
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert evaluate("2 + 3 * 4") == 14
+        assert evaluate("(2 + 3) * 4") == 20
+        assert evaluate("10 - 4 - 3") == 3  # left associative
+
+    def test_division_variants(self):
+        assert evaluate("7 / 2") == 3.5
+        assert evaluate("7 // 2") == 3
+        assert evaluate("7 % 2") == 1
+
+    def test_power_right_associative(self):
+        assert evaluate("2 ** 3 ** 2") == 512
+
+    def test_unary_minus(self):
+        assert evaluate("-5 + 3") == -2
+        assert evaluate("--5") == 5
+
+    def test_division_by_zero_is_language_error(self):
+        with pytest.raises(EvaluationError, match="division by zero"):
+            evaluate("1 / 0")
+
+    def test_huge_exponent_rejected(self):
+        with pytest.raises(EvaluationError, match="exponent too large"):
+            evaluate("2 ** 99999999")
+
+    def test_string_concatenation(self):
+        assert evaluate("'a' + 'b'") == "ab"
+
+    def test_type_error_wrapped(self):
+        with pytest.raises(EvaluationError):
+            evaluate("'a' + 1")
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 <= 2") is True
+        assert evaluate("3 == 3") is True
+        assert evaluate("3 != 3") is False
+
+    def test_chained(self):
+        assert evaluate("1 < 2 < 3") is True
+        assert evaluate("1 < 2 > 5") is False
+
+    def test_in_and_not_in(self):
+        assert evaluate("2 in [1, 2]") is True
+        assert evaluate("5 not in [1, 2]") is True
+        assert evaluate("'a' in 'cat'") is True
+
+    def test_in_on_non_container_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("1 in 2")
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(EvaluationError):
+            evaluate("'a' < 1")
+
+
+class TestBooleanLogic:
+    def test_and_or_not(self):
+        assert evaluate("true and false") is False
+        assert evaluate("true or false") is True
+        assert evaluate("not true") is False
+
+    def test_short_circuit_and_returns_operand(self):
+        assert evaluate("0 and missing_name") == 0  # second operand never evaluated
+
+    def test_short_circuit_or_returns_operand(self):
+        assert evaluate("'x' or missing_name") == "x"
+
+    def test_conditional_expression(self):
+        assert evaluate("'big' if n > 10 else 'small'", {"n": 20}) == "big"
+        assert evaluate("'big' if n > 10 else 'small'", {"n": 2}) == "small"
+
+    def test_nested_conditional(self):
+        env = {"n": 5}
+        assert evaluate("'neg' if n < 0 else 'zero' if n == 0 else 'pos'", env) == "pos"
+
+
+class TestCallsAndAccess:
+    def test_whitelisted_functions(self):
+        assert evaluate("len([1, 2, 3])") == 3
+        assert evaluate("max(1, 5, 3)") == 5
+        assert evaluate("upper('abc')") == "ABC"
+        assert evaluate("contains([1, 2], 2)") is True
+        assert evaluate("get({'a': 1}, 'b', 0)") == 0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(EvaluationError, match="unknown function"):
+            evaluate("system('rm -rf /')")
+
+    def test_call_on_non_name_rejected_at_parse(self):
+        with pytest.raises(ParseError):
+            evaluate("items[0](x)", {"items": [1], "x": 1})
+
+    def test_indexing(self):
+        assert evaluate("items[1]", {"items": [10, 20]}) == 20
+        assert evaluate("data['k']", {"data": {"k": "v"}}) == "v"
+
+    def test_bad_index_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("items[9]", {"items": []})
+
+    def test_attribute_on_mapping(self):
+        assert evaluate("order.total", {"order": {"total": 99}}) == 99
+
+    def test_missing_mapping_key_raises(self):
+        with pytest.raises(EvaluationError, match="no key"):
+            evaluate("order.missing", {"order": {}})
+
+    def test_private_attribute_forbidden(self):
+        class Thing:
+            _secret = 1
+
+        with pytest.raises(EvaluationError, match="private"):
+            evaluate("thing._secret", {"thing": Thing()})
+
+    def test_method_access_forbidden(self):
+        with pytest.raises(EvaluationError, match="method access"):
+            evaluate("s.upper", {"s": "abc"})
+
+    def test_plain_attribute_on_object_allowed(self):
+        class Point:
+            x = 3
+
+        assert evaluate("p.x", {"p": Point()}) == 3
+
+
+class TestCompiledExpression:
+    def test_reuse(self):
+        expr = compile_expression("n * 2")
+        assert expr.evaluate({"n": 1}) == 2
+        assert expr.evaluate({"n": 21}) == 42
+
+    def test_evaluate_bool(self):
+        assert compile_expression("n").evaluate_bool({"n": 5}) is True
+        assert compile_expression("n").evaluate_bool({"n": 0}) is False
+
+    def test_compile_cache_returns_same_object(self):
+        assert compile_expression("a + b") is compile_expression("a + b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            compile_expression("1 + 2 3")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(ParseError):
+            compile_expression("")
+
+    def test_repr(self):
+        assert "n * 2" in repr(compile_expression("n * 2"))
+
+
+class TestProperties:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_arithmetic_matches_python(self, a, b):
+        env = {"a": a, "b": b}
+        assert evaluate("a + b", env) == a + b
+        assert evaluate("a - b", env) == a - b
+        assert evaluate("a * b", env) == a * b
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_comparison_matches_python(self, a, b):
+        env = {"a": a, "b": b}
+        assert evaluate("a < b", env) == (a < b)
+        assert evaluate("a == b", env) == (a == b)
+        assert evaluate("a >= b", env) == (a >= b)
+
+    @given(st.booleans(), st.booleans(), st.booleans())
+    def test_boolean_logic_matches_python(self, a, b, c):
+        env = {"a": a, "b": b, "c": c}
+        assert evaluate("a and b or c", env) == (a and b or c)
+        assert evaluate("not a", env) == (not a)
+
+    @given(st.text(alphabet="abcdef ", max_size=20))
+    def test_string_literals_roundtrip(self, s):
+        assert evaluate(repr(s)) == s

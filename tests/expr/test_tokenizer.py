@@ -1,0 +1,80 @@
+"""Tests for the expression tokenizer."""
+
+import pytest
+
+from repro.expr.errors import ParseError
+from repro.expr.tokenizer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.NUMBER, 42)]
+
+    def test_float(self):
+        assert kinds("3.14") == [(TokenType.NUMBER, 3.14)]
+
+    def test_leading_dot_float(self):
+        assert kinds(".5") == [(TokenType.NUMBER, 0.5)]
+
+    def test_number_then_attribute_dot(self):
+        tokens = kinds("x.y")
+        assert tokens == [
+            (TokenType.NAME, "x"),
+            (TokenType.OP, "."),
+            (TokenType.NAME, "y"),
+        ]
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert kinds("'hi'") == [(TokenType.STRING, "hi")]
+        assert kinds('"hi"') == [(TokenType.STRING, "hi")]
+
+    def test_escapes(self):
+        assert kinds(r"'a\nb'") == [(TokenType.STRING, "a\nb")]
+        assert kinds(r"'it\'s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(ParseError):
+            tokenize(r"'\q'")
+
+
+class TestWordsAndOps:
+    def test_keywords_recognized(self):
+        assert kinds("and or not in if else")[0][0] is TokenType.KEYWORD
+
+    def test_true_false_null(self):
+        values = [v for _, v in kinds("true false null True False None")]
+        assert values == ["true", "false", "null", "True", "False", "None"]
+
+    def test_names(self):
+        assert kinds("order_total") == [(TokenType.NAME, "order_total")]
+        assert kinds("_private") == [(TokenType.NAME, "_private")]
+
+    def test_two_char_operators(self):
+        ops = [v for _, v in kinds("== != <= >= // **")]
+        assert ops == ["==", "!=", "<=", ">=", "//", "**"]
+
+    def test_comments_skipped(self):
+        assert kinds("1 # the loneliest number") == [(TokenType.NUMBER, 1)]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+    def test_end_token_always_last(self):
+        assert tokenize("")[-1].type is TokenType.END
+        assert tokenize("x")[-1].type is TokenType.END
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab + cd")
+        assert [t.position for t in tokens[:-1]] == [0, 3, 5]

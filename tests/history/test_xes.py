@@ -1,0 +1,101 @@
+"""Tests for XES export/import."""
+
+import pytest
+
+from repro.history.log import EventLog, LogEvent, Trace
+from repro.history.xes import XesParseError, parse_xes, to_xes_xml
+
+
+def sample_log():
+    log = EventLog(name="demo")
+    log.add(
+        Trace(
+            "case-A",
+            [
+                LogEvent("register", timestamp=1000.0, resource="ana"),
+                LogEvent("approve", timestamp=1060.5, attributes={"amount": 250}),
+            ],
+        )
+    )
+    log.add(Trace("case-B", [LogEvent("register", timestamp=2000.0)]))
+    return log
+
+
+class TestExport:
+    def test_structure(self):
+        xml = to_xes_xml(sample_log())
+        assert xml.startswith("<?xml")
+        assert 'xes.version="1.0"' in xml
+        assert '<string key="concept:name" value="register" />' in xml
+        assert '<string key="org:resource" value="ana" />' in xml
+        assert 'key="time:timestamp"' in xml
+
+    def test_empty_log(self):
+        xml = to_xes_xml(EventLog(name="empty"))
+        assert "<log" in xml
+        assert "<trace" not in xml
+
+
+class TestRoundTrip:
+    def test_activities_and_cases_roundtrip(self):
+        restored = parse_xes(to_xes_xml(sample_log()))
+        assert restored.name == "demo"
+        assert [t.case_id for t in restored] == ["case-A", "case-B"]
+        assert restored.traces[0].activities == ("register", "approve")
+
+    def test_timestamps_roundtrip(self):
+        restored = parse_xes(to_xes_xml(sample_log()))
+        assert restored.traces[0].events[0].timestamp == pytest.approx(1000.0)
+        assert restored.traces[0].events[1].timestamp == pytest.approx(1060.5)
+
+    def test_resources_and_attributes_roundtrip(self):
+        restored = parse_xes(to_xes_xml(sample_log()))
+        first, second = restored.traces[0].events
+        assert first.resource == "ana"
+        assert second.resource is None
+        assert second.attributes == {"amount": "250"}  # strings in XES
+
+    def test_mining_on_reimported_log(self):
+        from repro.mining.alpha import alpha_miner
+        from repro.mining.conformance import token_replay
+
+        log = EventLog.from_sequences(
+            [["a", "b", "d"]] * 4 + [["a", "c", "d"]] * 4
+        )
+        restored = parse_xes(to_xes_xml(log))
+        net = alpha_miner(restored)
+        assert token_replay(net, restored).fitness == 1.0
+
+
+class TestParseErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(XesParseError, match="well-formed"):
+            parse_xes("<log")
+
+    def test_wrong_root(self):
+        with pytest.raises(XesParseError, match="expected <log>"):
+            parse_xes("<notalog/>")
+
+    def test_event_without_activity(self):
+        xml = '<log><trace><event><string key="x" value="y"/></event></trace></log>'
+        with pytest.raises(XesParseError, match="concept:name"):
+            parse_xes(xml)
+
+    def test_bad_timestamp(self):
+        xml = (
+            '<log><trace><event>'
+            '<string key="concept:name" value="a"/>'
+            '<date key="time:timestamp" value="not-a-date"/>'
+            "</event></trace></log>"
+        )
+        with pytest.raises(XesParseError, match="bad timestamp"):
+            parse_xes(xml)
+
+    def test_trace_without_name_gets_index(self):
+        xml = (
+            '<log><trace><event>'
+            '<string key="concept:name" value="a"/>'
+            "</event></trace></log>"
+        )
+        log = parse_xes(xml)
+        assert log.traces[0].case_id == "case-0"

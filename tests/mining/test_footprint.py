@@ -1,0 +1,101 @@
+"""Tests for footprint matrices and footprint conformance."""
+
+from repro.history.log import EventLog
+from repro.mining.footprint import (
+    CAUSED_BY,
+    CAUSES,
+    NEVER,
+    PARALLEL,
+    FootprintMatrix,
+    compare_footprints,
+)
+
+
+def choice_log():
+    return EventLog.from_sequences([["a", "b", "d"]] * 3 + [["a", "c", "d"]] * 3)
+
+
+def parallel_log():
+    return EventLog.from_sequences(
+        [["a", "b", "c", "d"]] * 3 + [["a", "c", "b", "d"]] * 3
+    )
+
+
+class TestMatrix:
+    def test_relations_of_choice_log(self):
+        matrix = FootprintMatrix.from_log(choice_log())
+        assert matrix.relation("a", "b") == CAUSES
+        assert matrix.relation("b", "a") == CAUSED_BY
+        assert matrix.relation("b", "c") == NEVER
+        assert matrix.relation("b", "d") == CAUSES
+        assert matrix.relation("a", "a") == NEVER
+
+    def test_parallel_relation(self):
+        matrix = FootprintMatrix.from_log(parallel_log())
+        assert matrix.relation("b", "c") == PARALLEL
+        assert matrix.relation("c", "b") == PARALLEL
+
+    def test_unknown_activity_defaults_to_never(self):
+        matrix = FootprintMatrix.from_log(choice_log())
+        assert matrix.relation("a", "zzz") == NEVER
+
+    def test_render_contains_all_activities(self):
+        text = FootprintMatrix.from_log(choice_log()).render()
+        for activity in "abcd":
+            assert activity in text
+        assert CAUSES in text
+
+    def test_render_empty(self):
+        assert "(empty" in FootprintMatrix().render()
+
+
+class TestComparison:
+    def test_identical_logs_conform(self):
+        left = FootprintMatrix.from_log(choice_log())
+        right = FootprintMatrix.from_log(choice_log())
+        comparison = compare_footprints(left, right)
+        assert comparison.conforms
+        assert comparison.agreement == 1.0
+
+    def test_choice_vs_parallel_disagrees_on_bc(self):
+        left = FootprintMatrix.from_log(choice_log())
+        right = FootprintMatrix.from_log(parallel_log())
+        comparison = compare_footprints(left, right)
+        assert not comparison.conforms
+        assert 0 < comparison.agreement < 1
+        differing_pairs = {(a, b) for a, b, _, _ in comparison.differences}
+        assert ("b", "c") in differing_pairs
+        assert ("c", "b") in differing_pairs
+
+    def test_model_language_vs_observed_log(self):
+        from repro.mining.generators import generate_log
+        from repro.model.builder import ProcessBuilder
+
+        model = (
+            ProcessBuilder("m")
+            .start()
+            .script_task("a", script="x = 1")
+            .parallel_gateway("f")
+            .branch()
+            .script_task("b", script="x = 2")
+            .parallel_gateway("j")
+            .branch_from("f")
+            .script_task("c", script="x = 3")
+            .connect_to("j")
+            .move_to("j")
+            .script_task("d", script="x = 4")
+            .end()
+            .build()
+        )
+        model_footprint = FootprintMatrix.from_log(
+            generate_log(model, n_traces=200, seed=1)
+        )
+        observed = FootprintMatrix.from_log(parallel_log())
+        assert compare_footprints(model_footprint, observed).conforms
+
+    def test_disjoint_alphabets(self):
+        left = FootprintMatrix.from_log(EventLog.from_sequences([["a", "b"]]))
+        right = FootprintMatrix.from_log(EventLog.from_sequences([["x", "y"]]))
+        comparison = compare_footprints(left, right)
+        assert not comparison.conforms
+        assert set(comparison.alphabet) == {"a", "b", "x", "y"}

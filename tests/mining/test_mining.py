@@ -1,0 +1,315 @@
+"""Tests for process-mining: DFG, alpha, heuristics, conformance, perf."""
+
+import pytest
+
+from repro.history.log import EventLog
+from repro.mining.alpha import alpha_miner
+from repro.mining.conformance import token_replay
+from repro.mining.dfg import DirectlyFollowsGraph
+from repro.mining.generators import add_noise, generate_log
+from repro.mining.heuristics import dependency_measure, heuristics_miner
+from repro.mining.performance import analyze_performance
+from repro.model.builder import ProcessBuilder
+from repro.petri.marking import Marking
+from repro.petri.workflow_net import check_soundness
+
+
+def seq_choice_log():
+    """L = [<a,b,d>, <a,c,d>] — the canonical alpha example."""
+    return EventLog.from_sequences(
+        [["a", "b", "d"]] * 3 + [["a", "c", "d"]] * 2
+    )
+
+
+def parallel_log():
+    """L with b ∥ c between a and d."""
+    return EventLog.from_sequences(
+        [["a", "b", "c", "d"]] * 3 + [["a", "c", "b", "d"]] * 3
+    )
+
+
+class TestDfg:
+    def test_counts_and_relations(self):
+        dfg = DirectlyFollowsGraph.from_log(seq_choice_log())
+        assert dfg.follows("a", "b") == 3
+        assert dfg.follows("a", "c") == 2
+        assert dfg.follows("b", "a") == 0
+        assert dfg.causal("a", "b")
+        assert dfg.unrelated("b", "c")
+        assert dfg.start_activities == {"a": 5}
+        assert dfg.end_activities == {"d": 5}
+
+    def test_parallel_relation(self):
+        dfg = DirectlyFollowsGraph.from_log(parallel_log())
+        assert dfg.parallel("b", "c")
+        assert not dfg.causal("b", "c")
+
+    def test_successors_predecessors(self):
+        dfg = DirectlyFollowsGraph.from_log(seq_choice_log())
+        assert dfg.successors("a") == {"b", "c"}
+        assert dfg.predecessors("d") == {"b", "c"}
+
+    def test_edges_sorted_by_frequency(self):
+        dfg = DirectlyFollowsGraph.from_log(seq_choice_log())
+        edges = dfg.edges()
+        assert edges[0][2] >= edges[-1][2]
+
+    def test_empty_log(self):
+        dfg = DirectlyFollowsGraph.from_log(EventLog())
+        assert dfg.activities == set()
+
+
+class TestAlphaMiner:
+    def test_discovers_choice_structure(self):
+        net = alpha_miner(seq_choice_log())
+        assert set(net.transitions) == {"a", "b", "c", "d"}
+        # a's output place splits into b|c, which merge before d
+        report = check_soundness(net)
+        assert report.sound, report.problems
+
+    def test_discovers_parallel_structure(self):
+        net = alpha_miner(parallel_log())
+        report = check_soundness(net)
+        assert report.sound, report.problems
+        # b and c must be concurrently enabled after a
+        m = net.fire(Marking({"i": 1}), "a")
+        assert set(net.enabled(m)) == {"b", "c"}
+
+    def test_rediscovers_generating_model(self):
+        model = (
+            ProcessBuilder("gen")
+            .start()
+            .script_task("register", script="x = 1")
+            .exclusive_gateway("decide")
+            .branch(condition="true")
+            .script_task("approve", script="x = 2")
+            .exclusive_gateway("merge")
+            .branch_from("decide", default=True)
+            .script_task("reject", script="x = 3")
+            .connect_to("merge")
+            .move_to("merge")
+            .script_task("archive", script="x = 4")
+            .end()
+            .build()
+        )
+        log = generate_log(model, n_traces=50, seed=1)
+        net = alpha_miner(log)
+        # replayed log fits the discovered net perfectly
+        result = token_replay(net, log)
+        assert result.fitness == 1.0
+        assert result.trace_fitness_ratio == 1.0
+
+    def test_replay_of_generating_parallel_model(self):
+        model = (
+            ProcessBuilder("genpar")
+            .start()
+            .script_task("a", script="x = 1")
+            .parallel_gateway("fork")
+            .branch()
+            .script_task("b", script="x = 2")
+            .parallel_gateway("sync")
+            .branch_from("fork")
+            .script_task("c", script="x = 3")
+            .connect_to("sync")
+            .move_to("sync")
+            .script_task("d", script="x = 4")
+            .end()
+            .build()
+        )
+        log = generate_log(model, n_traces=60, seed=2)
+        net = alpha_miner(log)
+        assert token_replay(net, log).fitness == 1.0
+
+
+class TestHeuristicsMiner:
+    def test_strong_dependencies_retained(self):
+        graph = heuristics_miner(seq_choice_log(), dependency_threshold=0.5)
+        assert graph.edge("a", "b") > 0.5
+        assert graph.edge("a", "c") > 0.5
+        assert graph.edge("b", "c") == 0.0
+
+    def test_noise_edges_fall_below_threshold(self):
+        clean = [["a", "b", "c"]] * 50
+        noisy = clean + [["a", "c", "b"]]  # one deviating trace
+        graph = heuristics_miner(
+            EventLog.from_sequences(noisy), dependency_threshold=0.9
+        )
+        assert graph.edge("b", "c") > 0.9  # strong real edge survives
+        assert graph.edge("c", "b") == 0.0  # noise edge dropped
+
+    def test_dependency_measure_antisymmetry(self):
+        dfg = DirectlyFollowsGraph.from_log(seq_choice_log())
+        assert dependency_measure(dfg, "a", "b") == pytest.approx(
+            -dependency_measure(dfg, "b", "a")
+        )
+
+    def test_min_frequency_filter(self):
+        log = EventLog.from_sequences([["a", "b"]] * 10 + [["a", "z"]])
+        graph = heuristics_miner(log, dependency_threshold=0.4, min_frequency=2)
+        assert graph.edge("a", "z") == 0.0
+        assert graph.edge("a", "b") > 0
+
+    def test_loop_measure(self):
+        log = EventLog.from_sequences([["a", "a", "a", "b"]])
+        dfg = DirectlyFollowsGraph.from_log(log)
+        assert 0 < dependency_measure(dfg, "a", "a") < 1
+
+
+class TestConformance:
+    def test_perfect_fit(self):
+        log = seq_choice_log()
+        net = alpha_miner(log)
+        result = token_replay(net, log)
+        assert result.fitness == 1.0
+        assert all(t.fits for t in result.traces)
+
+    def test_deviating_trace_lowers_fitness(self):
+        log = seq_choice_log()
+        net = alpha_miner(log)
+        deviating = EventLog.from_sequences([["a", "d"]])  # skips b/c
+        result = token_replay(net, deviating)
+        assert result.fitness < 1.0
+        assert result.trace_fitness_ratio == 0.0
+
+    def test_unknown_activity_counts_against_fitness(self):
+        log = seq_choice_log()
+        net = alpha_miner(log)
+        weird = EventLog.from_sequences([["a", "XX", "b", "d"]])
+        result = token_replay(net, weird)
+        assert result.fitness < 1.0
+        assert result.traces[0].unknown_activities == 1
+
+    def test_noisy_log_fitness_between_zero_and_one(self):
+        model_log = parallel_log()
+        net = alpha_miner(model_log)
+        noisy = add_noise(model_log, noise_rate=1.0, seed=3)
+        result = token_replay(net, noisy)
+        assert 0.0 < result.fitness < 1.0
+
+    def test_replay_requires_source_and_sink(self):
+        from repro.petri.net import PetriNet
+
+        net = PetriNet()
+        net.add_place("x")
+        net.add_transition("t")
+        net.add_arc("x", "t")
+        with pytest.raises(ValueError):
+            token_replay(net, seq_choice_log())
+
+
+class TestGenerators:
+    def test_generated_traces_follow_model_order(self):
+        model = (
+            ProcessBuilder("lin")
+            .start()
+            .script_task("one", script="x = 1")
+            .script_task("two", script="x = 2")
+            .end()
+            .build()
+        )
+        log = generate_log(model, n_traces=10, seed=0)
+        assert len(log) == 10
+        assert all(t.activities == ("one", "two") for t in log)
+
+    def test_choice_model_generates_both_variants(self):
+        model = (
+            ProcessBuilder("choice")
+            .start()
+            .exclusive_gateway("gw")
+            .branch(condition="true")
+            .script_task("yes", script="x = 1")
+            .exclusive_gateway("merge")
+            .branch_from("gw", default=True)
+            .script_task("no", script="x = 2")
+            .connect_to("merge")
+            .move_to("merge")
+            .end()
+            .build()
+        )
+        log = generate_log(model, n_traces=50, seed=0)
+        variants = set(log.variants())
+        assert ("yes",) in variants and ("no",) in variants
+
+    def test_seeded_generation_is_reproducible(self):
+        model = (
+            ProcessBuilder("c2")
+            .start()
+            .exclusive_gateway("gw")
+            .branch(condition="true")
+            .script_task("a", script="x = 1")
+            .exclusive_gateway("m")
+            .branch_from("gw", default=True)
+            .script_task("b", script="x = 2")
+            .connect_to("m")
+            .move_to("m")
+            .end()
+            .build()
+        )
+        log1 = generate_log(model, n_traces=20, seed=9)
+        log2 = generate_log(model, n_traces=20, seed=9)
+        assert [t.activities for t in log1] == [t.activities for t in log2]
+
+    def test_timestamps_increase_within_trace(self):
+        model = (
+            ProcessBuilder("ts")
+            .start()
+            .script_task("a", script="x = 1")
+            .script_task("b", script="x = 2")
+            .end()
+            .build()
+        )
+        log = generate_log(model, n_traces=5, seed=1)
+        for trace in log:
+            stamps = [e.timestamp for e in trace.events]
+            assert stamps == sorted(stamps)
+
+    def test_add_noise_rate_zero_is_identity(self):
+        log = seq_choice_log()
+        noisy = add_noise(log, noise_rate=0.0)
+        assert [t.activities for t in noisy] == [t.activities for t in log]
+
+    def test_add_noise_changes_some_traces(self):
+        log = EventLog.from_sequences([["a", "b", "c", "d"]] * 50)
+        noisy = add_noise(log, noise_rate=1.0, seed=4)
+        changed = sum(
+            1
+            for before, after in zip(log, noisy)
+            if before.activities != after.activities
+        )
+        assert changed > 25  # duplicates always change; swaps/drops too
+
+    def test_noise_rate_validated(self):
+        with pytest.raises(ValueError):
+            add_noise(EventLog(), noise_rate=2.0)
+
+
+class TestPerformance:
+    def test_case_durations(self):
+        log = EventLog.from_sequences([["a", "b", "c"]])  # stamps 0,1,2
+        profile = analyze_performance(log)
+        assert profile.mean_case_duration == 2.0
+        assert profile.max_case_duration == 2.0
+
+    def test_transition_gaps_and_bottleneck(self):
+        from repro.history.log import LogEvent, Trace
+
+        log = EventLog()
+        log.add(
+            Trace(
+                "c1",
+                [
+                    LogEvent("a", timestamp=0.0),
+                    LogEvent("b", timestamp=1.0),
+                    LogEvent("c", timestamp=100.0),
+                ],
+            )
+        )
+        profile = analyze_performance(log)
+        assert profile.mean_transition_time("b", "c") == 99.0
+        top = profile.bottlenecks(top=1)
+        assert top[0][:2] == ("b", "c")
+
+    def test_empty_log_profile(self):
+        profile = analyze_performance(EventLog())
+        assert profile.mean_case_duration == 0.0
+        assert profile.bottlenecks() == []

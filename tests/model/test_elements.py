@@ -1,0 +1,111 @@
+"""Tests for process-model element construction rules."""
+
+import pytest
+
+from repro.model.elements import (
+    BoundaryEvent,
+    CallActivity,
+    IntermediateMessageEvent,
+    IntermediateTimerEvent,
+    ReceiveTask,
+    RetryPolicy,
+    ScriptTask,
+    SendTask,
+    SequenceFlow,
+    ServiceTask,
+    UserTask,
+)
+from repro.model.errors import ModelError
+
+
+class TestNodes:
+    def test_name_defaults_to_id(self):
+        task = ScriptTask("calc", script="x = 1")
+        assert task.name == "calc"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ModelError):
+            ScriptTask("", script="x = 1")
+
+    def test_type_name_tag(self):
+        assert UserTask("t", role="r").type_name == "UserTask"
+
+    def test_user_task_requires_role(self):
+        with pytest.raises(ModelError, match="role"):
+            UserTask("approve")
+
+    def test_user_task_due_seconds_positive(self):
+        with pytest.raises(ModelError):
+            UserTask("approve", role="r", due_seconds=0)
+
+    def test_service_task_requires_service(self):
+        with pytest.raises(ModelError, match="service"):
+            ServiceTask("call")
+
+    def test_script_task_requires_script(self):
+        with pytest.raises(ModelError, match="script"):
+            ScriptTask("s", script="   ")
+
+    def test_send_receive_require_message_name(self):
+        with pytest.raises(ModelError):
+            SendTask("send")
+        with pytest.raises(ModelError):
+            ReceiveTask("recv")
+
+    def test_call_activity_requires_process_key(self):
+        with pytest.raises(ModelError):
+            CallActivity("call")
+
+    def test_timer_event_rejects_negative_duration(self):
+        with pytest.raises(ModelError):
+            IntermediateTimerEvent("t", duration=-1)
+
+    def test_message_event_requires_name(self):
+        with pytest.raises(ModelError):
+            IntermediateMessageEvent("m")
+
+
+class TestBoundaryEvents:
+    def test_requires_attachment(self):
+        with pytest.raises(ModelError, match="attached_to"):
+            BoundaryEvent("b")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError, match="kind"):
+            BoundaryEvent("b", attached_to="task", kind="signal")
+
+    def test_timer_boundary_requires_duration(self):
+        with pytest.raises(ModelError):
+            BoundaryEvent("b", attached_to="task", kind="timer", duration=0)
+
+    def test_error_boundary_ok(self):
+        b = BoundaryEvent("b", attached_to="task", kind="error", error_code="E1")
+        assert b.error_code == "E1"
+
+
+class TestSequenceFlow:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError, match="self-loop"):
+            SequenceFlow("f", "a", "a")
+
+    def test_default_with_condition_rejected(self):
+        with pytest.raises(ModelError):
+            SequenceFlow("f", "a", "b", condition="x > 1", is_default=True)
+
+    def test_plain_flow_ok(self):
+        flow = SequenceFlow("f", "a", "b", condition="x > 1")
+        assert flow.condition == "x > 1"
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_geometrically(self):
+        policy = RetryPolicy(max_attempts=4, initial_backoff=1.0, backoff_multiplier=2.0)
+        assert [policy.backoff(k) for k in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ModelError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ModelError):
+            RetryPolicy(initial_backoff=-1)

@@ -1,0 +1,103 @@
+"""Tests for the DOT / ASCII model renderers."""
+
+from repro.model.builder import ProcessBuilder
+from repro.model.render import to_ascii, to_dot
+
+
+def sample_model():
+    return (
+        ProcessBuilder("review", name="Review flow")
+        .start()
+        .user_task("check", role="clerk")
+        .exclusive_gateway("gw")
+        .branch(condition="ok == true")
+        .end("approved")
+        .branch_from("gw", default=True)
+        .script_task("retry_note", script="noted = true")
+        .end("rejected")
+        .build()
+    )
+
+
+def boundary_model():
+    return (
+        ProcessBuilder("b")
+        .start()
+        .service_task("call", service="svc")
+        .end()
+        .boundary_error("guard", attached_to="call")
+        .end("err")
+        .build()
+    )
+
+
+class TestDot:
+    def test_valid_digraph_structure(self):
+        dot = to_dot(sample_model())
+        assert dot.startswith('digraph "review" {')
+        assert dot.rstrip().endswith("}")
+        assert "rankdir=LR" in dot
+
+    def test_node_shapes_by_type(self):
+        dot = to_dot(sample_model())
+        assert 'shape=circle' in dot        # start
+        assert 'shape=doublecircle' in dot  # ends
+        assert 'shape=diamond' in dot       # gateway
+        assert 'shape=box' in dot           # tasks
+
+    def test_edges_with_guards_and_default(self):
+        dot = to_dot(sample_model())
+        assert '"gw" -> "approved" [label="ok == true"]' in dot
+        assert 'style="bold"' in dot  # the default flow
+
+    def test_boundary_attachment_dotted(self):
+        dot = to_dot(boundary_model())
+        assert '"call" -> "guard" [style="dotted", arrowhead="none"];' in dot
+
+    def test_quoting_of_special_characters(self):
+        model = (
+            ProcessBuilder("q")
+            .start()
+            .script_task("t", script="x = 1", name='say "hi"')
+            .end()
+            .build()
+        )
+        dot = to_dot(model)
+        assert 'label="say \\"hi\\""' in dot
+
+
+class TestAscii:
+    def test_outline_contains_all_reachable_nodes(self):
+        text = to_ascii(sample_model())
+        for node_id in ("start", "check", "gw", "approved", "retry_note", "rejected"):
+            assert node_id in text
+
+    def test_guards_annotated(self):
+        text = to_ascii(sample_model())
+        assert "[ok == true]" in text
+        assert "[default]" in text
+
+    def test_loops_marked_not_followed(self):
+        model = (
+            ProcessBuilder("loop")
+            .start()
+            .exclusive_gateway("again")
+            .script_task("work", script="x = 1")
+            .exclusive_gateway("check")
+            .branch(condition="x < 3")
+            .connect_to("again")
+            .branch_from("check", default=True)
+            .end()
+            .build()
+        )
+        text = to_ascii(model)
+        assert "(loop)" in text
+
+    def test_boundary_paths_shown(self):
+        text = to_ascii(boundary_model())
+        assert "~ boundary error: guard" in text
+
+    def test_empty_model(self):
+        from repro.model.process import ProcessDefinition
+
+        assert "(no start event)" in to_ascii(ProcessDefinition("empty"))

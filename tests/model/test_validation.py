@@ -1,0 +1,266 @@
+"""Tests for structural validation of process definitions."""
+
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import (
+    EndEvent,
+    IntermediateTimerEvent,
+    ScriptTask,
+    SequenceFlow,
+    StartEvent,
+    UserTask,
+)
+from repro.model.process import ProcessDefinition
+from repro.model.validation import validate
+
+
+def raw(key="p"):
+    return ProcessDefinition(key)
+
+
+class TestEntryExit:
+    def test_valid_linear_model_passes(self):
+        model = (
+            ProcessBuilder("ok")
+            .start()
+            .script_task("a", script="x = 1")
+            .end()
+            .build(validate=False)
+        )
+        report = validate(model)
+        assert report.ok
+        assert report.issues == []
+
+    def test_missing_start_is_error(self):
+        d = raw()
+        d.add_node(EndEvent("end"))
+        d.add_node(ScriptTask("a", script="x = 1"))
+        d.add_flow(SequenceFlow("f", "a", "end"))
+        report = validate(d)
+        assert any("exactly one start" in i.message for i in report.errors)
+
+    def test_two_starts_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s1"))
+        d.add_node(StartEvent("s2"))
+        d.add_node(EndEvent("end"))
+        d.add_flow(SequenceFlow("f1", "s1", "end"))
+        d.add_flow(SequenceFlow("f2", "s2", "end"))
+        report = validate(d)
+        assert any("exactly one start" in i.message for i in report.errors)
+
+    def test_missing_end_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s"))
+        d.add_node(ScriptTask("a", script="x = 1"))
+        d.add_flow(SequenceFlow("f", "s", "a"))
+        report = validate(d)
+        assert any("at least one end" in i.message for i in report.errors)
+
+    def test_start_with_incoming_flow_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s"))
+        d.add_node(ScriptTask("a", script="x = 1"))
+        d.add_node(EndEvent("end"))
+        d.add_flow(SequenceFlow("f1", "s", "a"))
+        d.add_flow(SequenceFlow("f2", "a", "s"))
+        report = validate(d)
+        assert any("incoming" in i.message for i in report.errors)
+
+
+class TestCardinalities:
+    def test_task_with_two_outgoing_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s"))
+        d.add_node(ScriptTask("a", script="x = 1"))
+        d.add_node(EndEvent("e1"))
+        d.add_node(EndEvent("e2"))
+        d.add_flow(SequenceFlow("f1", "s", "a"))
+        d.add_flow(SequenceFlow("f2", "a", "e1"))
+        d.add_flow(SequenceFlow("f3", "a", "e2"))
+        report = validate(d)
+        assert any("exactly one outgoing" in i.message for i in report.errors)
+
+    def test_task_with_two_incoming_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s"))
+        d.add_node(ScriptTask("a", script="x = 1"))
+        d.add_node(ScriptTask("b", script="x = 2"))
+        d.add_node(EndEvent("end"))
+        # sneak two flows into b without gateways
+        d.add_flow(SequenceFlow("f1", "s", "a"))
+        d.add_flow(SequenceFlow("f2", "a", "b"))
+        d.add_flow(SequenceFlow("f3", "s", "b"))
+        d.add_flow(SequenceFlow("f4", "b", "end"))
+        report = validate(d)
+        assert any("exactly one incoming" in i.message for i in report.errors)
+
+    def test_gateway_without_outgoing_is_error(self):
+        model = (
+            ProcessBuilder("p")
+            .start()
+            .exclusive_gateway("gw")
+            .build(validate=False)
+        )
+        report = validate(model)
+        assert any("no outgoing" in i.message for i in report.errors)
+
+
+class TestGatewayRules:
+    def test_xor_without_default_warns(self):
+        model = (
+            ProcessBuilder("p")
+            .start()
+            .exclusive_gateway("gw")
+            .branch(condition="x > 1")
+            .end("e1")
+            .branch(condition="x <= 1")
+            .end("e2")
+            .build(validate=False)
+        )
+        report = validate(model)
+        assert report.ok
+        assert any("no default flow" in i.message for i in report.warnings)
+
+    def test_default_flow_on_parallel_gateway_is_error(self):
+        model = (
+            ProcessBuilder("p")
+            .start()
+            .parallel_gateway("fork")
+            .branch(default=True)
+            .end("e1")
+            .branch()
+            .end("e2")
+            .build(validate=False)
+        )
+        report = validate(model)
+        assert any("default" in i.message for i in report.errors)
+
+    def test_event_gateway_must_lead_to_catch_events(self):
+        model = (
+            ProcessBuilder("p")
+            .start()
+            .event_gateway("race")
+            .branch()
+            .script_task("oops", script="x = 1")
+            .end("e1")
+            .branch()
+            .timer("wait", duration=10)
+            .end("e2")
+            .build(validate=False)
+        )
+        report = validate(model)
+        assert any("catch events" in i.message for i in report.errors)
+
+    def test_bad_condition_expression_is_error(self):
+        model = (
+            ProcessBuilder("p")
+            .start()
+            .exclusive_gateway("gw")
+            .branch(condition="amount >")
+            .end("e1")
+            .branch(default=True)
+            .end("e2")
+            .build(validate=False)
+        )
+        report = validate(model)
+        assert any("does not parse" in i.message for i in report.errors)
+
+    def test_bad_script_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s"))
+        d.add_node(ScriptTask("bad", script="x = ((("))
+        d.add_node(EndEvent("end"))
+        d.add_flow(SequenceFlow("f1", "s", "bad"))
+        d.add_flow(SequenceFlow("f2", "bad", "end"))
+        report = validate(d)
+        assert any("does not parse" in i.message for i in report.errors)
+
+    def test_non_assignment_script_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s"))
+        d.add_node(ScriptTask("bad", script="launch()"))
+        d.add_node(EndEvent("end"))
+        d.add_flow(SequenceFlow("f1", "s", "bad"))
+        d.add_flow(SequenceFlow("f2", "bad", "end"))
+        report = validate(d)
+        assert any("not an assignment" in i.message for i in report.errors)
+
+
+class TestConnectivity:
+    def test_unreachable_node_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s"))
+        d.add_node(ScriptTask("a", script="x = 1"))
+        d.add_node(ScriptTask("island", script="y = 2"))
+        d.add_node(EndEvent("end"))
+        d.add_node(EndEvent("island_end"))
+        d.add_flow(SequenceFlow("f1", "s", "a"))
+        d.add_flow(SequenceFlow("f2", "a", "end"))
+        d.add_flow(SequenceFlow("f3", "island", "island_end"))
+        report = validate(d)
+        assert any(
+            i.element_id == "island" and "unreachable" in i.message
+            for i in report.errors
+        )
+
+    def test_node_without_path_to_end_is_error(self):
+        d = raw()
+        d.add_node(StartEvent("s"))
+        d.add_node(ScriptTask("a", script="x = 1"))
+        d.add_node(UserTask("stuck", role="r"))
+        d.add_node(EndEvent("end"))
+        d.add_flow(SequenceFlow("f1", "s", "a"))
+        d.add_flow(SequenceFlow("f2", "a", "end"))
+        d.add_flow(SequenceFlow("f3", "a", "stuck"))
+        report = validate(d)
+        assert any(
+            i.element_id == "stuck" and "end event" in i.message for i in report.errors
+        )
+
+
+class TestBoundaryValidation:
+    def test_boundary_on_unknown_host_is_error(self):
+        model = (
+            ProcessBuilder("p")
+            .start()
+            .service_task("svc_task", service="svc")
+            .end()
+            .boundary_error("b", attached_to="nope")
+            .end("e2")
+            .build(validate=False)
+        )
+        report = validate(model)
+        assert any("unknown node" in i.message for i in report.errors)
+
+    def test_boundary_on_gateway_is_error(self):
+        model = (
+            ProcessBuilder("p")
+            .start()
+            .exclusive_gateway("gw")
+            .branch()
+            .end("e1")
+            .build(validate=False)
+        )
+        model.add_node(
+            __import__("repro.model.elements", fromlist=["BoundaryEvent"]).BoundaryEvent(
+                "b", attached_to="gw"
+            )
+        )
+        model.add_node(EndEvent("e2"))
+        model.add_flow(SequenceFlow("fb", "b", "e2"))
+        report = validate(model)
+        assert any("attach to activities" in i.message for i in report.errors)
+
+    def test_valid_boundary_passes(self):
+        model = (
+            ProcessBuilder("p")
+            .start()
+            .service_task("risky", service="svc")
+            .end()
+            .boundary_error("on_error", attached_to="risky", error_code="E")
+            .script_task("compensate", script="rolled_back = true")
+            .end("error_end")
+            .build(validate=False)
+        )
+        report = validate(model)
+        assert report.ok, [str(i) for i in report.issues]

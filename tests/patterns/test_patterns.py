@@ -1,0 +1,50 @@
+"""Tests: every supported control-flow pattern verifies on the engine."""
+
+import pytest
+
+from repro.patterns.catalog import PATTERNS, evaluate_all, evaluate_pattern
+
+SUPPORTED = [p for p in PATTERNS if p.supported]
+UNSUPPORTED = [p for p in PATTERNS if not p.supported]
+
+
+class TestCatalogShape:
+    def test_all_twenty_patterns_present(self):
+        assert sorted(p.number for p in PATTERNS) == list(range(1, 21))
+
+    def test_supported_count_is_sixteen(self):
+        # 14 base + patterns 12/14 via the multi-instance activity extension
+        assert len(SUPPORTED) == 16
+
+    def test_baseline_supports_five(self):
+        assert sum(1 for p in PATTERNS if p.baseline_supported) == 5
+
+    def test_baseline_support_is_subset_of_bpms_support(self):
+        assert all(p.supported for p in PATTERNS if p.baseline_supported)
+
+    def test_unsupported_patterns_carry_reasons(self):
+        assert all(p.note for p in UNSUPPORTED)
+        assert all(p.verify is None for p in UNSUPPORTED)
+
+
+class TestVerifications:
+    @pytest.mark.parametrize(
+        "spec", SUPPORTED, ids=lambda s: f"p{s.number:02d}-{s.name.replace(' ', '_')}"
+    )
+    def test_supported_pattern_verifies(self, spec):
+        assert spec.check(), f"pattern {spec.number} ({spec.name}) failed verification"
+
+    @pytest.mark.parametrize(
+        "spec", UNSUPPORTED, ids=lambda s: f"p{s.number:02d}"
+    )
+    def test_unsupported_pattern_checks_false(self, spec):
+        assert spec.check() is False
+
+    def test_evaluate_all_matches_flags(self):
+        results = evaluate_all()
+        for spec in PATTERNS:
+            assert results[spec.number] == spec.supported
+
+    def test_evaluate_single(self):
+        assert evaluate_pattern(1) is True
+        assert evaluate_pattern(9) is False

@@ -1,0 +1,124 @@
+"""Unit and property tests for immutable markings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.petri.marking import Marking
+
+counts = st.dictionaries(
+    st.sampled_from(["p1", "p2", "p3", "p4", "p5"]),
+    st.integers(min_value=0, max_value=20),
+    max_size=5,
+)
+
+
+class TestBasics:
+    def test_empty_marking_has_no_places(self):
+        assert len(Marking()) == 0
+        assert Marking().total == 0
+
+    def test_zero_counts_are_normalized_away(self):
+        assert Marking({"p": 0}) == Marking()
+        assert "p" not in Marking({"p": 0})
+
+    def test_missing_place_reads_as_zero(self):
+        m = Marking({"a": 2})
+        assert m["a"] == 2
+        assert m["zzz"] == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Marking({"p": -1})
+
+    def test_single_constructor(self):
+        assert Marking.single("i") == Marking({"i": 1})
+        assert Marking.single("i", 3)["i"] == 3
+
+    def test_construction_from_pairs_accumulates(self):
+        assert Marking([("p", 1), ("p", 2)]) == Marking({"p": 3})
+
+    def test_repr_is_sorted_and_stable(self):
+        assert repr(Marking({"b": 1, "a": 2})) == "Marking({'a': 2, 'b': 1})"
+
+
+class TestAlgebra:
+    def test_plus_merges_counts(self):
+        assert Marking({"a": 1}).plus({"a": 1, "b": 2}) == Marking({"a": 2, "b": 2})
+
+    def test_minus_removes_counts(self):
+        assert Marking({"a": 2, "b": 1}).minus({"a": 1, "b": 1}) == Marking({"a": 1})
+
+    def test_minus_underflow_raises(self):
+        with pytest.raises(ValueError):
+            Marking({"a": 1}).minus({"a": 2})
+
+    def test_minus_unknown_place_raises(self):
+        with pytest.raises(ValueError):
+            Marking({"a": 1}).minus({"b": 1})
+
+    def test_covers(self):
+        m = Marking({"a": 2, "b": 1})
+        assert m.covers({"a": 1})
+        assert m.covers({"a": 2, "b": 1})
+        assert not m.covers({"a": 3})
+        assert not m.covers({"c": 1})
+
+    def test_strictly_covers(self):
+        assert Marking({"a": 2}).strictly_covers(Marking({"a": 1}))
+        assert not Marking({"a": 1}).strictly_covers(Marking({"a": 1}))
+
+    def test_support_and_total(self):
+        m = Marking({"a": 2, "b": 3})
+        assert m.support == frozenset({"a", "b"})
+        assert m.total == 5
+
+
+class TestIdentity:
+    def test_equal_markings_hash_equal(self):
+        assert hash(Marking({"a": 1, "b": 2})) == hash(Marking({"b": 2, "a": 1}))
+
+    def test_equality_with_plain_mapping(self):
+        assert Marking({"a": 1}) == {"a": 1, "b": 0}
+
+    def test_usable_as_dict_key(self):
+        d = {Marking({"a": 1}): "x"}
+        assert d[Marking({"a": 1})] == "x"
+
+    def test_to_dict_roundtrip(self):
+        m = Marking({"a": 2})
+        assert Marking(m.to_dict()) == m
+
+
+class TestProperties:
+    @given(counts, counts)
+    def test_plus_then_minus_is_identity(self, a, b):
+        m = Marking(a)
+        assert m.plus(b).minus(b) == m
+
+    @given(counts, counts)
+    def test_plus_is_commutative(self, a, b):
+        assert Marking(a).plus(b) == Marking(b).plus(a)
+
+    @given(counts)
+    def test_plus_empty_is_identity(self, a):
+        assert Marking(a).plus({}) == Marking(a)
+
+    @given(counts, counts)
+    def test_plus_result_covers_both_operands(self, a, b):
+        result = Marking(a).plus(b)
+        assert result.covers(Marking(a))
+        assert result.covers(Marking(b))
+
+    @given(counts, counts)
+    def test_covers_iff_minus_succeeds(self, a, b):
+        m, sub = Marking(a), Marking(b)
+        if m.covers(sub):
+            assert m.minus(sub).plus(sub) == m
+        else:
+            with pytest.raises(ValueError):
+                m.minus(sub)
+
+    @given(counts)
+    def test_total_is_sum_of_counts(self, a):
+        assert Marking(a).total == sum(v for v in a.values())

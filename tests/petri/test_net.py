@@ -1,0 +1,153 @@
+"""Unit tests for net structure and the token-game firing rule."""
+
+import pytest
+
+from repro.petri.errors import NetStructureError, TransitionNotEnabledError
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+@pytest.fixture
+def simple_net():
+    net = PetriNet("simple")
+    net.add_place("i")
+    net.add_place("o")
+    net.add_transition("t")
+    net.add_arc("i", "t")
+    net.add_arc("t", "o")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_place_id_rejected(self, simple_net):
+        with pytest.raises(NetStructureError):
+            simple_net.add_place("i")
+
+    def test_place_and_transition_share_namespace(self, simple_net):
+        with pytest.raises(NetStructureError):
+            simple_net.add_transition("i")
+        with pytest.raises(NetStructureError):
+            simple_net.add_place("t")
+
+    def test_empty_id_rejected(self):
+        net = PetriNet()
+        with pytest.raises(NetStructureError):
+            net.add_place("")
+        with pytest.raises(NetStructureError):
+            net.add_transition("")
+
+    def test_arc_to_unknown_node_rejected(self, simple_net):
+        with pytest.raises(NetStructureError):
+            simple_net.add_arc("i", "nope")
+        with pytest.raises(NetStructureError):
+            simple_net.add_arc("nope", "t")
+
+    def test_place_to_place_arc_rejected(self, simple_net):
+        with pytest.raises(NetStructureError):
+            simple_net.add_arc("i", "o")
+
+    def test_transition_to_transition_arc_rejected(self, simple_net):
+        simple_net.add_transition("u")
+        with pytest.raises(NetStructureError):
+            simple_net.add_arc("t", "u")
+
+    def test_zero_weight_arc_rejected(self, simple_net):
+        with pytest.raises(NetStructureError):
+            simple_net.add_arc("i", "t", weight=0)
+
+    def test_parallel_arcs_accumulate_weight(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("p", "t")
+        assert net.preset("t") == {"p": 2}
+
+    def test_validate_rejects_empty_net(self):
+        with pytest.raises(NetStructureError):
+            PetriNet().validate()
+        net = PetriNet()
+        net.add_place("p")
+        with pytest.raises(NetStructureError):
+            net.validate()
+
+
+class TestStructureQueries:
+    def test_preset_postset(self, simple_net):
+        assert simple_net.preset("t") == {"i": 1}
+        assert simple_net.postset("t") == {"o": 1}
+
+    def test_place_inputs_outputs(self, simple_net):
+        assert simple_net.place_outputs("i") == frozenset({"t"})
+        assert simple_net.place_inputs("o") == frozenset({"t"})
+        assert simple_net.place_inputs("i") == frozenset()
+        assert simple_net.place_outputs("o") == frozenset()
+
+    def test_unknown_node_queries_raise(self, simple_net):
+        with pytest.raises(NetStructureError):
+            simple_net.preset("zzz")
+        with pytest.raises(NetStructureError):
+            simple_net.place_inputs("zzz")
+
+
+class TestFiring:
+    def test_enabled_lists_fireable_transitions(self, simple_net):
+        assert simple_net.enabled(Marking({"i": 1})) == ["t"]
+        assert simple_net.enabled(Marking()) == []
+
+    def test_fire_moves_token(self, simple_net):
+        assert simple_net.fire(Marking({"i": 1}), "t") == Marking({"o": 1})
+
+    def test_fire_not_enabled_raises(self, simple_net):
+        with pytest.raises(TransitionNotEnabledError):
+            simple_net.fire(Marking(), "t")
+
+    def test_weighted_firing(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t", weight=2)
+        net.add_arc("t", "q", weight=3)
+        assert not net.is_enabled(Marking({"p": 1}), "t")
+        assert net.fire(Marking({"p": 2}), "t") == Marking({"q": 3})
+
+    def test_self_loop_keeps_token(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        assert net.fire(Marking({"p": 1}), "t") == Marking({"p": 1})
+
+    def test_fire_sequence(self, simple_net):
+        simple_net.add_place("z")
+        simple_net.add_transition("u")
+        simple_net.add_arc("o", "u")
+        simple_net.add_arc("u", "z")
+        final = simple_net.fire_sequence(Marking({"i": 1}), ["t", "u"])
+        assert final == Marking({"z": 1})
+
+    def test_transition_without_inputs_always_enabled(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("src")
+        net.add_arc("src", "p")
+        assert net.is_enabled(Marking(), "src")
+        assert net.fire(Marking(), "src") == Marking({"p": 1})
+
+
+class TestCopy:
+    def test_copy_is_structurally_equal_but_independent(self, simple_net):
+        clone = simple_net.copy()
+        assert clone.preset("t") == simple_net.preset("t")
+        clone.add_place("extra")
+        assert "extra" not in simple_net.places
+
+    def test_copy_preserves_firing_behaviour(self, simple_net):
+        clone = simple_net.copy()
+        assert clone.fire(Marking({"i": 1}), "t") == Marking({"o": 1})
+
+    def test_repr_mentions_sizes(self, simple_net):
+        assert "|P|=2" in repr(simple_net)
+        assert "|T|=1" in repr(simple_net)

@@ -1,0 +1,153 @@
+"""Tests for the message bus and the EDI codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.services.bus import MessageBus
+from repro.services.edi import (
+    EdiDecodeError,
+    EdiMessage,
+    EdiSegment,
+    decode_edi,
+    encode_edi,
+)
+
+
+class TestMessageBus:
+    def test_subscriber_consumes(self):
+        bus = MessageBus()
+        seen = []
+        bus.subscribe(lambda m: (seen.append(m), True)[1])
+        bus.publish("ping", payload={"n": 1})
+        assert len(seen) == 1
+        assert bus.retained_count == 0
+        assert bus.delivered_count == 1
+
+    def test_unconsumed_messages_are_retained(self):
+        bus = MessageBus()
+        bus.subscribe(lambda m: False)
+        bus.publish("ping")
+        assert bus.retained_count == 1
+        assert len(bus.retained("ping")) == 1
+
+    def test_consume_retained_by_correlation(self):
+        bus = MessageBus()
+        bus.publish("reply", correlation="a")
+        bus.publish("reply", correlation="b")
+        message = bus.consume_retained("reply", correlation="b")
+        assert message.correlation == "b"
+        assert bus.retained_count == 1
+        assert bus.consume_retained("reply", correlation="zzz") is None
+
+    def test_consume_retained_match_any_takes_oldest(self):
+        bus = MessageBus()
+        bus.publish("reply", correlation="a")
+        bus.publish("reply", correlation="b")
+        message = bus.consume_retained("reply", match_any=True)
+        assert message.correlation == "a"
+
+    def test_first_consuming_subscriber_wins(self):
+        bus = MessageBus()
+        order = []
+        bus.subscribe(lambda m: (order.append("first"), True)[1])
+        bus.subscribe(lambda m: (order.append("second"), True)[1])
+        bus.publish("x")
+        assert order == ["first"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MessageBus().publish("")
+
+    def test_ids_are_monotonic(self):
+        bus = MessageBus()
+        a = bus.publish("x")
+        b = bus.publish("x")
+        assert b.id > a.id
+
+
+class TestEdiCodec:
+    def sample(self):
+        return EdiMessage(
+            segments=[
+                EdiSegment("UNH", (("1",), ("CUSDEC", "D", "96B"))),
+                EdiSegment("BGM", (("929",), ("DOC123",))),
+                EdiSegment("LOC", (("9",), ("ESALG", "139"))),
+                EdiSegment("UNT", (("4",), ("1",))),
+            ]
+        )
+
+    def test_encode_format(self):
+        text = encode_edi(self.sample())
+        assert text.startswith("UNH+1+CUSDEC:D:96B'")
+        assert text.endswith("UNT+4+1'")
+
+    def test_roundtrip(self):
+        message = self.sample()
+        assert decode_edi(encode_edi(message)) == message
+
+    def test_special_characters_escaped(self):
+        message = EdiMessage(
+            segments=[EdiSegment("FTX", (("it's+tricky:here?",),))]
+        )
+        text = encode_edi(message)
+        decoded = decode_edi(text)
+        assert decoded.segments[0].elements[0][0] == "it's+tricky:here?"
+
+    def test_first_and_all_accessors(self):
+        message = EdiMessage(
+            segments=[
+                EdiSegment("LOC", (("5",),)),
+                EdiSegment("LOC", (("9",),)),
+                EdiSegment("BGM", ()),
+            ]
+        )
+        assert message.first("LOC").element(0) == "5"
+        assert len(message.all("LOC")) == 2
+        assert message.first("ZZZ") is None
+
+    def test_element_accessor_defaults(self):
+        segment = EdiSegment("BGM", (("929",),))
+        assert segment.element(0) == "929"
+        assert segment.element(5) == ""
+        assert segment.element(5, default="?") == "?"
+
+    def test_empty_text_decodes_to_empty_message(self):
+        assert len(decode_edi("")) == 0
+        assert encode_edi(EdiMessage()) == ""
+
+    def test_unterminated_segment_rejected(self):
+        with pytest.raises(EdiDecodeError, match="unterminated"):
+            decode_edi("UNH+1")
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(EdiDecodeError):
+            decode_edi("TOOLONG+1'")
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(EdiDecodeError):
+            decode_edi("UNH+abc?")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["UNH", "BGM", "LOC", "FTX", "UNT"]),
+                st.lists(
+                    st.lists(
+                        st.text(
+                            alphabet="abc123'+:? ", max_size=8
+                        ),
+                        min_size=1,
+                        max_size=3,
+                    ).map(tuple),
+                    max_size=3,
+                ).map(tuple),
+            ),
+            max_size=6,
+        )
+    )
+    def test_any_message_roundtrips(self, raw_segments):
+        message = EdiMessage(
+            segments=[EdiSegment(tag, elements) for tag, elements in raw_segments]
+        )
+        assert decode_edi(encode_edi(message)) == message

@@ -1,0 +1,232 @@
+"""Tests for the service registry, resilient invoker, and circuit breaker."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.model.elements import RetryPolicy
+from repro.services.breaker import CircuitBreaker, CircuitOpenError, CircuitState
+from repro.services.errors import ServiceFailure, ServiceNotFoundError
+from repro.services.faults import FaultInjector, InjectedFault
+from repro.services.invoker import ServiceInvoker
+from repro.services.registry import ServiceRegistry
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = ServiceRegistry()
+        registry.register("echo", lambda x: x)
+        assert registry.get("echo")(x=5) == 5
+        assert "echo" in registry
+        assert registry.names() == ["echo"]
+
+    def test_decorator_form(self):
+        registry = ServiceRegistry()
+
+        @registry.service("double")
+        def double(n):
+            return n * 2
+
+        assert registry.get("double")(n=4) == 8
+
+    def test_duplicate_rejected(self):
+        registry = ServiceRegistry()
+        registry.register("x", lambda: None)
+        with pytest.raises(ValueError, match="already"):
+            registry.register("x", lambda: None)
+
+    def test_replace_requires_existing(self):
+        registry = ServiceRegistry()
+        with pytest.raises(ServiceNotFoundError):
+            registry.replace("ghost", lambda: None)
+        registry.register("x", lambda: 1)
+        registry.replace("x", lambda: 2)
+        assert registry.get("x")() == 2
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceRegistry().register("bad", 42)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ServiceNotFoundError):
+            ServiceRegistry().get("ghost")
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = VirtualClock(0)
+        breaker = CircuitBreaker("svc", failure_threshold=3, reset_timeout=10, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        assert breaker.rejected_calls == 1
+
+    def test_success_resets_failure_count(self):
+        clock = VirtualClock(0)
+        breaker = CircuitBreaker("svc", failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_half_open_after_timeout_then_closes_on_success(self):
+        clock = VirtualClock(0)
+        breaker = CircuitBreaker("svc", failure_threshold=1, reset_timeout=10, clock=clock)
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        clock.advance(10)
+        assert breaker.state is CircuitState.HALF_OPEN
+        breaker.before_call()  # allowed in half-open
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        clock = VirtualClock(0)
+        breaker = CircuitBreaker("svc", failure_threshold=1, reset_timeout=10, clock=clock)
+        breaker.record_failure()
+        clock.advance(10)
+        assert breaker.state is CircuitState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("svc", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("svc", reset_timeout=0)
+
+    def test_admin_reset(self):
+        clock = VirtualClock(0)
+        breaker = CircuitBreaker("svc", failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state is CircuitState.CLOSED
+
+
+class TestInvoker:
+    def make(self, handler, **kwargs):
+        registry = ServiceRegistry()
+        registry.register("svc", handler)
+        return ServiceInvoker(registry, clock=VirtualClock(0), **kwargs)
+
+    def test_success_first_try(self):
+        invoker = self.make(lambda a, b: a + b)
+        result = invoker.invoke("svc", {"a": 1, "b": 2})
+        assert result.succeeded and result.value == 3 and result.attempts == 1
+        assert invoker.stats.successes == 1
+
+    def test_retries_until_success(self):
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise RuntimeError("down")
+            return "up"
+
+        invoker = self.make(flaky)
+        result = invoker.invoke("svc", retry=RetryPolicy(max_attempts=5, initial_backoff=1.0))
+        assert result.succeeded and result.attempts == 3
+        assert result.total_backoff == 1.0 + 2.0  # geometric backoff consumed
+        assert invoker.stats.retries == 2
+
+    def test_failure_after_exhausted_attempts(self):
+        invoker = self.make(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        result = invoker.invoke("svc", retry=RetryPolicy(max_attempts=2, initial_backoff=0))
+        assert not result.succeeded
+        assert result.attempts == 2
+        assert "boom" in result.error
+
+    def test_permanent_failure_skips_retries(self):
+        class Permanent(RuntimeError):
+            transient = False
+
+        def fail():
+            raise Permanent("no point retrying")
+
+        invoker = self.make(fail)
+        result = invoker.invoke("svc", retry=RetryPolicy(max_attempts=5, initial_backoff=0))
+        assert not result.succeeded
+        assert result.attempts == 1
+
+    def test_breaker_trips_and_rejects(self):
+        invoker = self.make(
+            lambda: (_ for _ in ()).throw(RuntimeError("down")),
+            breaker_failure_threshold=2,
+            breaker_reset_timeout=60,
+        )
+        invoker.invoke("svc", retry=RetryPolicy(max_attempts=1))
+        invoker.invoke("svc", retry=RetryPolicy(max_attempts=1))
+        result = invoker.invoke("svc", retry=RetryPolicy(max_attempts=1))
+        assert result.rejected_by_breaker
+        assert result.attempts == 0
+        assert invoker.stats.breaker_rejections == 1
+
+    def test_breaker_disabled_mode(self):
+        invoker = self.make(
+            lambda: (_ for _ in ()).throw(RuntimeError("down")),
+            use_breaker=False,
+        )
+        for _ in range(10):
+            result = invoker.invoke("svc", retry=RetryPolicy(max_attempts=1))
+        assert not result.rejected_by_breaker
+
+    def test_bpmn_error_propagates_without_breaker_penalty(self):
+        from repro.engine.errors import BpmnError
+
+        def business_error():
+            raise BpmnError("NO_STOCK")
+
+        invoker = self.make(business_error, breaker_failure_threshold=1)
+        with pytest.raises(BpmnError):
+            invoker.invoke("svc")
+        # the breaker saw a *successful* technical call
+        assert invoker.breaker_for("svc").state is CircuitState.CLOSED
+
+    def test_invoke_or_raise(self):
+        invoker = self.make(lambda: 7)
+        assert invoker.invoke_or_raise("svc") == 7
+        bad = self.make(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        with pytest.raises(ServiceFailure):
+            bad.invoke_or_raise("svc", retry=RetryPolicy(max_attempts=1))
+
+
+class TestFaultInjector:
+    def test_deterministic_window(self):
+        injector = FaultInjector(lambda: "ok", fail_first=2)
+        with pytest.raises(InjectedFault):
+            injector()
+        with pytest.raises(InjectedFault):
+            injector()
+        assert injector() == "ok"
+        assert injector.faults == 2
+
+    def test_zero_rate_never_fails(self):
+        injector = FaultInjector(lambda: "ok", failure_rate=0.0)
+        assert all(injector() == "ok" for _ in range(50))
+
+    def test_full_rate_always_fails(self):
+        injector = FaultInjector(lambda: "ok", failure_rate=1.0, seed=1)
+        for _ in range(10):
+            with pytest.raises(InjectedFault):
+                injector()
+
+    def test_seeded_rate_is_reproducible(self):
+        def run():
+            injector = FaultInjector(lambda: "ok", failure_rate=0.5, seed=42)
+            outcomes = []
+            for _ in range(20):
+                try:
+                    injector()
+                    outcomes.append(True)
+                except InjectedFault:
+                    outcomes.append(False)
+            return outcomes
+
+        assert run() == run()
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(lambda: None, failure_rate=1.5)

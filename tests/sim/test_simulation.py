@@ -1,0 +1,292 @@
+"""Tests for distributions, the simulation runner, and KPI computation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.engine.errors import EngineError
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+from repro.sim.distributions import Erlang, Exponential, Fixed, LogNormal, Uniform
+from repro.sim.kpi import KpiReport, compute_kpis
+from repro.sim.runner import SimulationRunner
+from repro.worklist.allocation import ShortestQueueAllocator
+
+
+def simple_task_model(key="work"):
+    return (
+        ProcessBuilder(key)
+        .start()
+        .user_task("handle", role="agent")
+        .end()
+        .build()
+    )
+
+
+def make_engine(n_agents=2):
+    engine = ProcessEngine(
+        clock=VirtualClock(0), allocator=ShortestQueueAllocator()
+    )
+    for k in range(n_agents):
+        engine.organization.add(f"agent{k}", roles=["agent"])
+    return engine
+
+
+class TestDistributions:
+    def test_fixed(self):
+        rng = random.Random(0)
+        assert Fixed(3.0).sample(rng) == 3.0
+        assert Fixed(3.0).mean == 3.0
+
+    def test_uniform_bounds_and_mean(self):
+        rng = random.Random(0)
+        dist = Uniform(2, 4)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert all(2 <= s <= 4 for s in samples)
+        assert dist.mean == 3.0
+
+    def test_exponential_mean(self):
+        rng = random.Random(1)
+        dist = Exponential(rate=0.5)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert dist.mean == 2.0
+        assert abs(sum(samples) / len(samples) - 2.0) < 0.15
+
+    def test_lognormal_mean(self):
+        rng = random.Random(2)
+        dist = LogNormal(mu=0.0, sigma=0.5)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples) - dist.mean) < 0.1
+
+    def test_erlang_mean_and_positivity(self):
+        rng = random.Random(3)
+        dist = Erlang(k=3, rate=1.5)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        assert all(s > 0 for s in samples)
+        assert abs(sum(samples) / len(samples) - 2.0) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fixed(-1)
+        with pytest.raises(ValueError):
+            Uniform(5, 1)
+        with pytest.raises(ValueError):
+            Exponential(0)
+        with pytest.raises(ValueError):
+            LogNormal(0, -1)
+        with pytest.raises(ValueError):
+            Erlang(0, 1)
+
+
+class TestRunner:
+    def test_all_cases_complete(self):
+        engine = make_engine()
+        engine.deploy(simple_task_model())
+        runner = SimulationRunner(
+            engine,
+            "work",
+            n_cases=20,
+            arrival=Fixed(1.0),
+            default_service=Fixed(0.5),
+            seed=1,
+        )
+        result = runner.run()
+        assert result.started_cases == 20
+        assert result.completed_cases == 20
+        assert result.end_time > 0
+
+    def test_requires_virtual_clock(self):
+        engine = ProcessEngine()  # wall clock
+        engine.deploy(simple_task_model())
+        with pytest.raises(EngineError, match="VirtualClock"):
+            SimulationRunner(engine, "work", n_cases=1)
+
+    def test_single_server_serializes_work(self):
+        engine = make_engine(n_agents=1)
+        engine.deploy(simple_task_model())
+        runner = SimulationRunner(
+            engine,
+            "work",
+            n_cases=5,
+            arrival=Fixed(0.0),  # all arrive at once
+            default_service=Fixed(2.0),
+            seed=1,
+        )
+        result = runner.run()
+        # 5 sequential services of 2.0 each
+        assert result.end_time == pytest.approx(10.0)
+        assert result.busy_time["agent0"] == pytest.approx(10.0)
+
+    def test_two_servers_halve_makespan(self):
+        engine = make_engine(n_agents=2)
+        engine.deploy(simple_task_model())
+        runner = SimulationRunner(
+            engine, "work", n_cases=6, arrival=Fixed(0.0),
+            default_service=Fixed(2.0), seed=1,
+        )
+        result = runner.run()
+        assert result.end_time == pytest.approx(6.0)
+
+    def test_per_node_service_times(self):
+        model = (
+            ProcessBuilder("twostep")
+            .start()
+            .user_task("fast", role="agent")
+            .user_task("slow", role="agent")
+            .end()
+            .build()
+        )
+        engine = make_engine(n_agents=1)
+        engine.deploy(model)
+        runner = SimulationRunner(
+            engine,
+            "twostep",
+            n_cases=1,
+            arrival=Fixed(0.0),
+            service_times={"fast": Fixed(1.0), "slow": Fixed(5.0)},
+            default_service=Fixed(99.0),
+            seed=1,
+        )
+        result = runner.run()
+        assert result.end_time == pytest.approx(6.0)
+
+    def test_variables_and_results_feed_routing(self):
+        model = (
+            ProcessBuilder("routed")
+            .start()
+            .user_task("triage", role="agent")
+            .exclusive_gateway("gw")
+            .branch(condition="urgent == true")
+            .user_task("express", role="agent")
+            .exclusive_gateway("merge")
+            .branch_from("gw", default=True)
+            .user_task("normal", role="agent")
+            .connect_to("merge")
+            .move_to("merge")
+            .end()
+            .build()
+        )
+        engine = make_engine()
+        engine.deploy(model)
+        runner = SimulationRunner(
+            engine,
+            "routed",
+            n_cases=10,
+            arrival=Fixed(1.0),
+            default_service=Fixed(0.1),
+            result_fn=lambda rng, node_id: (
+                {"urgent": rng.random() < 0.5} if node_id == "triage" else {}
+            ),
+            seed=7,
+        )
+        result = runner.run()
+        assert result.completed_cases == 10
+        express = [
+            i for i in engine.worklist.items() if i.node_id == "express"
+        ]
+        normal = [i for i in engine.worklist.items() if i.node_id == "normal"]
+        assert express and normal  # both routes exercised
+
+    def test_timers_inside_simulated_process(self):
+        model = (
+            ProcessBuilder("cooldown")
+            .start()
+            .user_task("step", role="agent")
+            .timer("pause", duration=10.0)
+            .end()
+            .build()
+        )
+        engine = make_engine()
+        engine.deploy(model)
+        runner = SimulationRunner(
+            engine, "cooldown", n_cases=2, arrival=Fixed(0.0),
+            default_service=Fixed(1.0), seed=1,
+        )
+        result = runner.run()
+        assert result.completed_cases == 2
+        assert result.end_time >= 11.0  # service + timer
+
+    def test_seeded_runs_reproduce(self):
+        def run_once():
+            engine = make_engine()
+            engine.deploy(simple_task_model())
+            runner = SimulationRunner(
+                engine, "work", n_cases=15, arrival=Exponential(1.0),
+                default_service=LogNormal(0, 0.5), seed=42,
+            )
+            return runner.run().end_time
+
+        assert run_once() == run_once()
+
+
+class TestKpis:
+    def run_simulation(self, n_agents=2, n_cases=30, service=Fixed(1.0),
+                       arrival=Fixed(1.0)):
+        engine = make_engine(n_agents)
+        engine.deploy(simple_task_model())
+        runner = SimulationRunner(
+            engine, "work", n_cases=n_cases, arrival=arrival,
+            default_service=service, seed=5,
+        )
+        result = runner.run()
+        return engine, result
+
+    def test_report_counts(self):
+        engine, result = self.run_simulation()
+        report = compute_kpis(engine.history, engine.worklist, result)
+        assert report.cases_completed == 30
+        assert len(report.cycle_times) == 30
+        assert report.throughput > 0
+
+    def test_cycle_time_includes_waiting(self):
+        # saturated single server: cycle times grow with queue
+        engine, result = self.run_simulation(
+            n_agents=1, n_cases=10, service=Fixed(2.0), arrival=Fixed(1.0)
+        )
+        report = compute_kpis(engine.history, engine.worklist, result)
+        assert report.mean_cycle_time > 2.0
+        assert report.mean_waiting_time > 0
+
+    def test_underloaded_system_has_low_waiting(self):
+        engine, result = self.run_simulation(
+            n_agents=3, n_cases=10, service=Fixed(0.1), arrival=Fixed(5.0)
+        )
+        report = compute_kpis(engine.history, engine.worklist, result)
+        assert report.mean_waiting_time == pytest.approx(0.0, abs=1e-9)
+        assert report.mean_utilization < 0.1
+
+    def test_utilization_bounded(self):
+        engine, result = self.run_simulation(n_agents=1, service=Fixed(3.0))
+        report = compute_kpis(engine.history, engine.worklist, result)
+        assert all(0 <= u <= 1 for u in report.utilization.values())
+
+    def test_summary_renders(self):
+        engine, result = self.run_simulation(n_cases=5)
+        report = compute_kpis(engine.history, engine.worklist, result)
+        text = report.summary()
+        assert "throughput" in text
+        assert "cycle time" in text
+
+    def test_percentile_empty_and_single(self):
+        report = KpiReport()
+        assert report.p95_cycle_time == 0.0
+        report.cycle_times.append(7.0)
+        assert report.p95_cycle_time == 7.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=15))
+    def test_conservation_property(self, n_agents, n_cases):
+        engine = make_engine(n_agents)
+        engine.deploy(simple_task_model())
+        runner = SimulationRunner(
+            engine, "work", n_cases=n_cases, arrival=Exponential(2.0),
+            default_service=Uniform(0.1, 1.0), seed=n_cases,
+        )
+        result = runner.run()
+        # every started case completes, and work splits across agents
+        assert result.completed_cases == n_cases
+        assert sum(result.items_processed.values()) == n_cases

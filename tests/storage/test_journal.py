@@ -1,0 +1,162 @@
+"""Tests for the append-only journal, including crash injection."""
+
+import os
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.errors import CorruptRecordError, StorageError
+from repro.storage.journal import Journal
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return str(tmp_path / "test.log")
+
+
+class TestAppendReplay:
+    def test_roundtrip_single_record(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"hello", sync=True)
+        with Journal(journal_path) as journal:
+            records = list(journal.replay())
+        assert [r.payload for r in records] == [b"hello"]
+
+    def test_roundtrip_many_records_in_order(self, journal_path):
+        payloads = [f"record-{i}".encode() for i in range(50)]
+        with Journal(journal_path) as journal:
+            journal.append_many(payloads)
+        with Journal(journal_path) as journal:
+            assert [r.payload for r in journal.replay()] == payloads
+
+    def test_offsets_are_monotonic(self, journal_path):
+        with Journal(journal_path) as journal:
+            offsets = [journal.append(b"x" * i, sync=False) for i in range(1, 5)]
+            journal.sync()
+        assert offsets == sorted(offsets)
+        with Journal(journal_path) as journal:
+            assert [r.offset for r in journal.replay()] == offsets
+
+    def test_empty_payload_roundtrips(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"", sync=True)
+        with Journal(journal_path) as journal:
+            assert [r.payload for r in journal.replay()] == [b""]
+
+    def test_append_after_close_raises(self, journal_path):
+        journal = Journal(journal_path)
+        journal.close()
+        with pytest.raises(StorageError):
+            journal.append(b"x")
+        with pytest.raises(StorageError):
+            journal.sync()
+
+    def test_pending_counter(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"a")
+            journal.append(b"b")
+            assert journal.pending_records == 2
+            journal.sync()
+            assert journal.pending_records == 0
+
+    def test_reopen_appends_after_existing(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"first", sync=True)
+        with Journal(journal_path) as journal:
+            journal.append(b"second", sync=True)
+            assert [r.payload for r in journal.replay()] == [b"first", b"second"]
+
+
+class TestCrashSafety:
+    def _write_then_tear(self, path, keep_bytes_off_end):
+        with Journal(path) as journal:
+            journal.append(b"good-one", sync=True)
+            journal.append(b"good-two", sync=True)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - keep_bytes_off_end)
+
+    def test_torn_body_truncated_on_open(self, journal_path):
+        self._write_then_tear(journal_path, keep_bytes_off_end=3)
+        with Journal(journal_path) as journal:
+            records = [r.payload for r in journal.replay()]
+        assert records == [b"good-one"]
+
+    def test_torn_header_truncated_on_open(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"good", sync=True)
+        with open(journal_path, "ab") as fh:
+            fh.write(b"\x05\x00")  # half a header
+        with Journal(journal_path) as journal:
+            assert [r.payload for r in journal.replay()] == [b"good"]
+
+    def test_append_after_tear_recovers_cleanly(self, journal_path):
+        self._write_then_tear(journal_path, keep_bytes_off_end=3)
+        with Journal(journal_path) as journal:
+            journal.append(b"after-crash", sync=True)
+            assert [r.payload for r in journal.replay()] == [b"good-one", b"after-crash"]
+
+    def test_mid_log_corruption_raises(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"aaaa", sync=True)
+            journal.append(b"bbbb", sync=True)
+        # flip a payload byte of the FIRST record (offset 8 = after header)
+        with open(journal_path, "r+b") as fh:
+            fh.seek(8)
+            fh.write(b"Z")
+        journal = Journal(journal_path, auto_recover=False)
+        with pytest.raises(CorruptRecordError):
+            list(journal.replay())
+        journal.close()
+
+    def test_corrupt_tail_record_treated_as_torn(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"aaaa", sync=True)
+            journal.append(b"bbbb", sync=True)
+        size = os.path.getsize(journal_path)
+        with open(journal_path, "r+b") as fh:
+            fh.seek(size - 1)
+            fh.write(b"Z")
+        journal = Journal(journal_path, auto_recover=False)
+        assert [r.payload for r in journal.replay()] == [b"aaaa"]
+        journal.close()
+
+    def test_reset_erases_contents(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"soon-gone", sync=True)
+            journal.reset()
+            journal.append(b"fresh", sync=True)
+            assert [r.payload for r in journal.replay()] == [b"fresh"]
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(max_size=200), max_size=20))
+    def test_any_payload_sequence_roundtrips(self, tmp_path_factory, payloads):
+        path = str(tmp_path_factory.mktemp("journal") / "prop.log")
+        with Journal(path) as journal:
+            journal.append_many(payloads)
+        with Journal(path) as journal:
+            assert [r.payload for r in journal.replay()] == payloads
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=50), min_size=1, max_size=10),
+           st.integers(min_value=1, max_value=8))
+    def test_torn_tail_never_loses_synced_prefix(
+        self, tmp_path_factory, payloads, tear
+    ):
+        path = str(tmp_path_factory.mktemp("journal") / "tear.log")
+        with Journal(path) as journal:
+            for payload in payloads:
+                journal.append(payload, sync=True)
+        size = os.path.getsize(path)
+        cut = min(tear, size)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - cut)
+        with Journal(path) as journal:
+            recovered = [r.payload for r in journal.replay()]
+        # the torn tail may cost the last record, never more
+        assert recovered == payloads[: len(recovered)]
+        assert len(recovered) >= len(payloads) - 1

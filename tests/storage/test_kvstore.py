@@ -1,0 +1,205 @@
+"""Tests for the KV backends: interface contract, transactions, durability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.errors import StorageError, TransactionError
+from repro.storage.kvstore import DurableKV, MemoryKV
+
+
+@pytest.fixture(params=["memory", "durable"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryKV()
+    else:
+        durable = DurableKV(str(tmp_path / "kv"))
+        yield durable
+        durable.close()
+
+
+class TestContract:
+    def test_get_put_delete(self, store):
+        assert store.get("k") is None
+        assert store.get("k", 7) == 7
+        store.put("k", {"n": 1})
+        assert store.get("k") == {"n": 1}
+        assert store.delete("k") is True
+        assert store.delete("k") is False
+        assert store.get("k") is None
+
+    def test_contains_and_len(self, store):
+        store.put("a", 1)
+        store.put("b", 2)
+        assert "a" in store
+        assert "z" not in store
+        assert len(store) == 2
+
+    def test_scan_by_prefix_sorted(self, store):
+        store.put("instance/2", "b")
+        store.put("instance/1", "a")
+        store.put("definition/x", "c")
+        assert store.keys("instance/") == ["instance/1", "instance/2"]
+        assert [v for _, v in store.scan("instance/")] == ["a", "b"]
+
+    def test_empty_key_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put("", 1)
+
+    def test_overwrite(self, store):
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+
+
+class TestTransactions:
+    def test_commit_applies_all(self, store):
+        with store.transaction():
+            store.put("a", 1)
+            store.put("b", 2)
+        assert store.get("a") == 1
+        assert store.get("b") == 2
+
+    def test_rollback_on_exception(self, store):
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.put("a", 1)
+                raise RuntimeError("boom")
+        assert store.get("a") is None
+
+    def test_read_your_writes(self, store):
+        store.put("a", 1)
+        with store.transaction():
+            store.put("a", 2)
+            assert store.get("a") == 2
+            store.delete("a")
+            assert store.get("a") is None
+        assert store.get("a") is None
+
+    def test_scan_sees_buffered_writes(self, store):
+        store.put("x/1", 1)
+        with store.transaction():
+            store.put("x/2", 2)
+            store.delete("x/1")
+            assert store.keys("x/") == ["x/2"]
+
+    def test_nested_begin_rejected(self, store):
+        store.begin()
+        with pytest.raises(TransactionError):
+            store.begin()
+        store.rollback()
+
+    def test_commit_without_begin_rejected(self, store):
+        with pytest.raises(TransactionError):
+            store.commit()
+
+    def test_rollback_without_begin_rejected(self, store):
+        with pytest.raises(TransactionError):
+            store.rollback()
+
+    def test_delete_inside_transaction_reports_existence(self, store):
+        store.put("present", 1)
+        with store.transaction():
+            assert store.delete("present") is True
+            store.put("fresh", 2)
+            assert store.delete("fresh") is True
+
+
+class TestDurability:
+    def test_reopen_recovers_state(self, tmp_path):
+        path = str(tmp_path / "kv")
+        store = DurableKV(path)
+        store.put("a", {"v": 1})
+        store.put("b", [1, 2, 3])
+        store.delete("a")
+        store.close()
+
+        reopened = DurableKV(path)
+        assert reopened.get("a") is None
+        assert reopened.get("b") == [1, 2, 3]
+        assert reopened.replayed_batches == 3
+        reopened.close()
+
+    def test_transaction_is_atomic_across_reopen(self, tmp_path):
+        path = str(tmp_path / "kv")
+        store = DurableKV(path)
+        with store.transaction():
+            store.put("x", 1)
+            store.put("y", 2)
+        store.close()
+        reopened = DurableKV(path)
+        assert reopened.replayed_batches == 1  # one batch record
+        assert reopened.get("x") == 1 and reopened.get("y") == 2
+        reopened.close()
+
+    def test_snapshot_compacts_journal(self, tmp_path):
+        path = str(tmp_path / "kv")
+        store = DurableKV(path)
+        for i in range(20):
+            store.put(f"k{i}", i)
+        before = store.journal_size
+        store.snapshot()
+        assert store.journal_size == 0
+        assert before > 0
+        store.close()
+
+        reopened = DurableKV(path)
+        assert reopened.replayed_batches == 0
+        assert reopened.get("k7") == 7
+        reopened.close()
+
+    def test_writes_after_snapshot_survive(self, tmp_path):
+        path = str(tmp_path / "kv")
+        store = DurableKV(path)
+        store.put("old", 1)
+        store.snapshot()
+        store.put("new", 2)
+        store.close()
+        reopened = DurableKV(path)
+        assert reopened.get("old") == 1
+        assert reopened.get("new") == 2
+        reopened.close()
+
+    def test_unsynced_writes_survive_close(self, tmp_path):
+        path = str(tmp_path / "kv")
+        store = DurableKV(path, sync_writes=False)
+        store.put("k", "v")
+        store.close()  # close flushes
+        reopened = DurableKV(path)
+        assert reopened.get("k") == "v"
+        reopened.close()
+
+    def test_non_json_value_rejected(self, tmp_path):
+        store = DurableKV(str(tmp_path / "kv"))
+        with pytest.raises(StorageError):
+            store.put("k", object())
+        store.close()
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.integers(),
+            ),
+            max_size=30,
+        )
+    )
+    def test_durable_matches_memory_model(self, tmp_path_factory, ops):
+        path = str(tmp_path_factory.mktemp("kv") / "store")
+        durable = DurableKV(path, sync_writes=False)
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                durable.put(key, value)
+                model[key] = value
+            else:
+                durable.delete(key)
+                model.pop(key, None)
+        durable.close()
+        reopened = DurableKV(path)
+        assert dict(reopened.scan()) == model
+        reopened.close()

@@ -1,0 +1,185 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.bpmn import to_bpmn_xml
+from repro.cli import main
+from repro.history.log import EventLog
+from repro.model.builder import ProcessBuilder
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    model = (
+        ProcessBuilder("demo", name="Demo", description="cli demo")
+        .start()
+        .script_task("work", script="doubled = n * 2")
+        .end()
+        .build()
+    )
+    path = tmp_path / "demo.bpmn"
+    path.write_text(to_bpmn_xml(model))
+    return str(path)
+
+
+@pytest.fixture
+def broken_model_file(tmp_path):
+    # XOR split into AND join: valid structurally, unsound behaviourally
+    model = (
+        ProcessBuilder("broken")
+        .start()
+        .exclusive_gateway("split")
+        .branch(condition="x > 1")
+        .script_task("a", script="y = 1")
+        .parallel_gateway("sync")
+        .branch_from("split", default=True)
+        .script_task("b", script="y = 2")
+        .connect_to("sync")
+        .move_to("sync")
+        .end()
+        .build()
+    )
+    path = tmp_path / "broken.bpmn"
+    path.write_text(to_bpmn_xml(model))
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_model(self, model_file, capsys):
+        assert main(["validate", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "valid: 3 nodes" in out
+
+    def test_soundness_flag_passes_sound_model(self, model_file, capsys):
+        assert main(["validate", model_file, "--soundness"]) == 0
+        assert "sound: verified" in capsys.readouterr().out
+
+    def test_soundness_flag_rejects_unsound_model(self, broken_model_file, capsys):
+        assert main(["validate", broken_model_file, "--soundness"]) == 1
+        assert "UNSOUND" in capsys.readouterr().out
+
+    def test_structural_errors_exit_1(self, tmp_path, capsys):
+        model = (
+            ProcessBuilder("nostart")
+            .add_node(__import__("repro.model.elements", fromlist=["EndEvent"]).EndEvent("end"))
+            .build(validate=False)
+        )
+        path = tmp_path / "bad.bpmn"
+        path.write_text(to_bpmn_xml(model))
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["validate", "/nope/missing.bpmn"])
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.bpmn"
+        path.write_text("not xml at all <")
+        with pytest.raises(SystemExit, match="cannot parse"):
+            main(["validate", str(path)])
+
+
+class TestInfo:
+    def test_summary(self, model_file, capsys):
+        assert main(["info", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "process   : demo" in out
+        assert "ScriptTask" in out
+        assert "cli demo" in out
+
+
+class TestRun:
+    def test_runs_to_completion_with_vars(self, model_file, capsys):
+        assert main(["run", model_file, "--var", "n=21"]) == 0
+        out = capsys.readouterr().out
+        assert "state     : completed" in out
+        assert "doubled = 42" in out
+        assert "trace     : work" in out
+
+    def test_string_variable_parses_as_string(self, model_file, capsys):
+        # non-JSON values are treated as strings; 'x' * 2 == 'xx'
+        assert main(["run", model_file, "--var", "n=x"]) == 0
+        assert "doubled = 'xx'" in capsys.readouterr().out
+
+    def test_failed_instance_exits_nonzero(self, model_file, capsys):
+        # null * 2 is a type error -> script fails -> instance FAILED
+        assert main(["run", model_file, "--var", "n=null"]) == 1
+        assert "failure" in capsys.readouterr().out
+
+    def test_bad_var_syntax(self, model_file):
+        with pytest.raises(SystemExit, match="name=value"):
+            main(["run", model_file, "--var", "oops"])
+
+    def test_warns_about_waiting_nodes(self, tmp_path, capsys):
+        model = (
+            ProcessBuilder("waiting")
+            .start()
+            .user_task("approve", role="clerk")
+            .end()
+            .build()
+        )
+        path = tmp_path / "waiting.bpmn"
+        path.write_text(to_bpmn_xml(model))
+        assert main(["run", str(path)]) == 0  # running counts as success
+        out = capsys.readouterr().out
+        assert "waiting nodes" in out
+        assert "state     : running" in out
+
+
+class TestMine:
+    def test_discovery_summary(self, tmp_path, capsys):
+        log = EventLog.from_sequences(
+            [["a", "b", "d"]] * 5 + [["a", "c", "d"]] * 5
+        )
+        path = tmp_path / "log.json"
+        path.write_text(log.to_json())
+        assert main(["mine", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "10 traces" in out
+        assert "fitness=1.000" in out
+
+    def test_bad_log_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit, match="EventLog JSON"):
+            main(["mine", str(path)])
+
+    def test_xes_input(self, tmp_path, capsys):
+        from repro.history.xes import to_xes_xml
+
+        log = EventLog.from_sequences([["a", "b"]] * 4)
+        path = tmp_path / "log.xes"
+        path.write_text(to_xes_xml(log))
+        assert main(["mine", str(path)]) == 0
+        assert "4 traces" in capsys.readouterr().out
+
+    def test_footprint_flag(self, tmp_path, capsys):
+        log = EventLog.from_sequences([["a", "b"]] * 4)
+        path = tmp_path / "log.json"
+        path.write_text(log.to_json())
+        assert main(["mine", str(path), "--footprint"]) == 0
+        out = capsys.readouterr().out
+        assert "footprint" in out
+        assert "→" in out
+
+
+class TestRender:
+    def test_ascii_default(self, model_file, capsys):
+        assert main(["render", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "ScriptTask: work" in out
+
+    def test_dot_format(self, model_file, capsys):
+        assert main(["render", model_file, "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "demo" {')
+        assert '"start" -> "work"' in out
+
+
+class TestPatterns:
+    def test_matrix(self, capsys):
+        assert main(["patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "supported: 16/20" in out
+        assert "Deferred Choice" in out
