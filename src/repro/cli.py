@@ -9,6 +9,10 @@ Commands:
   fully automated model, printing the outcome and final variables.
 * ``mine LOG.json [--threshold X]``    — discovery summary for an event
   log (``EventLog.to_json`` format).
+* ``trace FILE.bpmn [--jsonl OUT]``    — run one instance with tracing on
+  and print the span tree.
+* ``metrics FILE.bpmn [--json]``       — run one instance and print the
+  full metrics snapshot.
 * ``patterns``                         — the pattern support matrix.
 """
 
@@ -114,6 +118,68 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if instance.state.value in ("completed", "running") else 1
 
 
+def _traced_run(args: argparse.Namespace):
+    """Shared setup for ``trace``/``metrics``: one observed instance run."""
+    from repro.engine.engine import ProcessEngine
+    from repro.obs import InMemorySpanExporter, Observability
+
+    model = _load_model(args.file)
+    exporter = InMemorySpanExporter()
+    obs = Observability(enabled=True, exporters=[exporter])
+    engine = ProcessEngine(obs=obs)
+    engine.deploy(model)
+    variables = dict(_parse_var(raw) for raw in getattr(args, "var", None) or [])
+    instance = engine.start_instance(model.key, variables)
+    return engine, instance, exporter
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    engine, instance, exporter = _traced_run(args)
+    print(f"instance  : {instance.id}")
+    print(f"state     : {instance.state.value}")
+    print("spans     :")
+    print(exporter.render_tree())
+    if args.jsonl:
+        from repro.obs import JsonLinesSpanExporter
+
+        try:
+            sink = JsonLinesSpanExporter(args.jsonl)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write {args.jsonl}: {exc}")
+        for span in exporter.spans:
+            sink.export(span)
+        sink.close()
+        print(f"wrote     : {sink.exported} spans to {args.jsonl}")
+    return 0 if instance.state.value in ("completed", "running") else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    engine, instance, _ = _traced_run(args)
+    # reading the legacy facade materializes every engine.* counter, so the
+    # registry dump is always a superset of EngineMetrics.snapshot() keys
+    engine.metrics.snapshot()
+    snapshot = engine.obs.registry.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"instance  : {instance.id} ({instance.state.value})")
+    print("counters  :")
+    for name, value in snapshot["counters"].items():
+        print(f"  {name:<44} {value}")
+    print("gauges    :")
+    for name, value in snapshot["gauges"].items():
+        print(f"  {name:<44} {value}")
+    print("histograms:")
+    for name, data in snapshot["histograms"].items():
+        mean = data["mean"]
+        print(
+            f"  {name:<44} count={data['count']}"
+            + (f" mean={mean * 1000:.3f}ms max={data['max'] * 1000:.3f}ms"
+               if data["count"] else "")
+        )
+    return 0
+
+
 def cmd_mine(args: argparse.Namespace) -> int:
     from repro.mining.alpha import alpha_miner
     from repro.mining.conformance import token_replay
@@ -202,6 +268,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("file")
     p_run.add_argument("--var", action="append", metavar="NAME=VALUE")
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one instance with tracing on; print the span tree"
+    )
+    p_trace.add_argument("file")
+    p_trace.add_argument("--var", action="append", metavar="NAME=VALUE")
+    p_trace.add_argument("--jsonl", metavar="OUT",
+                         help="also write the spans as JSON lines")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run one instance; print the metrics snapshot"
+    )
+    p_metrics.add_argument("file")
+    p_metrics.add_argument("--var", action="append", metavar="NAME=VALUE")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="print the snapshot as JSON")
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_mine = sub.add_parser(
         "mine", help="discovery summary for an event log (JSON or XES)"

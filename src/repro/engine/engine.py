@@ -35,6 +35,8 @@ from repro.model.mapping import to_workflow_net
 from repro.model.process import ProcessDefinition
 from repro.model.serialization import definition_from_dict, definition_to_dict
 from repro.model.validation import validate as validate_definition
+from repro.obs import Observability
+from repro.obs.spans import Span
 from repro.petri.workflow_net import check_soundness
 from repro.services.bus import Message, MessageBus
 from repro.services.invoker import ServiceInvoker
@@ -61,10 +63,13 @@ class ProcessEngine(ExecutionMixin):
         verify_soundness: bool = False,
         soundness_max_states: int = 50_000,
         max_steps: int = 100_000,
+        obs: Observability | None = None,
     ) -> None:
         # `is None` checks throughout: several of these are container-like
         # (empty store/org would be falsy under `or`)
         self.clock = clock if clock is not None else WallClock()
+        self.obs = obs if obs is not None else Observability()
+        self.obs.bind_clock(self.clock)
         self.store = store if store is not None else MemoryKV()
         self.history = (
             history if history is not None else HistoryService(clock=self.clock)
@@ -81,17 +86,27 @@ class ProcessEngine(ExecutionMixin):
         from repro.decisions.table import DecisionRegistry
 
         self.decisions = DecisionRegistry()
-        self.metrics = EngineMetrics()
+        self.metrics = EngineMetrics(self.obs.registry)
         self.scheduler = JobScheduler()
         self.worklist = WorklistService(
             organization=self.organization,
             allocator=allocator,
             clock=self.clock,
             history=self.history,
+            obs=self.obs,
         )
         self.worklist.on_completion(self._on_work_item_completed)
-        self.invoker = ServiceInvoker(self.services, clock=self.clock)
+        self.invoker = ServiceInvoker(self.services, clock=self.clock, obs=self.obs)
         self.bus.subscribe(self._on_bus_message)
+        # observability wiring: cached instruments for the hot loop, the
+        # engine root span, and per-instance spans (ended on finish)
+        self._tracer = self.obs.tracer  # hot-loop alias
+        self._c_token_moves = self.obs.registry.counter("engine.token_moves")
+        self._g_queue_depth = self.obs.registry.gauge("engine.scheduler.queue_depth")
+        self._instance_spans: dict[str, Span] = {}
+        self._engine_span: Span | None = (
+            self.obs.tracer.start_span("engine") if self.obs.enabled else None
+        )
 
         self._definitions: dict[str, ProcessDefinition] = {}
         self._latest_version: dict[str, int] = {}
@@ -216,6 +231,14 @@ class ProcessEngine(ExecutionMixin):
         self._instances[instance.id] = instance
         instance.new_token(starts[0].id)
         self.metrics.instances_started += 1
+        if self.obs.enabled:
+            tracer = self.obs.tracer
+            self._instance_spans[instance.id] = tracer.start_span(
+                "instance",
+                parent=tracer.current() or self._engine_span,
+                instance_id=instance.id,
+                definition_id=definition.identifier,
+            )
         self._record(
             instance,
             EventTypes.INSTANCE_STARTED,
@@ -276,11 +299,18 @@ class ProcessEngine(ExecutionMixin):
 
     # -- instance lifecycle transitions ------------------------------------------------
 
+    def _finish_instance_span(self, instance: ProcessInstance, status: str) -> None:
+        span = self._instance_spans.pop(instance.id, None)
+        if span is not None:
+            span.attributes["state"] = instance.state.value
+            span.finish(status)
+
     def _complete_instance(self, instance: ProcessInstance) -> None:
         self.metrics.instances_completed += 1
         instance.state = InstanceState.COMPLETED
         instance.ended_at = self.clock.now()
         self._record(instance, EventTypes.INSTANCE_COMPLETED)
+        self._finish_instance_span(instance, "ok")
         self._dirty.add(instance.id)
         self._notify_parent(instance)
 
@@ -289,6 +319,7 @@ class ProcessEngine(ExecutionMixin):
         instance.state = InstanceState.TERMINATED
         instance.ended_at = self.clock.now()
         self._record(instance, EventTypes.INSTANCE_TERMINATED, reason=reason)
+        self._finish_instance_span(instance, "ok")
         self._dirty.add(instance.id)
         self._notify_parent(instance)
 
@@ -303,6 +334,7 @@ class ProcessEngine(ExecutionMixin):
         instance.ended_at = self.clock.now()
         instance.failure = reason
         self._record(instance, EventTypes.INSTANCE_FAILED, reason=reason)
+        self._finish_instance_span(instance, "error")
         self._dirty.add(instance.id)
         self._notify_parent(instance, failed=True)
 
@@ -473,6 +505,7 @@ class ProcessEngine(ExecutionMixin):
                 job.due, job.kind, job.instance_id, job.data, job_id=job.id
             )
         self.worklist.check_deadlines()
+        self._g_queue_depth.set(len(self.scheduler))
         self._flush()
         return processed
 

@@ -1,29 +1,51 @@
-"""Lightweight engine counters for operational monitoring.
+"""Engine counters, backed by the observability metrics registry.
 
-Counters are in-memory and monotone; they complement (not replace) the
-durable history.  Exposed as ``engine.metrics``.
+Historically this was a standalone dataclass of ad-hoc counters.  It is now
+a *facade* over a :class:`repro.obs.metrics.MetricsRegistry` — the same
+numbers are readable under ``engine.*`` names through
+``engine.obs.registry`` (and therefore the ``repro metrics`` CLI) — while
+the original attribute API (``metrics.instances_started += 1``,
+``metrics.snapshot()``) keeps working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.metrics import MetricsRegistry
+
+_NODE_PREFIX = "engine.nodes_executed."
 
 
-@dataclass
+def _counter_property(metric_name: str):
+    def _get(self: "EngineMetrics") -> int:
+        return self.registry.counter(metric_name).value
+
+    def _set(self: "EngineMetrics", value: int) -> None:
+        self.registry.counter(metric_name).value = value
+
+    return property(_get, _set)
+
+
 class EngineMetrics:
-    """Monotone counters over one engine's lifetime."""
+    """Monotone counters over one engine's lifetime (registry-backed)."""
 
-    instances_started: int = 0
-    instances_completed: int = 0
-    instances_failed: int = 0
-    instances_terminated: int = 0
-    nodes_executed: dict[str, int] = field(default_factory=dict)
-    timers_fired: int = 0
-    messages_delivered: int = 0
-    migrations: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    instances_started = _counter_property("engine.instances_started")
+    instances_completed = _counter_property("engine.instances_completed")
+    instances_failed = _counter_property("engine.instances_failed")
+    instances_terminated = _counter_property("engine.instances_terminated")
+    timers_fired = _counter_property("engine.timers_fired")
+    messages_delivered = _counter_property("engine.messages_delivered")
+    migrations = _counter_property("engine.migrations")
 
     def count_node(self, type_name: str) -> None:
-        self.nodes_executed[type_name] = self.nodes_executed.get(type_name, 0) + 1
+        self.registry.counter(_NODE_PREFIX + type_name).inc()
+
+    @property
+    def nodes_executed(self) -> dict[str, int]:
+        """Execution count per node type name (fresh copy)."""
+        return self.registry.counters_with_prefix(_NODE_PREFIX)
 
     @property
     def total_nodes_executed(self) -> int:
@@ -38,13 +60,13 @@ class EngineMetrics:
         )
 
     def snapshot(self) -> dict[str, object]:
-        """A JSON-safe copy for dashboards."""
+        """A JSON-safe copy for dashboards (legacy key set, unchanged)."""
         return {
             "instances_started": self.instances_started,
             "instances_completed": self.instances_completed,
             "instances_failed": self.instances_failed,
             "instances_terminated": self.instances_terminated,
-            "nodes_executed": dict(self.nodes_executed),
+            "nodes_executed": self.nodes_executed,
             "timers_fired": self.timers_fired,
             "messages_delivered": self.messages_delivered,
             "migrations": self.migrations,

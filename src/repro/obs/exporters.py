@@ -1,0 +1,181 @@
+"""Span exporters: where finished spans go.
+
+Three built-ins cover the realistic consumers:
+
+* :class:`InMemorySpanExporter` — bounded ring buffer with span-tree
+  queries; what tests, benchmarks, and the ``repro trace`` CLI read.
+* :class:`JsonLinesSpanExporter` — one JSON object per line, the
+  interchange format for offline analysis.
+* :class:`ConsoleSummaryExporter` — aggregates per span name and renders a
+  latency table (no per-span storage; safe for long runs).
+
+An exporter is anything with ``export(span)``; ``flush()`` and ``close()``
+are optional.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Iterable, TextIO
+
+from repro.obs.spans import Span
+
+
+class SpanExporter:
+    """Exporter interface (duck-typed; subclassing is optional)."""
+
+    def export(self, span: Span) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered data out; default is a no-op."""
+
+    def close(self) -> None:
+        """Release resources; default flushes."""
+        self.flush()
+
+
+class InMemorySpanExporter(SpanExporter):
+    """Keeps the last ``capacity`` finished spans in a ring buffer."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        self.capacity = capacity
+        self.spans: deque[Span] = deque(maxlen=capacity)
+        # bind export straight to the C-level append: the tracer calls this
+        # once per finished span (instance attribute shadows the method)
+        self.export = self.spans.append
+
+    def export(self, span: Span) -> None:  # noqa: F811 - shadowed in __init__
+        self.spans.append(span)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_name(self, name: str) -> list[Span]:
+        """All retained spans with the given name, oldest first."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Direct children of one span among the retained set."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def tree(self) -> list[dict[str, Any]]:
+        """The retained spans as a forest of nested dicts.
+
+        Each node is ``span.to_dict()`` plus a ``children`` list.  Spans
+        whose parent was evicted (or never finished) become roots.
+        """
+        nodes: dict[int, dict[str, Any]] = {}
+        for span in self.spans:
+            node = span.to_dict()
+            node["children"] = []
+            nodes[span.span_id] = node
+        roots: list[dict[str, Any]] = []
+        for span in self.spans:
+            node = nodes[span.span_id]
+            parent = None if span.parent_id is None else nodes.get(span.parent_id)
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        return roots
+
+    def render_tree(self) -> str:
+        """Human-readable indented span tree."""
+        lines: list[str] = []
+
+        def _emit(node: dict[str, Any], depth: int) -> None:
+            duration = (
+                "open"
+                if node["end"] is None
+                else f"{(node['end'] - node['start']) * 1000:.3f}ms"
+            )
+            attributes = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(node["attributes"].items())
+            )
+            lines.append(
+                f"{'  ' * depth}{node['name']} [{node['status']}] {duration}"
+                + (f" ({attributes})" if attributes else "")
+            )
+            for child in node["children"]:
+                _emit(child, depth + 1)
+
+        for root in self.tree():
+            _emit(root, 0)
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+class JsonLinesSpanExporter(SpanExporter):
+    """Writes each finished span as one JSON line (append mode)."""
+
+    def __init__(self, path_or_stream: str | TextIO) -> None:
+        if isinstance(path_or_stream, str):
+            self._stream: TextIO = open(path_or_stream, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = path_or_stream
+            self._owns_stream = False
+        self.exported = 0
+
+    def export(self, span: Span) -> None:
+        self._stream.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self.exported += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class ConsoleSummaryExporter(SpanExporter):
+    """Aggregates spans per name; renders a count/latency summary table."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self._stream = stream
+        # name -> [count, errors, total_seconds, max_seconds]
+        self._rows: dict[str, list[float]] = {}
+
+    def export(self, span: Span) -> None:
+        row = self._rows.get(span.name)
+        if row is None:
+            row = self._rows[span.name] = [0, 0, 0.0, 0.0]
+        row[0] += 1
+        if span.status == "error":
+            row[1] += 1
+        duration = span.duration or 0.0
+        row[2] += duration
+        if duration > row[3]:
+            row[3] = duration
+
+    def render(self) -> str:
+        lines = [
+            f"{'span':<28} {'count':>7} {'errors':>7} "
+            f"{'mean_ms':>9} {'max_ms':>9}"
+        ]
+        for name in sorted(self._rows):
+            count, errors, total, peak = self._rows[name]
+            mean_ms = (total / count) * 1000 if count else 0.0
+            lines.append(
+                f"{name:<28} {int(count):>7} {int(errors):>7} "
+                f"{mean_ms:>9.3f} {peak * 1000:>9.3f}"
+            )
+        return "\n".join(lines)
+
+    def flush(self) -> None:
+        if self._stream is not None:
+            self._stream.write(self.render() + "\n")
+            self._stream.flush()
+
+
+def load_spans_jsonl(lines: Iterable[str]) -> list[dict[str, Any]]:
+    """Parse ``JsonLinesSpanExporter`` output back into span dicts."""
+    return [json.loads(line) for line in lines if line.strip()]

@@ -1,0 +1,203 @@
+"""A named-instrument metrics registry: counters, gauges, histograms.
+
+Instruments are created on first use and live for the registry's lifetime;
+``snapshot()`` renders everything JSON-safe for dashboards, the CLI, and
+benchmarks.  Naming convention (see DESIGN.md): dot-separated
+``<subsystem>.<noun>[.<qualifier>]``, e.g. ``engine.token_moves``,
+``services.invoke_seconds``, ``engine.nodes_executed.ScriptTask``.
+
+Histograms use *fixed* buckets chosen at creation (no re-bucketing, no
+allocation on the observe path) — the default buckets cover 100 µs to 10 s,
+the realistic range for service calls and fsyncs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: default histogram bucket upper bounds, in seconds
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+class MetricError(ValueError):
+    """Instrument name reused with a different type or bucket layout."""
+
+
+class Counter:
+    """A monotone (by convention) integer/float counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are upper bounds; one implicit overflow bucket catches the
+    rest.  ``counts[i]`` is the number of observations ``<= buckets[i]``
+    (non-cumulative per bucket).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise MetricError(f"histogram {name!r} needs sorted, non-empty buckets")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # + overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Approximate quantile: the upper bound of the bucket holding it."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= rank:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.max
+        return self.max
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access --------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_free(name, "counter")
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_free(name, "gauge")
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._check_free(name, "histogram")
+            histogram = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS
+            )
+        elif buckets is not None and tuple(buckets) != histogram.buckets:
+            raise MetricError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return histogram
+
+    def _check_free(self, name: str, wanted: str) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if kind != wanted and name in table:
+                raise MetricError(f"{name!r} is already registered as a {kind}")
+
+    # -- bulk reads ---------------------------------------------------------
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int | float]:
+        """``{suffix: value}`` for every counter named ``prefix<suffix>``."""
+        return {
+            name[len(prefix):]: counter.value
+            for name, counter in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dump of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and benchmark repetitions)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

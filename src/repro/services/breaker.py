@@ -10,6 +10,7 @@ budget.
 from __future__ import annotations
 
 import enum
+from typing import Callable
 
 from repro.clock import Clock, WallClock
 from repro.services.errors import ServiceError
@@ -52,6 +53,19 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self.rejected_calls = 0
+        #: optional observer fired on every state change as
+        #: ``listener(breaker, old_state, new_state)``
+        self.on_state_change: Callable[
+            ["CircuitBreaker", CircuitState, CircuitState], None
+        ] | None = None
+
+    def _set_state(self, new_state: CircuitState) -> None:
+        old_state = self._state
+        if old_state is new_state:
+            return
+        self._state = new_state
+        if self.on_state_change is not None:
+            self.on_state_change(self, old_state, new_state)
 
     @property
     def state(self) -> CircuitState:
@@ -60,7 +74,7 @@ class CircuitBreaker:
             self._state is CircuitState.OPEN
             and self.clock.now() - self._opened_at >= self.reset_timeout
         ):
-            self._state = CircuitState.HALF_OPEN
+            self._set_state(CircuitState.HALF_OPEN)
         return self._state
 
     def before_call(self) -> None:
@@ -72,7 +86,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """Feed back a successful call."""
         self._consecutive_failures = 0
-        self._state = CircuitState.CLOSED
+        self._set_state(CircuitState.CLOSED)
 
     def record_failure(self) -> None:
         """Feed back a failed call; may trip the breaker."""
@@ -84,11 +98,11 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        self._state = CircuitState.OPEN
         self._opened_at = self.clock.now()
         self._consecutive_failures = 0
+        self._set_state(CircuitState.OPEN)
 
     def reset(self) -> None:
         """Force-close (administrative override)."""
-        self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
+        self._set_state(CircuitState.CLOSED)

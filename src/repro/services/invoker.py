@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.clock import Clock, WallClock
 from repro.model.elements import RetryPolicy
-from repro.services.breaker import CircuitBreaker, CircuitOpenError
+from repro.obs import Observability
+from repro.services.breaker import CircuitBreaker, CircuitOpenError, CircuitState
 from repro.services.errors import ServiceFailure
 from repro.services.registry import ServiceRegistry
 
@@ -51,6 +53,7 @@ class ServiceInvoker:
         use_breaker: bool = True,
         breaker_failure_threshold: int = 5,
         breaker_reset_timeout: float = 30.0,
+        obs: Observability | None = None,
     ) -> None:
         self.registry = registry
         self.clock = clock or WallClock()
@@ -59,6 +62,8 @@ class ServiceInvoker:
         self.breaker_reset_timeout = breaker_reset_timeout
         self._breakers: dict[str, CircuitBreaker] = {}
         self.stats = InvokerStats()
+        self.obs = obs if obs is not None else Observability()
+        self._h_invoke = self.obs.registry.histogram("services.invoke_seconds")
 
     def breaker_for(self, service: str) -> CircuitBreaker:
         """The (lazily created) breaker guarding one service."""
@@ -70,8 +75,22 @@ class ServiceInvoker:
                 reset_timeout=self.breaker_reset_timeout,
                 clock=self.clock,
             )
+            breaker.on_state_change = self._on_breaker_change
             self._breakers[service] = breaker
         return breaker
+
+    def _on_breaker_change(
+        self, breaker: CircuitBreaker, old: CircuitState, new: CircuitState
+    ) -> None:
+        """Record breaker transitions as metrics and trace events."""
+        self.obs.registry.counter("services.breaker.transitions").inc()
+        self.obs.registry.counter(f"services.breaker.to_{new.value}").inc()
+        self.obs.event(
+            "breaker.transition",
+            service=breaker.service,
+            from_state=old.value,
+            to_state=new.value,
+        )
 
     def invoke(
         self,
@@ -86,6 +105,25 @@ class ServiceInvoker:
         failures (``ServiceFailure.transient=False`` or any
         ``repro.engine.errors.BpmnError``) skip remaining retries.
         """
+        if not self.obs.enabled:
+            return self._invoke(service, arguments, retry)
+        with self.obs.span("service.call", service=service) as span:
+            result = self._invoke(service, arguments, retry)
+            span.set(
+                attempts=result.attempts,
+                succeeded=result.succeeded,
+                rejected_by_breaker=result.rejected_by_breaker,
+            )
+            if not result.succeeded:
+                span.finish("error")
+            return result
+
+    def _invoke(
+        self,
+        service: str,
+        arguments: dict[str, Any] | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> InvocationResult:
         from repro.engine.errors import BpmnError  # local import: avoid cycle
 
         policy = retry or RetryPolicy()
@@ -106,8 +144,13 @@ class ServiceInvoker:
                     self.stats.failures += 1
                     return result
             result.attempts = attempt
+            call_started = time.perf_counter()
             try:
-                result.value = handler(**(arguments or {}))
+                # inner try: time the downstream call alone (not backoff)
+                try:
+                    result.value = handler(**(arguments or {}))
+                finally:
+                    self._h_invoke.observe(time.perf_counter() - call_started)
             except BpmnError:
                 # business errors propagate to boundary-event routing
                 if breaker is not None:

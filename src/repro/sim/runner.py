@@ -82,6 +82,23 @@ class SimulationRunner:
 
     def run(self) -> SimulationResult:
         """Run until all cases are finished; returns raw counters."""
+        obs = self.engine.obs
+        if not obs.enabled:
+            return self._run()
+        # the span clock is the engine's VirtualClock, so start/end are
+        # *simulated* time — the span duration is the simulated horizon
+        with obs.span(
+            "sim.run", process_key=self.process_key, n_cases=self.n_cases
+        ) as span:
+            result = self._run()
+            span.set(
+                started_cases=result.started_cases,
+                completed_cases=result.completed_cases,
+                sim_horizon=result.horizon,
+            )
+            return result
+
+    def _run(self) -> SimulationResult:
         clock: VirtualClock = self.engine.clock  # type: ignore[assignment]
         self.result.start_time = clock.now()
         self._push(clock.now() + self.arrival.sample(self.rng), "arrival", {"k": 0})

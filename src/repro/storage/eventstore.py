@@ -9,12 +9,16 @@ in memory otherwise.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.storage.errors import StorageError
 from repro.storage.journal import Journal
 from repro.storage.serializers import json_decode, json_encode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -50,13 +54,22 @@ class EventRecord:
 class EventStore:
     """Globally ordered, stream-indexed, append-only event log."""
 
-    def __init__(self, path: str | None = None, sync_writes: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | None = None,
+        sync_writes: bool = False,
+        obs: "Observability | None" = None,
+    ) -> None:
         self._events: list[EventRecord] = []
         self._streams: dict[str, list[int]] = {}
         self._journal: Journal | None = None
         self.sync_writes = sync_writes
+        self._obs = obs
+        self._h_append = None if obs is None else obs.registry.histogram(
+            "storage.eventstore.append_seconds"
+        )
         if path is not None:
-            self._journal = Journal(path)
+            self._journal = Journal(path, obs=obs)
             for record in self._journal.replay():
                 event = EventRecord.from_dict(json_decode(record.payload))
                 self._index(event)
@@ -82,6 +95,7 @@ class EventStore:
         """Append one event; returns the sequenced record."""
         if not stream or not event_type:
             raise StorageError("stream and event_type must be non-empty")
+        started = time.perf_counter() if self._h_append is not None else 0.0
         event = EventRecord(
             sequence=len(self._events),
             stream=stream,
@@ -92,6 +106,8 @@ class EventStore:
         if self._journal is not None:
             self._journal.append(json_encode(event.to_dict()), sync=self.sync_writes)
         self._index(event)
+        if self._h_append is not None:
+            self._h_append.observe(time.perf_counter() - started)
         return event
 
     def sync(self) -> None:

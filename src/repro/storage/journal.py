@@ -22,11 +22,15 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.storage.errors import CorruptRecordError, StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 _HEADER = struct.Struct("<II")  # length, crc32
 
@@ -42,8 +46,26 @@ class JournalRecord:
 class Journal:
     """A single-writer append-only log file."""
 
-    def __init__(self, path: str, auto_recover: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        auto_recover: bool = True,
+        obs: "Observability | None" = None,
+    ) -> None:
         self.path = path
+        self._obs = obs
+        self._h_append = None if obs is None else obs.registry.histogram(
+            "storage.journal.append_seconds"
+        )
+        self._h_sync = None if obs is None else obs.registry.histogram(
+            "storage.journal.sync_seconds"
+        )
+        #: bytes cut from a torn tail on open (0 = the file was clean);
+        #: recovery is deliberately *surfaced*, never silent
+        self.recovered_bytes = 0
+        #: byte offset where the last :meth:`replay` hit a torn tail
+        #: (``None`` = the log read back clean end to end)
+        self.torn_tail_offset: int | None = None
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -63,11 +85,14 @@ class Journal:
         """
         if self._file.closed:
             raise StorageError("journal is closed")
+        started = time.perf_counter() if self._h_append is not None else 0.0
         offset = self._file.tell()
         crc = zlib.crc32(payload)
         self._file.write(_HEADER.pack(len(payload), crc))
         self._file.write(payload)
         self._pending += 1
+        if self._h_append is not None:
+            self._h_append.observe(time.perf_counter() - started)
         if sync:
             self.sync()
         return offset
@@ -83,8 +108,11 @@ class Journal:
         """Flush buffered records and fsync the file."""
         if self._file.closed:
             raise StorageError("journal is closed")
+        started = time.perf_counter() if self._h_sync is not None else 0.0
         self._file.flush()
         os.fsync(self._file.fileno())
+        if self._h_sync is not None:
+            self._h_sync.observe(time.perf_counter() - started)
         self._pending = 0
 
     @property
@@ -104,9 +132,11 @@ class Journal:
 
         Raises :class:`CorruptRecordError` for corruption in the *middle*
         of the log (data loss); a torn tail (crash artifact) ends iteration
-        silently.
+        but is surfaced via :attr:`torn_tail_offset` and the
+        ``storage.journal.torn_tails`` counter rather than swallowed.
         """
         self._file.flush()
+        self.torn_tail_offset = None
         with open(self.path, "rb") as reader:
             file_size = os.fstat(reader.fileno()).st_size
             offset = 0
@@ -115,19 +145,29 @@ class Journal:
                 if len(header) == 0:
                     return
                 if len(header) < _HEADER.size:
-                    return  # torn header at tail
+                    self._note_torn_tail(offset)  # torn header at tail
+                    return
                 length, crc = _HEADER.unpack(header)
                 payload = reader.read(length)
                 if len(payload) < length:
-                    return  # torn body at tail
+                    self._note_torn_tail(offset)  # torn body at tail
+                    return
                 if zlib.crc32(payload) != crc:
                     if reader.tell() == file_size:
-                        return  # corrupt final record: treat as torn tail
+                        self._note_torn_tail(offset)  # corrupt final record
+                        return
                     raise CorruptRecordError(
                         f"CRC mismatch at offset {offset} in {self.path}"
                     )
                 yield JournalRecord(offset=offset, payload=payload)
                 offset = reader.tell()
+
+    def _note_torn_tail(self, offset: int) -> None:
+        """Surface a torn tail found during replay."""
+        self.torn_tail_offset = offset
+        if self._obs is not None:
+            self._obs.registry.counter("storage.journal.torn_tails").inc()
+            self._obs.event("journal.torn_tail", path=self.path, offset=offset)
 
     def _truncate_torn_tail(self) -> None:
         """Cut the file back to the end of the last intact record."""
@@ -145,7 +185,17 @@ class Journal:
                     good_end = reader.tell()
         except OSError as exc:
             raise StorageError(f"cannot scan journal {self.path}: {exc}") from exc
-        if good_end < os.path.getsize(self.path):
+        file_size = os.path.getsize(self.path)
+        if good_end < file_size:
+            self.recovered_bytes = file_size - good_end
+            if self._obs is not None:
+                self._obs.registry.counter("storage.journal.torn_tails").inc()
+                self._obs.event(
+                    "journal.recovered",
+                    path=self.path,
+                    truncated_to=good_end,
+                    recovered_bytes=self.recovered_bytes,
+                )
             with open(self.path, "r+b") as writer:
                 writer.truncate(good_end)
 

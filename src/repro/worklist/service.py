@@ -8,10 +8,14 @@ user task and registers a completion listener to resume the token.  People
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable
+import time
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.clock import Clock, WallClock
 from repro.history.audit import HistoryService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 from repro.history.events import EventTypes
 from repro.worklist.allocation import Allocator, OfferOnlyAllocator
 from repro.worklist.errors import UnknownWorkItemError, WorklistError
@@ -30,6 +34,7 @@ class WorklistService:
         allocator: Allocator | None = None,
         clock: Clock | None = None,
         history: HistoryService | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         # `is None` checks: an empty OrganizationalModel is falsy (__len__)
         self.organization = (
@@ -38,6 +43,13 @@ class WorklistService:
         self.allocator = allocator if allocator is not None else OfferOnlyAllocator()
         self.clock = clock if clock is not None else WallClock()
         self.history = history
+        self._obs = obs
+        self._h_route = None if obs is None else obs.registry.histogram(
+            "worklist.route_seconds"
+        )
+        self._g_open = None if obs is None else obs.registry.gauge(
+            "worklist.open_items"
+        )
         self._items: dict[str, WorkItem] = {}
         self._completion_listeners: list[CompletionListener] = []
         self._cancellation_listeners: list[CompletionListener] = []
@@ -91,8 +103,15 @@ class WorklistService:
         if item.id in self._items:
             raise WorklistError(f"duplicate work item id {item.id!r}")
         self._items[item.id] = item
+        if self._g_open is not None:
+            self._g_open.inc()
         self._record(item, EventTypes.WORKITEM_CREATED, priority=priority)
-        self._route(item)
+        if self._h_route is None:
+            self._route(item)
+        else:
+            started = time.perf_counter()
+            self._route(item)
+            self._h_route.observe(time.perf_counter() - started)
         return item
 
     def _route(self, item: WorkItem) -> None:
@@ -208,6 +227,8 @@ class WorklistService:
         """Finish an item; fires completion listeners (the engine resumes)."""
         item = self.item(item_id)
         item.complete(result, self.clock.now())
+        if self._g_open is not None:
+            self._g_open.dec()
         self._record(
             item,
             EventTypes.WORKITEM_COMPLETED,
@@ -225,6 +246,8 @@ class WorklistService:
         """Withdraw a live item (engine calls this on interrupts)."""
         item = self.item(item_id)
         item.cancel(self.clock.now())
+        if self._g_open is not None:
+            self._g_open.dec()
         self._record(item, EventTypes.WORKITEM_CANCELLED)
         for listener in self._cancellation_listeners:
             listener(item)

@@ -1,0 +1,144 @@
+"""Property-based BPMN round-trip tests over *diverse* node types.
+
+The structured-model properties in ``tests/integration/test_properties.py``
+cover random control flow built from script tasks; here the control flow is
+a plain sequence but each node is drawn from the full task/event palette
+with randomized attributes — including XML-hostile strings — so the
+writer's escaping and the parser's attribute recovery are both exercised.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpmn import parse_bpmn, to_bpmn_xml
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import RetryPolicy
+from repro.model.serialization import definition_to_dict
+
+_settings = settings(max_examples=60, deadline=None)
+
+# names/expressions that must survive XML attribute + text escaping
+_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        categories=("L", "N", "P", "S", "Zs"),
+        exclude_characters="\x00",
+    ),
+    min_size=1,
+    max_size=20,
+)
+_identifier = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+_mapping = st.dictionaries(_identifier, _text, max_size=3)
+
+
+@st.composite
+def node_specs(draw):
+    kind = draw(st.sampled_from((
+        "user", "manual", "service", "script", "rule", "send", "receive",
+        "call", "multi", "timer", "message",
+    )))
+    if kind == "user":
+        return kind, {
+            "role": draw(_identifier),
+            "name": draw(_text),
+            "priority": draw(st.integers(min_value=0, max_value=9)),
+            "due_seconds": draw(st.one_of(
+                st.none(), st.floats(min_value=1, max_value=1e6, allow_nan=False)
+            )),
+            "form_fields": tuple(draw(st.lists(_identifier, max_size=3, unique=True))),
+        }
+    if kind == "manual":
+        return kind, {"name": draw(_text)}
+    if kind == "service":
+        return kind, {
+            "service": draw(_identifier),
+            "inputs": draw(_mapping),
+            "output_variable": draw(st.one_of(st.none(), _identifier)),
+            "retry": RetryPolicy(
+                max_attempts=draw(st.integers(min_value=1, max_value=9)),
+                initial_backoff=draw(st.floats(min_value=0.01, max_value=10, allow_nan=False)),
+                backoff_multiplier=draw(st.floats(min_value=1, max_value=5, allow_nan=False)),
+            ),
+            "async_execution": draw(st.booleans()),
+        }
+    if kind == "script":
+        return kind, {"script": f"x = {draw(st.integers(0, 99))}", "name": draw(_text)}
+    if kind == "rule":
+        return kind, {
+            "decision": draw(_identifier),
+            "result_variable": draw(st.one_of(st.none(), _identifier)),
+        }
+    if kind == "send":
+        return kind, {
+            "message_name": draw(_identifier),
+            "payload_expression": draw(st.one_of(st.none(), _text)),
+        }
+    if kind == "receive" or kind == "message":
+        return kind, {
+            "message_name": draw(_identifier),
+            "correlation_expression": draw(st.one_of(st.none(), _text)),
+        }
+    if kind == "call":
+        return kind, {
+            "process_key": draw(_identifier),
+            "input_mappings": draw(_mapping),
+            "output_mappings": draw(_mapping),
+        }
+    if kind == "multi":
+        output_collection = draw(st.one_of(st.none(), _identifier))
+        sequential = draw(st.booleans())
+        # element invariant: sequential runs and output collection both
+        # require waiting for the children
+        wait = (
+            True
+            if sequential or output_collection is not None
+            else draw(st.booleans())
+        )
+        return kind, {
+            "process_key": draw(_identifier),
+            "cardinality": draw(_text),
+            "output_collection": output_collection,
+            "sequential": sequential,
+            "wait_for_completion": wait,
+        }
+    assert kind == "timer"
+    return kind, {"duration": draw(st.floats(min_value=0.1, max_value=1e5, allow_nan=False))}
+
+
+_BUILDERS = {
+    "user": "user_task",
+    "manual": "manual_task",
+    "service": "service_task",
+    "script": "script_task",
+    "rule": "business_rule_task",
+    "send": "send_task",
+    "receive": "receive_task",
+    "call": "call_activity",
+    "multi": "multi_instance",
+    "timer": "timer",
+    "message": "message_catch",
+}
+
+
+def build_sequence_model(specs, process_name=""):
+    builder = ProcessBuilder("diverse", name=process_name).start()
+    for index, (kind, kwargs) in enumerate(specs):
+        getattr(builder, _BUILDERS[kind])(f"n{index}_{kind}", **kwargs)
+    return builder.end().build(validate=False)
+
+
+@_settings
+@given(st.lists(node_specs(), min_size=1, max_size=6), _text)
+def test_diverse_nodes_roundtrip_exactly(specs, process_name):
+    model = build_sequence_model(specs, process_name)
+    restored = parse_bpmn(to_bpmn_xml(model))
+    assert definition_to_dict(restored) == definition_to_dict(model)
+
+
+@_settings
+@given(st.lists(node_specs(), min_size=1, max_size=4))
+def test_double_roundtrip_is_stable(specs):
+    """write∘parse is idempotent: the second pass changes nothing."""
+    once = to_bpmn_xml(parse_bpmn(to_bpmn_xml(build_sequence_model(specs))))
+    twice = to_bpmn_xml(parse_bpmn(once))
+    assert once == twice

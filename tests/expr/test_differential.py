@@ -1,0 +1,132 @@
+"""Differential property tests: the sandboxed expression language is a
+Python-expression subset, so on its own grammar it must agree with the
+host interpreter's ``eval`` — same values, and errors in the same places."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import EvaluationError, evaluate
+
+_settings = settings(max_examples=200, deadline=None)
+
+# expressions are rendered fully parenthesized to pin the tree shape;
+# precedence itself is tested separately with flat chains
+_ARITH_OPS = ("+", "-", "*", "//", "%")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+_ENV = {"a": 7, "b": -3, "n": 0, "flag": True, "items": [1, 2, 3], "name": "bpms"}
+
+_leaf = st.one_of(
+    st.integers(min_value=-50, max_value=50).map(str),
+    st.sampled_from(["a", "b", "n", "flag", "True", "False"]),
+)
+
+
+def _extend(children):
+    binary = st.tuples(children, st.sampled_from(_ARITH_OPS), children).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+    compare = st.tuples(children, st.sampled_from(_CMP_OPS), children).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+    boolean = st.tuples(children, st.sampled_from(["and", "or"]), children).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+    negate = children.map(lambda c: f"(not {c})")
+    minus = children.map(lambda c: f"(-{c})")
+    ternary = st.tuples(children, children, children).map(
+        lambda t: f"({t[0]} if {t[1]} else {t[2]})"
+    )
+    membership = st.tuples(children, st.sampled_from(["in", "not in"])).map(
+        lambda t: f"({t[0]} {t[1]} items)"
+    )
+    return st.one_of(binary, compare, boolean, negate, minus, ternary, membership)
+
+
+expressions = st.recursive(_leaf, _extend, max_leaves=12)
+
+
+def _both_ways(source):
+    """(expr-language result, host-eval result); exceptions become markers."""
+    try:
+        ours = ("value", evaluate(source, _ENV))
+    except EvaluationError:
+        ours = ("error",)
+    allowed = {"len": len, "min": min, "max": max, "sum": sum}
+    try:
+        theirs = ("value", eval(  # noqa: S307 - the differential oracle
+            source, {"__builtins__": allowed}, dict(_ENV)
+        ))
+    except ZeroDivisionError:
+        theirs = ("error",)
+    return ours, theirs
+
+
+@_settings
+@given(expressions)
+def test_matches_python_eval_on_random_trees(source):
+    ours, theirs = _both_ways(source)
+    assert ours == theirs, source
+
+
+@_settings
+@given(
+    st.lists(st.integers(min_value=-9, max_value=9), min_size=2, max_size=6),
+    st.lists(st.sampled_from(("+", "-", "*", "//", "%", "**")), min_size=5, max_size=5),
+)
+def test_precedence_matches_python_on_flat_chains(numbers, ops):
+    """No parentheses: the parser's precedence must be Python's."""
+    parts = [str(numbers[0])]
+    previous = None
+    for index, number in enumerate(numbers[1:]):
+        op = ops[index]
+        # keep ** tame: small non-negative exponent, never two in a row
+        # (right-associative towers explode even for tiny operands)
+        if op == "**" and (previous == "**" or not 0 <= number <= 3):
+            op = "+"
+        parts.append(op)
+        parts.append(str(number))
+        previous = op
+    source = " ".join(parts)
+    ours, theirs = _both_ways(source)
+    assert ours == theirs, source
+
+
+@_settings
+@given(
+    st.integers(min_value=-5, max_value=5),
+    st.integers(min_value=-5, max_value=5),
+    st.integers(min_value=-5, max_value=5),
+    st.sampled_from(_CMP_OPS),
+    st.sampled_from(_CMP_OPS),
+)
+def test_chained_comparisons_match_python(x, y, z, op1, op2):
+    source = f"{x} {op1} {y} {op2} {z}"
+    ours, theirs = _both_ways(source)
+    assert ours == theirs, source
+
+
+@_settings
+@given(expressions, expressions)
+def test_short_circuit_matches_python(left, right):
+    """and/or return an *operand*, not a coerced bool — exactly as Python."""
+    for joiner in ("and", "or"):
+        source = f"({left}) {joiner} ({right})"
+        ours, theirs = _both_ways(source)
+        assert ours == theirs, source
+
+
+@_settings
+@given(st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=5),
+       st.integers(min_value=-6, max_value=6))
+def test_list_display_and_indexing_match_python(values, index):
+    literal = "[" + ", ".join(map(str, values)) + "]"
+    for source in (
+        f"len({literal})",
+        f"min({literal})",
+        f"max({literal})",
+        f"sum({literal})",
+        f"{literal}[{index % len(values)}]",
+    ):
+        ours, theirs = _both_ways(source)
+        assert ours == theirs, source

@@ -7,7 +7,7 @@ preserves it exactly, and (5) dict serialization preserves execution
 behaviour.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.bpmn import parse_bpmn, to_bpmn_xml
@@ -40,6 +40,9 @@ def test_generated_models_validate(tree):
 def test_generated_models_are_sound(tree):
     model = build_model(tree)
     report = check_soundness(to_workflow_net(model).net, max_states=50_000)
+    # a blown analysis budget is *inconclusive*, not a soundness defect:
+    # deeply nested AND blocks explode the state space; discard those runs
+    assume(not any("budget" in p for p in report.problems))
     assert report.sound, report.problems
 
 

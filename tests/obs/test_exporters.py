@@ -1,0 +1,152 @@
+"""Unit tests for the span exporters."""
+
+import io
+
+from repro.clock import VirtualClock
+from repro.obs.exporters import (
+    ConsoleSummaryExporter,
+    InMemorySpanExporter,
+    JsonLinesSpanExporter,
+    load_spans_jsonl,
+)
+from repro.obs.spans import Tracer
+
+
+def make_tracer(*exporters):
+    return Tracer(clock=VirtualClock(0.0), exporters=list(exporters), enabled=True)
+
+
+def test_in_memory_capacity_eviction():
+    exporter = InMemorySpanExporter(capacity=2)
+    tracer = make_tracer(exporter)
+    for k in range(3):
+        tracer.start_span(f"s{k}").finish()
+    assert [s.name for s in exporter.spans] == ["s1", "s2"]
+    exporter.clear()
+    assert len(exporter) == 0
+    # export still lands in the same buffer after clear()
+    tracer.start_span("s3").finish()
+    assert [s.name for s in exporter.spans] == ["s3"]
+
+
+def test_in_memory_queries():
+    exporter = InMemorySpanExporter()
+    tracer = make_tracer(exporter)
+    with tracer.span("parent") as parent:
+        with tracer.span("child"):
+            pass
+        with tracer.span("child"):
+            pass
+    assert [s.name for s in exporter.by_name("child")] == ["child", "child"]
+    assert len(exporter.children_of(parent)) == 2
+
+
+def test_tree_nests_children_and_orphans_become_roots():
+    exporter = InMemorySpanExporter(capacity=2)
+    tracer = make_tracer(exporter)
+    root = tracer.start_span("root")
+    mid = tracer.start_span("mid", parent=root)
+    leaf = tracer.start_span("leaf", parent=mid)
+    root.finish()
+    mid.finish()
+    leaf.finish()
+    # capacity 2: "root" was evicted, so "mid" is an orphan root
+    forest = exporter.tree()
+    assert [n["name"] for n in forest] == ["mid"]
+    assert [c["name"] for c in forest[0]["children"]] == ["leaf"]
+
+
+def test_render_tree_indents_and_shows_attrs():
+    exporter = InMemorySpanExporter()
+    tracer = make_tracer(exporter)
+    with tracer.span("outer", kind="demo"):
+        tracer.clock.advance(0.25)
+        with tracer.span("inner"):
+            pass
+    text = exporter.render_tree()
+    lines = text.splitlines()
+    assert lines[0].startswith("outer [ok] 250.000ms")
+    assert "kind='demo'" in lines[0]
+    assert lines[1].startswith("  inner [ok]")
+
+
+def test_render_tree_marks_open_spans():
+    exporter = InMemorySpanExporter()
+    tracer = make_tracer(exporter)
+    open_span = tracer.start_span("open")
+    exporter.export(open_span)  # never finished
+    assert "open [unset] open" in exporter.render_tree()
+
+
+def test_jsonl_roundtrip(tmp_path):
+    path = str(tmp_path / "spans.jsonl")
+    exporter = JsonLinesSpanExporter(path)
+    tracer = make_tracer(exporter)
+    tracer.start_span("a", k=1).finish()
+    tracer.start_span("b").finish("error")
+    assert exporter.exported == 2
+    exporter.close()
+    with open(path, encoding="utf-8") as fh:
+        spans = load_spans_jsonl(fh)
+    assert [s["name"] for s in spans] == ["a", "b"]
+    assert spans[0]["attributes"] == {"k": 1}
+    assert spans[1]["status"] == "error"
+
+
+def test_jsonl_accepts_stream():
+    stream = io.StringIO()
+    exporter = JsonLinesSpanExporter(stream)
+    tracer = make_tracer(exporter)
+    tracer.start_span("x").finish()
+    exporter.close()  # must not close a borrowed stream
+    assert load_spans_jsonl(stream.getvalue().splitlines())[0]["name"] == "x"
+
+
+def test_console_summary_aggregates():
+    exporter = ConsoleSummaryExporter()
+    tracer = make_tracer(exporter)
+    for _ in range(3):
+        with tracer.span("node"):
+            tracer.clock.advance(0.1)
+    try:
+        with tracer.span("node"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    table = exporter.render()
+    (row,) = [line for line in table.splitlines() if line.startswith("node")]
+    fields = row.split()
+    assert fields[1] == "4"  # count
+    assert fields[2] == "1"  # errors
+
+
+def test_console_summary_flush_writes_stream():
+    stream = io.StringIO()
+    exporter = ConsoleSummaryExporter(stream)
+    tracer = make_tracer(exporter)
+    tracer.start_span("n").finish()
+    tracer.flush()
+    assert "n" in stream.getvalue()
+
+
+def test_exporter_base_contract():
+    import pytest
+
+    from repro.obs.exporters import SpanExporter
+
+    base = SpanExporter()
+    with pytest.raises(NotImplementedError):
+        base.export(None)
+    base.flush()  # default: no-op
+    base.close()  # default: flush
+
+
+def test_class_level_export_matches_bound_fast_path():
+    """__init__ shadows export with spans.append; the class-level method
+    (the subclassing/super() path) must behave identically."""
+    exporter = InMemorySpanExporter()
+    tracer = make_tracer(exporter)
+    span = tracer.start_span("x")
+    span.finish()
+    InMemorySpanExporter.export(exporter, span)
+    assert list(exporter.spans) == [span, span]

@@ -1,0 +1,135 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_inc(registry):
+    counter = registry.counter("engine.token_moves")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert registry.counter("engine.token_moves") is counter  # get-or-create
+
+
+def test_gauge_set_inc_dec(registry):
+    gauge = registry.gauge("queue.depth")
+    gauge.set(10)
+    gauge.inc(3)
+    gauge.dec()
+    assert gauge.value == 12
+
+
+def test_histogram_buckets_and_stats():
+    histogram = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.sum == pytest.approx(5.555)
+    assert histogram.min == 0.005
+    assert histogram.max == 5.0
+    assert histogram.mean == pytest.approx(5.555 / 4)
+    assert histogram.counts == [1, 1, 1, 1]  # one per bucket + overflow
+
+
+def test_histogram_quantile():
+    histogram = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.6, 3.0):
+        histogram.observe(value)
+    assert histogram.quantile(0.0) == 1.0
+    assert histogram.quantile(0.5) == 2.0
+    assert histogram.quantile(1.0) == 4.0
+    with pytest.raises(MetricError):
+        histogram.quantile(1.5)
+
+
+def test_histogram_quantile_empty():
+    assert Histogram("lat").quantile(0.5) is None
+
+
+def test_histogram_overflow_quantile_reports_max():
+    histogram = Histogram("lat", buckets=(1.0,))
+    histogram.observe(50.0)
+    assert histogram.quantile(0.99) == 50.0
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(MetricError):
+        Histogram("bad", buckets=(1.0, 0.5))
+    with pytest.raises(MetricError):
+        Histogram("bad", buckets=())
+
+
+def test_registry_rejects_cross_type_reuse(registry):
+    registry.counter("name")
+    with pytest.raises(MetricError):
+        registry.gauge("name")
+    with pytest.raises(MetricError):
+        registry.histogram("name")
+
+
+def test_registry_rejects_bucket_redefinition(registry):
+    registry.histogram("lat", buckets=(1.0, 2.0))
+    with pytest.raises(MetricError):
+        registry.histogram("lat", buckets=(1.0, 3.0))
+    # same buckets (or unspecified) is fine
+    assert registry.histogram("lat", buckets=(1.0, 2.0)).buckets == (1.0, 2.0)
+    assert registry.histogram("lat").buckets == (1.0, 2.0)
+
+
+def test_counters_with_prefix(registry):
+    registry.counter("engine.nodes_executed.ScriptTask").inc(3)
+    registry.counter("engine.nodes_executed.UserTask").inc()
+    registry.counter("engine.token_moves").inc(9)
+    assert registry.counters_with_prefix("engine.nodes_executed.") == {
+        "ScriptTask": 3,
+        "UserTask": 1,
+    }
+
+
+def test_snapshot_is_json_safe_and_sorted(registry):
+    registry.counter("b").inc()
+    registry.counter("a").inc(2)
+    registry.gauge("g").set(7)
+    registry.histogram("h", buckets=(1.0,)).observe(0.5)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["a", "b"]
+    assert snapshot["gauges"] == {"g": 7}
+    assert snapshot["histograms"]["h"]["count"] == 1
+    json.dumps(snapshot)  # must not raise
+
+
+def test_reset_clears_everything(registry):
+    registry.counter("c").inc()
+    registry.gauge("g").set(1)
+    registry.histogram("h").observe(1.0)
+    registry.reset()
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert registry.counter("c").value == 0
+
+
+def test_default_buckets_cover_latency_range():
+    assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+    assert DEFAULT_LATENCY_BUCKETS[-1] >= 5.0
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+def test_instruments_carry_names():
+    assert Counter("x").name == "x"
+    assert Gauge("y").name == "y"
+    assert Histogram("z").name == "z"

@@ -1,0 +1,195 @@
+"""Unit tests for the span/tracer layer."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.obs import InMemorySpanExporter, NOOP_SPAN, Observability
+from repro.obs.spans import STATUS_ERROR, STATUS_OK, STATUS_UNSET, Tracer
+
+
+@pytest.fixture
+def exporter():
+    return InMemorySpanExporter()
+
+
+@pytest.fixture
+def tracer(exporter):
+    return Tracer(clock=VirtualClock(100.0), exporters=[exporter], enabled=True)
+
+
+def test_span_records_times_and_status(tracer, exporter):
+    clock = tracer.clock
+    span = tracer.start_span("work", kind="test")
+    clock.advance(2.5)
+    span.finish()
+    assert span.start == 100.0
+    assert span.end == 102.5
+    assert span.duration == 2.5
+    assert span.status == STATUS_OK
+    assert span.attributes == {"kind": "test"}
+    assert list(exporter.spans) == [span]
+
+
+def test_finish_is_idempotent(tracer):
+    span = tracer.start_span("work")
+    span.finish()
+    first_end = span.end
+    tracer.clock.advance(10)
+    span.finish(STATUS_ERROR)
+    assert span.end == first_end
+    assert span.status == STATUS_OK
+
+
+def test_context_manager_scopes_and_parents(tracer):
+    with tracer.span("outer") as outer:
+        assert tracer.current() is outer
+        with tracer.span("inner") as inner:
+            assert tracer.current() is inner
+            assert inner.parent_id == outer.span_id
+            assert inner.trace_id == outer.trace_id
+        assert tracer.current() is outer
+    assert tracer.current() is None
+    assert outer.end is not None and inner.end is not None
+
+
+def test_explicit_parent_overrides_stack(tracer):
+    detached = tracer.start_span("detached")
+    with tracer.span("scoped"):
+        child = tracer.start_span("child", parent=detached)
+    assert child.parent_id == detached.span_id
+    assert child.trace_id == detached.trace_id
+
+
+def test_root_span_starts_its_own_trace(tracer):
+    a = tracer.start_span("a")
+    b = tracer.start_span("b", parent=None)
+    assert a.parent_id is None and b.parent_id is None
+    assert a.trace_id == a.span_id
+    assert b.trace_id == b.span_id
+    assert a.trace_id != b.trace_id
+
+
+def test_exception_marks_span_error(tracer, exporter):
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("nope")
+    (span,) = exporter.spans
+    assert span.status == STATUS_ERROR
+    assert span.end is not None
+
+
+def test_set_chains_and_merges(tracer):
+    span = tracer.start_span("work", a=1)
+    assert span.set(b=2).set(a=3) is span
+    assert span.attributes == {"a": 3, "b": 2}
+
+
+def test_event_is_zero_duration(tracer, exporter):
+    tracer.event("tick", reason="test")
+    (span,) = exporter.spans
+    assert span.duration == 0.0
+    assert span.attributes == {"reason": "test"}
+
+
+def test_disabled_tracer_is_noop(exporter):
+    tracer = Tracer(exporters=[exporter], enabled=False)
+    span = tracer.start_span("work", a=1)
+    assert span is NOOP_SPAN
+    with tracer.span("scoped") as scoped:
+        assert scoped is NOOP_SPAN
+        assert tracer.current() is None
+    tracer.event("tick")
+    assert len(exporter) == 0
+    # the noop span absorbs the full span API
+    assert NOOP_SPAN.set(x=1) is NOOP_SPAN
+    assert NOOP_SPAN.attributes == {}
+    assert NOOP_SPAN.finish() is None
+    assert NOOP_SPAN.duration is None
+    assert NOOP_SPAN.to_dict() == {}
+
+
+def test_noop_span_survives_exceptions():
+    tracer = Tracer(enabled=False)
+    with pytest.raises(RuntimeError):
+        with tracer.span("scoped"):
+            raise RuntimeError("still propagates")
+
+
+def test_to_dict_round_trip(tracer):
+    span = tracer.start_span("work", key="value")
+    span.finish()
+    data = span.to_dict()
+    assert data["name"] == "work"
+    assert data["span_id"] == span.span_id
+    assert data["status"] == STATUS_OK
+    assert data["attributes"] == {"key": "value"}
+    # mutation of the dict must not leak back into the span
+    data["attributes"]["key"] = "other"
+    assert span.attributes["key"] == "value"
+
+
+def test_open_spans_reports_active_stack(tracer):
+    assert list(tracer.open_spans()) == []
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert list(tracer.open_spans()) == [outer, inner]
+
+
+def test_unfinished_span_status_unset(tracer):
+    span = tracer.start_span("open")
+    assert span.status == STATUS_UNSET
+    assert span.duration is None
+
+
+def test_add_exporter_receives_future_spans(tracer):
+    late = InMemorySpanExporter()
+    tracer.start_span("before").finish()
+    tracer.add_exporter(late)
+    tracer.start_span("after").finish()
+    assert [s.name for s in late.spans] == ["after"]
+
+
+def test_observability_facade_binds_clock_once():
+    obs = Observability()
+    clock = VirtualClock(5.0)
+    obs.bind_clock(clock)
+    assert obs.tracer.clock is clock
+    obs.bind_clock(VirtualClock(99.0))
+    assert obs.tracer.clock is clock  # first bind wins
+
+
+def test_observability_pinned_clock_rejects_bind():
+    pinned = VirtualClock(1.0)
+    obs = Observability(clock=pinned)
+    obs.bind_clock(VirtualClock(2.0))
+    assert obs.tracer.clock is pinned
+
+
+def test_observability_enabled_toggle():
+    obs = Observability(enabled=False)
+    assert obs.span("x") is NOOP_SPAN
+    obs.enabled = True
+    with obs.span("x") as span:
+        assert span is not NOOP_SPAN
+
+
+def test_direct_construction_matches_tracer_spans(tracer):
+    from repro.obs.spans import Span
+
+    detached = Span("manual", span_id=7, parent_id=None, trace_id=7, start=1.0)
+    assert detached.status == STATUS_UNSET
+    assert detached.attributes == {}
+    assert detached.duration is None
+    # no tracer: finish is a status/stamp no-op-safe path, CM too
+    detached.finish()
+    assert detached.end is None  # no clock to stamp with
+    with Span("scoped", span_id=8, parent_id=7, trace_id=7, start=2.0) as span:
+        assert span.parent_id == 7
+    carrying = Span(
+        "attrs", span_id=9, parent_id=None, trace_id=9, start=0.0,
+        tracer=tracer, attributes={"k": "v"},
+    )
+    carrying.finish()
+    assert carrying.status == STATUS_OK
+    assert carrying.end is not None
+    assert carrying.attributes == {"k": "v"}

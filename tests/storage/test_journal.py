@@ -160,3 +160,91 @@ class TestProperties:
         # the torn tail may cost the last record, never more
         assert recovered == payloads[: len(recovered)]
         assert len(recovered) >= len(payloads) - 1
+
+
+class TestTornTailSurfacing:
+    """Recovery must be *observable*: offsets, byte counts, counters,
+    events — never a silent truncation."""
+
+    def _tear(self, path, cut):
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - cut)
+
+    def test_clean_log_reports_nothing(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"fine", sync=True)
+        with Journal(journal_path) as journal:
+            list(journal.replay())
+            assert journal.recovered_bytes == 0
+            assert journal.torn_tail_offset is None
+
+    def test_recovery_on_open_reports_bytes_cut(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"good", sync=True)
+            journal.append(b"torn", sync=True)
+        self._tear(journal_path, cut=2)
+        with Journal(journal_path) as journal:
+            assert journal.recovered_bytes == struct.calcsize("<II") + 4 - 2
+            assert [r.payload for r in journal.replay()] == [b"good"]
+            # replay of the repaired file is clean
+            assert journal.torn_tail_offset is None
+
+    def test_replay_reports_torn_tail_offset(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"good", sync=True)
+            good_end = journal.size
+            journal.append(b"torn", sync=True)
+        self._tear(journal_path, cut=2)
+        journal = Journal(journal_path, auto_recover=False)
+        assert [r.payload for r in journal.replay()] == [b"good"]
+        assert journal.torn_tail_offset == good_end
+        # a later clean replay resets the marker
+        self._tear(journal_path, cut=struct.calcsize("<II") + 4 - 2)
+        assert [r.payload for r in journal.replay()] == [b"good"]
+        assert journal.torn_tail_offset is None
+        journal.close()
+
+    def test_recovery_increments_counter_and_emits_event(self, journal_path):
+        from repro.obs import InMemorySpanExporter, Observability
+
+        with Journal(journal_path) as journal:
+            journal.append(b"good", sync=True)
+            journal.append(b"torn", sync=True)
+        self._tear(journal_path, cut=1)
+        exporter = InMemorySpanExporter()
+        obs = Observability(enabled=True, exporters=[exporter])
+        with Journal(journal_path, obs=obs) as journal:
+            assert journal.recovered_bytes > 0
+        assert obs.registry.counter("storage.journal.torn_tails").value == 1
+        (event,) = exporter.by_name("journal.recovered")
+        assert event.attributes["recovered_bytes"] == journal.recovered_bytes
+        assert event.attributes["path"] == journal_path
+
+    def test_replay_tear_increments_counter_and_emits_event(self, journal_path):
+        from repro.obs import InMemorySpanExporter, Observability
+
+        with Journal(journal_path) as journal:
+            journal.append(b"good", sync=True)
+            journal.append(b"torn", sync=True)
+        self._tear(journal_path, cut=1)
+        exporter = InMemorySpanExporter()
+        obs = Observability(enabled=True, exporters=[exporter])
+        journal = Journal(journal_path, auto_recover=False, obs=obs)
+        list(journal.replay())
+        assert obs.registry.counter("storage.journal.torn_tails").value == 1
+        (event,) = exporter.by_name("journal.torn_tail")
+        assert event.attributes["offset"] == journal.torn_tail_offset
+        journal.close()
+
+    def test_obs_journal_times_appends_and_syncs(self, journal_path):
+        from repro.obs import Observability
+
+        obs = Observability()
+        with Journal(journal_path, obs=obs) as journal:
+            journal.append(b"x", sync=True)
+            journal.append(b"y", sync=False)
+            journal.sync()
+        registry = obs.registry
+        assert registry.histogram("storage.journal.append_seconds").count == 2
+        assert registry.histogram("storage.journal.sync_seconds").count == 2

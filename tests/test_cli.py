@@ -183,3 +183,47 @@ class TestPatterns:
         out = capsys.readouterr().out
         assert "supported: 16/20" in out
         assert "Deferred Choice" in out
+
+
+class TestTrace:
+    def test_prints_span_tree(self, model_file, capsys):
+        assert main(["trace", model_file, "--var", "n=21"]) == 0
+        out = capsys.readouterr().out
+        assert "state     : completed" in out
+        assert "instance [ok]" in out
+        assert "node_id='work'" in out
+        # one node span per executed node: start, work, end
+        assert out.count("node [ok]") == 3
+
+    def test_jsonl_export(self, model_file, tmp_path, capsys):
+        out_path = str(tmp_path / "spans.jsonl")
+        assert main(["trace", model_file, "--var", "n=1", "--jsonl", out_path]) == 0
+        from repro.obs import load_spans_jsonl
+
+        with open(out_path, encoding="utf-8") as fh:
+            spans = load_spans_jsonl(fh)
+        assert [s["name"] for s in spans].count("node") == 3
+        assert "wrote     : 4 spans" in capsys.readouterr().out
+
+
+class TestMetrics:
+    def test_snapshot_is_superset_of_legacy_keys(self, model_file, capsys):
+        import json
+
+        assert main(["metrics", model_file, "--var", "n=3", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        legacy_keys = {
+            "instances_started", "instances_completed", "instances_failed",
+            "instances_terminated", "timers_fired", "messages_delivered",
+            "migrations",
+        }
+        counters = {k.removeprefix("engine.") for k in snapshot["counters"]}
+        assert legacy_keys <= counters
+        assert snapshot["counters"]["engine.nodes_executed.ScriptTask"] == 1
+
+    def test_human_output_sections(self, model_file, capsys):
+        assert main(["metrics", model_file, "--var", "n=3"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("counters  :", "gauges    :", "histograms:",
+                       "engine.token_moves", "engine.scheduler.queue_depth"):
+            assert needle in out
