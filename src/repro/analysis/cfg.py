@@ -1,0 +1,211 @@
+"""Control-flow graph and variable effects for the data-flow pass.
+
+The CFG mirrors the definition's flow graph plus one edge from each
+activity to its boundary events (a boundary path starts from the *pre*
+state of its host — the host may be cancelled before its writes land).
+
+Effects describe what a node does to instance variables, derived from the
+same compiled expression ASTs the engine evaluates:
+
+* ``uses`` — ordered reads with the set of variables each one references
+  and whether it happens before or after the node's own writes;
+* ``writes`` — variables the node definitely assigns;
+* ``havoc`` — the node may write arbitrary variables (user-task form
+  results, message payload merges, un-mapped call-activity outputs);
+* ``reads_everything`` — the node forwards the whole variable scope
+  somewhere opaque (call activity without input mappings), which keeps
+  every variable observable for liveness purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.expr import ParseError, collect_names, compile_expression
+from repro.expr.script import split_statements, parse_statement
+from repro.model.elements import (
+    BoundaryEvent,
+    BusinessRuleTask,
+    CallActivity,
+    ExclusiveGateway,
+    InclusiveGateway,
+    IntermediateMessageEvent,
+    MultiInstanceActivity,
+    ReceiveTask,
+    ScriptTask,
+    SendTask,
+    ServiceTask,
+    UserTask,
+)
+from repro.model.process import ProcessDefinition
+
+
+@dataclass(frozen=True)
+class VariableUse:
+    """One read site inside a node."""
+
+    names: frozenset[str]
+    detail: str
+    #: variables already written by this node before the read happens
+    defined_before: frozenset[str] = frozenset()
+
+
+@dataclass
+class NodeEffects:
+    """Variable reads/writes of one node."""
+
+    uses: list[VariableUse] = field(default_factory=list)
+    writes: set[str] = field(default_factory=set)
+    havoc: bool = False
+    reads_everything: bool = False
+
+    def first_action(self, name: str) -> str | None:
+        """``"read"``/``"write"``/None — what the node does to ``name`` first
+        (drives the backward dead-write analysis)."""
+        for use in self.uses:
+            if name in use.names and name not in use.defined_before:
+                return "read"
+        if name in self.writes:
+            return "write"
+        if any(name in use.names for use in self.uses):
+            return "read"
+        return None
+
+
+def _names(expression: str) -> frozenset[str]:
+    try:
+        return frozenset(collect_names(compile_expression(expression).ast))
+    except ParseError:
+        return frozenset()  # STR005 reports the syntax error
+
+
+def node_effects(definition: ProcessDefinition, node_id: str) -> NodeEffects:
+    """Compute the variable effects of one node (guards included: a split's
+    outgoing-flow conditions are evaluated at the split)."""
+    node = definition.nodes[node_id]
+    effects = NodeEffects()
+
+    if isinstance(node, ScriptTask):
+        defined: set[str] = set()
+        for line_no, text in split_statements(node.script):
+            try:
+                statement = parse_statement(line_no, text)
+            except ParseError:
+                continue  # STR005 reports it; skip for data flow
+            names = set(collect_names(statement.expression.ast))
+            if statement.reads_target:
+                names.add(statement.target)
+            effects.uses.append(VariableUse(
+                names=frozenset(names),
+                detail=f"script line {line_no}",
+                defined_before=frozenset(defined),
+            ))
+            defined.add(statement.target)
+            effects.writes.add(statement.target)
+    elif isinstance(node, ServiceTask):
+        for arg, expression in node.inputs.items():
+            effects.uses.append(VariableUse(_names(expression), f"input {arg!r}"))
+        if node.output_variable:
+            effects.writes.add(node.output_variable)
+    elif isinstance(node, UserTask):
+        effects.havoc = True  # form results merge arbitrary keys
+    elif isinstance(node, (ReceiveTask, IntermediateMessageEvent)):
+        if node.correlation_expression:
+            effects.uses.append(
+                VariableUse(_names(node.correlation_expression), "correlation")
+            )
+        effects.havoc = True  # message payload merges into variables
+    elif isinstance(node, SendTask):
+        if node.payload_expression:
+            effects.uses.append(
+                VariableUse(_names(node.payload_expression), "payload")
+            )
+    elif isinstance(node, BusinessRuleTask):
+        # table input names are runtime data; without the registry we cannot
+        # know what the decision reads, so only the write side is modelled
+        if node.result_variable:
+            effects.writes.add(node.result_variable)
+        else:
+            effects.havoc = True  # outputs merge into the variable scope
+    elif isinstance(node, MultiInstanceActivity):
+        effects.uses.append(
+            VariableUse(_names(node.cardinality_expression), "cardinality")
+        )
+        for child_var, expression in node.input_mappings.items():
+            effects.uses.append(
+                VariableUse(_names(expression), f"input mapping {child_var!r}")
+            )
+        if not node.input_mappings:
+            effects.reads_everything = True  # children get a full copy
+        if node.wait_for_completion and node.output_collection:
+            effects.writes.add(node.output_collection)
+    elif isinstance(node, CallActivity):
+        for child_var, expression in node.input_mappings.items():
+            effects.uses.append(
+                VariableUse(_names(expression), f"input mapping {child_var!r}")
+            )
+        if not node.input_mappings:
+            effects.reads_everything = True  # child gets a full copy
+        if node.output_mappings:
+            # mapping expressions evaluate against the *child's* variables,
+            # so they are not parent reads; only the targets are writes
+            effects.writes.update(node.output_mappings.keys())
+        else:
+            effects.havoc = True  # child variables merge wholesale
+    # gateways/start: guard conditions are evaluated at the split
+    if isinstance(node, (ExclusiveGateway, InclusiveGateway)):
+        for flow in definition.outgoing(node.id):
+            if flow.condition is not None:
+                effects.uses.append(
+                    VariableUse(_names(flow.condition), f"guard on {flow.id!r}")
+                )
+    return effects
+
+
+@dataclass
+class ControlFlowGraph:
+    """Successor/predecessor maps plus per-node effects."""
+
+    definition: ProcessDefinition
+    start_id: str | None
+    successors: dict[str, list[str]]
+    predecessors: dict[str, list[str]]
+    effects: dict[str, NodeEffects]
+    #: boundary event id -> host activity id (data state forks *before* the host)
+    boundary_hosts: dict[str, str]
+
+    @property
+    def known_variables(self) -> set[str]:
+        """Every variable name any effect mentions."""
+        names: set[str] = set()
+        for effect in self.effects.values():
+            names.update(effect.writes)
+            for use in effect.uses:
+                names.update(use.names)
+        return names
+
+
+def build_cfg(definition: ProcessDefinition) -> ControlFlowGraph:
+    """Build the CFG over all nodes (unreachable nodes included; STR008
+    reports them separately)."""
+    successors: dict[str, list[str]] = {n: [] for n in definition.nodes}
+    predecessors: dict[str, list[str]] = {n: [] for n in definition.nodes}
+    boundary_hosts: dict[str, str] = {}
+    for flow in definition.flows.values():
+        successors[flow.source].append(flow.target)
+        predecessors[flow.target].append(flow.source)
+    for node in definition.nodes.values():
+        if isinstance(node, BoundaryEvent) and node.attached_to in definition.nodes:
+            successors[node.attached_to].append(node.id)
+            predecessors[node.id].append(node.attached_to)
+            boundary_hosts[node.id] = node.attached_to
+    starts = definition.start_events()
+    effects = {n: node_effects(definition, n) for n in definition.nodes}
+    return ControlFlowGraph(
+        definition=definition,
+        start_id=starts[0].id if len(starts) == 1 else None,
+        successors=successors,
+        predecessors=predecessors,
+        effects=effects,
+        boundary_hosts=boundary_hosts,
+    )

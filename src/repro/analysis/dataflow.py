@@ -1,0 +1,325 @@
+"""Data-flow rules: definite assignment, dead writes, unconsumed values.
+
+Three analyses over the CFG, all derived from the same expression ASTs the
+engine evaluates:
+
+* **definite assignment** (DF001/DF002/DF005) — a forward must-analysis:
+  ``IN[n]`` is the set of variables assigned on *every* path from the start
+  to ``n``.  The meet is intersection, except at parallel joins where all
+  incoming branches have completed, so their definitions union.  Havoc
+  nodes (form results, message payloads, un-mapped call outputs) define
+  everything.  Boundary events inherit the *pre* state of their host — the
+  host was cancelled, its writes may not have happened.
+* **dead writes** (DF003) — a backward must-overwrite analysis: a write is
+  dead when every path onward rewrites the variable before any read.
+* **consumption** (DF004) — assigned variables nothing ever reads.
+
+Reads of variables never assigned anywhere are *process inputs* (DF002,
+info): the model cannot run unless the instance is started with them.
+Reads of variables that are assigned somewhere, but not on every incoming
+path, are the real bugs (DF001) — unless the only assignments sit on a
+concurrent parallel branch, which is its own rule (DF005: the engine's
+interleaving decides whether the value is there).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import DF001, DF002, DF003, DF004, DF005
+from repro.model.elements import ParallelGateway
+
+
+def dataflow_pass(cfg: ControlFlowGraph) -> list[Diagnostic]:
+    """Run all data-flow rules; returns diagnostics in model order."""
+    if cfg.start_id is None:
+        return []  # malformed entry (STR001); nothing meaningful to analyse
+    universe = frozenset(cfg.known_variables)
+    if not universe:
+        return []
+    definitely = _definite_assignment(cfg, universe)
+    reach = _reachability(cfg)
+    written_at: dict[str, list[str]] = {}
+    for node_id in cfg.definition.nodes:
+        for name in cfg.effects[node_id].writes:
+            written_at.setdefault(name, []).append(node_id)
+
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_read_rules(cfg, definitely, reach, written_at))
+    diagnostics.extend(_dead_write_rule(cfg, universe))
+    diagnostics.extend(_unconsumed_rule(cfg, written_at))
+    return diagnostics
+
+
+# -- definite assignment ------------------------------------------------------
+
+
+def _definite_assignment(
+    cfg: ControlFlowGraph, universe: frozenset[str]
+) -> dict[str, frozenset[str]]:
+    """Greatest-fixpoint IN sets (variables assigned on every path)."""
+    assert cfg.start_id is not None  # caller guards
+    in_sets: dict[str, frozenset[str]] = {
+        n: universe for n in cfg.definition.nodes
+    }
+    in_sets[cfg.start_id] = frozenset()
+    out_sets: dict[str, frozenset[str]] = {}
+
+    def out_of(node_id: str) -> frozenset[str]:
+        cached = out_sets.get(node_id)
+        if cached is not None:
+            return cached
+        effects = cfg.effects[node_id]
+        result = universe if effects.havoc else in_sets[node_id] | effects.writes
+        out_sets[node_id] = result
+        return result
+
+    worklist = list(cfg.definition.nodes)
+    iterations = 0
+    limit = max(64, len(cfg.definition.nodes) * len(universe) * 4)
+    while worklist and iterations < limit:
+        iterations += 1
+        node_id = worklist.pop()
+        if node_id == cfg.start_id:
+            continue
+        preds = cfg.predecessors[node_id]
+        if not preds:
+            continue  # unreachable; stays at universe (STR008 reports it)
+        host = cfg.boundary_hosts.get(node_id)
+        if host is not None:
+            # boundary path forks from the host's *pre* state
+            new_in = in_sets[host]
+        else:
+            node = cfg.definition.nodes[node_id]
+            contributions = [out_of(p) for p in preds]
+            if isinstance(node, ParallelGateway) and len(preds) > 1:
+                new_in = frozenset().union(*contributions)
+            else:
+                new_in = contributions[0]
+                for contribution in contributions[1:]:
+                    new_in &= contribution
+        if new_in != in_sets[node_id]:
+            in_sets[node_id] = new_in
+            out_sets.pop(node_id, None)
+            worklist.extend(cfg.successors[node_id])
+    return in_sets
+
+
+def _reachability(cfg: ControlFlowGraph) -> dict[str, set[str]]:
+    """reach[n] = nodes reachable from n (n excluded unless on a cycle)."""
+    reach: dict[str, set[str]] = {}
+    for start in cfg.definition.nodes:
+        seen: set[str] = set()
+        stack = list(cfg.successors[start])
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            stack.extend(cfg.successors[node_id])
+        reach[start] = seen
+    return reach
+
+
+def _concurrent_writers(
+    cfg: ControlFlowGraph,
+    reach: dict[str, set[str]],
+    reader: str,
+    writers: list[str],
+) -> list[str]:
+    """Writers on a branch parallel to ``reader`` (neither reaches the other,
+    both downstream of different branches of one AND-split)."""
+    result = []
+    for writer in writers:
+        if writer == reader:
+            continue
+        if writer in reach[reader] or reader in reach[writer]:
+            continue
+        for node in cfg.definition.nodes.values():
+            if not isinstance(node, ParallelGateway):
+                continue
+            branches = cfg.successors[node.id]
+            if len(branches) < 2:
+                continue
+            for i, b1 in enumerate(branches):
+                reach1 = reach[b1] | {b1}
+                if reader not in reach1:
+                    continue
+                for b2 in branches[:i] + branches[i + 1:]:
+                    if writer in reach[b2] | {b2}:
+                        result.append(writer)
+                        break
+                else:
+                    continue
+                break
+            else:
+                continue
+            break
+    return result
+
+
+def _read_rules(
+    cfg: ControlFlowGraph,
+    definitely: dict[str, frozenset[str]],
+    reach: dict[str, set[str]],
+    written_at: dict[str, list[str]],
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    reported_inputs: set[str] = set()
+    reported_reads: set[tuple[str, str, str]] = set()
+    for node_id in cfg.definition.nodes:
+        for use in cfg.effects[node_id].uses:
+            available = definitely[node_id] | use.defined_before
+            for name in sorted(use.names - available):
+                writers = written_at.get(name)
+                if not writers:
+                    if name not in reported_inputs:
+                        reported_inputs.add(name)
+                        diagnostics.append(Diagnostic(
+                            rule=DF002.id,
+                            severity=DF002.severity,
+                            element_id=node_id,
+                            message=(
+                                f"variable {name!r} is never assigned in the "
+                                f"model; it must be provided at instance start "
+                                f"(first read: {use.detail})"
+                            ),
+                            hint="document it as a process input, or add an "
+                                 "initializing script task after the start event",
+                        ))
+                    continue
+                concurrent = _concurrent_writers(cfg, reach, node_id, writers)
+                rule = DF005 if concurrent else DF001
+                key = (rule.id, node_id, name)
+                if key in reported_reads:
+                    continue
+                reported_reads.add(key)
+                if concurrent:
+                    message = (
+                        f"read of {name!r} ({use.detail}) races with its "
+                        f"assignment on parallel branch node(s) "
+                        f"{sorted(concurrent)}; the value depends on "
+                        f"interleaving"
+                    )
+                    hint = ("synchronize with a parallel join before the read, "
+                            "or assign the variable before the split")
+                else:
+                    message = (
+                        f"variable {name!r} may be uninitialized when read "
+                        f"({use.detail}); it is only assigned at "
+                        f"{sorted(set(writers))}"
+                    )
+                    hint = ("assign the variable on every path to this node "
+                            "(e.g. initialize it right after the start event)")
+                diagnostics.append(Diagnostic(
+                    rule=rule.id,
+                    severity=rule.severity,
+                    element_id=node_id,
+                    message=message,
+                    hint=hint,
+                ))
+    return diagnostics
+
+
+# -- dead writes --------------------------------------------------------------
+
+
+def _dead_write_rule(
+    cfg: ControlFlowGraph, universe: frozenset[str]
+) -> list[Diagnostic]:
+    overwritten = _must_overwrite(cfg, universe)
+    diagnostics: list[Diagnostic] = []
+    for node_id in cfg.definition.nodes:
+        effects = cfg.effects[node_id]
+        successors = cfg.successors[node_id]
+        if successors:
+            out = overwritten[successors[0]]
+            for successor in successors[1:]:
+                out &= overwritten[successor]
+        else:
+            out = frozenset()
+        for name in sorted(effects.writes & out):
+            # a read of the fresh value inside the same node keeps it alive
+            if any(
+                name in use.names and name in use.defined_before
+                for use in effects.uses
+            ):
+                continue
+            diagnostics.append(Diagnostic(
+                rule=DF003.id,
+                severity=DF003.severity,
+                element_id=node_id,
+                message=(
+                    f"value assigned to {name!r} here is overwritten on every "
+                    f"path before anything reads it"
+                ),
+                hint="drop the assignment, or move it past the overwrite",
+            ))
+    return diagnostics
+
+
+def _must_overwrite(
+    cfg: ControlFlowGraph, universe: frozenset[str]
+) -> dict[str, frozenset[str]]:
+    """IN sets of the backward analysis: variables that, from the *entry* of
+    the node onward, are rewritten on every path before any read."""
+    in_sets: dict[str, frozenset[str]] = {}
+    for node_id in cfg.definition.nodes:
+        in_sets[node_id] = frozenset() if not cfg.successors[node_id] else universe
+    changed = True
+    iterations = 0
+    limit = max(64, len(cfg.definition.nodes) * 4)
+    while changed and iterations < limit:
+        iterations += 1
+        changed = False
+        for node_id in cfg.definition.nodes:
+            successors = cfg.successors[node_id]
+            if successors:
+                out = in_sets[successors[0]]
+                for successor in successors[1:]:
+                    out &= in_sets[successor]
+            else:
+                out = frozenset()
+            effects = cfg.effects[node_id]
+            if effects.havoc or effects.reads_everything:
+                # the node may observe anything: nothing is provably dead past it
+                new_in: frozenset[str] = frozenset()
+            else:
+                names = set(out) | effects.writes
+                new_in = frozenset(
+                    name for name in names
+                    if effects.first_action(name) == "write"
+                    or (effects.first_action(name) is None and name in out)
+                )
+            if new_in != in_sets[node_id]:
+                in_sets[node_id] = new_in
+                changed = True
+    return in_sets
+
+
+# -- consumption --------------------------------------------------------------
+
+
+def _unconsumed_rule(
+    cfg: ControlFlowGraph, written_at: dict[str, list[str]]
+) -> list[Diagnostic]:
+    if any(e.reads_everything for e in cfg.effects.values()):
+        return []  # a full-scope copy consumes everything
+    read_anywhere: set[str] = set()
+    for effects in cfg.effects.values():
+        for use in effects.uses:
+            read_anywhere.update(use.names)
+    diagnostics: list[Diagnostic] = []
+    for name in sorted(set(written_at) - read_anywhere):
+        diagnostics.append(Diagnostic(
+            rule=DF004.id,
+            severity=DF004.severity,
+            element_id=written_at[name][0],
+            message=(
+                f"variable {name!r} is assigned but nothing in the model "
+                f"reads it"
+            ),
+            hint="fine if it is a process output; otherwise remove the "
+                 "assignment",
+        ))
+    return diagnostics

@@ -1,0 +1,141 @@
+"""Diagnostic and report types for the static-analysis framework."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``info < warning < error``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:
+        return self.rank > other.rank
+
+    def __ge__(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+    @classmethod
+    def parse(cls, raw: str) -> "Severity":
+        try:
+            return cls(raw.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {raw!r}; expected one of "
+                f"{', '.join(s.value for s in cls)}"
+            ) from None
+
+
+_RANKS = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation anchored to a model element.
+
+    ``element_id`` is the id of the offending node/flow (or the process key
+    for model-wide findings).  ``source``/``line`` carry file provenance
+    when the model was read from BPMN XML.  ``hint`` is a suggested fix.
+    """
+
+    rule: str
+    severity: Severity
+    element_id: str
+    message: str
+    hint: str | None = None
+    source: str | None = None
+    line: int | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by suppression baselines."""
+        return f"{self.rule}:{self.element_id}"
+
+    def format(self) -> str:
+        location = self.element_id
+        if self.source is not None:
+            prefix = self.source
+            if self.line is not None:
+                prefix = f"{prefix}:{self.line}"
+            location = f"{prefix}: {self.element_id}"
+        text = f"[{self.severity.value}] {self.rule} {location}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "element_id": self.element_id,
+            "message": self.message,
+        }
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        if self.source is not None:
+            payload["source"] = self.source
+        if self.line is not None:
+            payload["line"] = self.line
+        return payload
+
+
+@dataclass
+class AnalysisReport:
+    """All diagnostics produced by one :func:`repro.analysis.analyze` run."""
+
+    definition_key: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when there are no error-severity diagnostics."""
+        return not self.errors
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def at_least(self, threshold: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= threshold]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "process": self.definition_key,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": self.suppressed,
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+            },
+        }

@@ -1,0 +1,95 @@
+"""Reporters for analysis results: console text, JSON, and baselines.
+
+A *baseline* is a JSON file of known-issue fingerprints
+(``"RULE:element_id"``), used to lint legacy models in CI without failing
+on debt that predates the linter — new findings still fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.analysis.diagnostics import AnalysisReport, Severity
+
+
+def render_console(report: AnalysisReport) -> str:
+    """Human-readable multi-line report (stable ordering)."""
+    lines = [_header(report)]
+    for diagnostic in _sorted(report):
+        lines.append(diagnostic.format())
+    if report.suppressed:
+        lines.append(f"({report.suppressed} finding(s) suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The report as a JSON document (machine-readable, one per model)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def _header(report: AnalysisReport) -> str:
+    errors = len(report.errors)
+    warnings = len(report.warnings)
+    infos = len(report.infos)
+    if not report.diagnostics:
+        return f"{report.definition_key}: clean"
+    return (
+        f"{report.definition_key}: {errors} error(s), "
+        f"{warnings} warning(s), {infos} info(s)"
+    )
+
+
+def _sorted(report: AnalysisReport) -> list:
+    return sorted(
+        report.diagnostics,
+        key=lambda d: (-d.severity.rank, d.rule, d.element_id, d.message),
+    )
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Known-issue fingerprints that should not fail a lint run."""
+
+    fingerprints: frozenset[str]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if isinstance(raw, dict):
+            entries = raw.get("fingerprints", [])
+        else:
+            entries = raw
+        if not isinstance(entries, list) or not all(
+            isinstance(e, str) for e in entries
+        ):
+            raise ValueError(
+                f"baseline {path}: expected a JSON list of "
+                f"'RULE:element' strings (or {{'fingerprints': [...]}})"
+            )
+        return cls(fingerprints=frozenset(entries))
+
+    def apply(self, report: AnalysisReport) -> AnalysisReport:
+        """Drop baselined findings (they count as suppressed)."""
+        kept = [
+            d for d in report.diagnostics
+            if d.fingerprint not in self.fingerprints
+        ]
+        dropped = len(report.diagnostics) - len(kept)
+        return replace(
+            report,
+            diagnostics=kept,
+            suppressed=report.suppressed + dropped,
+        )
+
+
+def exit_code(report: AnalysisReport, fail_on: str) -> int:
+    """CLI exit code: 0 clean, 1 findings at/above threshold, else 0.
+
+    ``fail_on`` is a severity name or ``"never"``.
+    """
+    if fail_on == "never":
+        return 0
+    threshold = Severity.parse(fail_on)
+    return 1 if report.at_least(threshold) else 0

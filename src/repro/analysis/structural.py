@@ -1,0 +1,272 @@
+"""Structural rules (STR001–STR008).
+
+These subsume the historical ad-hoc checks from ``model/validation.py`` —
+the messages are kept verbatim so existing tooling (and tests) that match
+on them keep working; :func:`repro.model.validation.validate` is now a thin
+adapter over this pass.
+
+Expression syntax (STR005) goes through the *real* expression and script
+parsers (:func:`repro.expr.compile_expression`,
+:func:`repro.expr.script.parse_statement`) — what lints clean is exactly
+what the engine will evaluate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import (
+    STR001,
+    STR002,
+    STR003,
+    STR004,
+    STR005,
+    STR006,
+    STR007,
+    STR008,
+    RuleSpec,
+)
+from repro.expr import ParseError, compile_expression
+from repro.expr.script import ScriptSyntaxError, parse_statement, split_statements
+from repro.model.elements import (
+    ACTIVITY_TYPES,
+    BoundaryEvent,
+    EndEvent,
+    EventBasedGateway,
+    ExclusiveGateway,
+    InclusiveGateway,
+    IntermediateMessageEvent,
+    IntermediateTimerEvent,
+    MultiInstanceActivity,
+    ReceiveTask,
+    ScriptTask,
+    StartEvent,
+    UserTask,
+)
+from repro.model.process import ProcessDefinition
+
+
+def structural_pass(definition: ProcessDefinition) -> list[Diagnostic]:
+    """Run every structural rule; never raises."""
+    diagnostics: list[Diagnostic] = []
+    _entry_exit(definition, diagnostics)
+    _cardinalities(definition, diagnostics)
+    _gateways(definition, diagnostics)
+    _expressions(definition, diagnostics)
+    _boundary_events(definition, diagnostics)
+    _separation_of_duties(definition, diagnostics)
+    _connectivity(definition, diagnostics)
+    return diagnostics
+
+
+def _add(
+    diagnostics: list[Diagnostic],
+    spec: RuleSpec,
+    element_id: str,
+    message: str,
+    severity: Severity | None = None,
+    hint: str | None = None,
+) -> None:
+    diagnostics.append(Diagnostic(
+        rule=spec.id,
+        severity=severity if severity is not None else spec.severity,
+        element_id=element_id,
+        message=message,
+        hint=hint,
+    ))
+
+
+def _entry_exit(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
+    starts = definition.start_events()
+    if len(starts) != 1:
+        _add(out, STR001, definition.key,
+             f"process must have exactly one start event, found {len(starts)}")
+    for start in starts:
+        if definition.incoming(start.id):
+            _add(out, STR001, start.id, "start event must not have incoming flows")
+        if len(definition.outgoing(start.id)) != 1:
+            _add(out, STR001, start.id,
+                 "start event must have exactly one outgoing flow")
+    ends = definition.end_events()
+    if not ends:
+        _add(out, STR001, definition.key,
+             "process must have at least one end event")
+    for end in ends:
+        if definition.outgoing(end.id):
+            _add(out, STR001, end.id, "end event must not have outgoing flows")
+        if not definition.incoming(end.id):
+            _add(out, STR001, end.id, "end event must have an incoming flow")
+
+
+def _cardinalities(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
+    for node in definition.nodes.values():
+        if isinstance(node, (StartEvent, EndEvent)):
+            continue
+        incoming = definition.incoming(node.id)
+        outgoing = definition.outgoing(node.id)
+        if isinstance(node, BoundaryEvent):
+            if incoming:
+                _add(out, STR002, node.id,
+                     "boundary event must not have incoming flows")
+            if len(outgoing) != 1:
+                _add(out, STR002, node.id,
+                     "boundary event needs exactly one outgoing flow")
+            continue
+        if isinstance(
+            node,
+            (*ACTIVITY_TYPES, IntermediateTimerEvent, IntermediateMessageEvent),
+        ):
+            if len(incoming) != 1:
+                _add(out, STR002, node.id,
+                     f"activity/event must have exactly one incoming flow, "
+                     f"has {len(incoming)} (use explicit gateways to merge)",
+                     hint="merge multiple inflows with an explicit gateway")
+            if len(outgoing) != 1:
+                _add(out, STR002, node.id,
+                     f"activity/event must have exactly one outgoing flow, "
+                     f"has {len(outgoing)} (use explicit gateways to branch)",
+                     hint="branch with an explicit gateway")
+        else:  # gateways
+            if not incoming:
+                _add(out, STR002, node.id, "gateway has no incoming flow")
+            if not outgoing:
+                _add(out, STR002, node.id, "gateway has no outgoing flow")
+
+
+def _gateways(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
+    for node in definition.nodes.values():
+        outgoing = definition.outgoing(node.id)
+        defaults = [f for f in outgoing if f.is_default]
+        if isinstance(node, (ExclusiveGateway, InclusiveGateway)):
+            if len(defaults) > 1:
+                _add(out, STR003, node.id,
+                     "gateway has more than one default flow")
+            if len(outgoing) > 1:
+                unguarded = [
+                    f for f in outgoing if f.condition is None and not f.is_default
+                ]
+                if unguarded and isinstance(node, ExclusiveGateway):
+                    _add(out, STR003, node.id,
+                         f"unguarded non-default flows on XOR split: "
+                         f"{sorted(f.id for f in unguarded)} "
+                         f"(treated as 'always true')",
+                         severity=Severity.WARNING,
+                         hint="guard each branch, or mark one flow as default")
+                if not defaults and all(f.condition is not None for f in outgoing):
+                    _add(out, STR003, node.id,
+                         "split has no default flow; instance fails if no "
+                         "guard matches",
+                         severity=Severity.WARNING,
+                         hint="add a default flow as the fallback route")
+        elif defaults:
+            _add(out, STR003, node.id,
+                 "only XOR/OR gateways may have a default flow")
+        if isinstance(node, EventBasedGateway):
+            for flow in outgoing:
+                target = definition.nodes.get(flow.target)
+                if not isinstance(
+                    target,
+                    (IntermediateTimerEvent, IntermediateMessageEvent, ReceiveTask),
+                ):
+                    _add(out, STR004, node.id,
+                         f"event-based gateway must lead to catch events, "
+                         f"but {flow.target!r} is {type(target).__name__}")
+        if not isinstance(
+            node, (ExclusiveGateway, InclusiveGateway, EventBasedGateway)
+        ):
+            for flow in definition.outgoing(node.id):
+                if flow.condition is not None and not isinstance(node, StartEvent):
+                    if isinstance(node, (*ACTIVITY_TYPES,)):
+                        _add(out, STR003, flow.id,
+                             "condition on a non-gateway outgoing flow is "
+                             "ignored",
+                             severity=Severity.WARNING,
+                             hint="route through an exclusive gateway to make "
+                                  "the condition effective")
+
+
+def _expressions(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
+    for flow in definition.flows.values():
+        if flow.condition is not None:
+            try:
+                compile_expression(flow.condition)
+            except ParseError as exc:
+                _add(out, STR005, flow.id, f"condition does not parse: {exc}")
+    for node in definition.nodes.values():
+        if isinstance(node, MultiInstanceActivity):
+            try:
+                compile_expression(node.cardinality_expression)
+            except ParseError as exc:
+                _add(out, STR005, node.id, f"cardinality does not parse: {exc}")
+        if isinstance(node, ScriptTask):
+            for line_no, statement in split_statements(node.script):
+                try:
+                    parse_statement(line_no, statement)
+                except ScriptSyntaxError as exc:
+                    if exc.reason == "keyword":
+                        _add(out, STR005, node.id, f"script {exc}")
+                    else:
+                        _add(out, STR005, node.id,
+                             f"script line {line_no}: not an assignment: "
+                             f"{statement!r}")
+                except ParseError as exc:
+                    _add(out, STR005, node.id,
+                         f"script line {line_no} does not parse: {exc}")
+
+
+def _separation_of_duties(
+    definition: ProcessDefinition, out: list[Diagnostic]
+) -> None:
+    for node in definition.nodes.values():
+        if not isinstance(node, UserTask):
+            continue
+        for other_id in node.separate_from:
+            other = definition.nodes.get(other_id)
+            if other is None:
+                _add(out, STR007, node.id,
+                     f"separate_from references unknown node {other_id!r}")
+            elif not isinstance(other, UserTask):
+                _add(out, STR007, node.id,
+                     f"separate_from target {other_id!r} is not a user task")
+
+
+def _boundary_events(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
+    for node in definition.nodes.values():
+        if not isinstance(node, BoundaryEvent):
+            continue
+        host = definition.nodes.get(node.attached_to)
+        if host is None:
+            _add(out, STR006, node.id,
+                 f"attached to unknown node {node.attached_to!r}")
+        elif not isinstance(host, ACTIVITY_TYPES):
+            _add(out, STR006, node.id,
+                 f"boundary events attach to activities, not "
+                 f"{type(host).__name__}")
+
+
+def _connectivity(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
+    if len(definition.start_events()) != 1:
+        return  # entry/exit rule already reported
+    reachable = definition.reachable_from_start()
+    for node_id in definition.nodes:
+        if node_id not in reachable:
+            _add(out, STR008, node_id,
+                 "node is unreachable from the start event")
+    # co-reachability: every node should reach some end event
+    reverse: dict[str, list[str]] = {}
+    for flow in definition.flows.values():
+        reverse.setdefault(flow.target, []).append(flow.source)
+    co_reachable: set[str] = set()
+    stack = [e.id for e in definition.end_events()]
+    while stack:
+        node_id = stack.pop()
+        if node_id in co_reachable:
+            continue
+        co_reachable.add(node_id)
+        for prev in reverse.get(node_id, ()):
+            stack.append(prev)
+        node = definition.nodes.get(node_id)
+        if isinstance(node, BoundaryEvent):
+            stack.append(node.attached_to)
+    for node_id in definition.nodes:
+        if node_id in reachable and node_id not in co_reachable:
+            _add(out, STR008, node_id, "no path from node to any end event")

@@ -1,5 +1,29 @@
 """Errors raised by the BPMN interchange layer."""
 
+from __future__ import annotations
+
 
 class BpmnParseError(Exception):
-    """The XML document is not a parsable BPMN subset document."""
+    """The XML document is not a parsable BPMN subset document.
+
+    Carries the offending element id and its source line when known, so
+    errors point back into the ``.bpmn`` file.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        element_id: str | None = None,
+        line: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.element_id = element_id
+        self.line = line
+
+    def __str__(self) -> str:
+        text = super().__str__()
+        if self.element_id and repr(self.element_id) not in text:
+            text = f"{text} (element {self.element_id!r})"
+        if self.line is not None:
+            text = f"{text} (line {self.line})"
+        return text

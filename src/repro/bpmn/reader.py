@@ -1,8 +1,15 @@
-"""Parse BPMN-subset XML back into process definitions."""
+"""Parse BPMN-subset XML back into process definitions.
+
+Parsing records provenance: when called with a ``source`` path, the
+returned definition carries ``source_path`` and a ``source_lines`` map of
+element id → line number in the XML, which the static analyser
+(:mod:`repro.analysis`) and parse errors use to point back into the file.
+"""
 
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
+from xml.parsers import expat
 
 from repro.bpmn.errors import BpmnParseError
 from repro.bpmn.writer import BPMN_NS, EXT_NS, _ext, _q
@@ -35,6 +42,29 @@ from repro.model.process import ProcessDefinition
 
 def _local(tag: str) -> str:
     return tag.rsplit("}", 1)[-1]
+
+
+def _line_map(xml_text: str) -> dict[str, int]:
+    """First source line of each ``id``-carrying element (best effort).
+
+    ElementTree's C parser exposes no line numbers, so a cheap expat
+    prepass collects them.  Returns ``{}`` for malformed documents — the
+    main parse reports those properly.
+    """
+    lines: dict[str, int] = {}
+    parser = expat.ParserCreate()
+
+    def handle_start(_name: str, attributes: dict[str, str]) -> None:
+        element_id = attributes.get("id")
+        if element_id and element_id not in lines:
+            lines[element_id] = parser.CurrentLineNumber
+
+    parser.StartElementHandler = handle_start
+    try:
+        parser.Parse(xml_text, True)
+    except expat.ExpatError:
+        return {}
+    return lines
 
 
 def _io_mappings(element: ET.Element, direction: str) -> dict[str, str]:
@@ -178,17 +208,39 @@ def _parse_node(element: ET.Element) -> Node:
     raise BpmnParseError(f"unsupported BPMN element <{tag}>")
 
 
-def parse_bpmn(xml_text: str) -> ProcessDefinition:
+def _parse_suppressions(process_el: ET.Element) -> dict[str, object]:
+    """Read ``<repro:lintSuppress element=".." rules="DF001,.."/>`` entries."""
+    suppressions: dict[str, object] = {}
+    for entry in process_el.findall(_ext("lintSuppress")):
+        element_id = entry.get("element") or "*"
+        rules_raw = (entry.get("rules") or "*").strip()
+        if rules_raw == "*":
+            suppressions[element_id] = "*"
+        else:
+            suppressions[element_id] = [
+                r.strip() for r in rules_raw.split(",") if r.strip()
+            ]
+    return suppressions
+
+
+def parse_bpmn(xml_text: str, source: str | None = None) -> ProcessDefinition:
     """Parse one BPMN document into a process definition.
 
     Raises :class:`BpmnParseError` for malformed XML or unsupported
-    elements; model-level constraint violations surface as
-    :class:`~repro.model.errors.ModelError`.
+    elements, carrying the offending element id and line when known;
+    model-level constraint violations surface the same way.  ``source``
+    (a file path or label) is recorded on the returned definition for
+    diagnostics.
     """
+    lines = _line_map(xml_text)
     try:
         root = ET.fromstring(xml_text)
     except ET.ParseError as exc:
-        raise BpmnParseError(f"not well-formed XML: {exc}") from exc
+        position = getattr(exc, "position", None)
+        raise BpmnParseError(
+            f"not well-formed XML: {exc}",
+            line=position[0] if position else None,
+        ) from exc
     if _local(root.tag) != "definitions":
         raise BpmnParseError(f"expected <definitions> root, got <{_local(root.tag)}>")
     process_el = root.find(_q("process"))
@@ -202,16 +254,20 @@ def parse_bpmn(xml_text: str) -> ProcessDefinition:
         version=int(process_el.get(_ext("version")) or 0),
         description=(doc_el.text or "") if doc_el is not None else "",
     )
+    suppressions = _parse_suppressions(process_el)
+    if suppressions:
+        definition.attributes["lint.suppress"] = suppressions
     flows: list[SequenceFlow] = []
     for element in process_el:
         tag = _local(element.tag)
-        if tag == "documentation":
+        if tag == "documentation" or element.tag == _ext("lintSuppress"):
             continue
+        element_id = element.get("id") or ""
         if tag == "sequenceFlow":
             condition_el = element.find(_q("conditionExpression"))
             flows.append(
                 SequenceFlow(
-                    id=element.get("id") or "",
+                    id=element_id,
                     source=element.get("sourceRef") or "",
                     target=element.get("targetRef") or "",
                     condition=(condition_el.text if condition_el is not None else None),
@@ -221,11 +277,25 @@ def parse_bpmn(xml_text: str) -> ProcessDefinition:
         else:
             try:
                 definition.add_node(_parse_node(element))
+            except BpmnParseError as exc:
+                if exc.element_id is None:
+                    exc.element_id = element_id or None
+                if exc.line is None:
+                    exc.line = lines.get(element_id)
+                raise
             except ModelError as exc:
-                raise BpmnParseError(str(exc)) from exc
+                raise BpmnParseError(
+                    str(exc),
+                    element_id=element_id or None,
+                    line=lines.get(element_id),
+                ) from exc
     for flow in flows:
         try:
             definition.add_flow(flow)
         except ModelError as exc:
-            raise BpmnParseError(str(exc)) from exc
+            raise BpmnParseError(
+                str(exc), element_id=flow.id or None, line=lines.get(flow.id)
+            ) from exc
+    definition.source_path = source
+    definition.source_lines = lines
     return definition

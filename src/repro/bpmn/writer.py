@@ -80,6 +80,16 @@ def to_bpmn_xml(definition: ProcessDefinition) -> str:
     if definition.description:
         doc = ET.SubElement(process, _q("documentation"))
         doc.text = definition.description
+    suppressions = definition.attributes.get("lint.suppress")
+    if isinstance(suppressions, dict):
+        for element_id in sorted(suppressions):
+            rules = suppressions[element_id]
+            entry = ET.SubElement(process, _ext("lintSuppress"))
+            entry.set("element", element_id)
+            if rules == "*":
+                entry.set("rules", "*")
+            else:
+                entry.set("rules", ",".join(rules))
 
     for node in definition.nodes.values():
         tag = _TAGS.get(type(node))

@@ -4,6 +4,8 @@ Commands:
 
 * ``validate FILE.bpmn [--soundness]`` — structural (and optionally
   behavioural) verification; exit code 1 on errors.
+* ``lint FILE.bpmn [--json] ...``      — full static analysis: structural,
+  data-flow, behavioural, and reference rules with fix hints.
 * ``info FILE.bpmn``                   — model summary.
 * ``run FILE.bpmn [--var k=v ...]``    — deploy and run one instance of a
   fully automated model, printing the outcome and final variables.
@@ -33,7 +35,7 @@ from repro.petri.workflow_net import check_soundness
 def _load_model(path: str):
     try:
         with open(path, encoding="utf-8") as fh:
-            return parse_bpmn(fh.read())
+            return parse_bpmn(fh.read(), source=path)
     except FileNotFoundError:
         raise SystemExit(f"error: no such file: {path}")
     except BpmnParseError as exc:
@@ -72,6 +74,43 @@ def cmd_validate(args: argparse.Namespace) -> int:
                 print(f"  - {problem}")
             return 1
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        AnalysisContext,
+        Baseline,
+        analyze,
+        exit_code,
+        render_console,
+        render_json,
+    )
+
+    model = _load_model(args.file)
+    context = None
+    if args.service or args.role or args.decision or args.process_key:
+        context = AnalysisContext(
+            services=frozenset(args.service) if args.service else None,
+            roles=frozenset(args.role) if args.role else None,
+            decisions=frozenset(args.decision) if args.decision else None,
+            process_keys=(
+                frozenset(args.process_key) if args.process_key else None
+            ),
+        )
+    report = analyze(
+        model,
+        context=context,
+        behavioral=not args.no_behavioral,
+        max_states=args.max_states,
+    )
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot read baseline: {exc}")
+        report = baseline.apply(report)
+    print(render_json(report) if args.json else render_console(report))
+    return exit_code(report, args.fail_on)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -259,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also run the WF-net soundness check")
     p_validate.add_argument("--max-states", type=int, default=100_000)
     p_validate.set_defaults(func=cmd_validate)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: data-flow, anti-patterns, references"
+    )
+    p_lint.add_argument("file")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    p_lint.add_argument("--no-behavioral", action="store_true",
+                        help="skip the state-space (SND*) rules")
+    p_lint.add_argument("--max-states", type=int, default=50_000)
+    p_lint.add_argument("--fail-on", default="error",
+                        choices=("error", "warning", "info", "never"),
+                        help="lowest severity that causes exit code 1")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="JSON list of known 'RULE:element' fingerprints "
+                             "to ignore")
+    p_lint.add_argument("--service", action="append", metavar="NAME",
+                        help="declare a registered service (enables REF001)")
+    p_lint.add_argument("--role", action="append", metavar="NAME",
+                        help="declare a staffed role (enables REF002)")
+    p_lint.add_argument("--decision", action="append", metavar="NAME",
+                        help="declare a decision table (enables REF003)")
+    p_lint.add_argument("--process-key", action="append", metavar="KEY",
+                        help="declare a deployed process key (enables REF004)")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_info = sub.add_parser("info", help="summarize a BPMN model")
     p_info.add_argument("file")

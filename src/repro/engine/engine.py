@@ -31,13 +31,10 @@ from repro.engine.metrics import EngineMetrics
 from repro.engine.migration import MigrationPlan, apply_migration
 from repro.history.audit import HistoryService
 from repro.history.events import EventTypes
-from repro.model.mapping import to_workflow_net
 from repro.model.process import ProcessDefinition
 from repro.model.serialization import definition_from_dict, definition_to_dict
-from repro.model.validation import validate as validate_definition
 from repro.obs import Observability
 from repro.obs.spans import Span
-from repro.petri.workflow_net import check_soundness
 from repro.services.bus import Message, MessageBus
 from repro.services.invoker import ServiceInvoker
 from repro.services.registry import ServiceRegistry
@@ -64,6 +61,7 @@ class ProcessEngine(ExecutionMixin):
         soundness_max_states: int = 50_000,
         max_steps: int = 100_000,
         obs: Observability | None = None,
+        strict_references: bool = False,
     ) -> None:
         # `is None` checks throughout: several of these are container-like
         # (empty store/org would be falsy under `or`)
@@ -82,6 +80,7 @@ class ProcessEngine(ExecutionMixin):
         self.verify_soundness = verify_soundness
         self.soundness_max_states = soundness_max_states
         self.max_steps = max_steps
+        self.strict_references = strict_references
 
         from repro.decisions.table import DecisionRegistry
 
@@ -102,6 +101,10 @@ class ProcessEngine(ExecutionMixin):
         # engine root span, and per-instance spans (ended on finish)
         self._tracer = self.obs.tracer  # hot-loop alias
         self._c_token_moves = self.obs.registry.counter("engine.token_moves")
+        self._c_lint_warnings = self.obs.registry.counter("engine.lint.warnings")
+        self._c_lint_blocked = self.obs.registry.counter(
+            "engine.lint.deploy_blocked"
+        )
         self._g_queue_depth = self.obs.registry.gauge("engine.scheduler.queue_depth")
         self._instance_spans: dict[str, Span] = {}
         self._engine_span: Span | None = (
@@ -120,29 +123,66 @@ class ProcessEngine(ExecutionMixin):
     # -- deployment -----------------------------------------------------------
 
     def deploy(
-        self, definition: ProcessDefinition, verify: bool | None = None
+        self,
+        definition: ProcessDefinition,
+        verify: bool | None = None,
+        force: bool = False,
     ) -> str:
         """Deploy a definition; returns its ``key:version`` identifier.
 
-        Validation always runs; the WF-net soundness check runs when
-        ``verify`` (or the engine-wide ``verify_soundness``) is true and
-        raises :class:`EngineError` listing the behavioural defects.
+        The full static analysis (:func:`repro.analysis.analyze`) always
+        runs.  Structural errors block deployment; behavioural errors
+        (deadlock, lack of synchronization, ...) block when ``verify``
+        (or the engine-wide ``verify_soundness``) is true.  Unresolved
+        references (services, roles, decisions) block only for engines
+        constructed with ``strict_references=True`` — otherwise they are
+        warnings, since registration order is a legitimate workflow.
+        ``force=True`` deploys despite errors (they are still recorded).
+        Every non-info finding is emitted as a ``lint.diagnostic``
+        observability event.
         """
-        report = validate_definition(definition)
+        from repro.analysis import AnalysisContext, Severity, analyze
+
+        behavioral = verify if verify is not None else self.verify_soundness
+        overrides = None
+        if not self.strict_references:
+            overrides = {
+                rule_id: Severity.WARNING
+                for rule_id in ("REF001", "REF002", "REF003", "REF004")
+            }
+        report = analyze(
+            definition,
+            context=AnalysisContext.from_engine(self),
+            behavioral=behavioral,
+            max_states=self.soundness_max_states,
+            severity_overrides=overrides,
+        )
+        for diagnostic in report.diagnostics:
+            if diagnostic.severity is Severity.INFO:
+                continue
+            self.obs.event(
+                "lint.diagnostic",
+                process=definition.key,
+                rule=diagnostic.rule,
+                severity=diagnostic.severity.value,
+                element=diagnostic.element_id,
+                message=diagnostic.message,
+            )
+        self._c_lint_warnings.inc(len(report.warnings))
         if not report.ok:
-            raise EngineError(
-                f"definition {definition.key!r} invalid: "
-                + "; ".join(str(i) for i in report.errors)
-            )
-        if verify if verify is not None else self.verify_soundness:
-            soundness = check_soundness(
-                to_workflow_net(definition).net,
-                max_states=self.soundness_max_states,
-            )
-            if not soundness.sound:
+            behavioural_rules = {"SND001", "SND002", "SND003", "SND005"}
+            structural = [
+                d for d in report.errors if d.rule not in behavioural_rules
+            ]
+            errors = structural if structural else report.errors
+            kind = "invalid" if structural else "unsound"
+            if not force:
+                self._c_lint_blocked.inc()
                 raise EngineError(
-                    f"definition {definition.key!r} is unsound: "
-                    + "; ".join(soundness.problems)
+                    f"definition {definition.key!r} {kind}: "
+                    + "; ".join(
+                        f"[{d.rule}] {d.element_id}: {d.message}" for d in errors
+                    )
                 )
         version = self._latest_version.get(definition.key, 0) + 1
         deployed = definition.with_version(version)

@@ -19,8 +19,14 @@ of builtin functions (``len``, ``min``, ``max``, ...).
 from repro.expr.ast_nodes import Node
 from repro.expr.errors import EvaluationError, ExpressionError, ParseError
 from repro.expr.evaluator import CompiledExpression, compile_expression, evaluate
+from repro.expr.names import collect_names
 from repro.expr.parser import parse
-from repro.expr.script import run_script
+from repro.expr.script import (
+    ScriptStatement,
+    ScriptSyntaxError,
+    parse_script,
+    run_script,
+)
 from repro.expr.tokenizer import Token, TokenType, tokenize
 
 __all__ = [
@@ -29,11 +35,15 @@ __all__ = [
     "ExpressionError",
     "Node",
     "ParseError",
+    "ScriptStatement",
+    "ScriptSyntaxError",
     "Token",
     "TokenType",
+    "collect_names",
     "compile_expression",
     "evaluate",
     "parse",
+    "parse_script",
     "run_script",
     "tokenize",
 ]

@@ -1,0 +1,76 @@
+"""Static inspection of expression ASTs: which variables does it read?
+
+Used by the data-flow pass of :mod:`repro.analysis` — the same compiled AST
+the evaluator executes is walked here, so the analyser and the runtime can
+never disagree about what a guard or script statement references.
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast_nodes import (
+    Attribute,
+    Binary,
+    BoolOp,
+    Call,
+    Compare,
+    Conditional,
+    DictDisplay,
+    Index,
+    ListDisplay,
+    Literal,
+    Name,
+    Node,
+    Unary,
+)
+
+
+def collect_names(node: Node) -> set[str]:
+    """All variable identifiers an expression AST reads.
+
+    Function names in :class:`~repro.expr.ast_nodes.Call` are *not*
+    variables (they resolve against the function whitelist, not the
+    environment) and are excluded.
+    """
+    names: set[str] = set()
+    _walk(node, names)
+    return names
+
+
+def _walk(node: Node, names: set[str]) -> None:
+    if isinstance(node, Name):
+        names.add(node.identifier)
+    elif isinstance(node, Literal):
+        pass
+    elif isinstance(node, Unary):
+        _walk(node.operand, names)
+    elif isinstance(node, Binary):
+        _walk(node.left, names)
+        _walk(node.right, names)
+    elif isinstance(node, BoolOp):
+        for operand in node.operands:
+            _walk(operand, names)
+    elif isinstance(node, Compare):
+        _walk(node.first, names)
+        for _, operand in node.rest:
+            _walk(operand, names)
+    elif isinstance(node, Conditional):
+        _walk(node.condition, names)
+        _walk(node.then, names)
+        _walk(node.otherwise, names)
+    elif isinstance(node, Call):
+        for arg in node.args:
+            _walk(arg, names)
+    elif isinstance(node, Index):
+        _walk(node.container, names)
+        _walk(node.key, names)
+    elif isinstance(node, Attribute):
+        _walk(node.subject, names)
+    elif isinstance(node, ListDisplay):
+        for item in node.items:
+            _walk(item, names)
+    elif isinstance(node, DictDisplay):
+        for key, value in node.pairs:
+            _walk(key, names)
+            _walk(value, names)
+    else:  # pragma: no cover - parser produces no other node types
+        raise TypeError(f"unknown AST node {type(node).__name__}")

@@ -400,6 +400,24 @@ class ProcessBuilder:
         self._cursor = node_id
         return self
 
+    def suppress(self, element_id: str, *rule_ids: str) -> "ProcessBuilder":
+        """Suppress lint rules on an element (``"*"`` for all elements).
+
+        With no rule ids, every rule is suppressed for the element.  The
+        suppressions are stored in ``attributes["lint.suppress"]`` and
+        honoured by :func:`repro.analysis.analyze`.
+        """
+        table = self._definition.attributes.setdefault("lint.suppress", {})
+        if not rule_ids:
+            table[element_id] = "*"
+        elif table.get(element_id) != "*":
+            existing = list(table.get(element_id, []))
+            for rule_id in rule_ids:
+                if rule_id not in existing:
+                    existing.append(rule_id)
+            table[element_id] = existing
+        return self
+
     # -- finish -----------------------------------------------------------------
 
     def build(self, validate: bool = True, **metadata: Any) -> ProcessDefinition:

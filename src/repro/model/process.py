@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.model.elements import (
     BoundaryEvent,
@@ -31,6 +31,9 @@ class ProcessDefinition:
     description: str = ""
     nodes: dict[str, Node] = field(default_factory=dict)
     flows: dict[str, SequenceFlow] = field(default_factory=dict)
+    #: free-form model metadata; well-known keys include ``lint.suppress``
+    #: ({element_id: [rule ids] or "*"}) consumed by :mod:`repro.analysis`
+    attributes: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.key:
@@ -39,6 +42,11 @@ class ProcessDefinition:
             self.name = self.key
         self._outgoing: dict[str, list[SequenceFlow]] = {}
         self._incoming: dict[str, list[SequenceFlow]] = {}
+        # source provenance (set by the BPMN reader; not part of equality or
+        # the serialized form — it describes where the model came from, not
+        # what it is)
+        self.source_path: str | None = None
+        self.source_lines: dict[str, int] = {}
         for flow in self.flows.values():
             self._index_flow(flow)
 
@@ -122,14 +130,18 @@ class ProcessDefinition:
         Nodes and flows are shared — definitions are treated as immutable
         once deployed.
         """
-        return ProcessDefinition(
+        copy = ProcessDefinition(
             key=self.key,
             name=self.name,
             version=version,
             description=self.description,
             nodes=dict(self.nodes),
             flows=dict(self.flows),
+            attributes=dict(self.attributes),
         )
+        copy.source_path = self.source_path
+        copy.source_lines = dict(self.source_lines)
+        return copy
 
     def reachable_from_start(self) -> set[str]:
         """Node ids reachable from the start event along flows (plus

@@ -214,7 +214,7 @@ def node_from_dict(raw: dict[str, Any]) -> Node:
 
 def definition_to_dict(definition: ProcessDefinition) -> dict[str, Any]:
     """Serialize a whole definition."""
-    return {
+    payload: dict[str, Any] = {
         "key": definition.key,
         "name": definition.name,
         "version": definition.version,
@@ -231,6 +231,9 @@ def definition_to_dict(definition: ProcessDefinition) -> dict[str, Any]:
             for f in definition.flows.values()
         ],
     }
+    if definition.attributes:
+        payload["attributes"] = dict(definition.attributes)
+    return payload
 
 
 def definition_from_dict(raw: dict[str, Any]) -> ProcessDefinition:
@@ -240,6 +243,7 @@ def definition_from_dict(raw: dict[str, Any]) -> ProcessDefinition:
         name=raw.get("name", ""),
         version=raw.get("version", 0),
         description=raw.get("description", ""),
+        attributes=dict(raw.get("attributes", {})),
     )
     for node_raw in raw.get("nodes", ()):
         definition.add_node(node_from_dict(node_raw))

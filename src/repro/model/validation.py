@@ -1,31 +1,17 @@
 """Structural validation of process definitions.
 
 Validation is the modelling-time safety net: it catches malformed graphs
-before deployment, while the (optional, more expensive) soundness check in
-:mod:`repro.model.mapping` + :mod:`repro.petri.workflow_net` catches
-behavioural defects such as deadlocks.
+before deployment.  The checks themselves live in
+:mod:`repro.analysis.structural` (rules STR001–STR008) — this module is a
+thin adapter that keeps the historical ``validate()`` API for the builder
+and the engine.  For data-flow, behavioural, and reference checking on top
+of these, use :func:`repro.analysis.analyze`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.expr import ParseError, compile_expression
-from repro.expr.script import _ASSIGN_RE, _split_statements  # reuse script syntax
-from repro.model.elements import (
-    ACTIVITY_TYPES,
-    BoundaryEvent,
-    EndEvent,
-    EventBasedGateway,
-    ExclusiveGateway,
-    InclusiveGateway,
-    IntermediateMessageEvent,
-    IntermediateTimerEvent,
-    MultiInstanceActivity,
-    ReceiveTask,
-    ScriptTask,
-    StartEvent,
-)
 from repro.model.process import ProcessDefinition
 
 _SEVERITIES = ("error", "warning")
@@ -69,221 +55,13 @@ class ValidationReport:
 
 def validate(definition: ProcessDefinition) -> ValidationReport:
     """Run all structural checks; never raises."""
+    # imported here: repro.analysis imports the model package at load time
+    from repro.analysis.structural import structural_pass
+
     report = ValidationReport()
-    _check_entry_exit(definition, report)
-    _check_cardinalities(definition, report)
-    _check_gateways(definition, report)
-    _check_expressions(definition, report)
-    _check_boundary_events(definition, report)
-    _check_separation_of_duties(definition, report)
-    _check_connectivity(definition, report)
+    for diagnostic in structural_pass(definition):
+        severity = diagnostic.severity.value
+        if severity == "info":  # structural rules never emit info today
+            severity = "warning"  # pragma: no cover - defensive
+        report.add(severity, diagnostic.element_id, diagnostic.message)
     return report
-
-
-def _check_entry_exit(definition: ProcessDefinition, report: ValidationReport) -> None:
-    starts = definition.start_events()
-    if len(starts) != 1:
-        report.add(
-            "error",
-            definition.key,
-            f"process must have exactly one start event, found {len(starts)}",
-        )
-    for start in starts:
-        if definition.incoming(start.id):
-            report.add("error", start.id, "start event must not have incoming flows")
-        if len(definition.outgoing(start.id)) != 1:
-            report.add("error", start.id, "start event must have exactly one outgoing flow")
-    ends = definition.end_events()
-    if not ends:
-        report.add("error", definition.key, "process must have at least one end event")
-    for end in ends:
-        if definition.outgoing(end.id):
-            report.add("error", end.id, "end event must not have outgoing flows")
-        if not definition.incoming(end.id):
-            report.add("error", end.id, "end event must have an incoming flow")
-
-
-def _check_cardinalities(definition: ProcessDefinition, report: ValidationReport) -> None:
-    for node in definition.nodes.values():
-        if isinstance(node, (StartEvent, EndEvent)):
-            continue
-        incoming = definition.incoming(node.id)
-        outgoing = definition.outgoing(node.id)
-        if isinstance(node, BoundaryEvent):
-            if incoming:
-                report.add("error", node.id, "boundary event must not have incoming flows")
-            if len(outgoing) != 1:
-                report.add("error", node.id, "boundary event needs exactly one outgoing flow")
-            continue
-        if isinstance(
-            node,
-            (*ACTIVITY_TYPES, IntermediateTimerEvent, IntermediateMessageEvent),
-        ):
-            if len(incoming) != 1:
-                report.add(
-                    "error",
-                    node.id,
-                    f"activity/event must have exactly one incoming flow, has {len(incoming)} "
-                    "(use explicit gateways to merge)",
-                )
-            if len(outgoing) != 1:
-                report.add(
-                    "error",
-                    node.id,
-                    f"activity/event must have exactly one outgoing flow, has {len(outgoing)} "
-                    "(use explicit gateways to branch)",
-                )
-        else:  # gateways
-            if not incoming:
-                report.add("error", node.id, "gateway has no incoming flow")
-            if not outgoing:
-                report.add("error", node.id, "gateway has no outgoing flow")
-
-
-def _check_gateways(definition: ProcessDefinition, report: ValidationReport) -> None:
-    for node in definition.nodes.values():
-        outgoing = definition.outgoing(node.id)
-        defaults = [f for f in outgoing if f.is_default]
-        if isinstance(node, (ExclusiveGateway, InclusiveGateway)):
-            if len(defaults) > 1:
-                report.add("error", node.id, "gateway has more than one default flow")
-            if len(outgoing) > 1:
-                unguarded = [
-                    f for f in outgoing if f.condition is None and not f.is_default
-                ]
-                if unguarded and isinstance(node, ExclusiveGateway):
-                    report.add(
-                        "warning",
-                        node.id,
-                        f"unguarded non-default flows on XOR split: "
-                        f"{sorted(f.id for f in unguarded)} (treated as 'always true')",
-                    )
-                if not defaults and all(f.condition is not None for f in outgoing):
-                    report.add(
-                        "warning",
-                        node.id,
-                        "split has no default flow; instance fails if no guard matches",
-                    )
-        elif defaults:
-            report.add("error", node.id, "only XOR/OR gateways may have a default flow")
-        if isinstance(node, EventBasedGateway):
-            for flow in outgoing:
-                target = definition.nodes.get(flow.target)
-                if not isinstance(
-                    target, (IntermediateTimerEvent, IntermediateMessageEvent, ReceiveTask)
-                ):
-                    report.add(
-                        "error",
-                        node.id,
-                        f"event-based gateway must lead to catch events, "
-                        f"but {flow.target!r} is {type(target).__name__}",
-                    )
-        if not isinstance(
-            node, (ExclusiveGateway, InclusiveGateway, EventBasedGateway)
-        ):
-            for flow in definition.outgoing(node.id):
-                if flow.condition is not None and not isinstance(node, StartEvent):
-                    if isinstance(node, (*ACTIVITY_TYPES,)):
-                        report.add(
-                            "warning",
-                            flow.id,
-                            "condition on a non-gateway outgoing flow is ignored",
-                        )
-
-
-def _check_expressions(definition: ProcessDefinition, report: ValidationReport) -> None:
-    for flow in definition.flows.values():
-        if flow.condition is not None:
-            try:
-                compile_expression(flow.condition)
-            except ParseError as exc:
-                report.add("error", flow.id, f"condition does not parse: {exc}")
-    for node in definition.nodes.values():
-        if isinstance(node, MultiInstanceActivity):
-            try:
-                compile_expression(node.cardinality_expression)
-            except ParseError as exc:
-                report.add(
-                    "error", node.id, f"cardinality does not parse: {exc}"
-                )
-        if isinstance(node, ScriptTask):
-            for line_no, statement in _split_statements(node.script):
-                match = _ASSIGN_RE.match(statement)
-                if match is None:
-                    report.add(
-                        "error",
-                        node.id,
-                        f"script line {line_no}: not an assignment: {statement!r}",
-                    )
-                    continue
-                try:
-                    compile_expression(match.group("expr"))
-                except ParseError as exc:
-                    report.add(
-                        "error", node.id, f"script line {line_no} does not parse: {exc}"
-                    )
-
-
-def _check_separation_of_duties(
-    definition: ProcessDefinition, report: ValidationReport
-) -> None:
-    from repro.model.elements import UserTask
-
-    for node in definition.nodes.values():
-        if not isinstance(node, UserTask):
-            continue
-        for other_id in node.separate_from:
-            other = definition.nodes.get(other_id)
-            if other is None:
-                report.add(
-                    "error", node.id,
-                    f"separate_from references unknown node {other_id!r}",
-                )
-            elif not isinstance(other, UserTask):
-                report.add(
-                    "error", node.id,
-                    f"separate_from target {other_id!r} is not a user task",
-                )
-
-
-def _check_boundary_events(definition: ProcessDefinition, report: ValidationReport) -> None:
-    for node in definition.nodes.values():
-        if not isinstance(node, BoundaryEvent):
-            continue
-        host = definition.nodes.get(node.attached_to)
-        if host is None:
-            report.add("error", node.id, f"attached to unknown node {node.attached_to!r}")
-        elif not isinstance(host, ACTIVITY_TYPES):
-            report.add(
-                "error",
-                node.id,
-                f"boundary events attach to activities, not {type(host).__name__}",
-            )
-
-
-def _check_connectivity(definition: ProcessDefinition, report: ValidationReport) -> None:
-    if len(definition.start_events()) != 1:
-        return  # entry/exit check already reported
-    reachable = definition.reachable_from_start()
-    for node_id in definition.nodes:
-        if node_id not in reachable:
-            report.add("error", node_id, "node is unreachable from the start event")
-    # co-reachability: every node should reach some end event
-    reverse: dict[str, list[str]] = {}
-    for flow in definition.flows.values():
-        reverse.setdefault(flow.target, []).append(flow.source)
-    co_reachable: set[str] = set()
-    stack = [e.id for e in definition.end_events()]
-    while stack:
-        node_id = stack.pop()
-        if node_id in co_reachable:
-            continue
-        co_reachable.add(node_id)
-        for prev in reverse.get(node_id, ()):
-            stack.append(prev)
-        node = definition.nodes.get(node_id)
-        if isinstance(node, BoundaryEvent):
-            stack.append(node.attached_to)
-    for node_id in definition.nodes:
-        if node_id in reachable and node_id not in co_reachable:
-            report.add("error", node_id, "no path from node to any end event")

@@ -1,0 +1,155 @@
+"""The ``repro lint`` CLI: output formats, exit codes, baselines, provenance."""
+
+import json
+
+import pytest
+
+from repro.bpmn import parse_bpmn, to_bpmn_xml
+from repro.bpmn.errors import BpmnParseError
+from repro.cli import main
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import ParallelGateway
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    model = (
+        ProcessBuilder("demo").start()
+        .script_task("work", script="doubled = n * 2\nout = doubled")
+        .end().build()
+    )
+    path = tmp_path / "demo.bpmn"
+    path.write_text(to_bpmn_xml(model))
+    return str(path)
+
+
+@pytest.fixture
+def deadlock_file(tmp_path):
+    b = ProcessBuilder("broken").start().exclusive_gateway("split")
+    b.add_node(ParallelGateway(id="sync"))
+    b.branch("x > 1").script_task("a", script="y = 1").connect_to("sync")
+    b.move_to("split").branch(default=True).script_task("b", script="y = 2")
+    b.connect_to("sync")
+    b.move_to("sync").end()
+    path = tmp_path / "broken.bpmn"
+    path.write_text(to_bpmn_xml(b.build()))
+    return str(path)
+
+
+class TestConsole:
+    def test_clean_model_exits_zero(self, clean_file, capsys):
+        assert main(["lint", clean_file, "--fail-on", "warning"]) == 0
+        out = capsys.readouterr().out
+        # 'n' is an undeclared process input (DF002, info) — shown, not fatal
+        assert "DF002" in out
+
+    def test_deadlock_is_reported_with_location(self, deadlock_file, capsys):
+        assert main(["lint", deadlock_file]) == 1
+        out = capsys.readouterr().out
+        assert "SND001" in out and "sync" in out
+        assert "broken.bpmn:" in out  # file:line provenance
+        assert "hint:" in out
+
+    def test_no_behavioral_skips_snd_rules(self, deadlock_file, capsys):
+        assert main(["lint", deadlock_file, "--no-behavioral"]) == 0
+        assert "SND001" not in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_fail_on_info(self, clean_file):
+        assert main(["lint", clean_file, "--fail-on", "info"]) == 1
+
+    def test_fail_on_never(self, deadlock_file):
+        assert main(["lint", deadlock_file, "--fail-on", "never"]) == 0
+
+
+class TestJson:
+    def test_json_report_shape(self, deadlock_file, capsys):
+        main(["lint", deadlock_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["process"] == "broken"
+        assert payload["summary"]["errors"] >= 1
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "SND001" in rules
+        first = payload["diagnostics"][0]
+        assert {"rule", "severity", "element_id", "message"} <= set(first)
+
+
+class TestBaseline:
+    def test_baselined_findings_are_suppressed(self, deadlock_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps([
+            "SND001:sync", "SND003:sync", "DF002:split", "DF004:a", "DF004:b",
+        ]))
+        code = main([
+            "lint", deadlock_file, "--baseline", str(baseline),
+            "--fail-on", "info",
+        ])
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+        assert code == 0
+
+    def test_malformed_baseline_errors_out(self, deadlock_file, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"fingerprints": "nope"}')
+        with pytest.raises(SystemExit, match="baseline"):
+            main(["lint", deadlock_file, "--baseline", str(baseline)])
+
+
+class TestReferencesFromCli:
+    def test_declared_namespaces_enable_ref_rules(self, tmp_path, capsys):
+        model = (
+            ProcessBuilder("svc").start()
+            .service_task("call", service="charge", output_variable="r")
+            .end().build()
+        )
+        path = tmp_path / "svc.bpmn"
+        path.write_text(to_bpmn_xml(model))
+        assert main(["lint", str(path), "--service", "other"]) == 1
+        assert "REF001" in capsys.readouterr().out
+        assert main(["lint", str(path), "--service", "charge"]) == 0
+
+
+class TestBpmnProvenance:
+    def test_parse_error_carries_element_and_line(self):
+        model = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="x = 1")
+            .end().build()
+        )
+        xml = to_bpmn_xml(model)
+        broken = xml.replace("scriptTask", "mysteryTask")
+        with pytest.raises(BpmnParseError) as excinfo:
+            parse_bpmn(broken, source="p.bpmn")
+        assert excinfo.value.element_id == "t"
+        assert excinfo.value.line is not None
+        assert f"(line {excinfo.value.line})" in str(excinfo.value)
+
+    def test_diagnostics_carry_source_lines(self, tmp_path):
+        from repro.analysis import analyze
+
+        model = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="x = undefined_var")
+            .end().build()
+        )
+        parsed = parse_bpmn(to_bpmn_xml(model), source="p.bpmn")
+        report = analyze(parsed)
+        finding = report.by_rule("DF002")[0]
+        assert finding.source == "p.bpmn"
+        assert finding.line == parsed.source_lines["t"]
+
+    def test_suppressions_round_trip_through_xml(self):
+        b = ProcessBuilder("p").start().script_task("t", script="x = 1").end()
+        b.suppress("t", "DF004")
+        xml = to_bpmn_xml(b.build())
+        assert "lintSuppress" in xml
+        parsed = parse_bpmn(xml)
+        assert parsed.attributes["lint.suppress"] == {"t": ["DF004"]}
+
+    def test_definition_equality_ignores_provenance(self):
+        model = ProcessBuilder("p").start().script_task(
+            "t", script="x = 1"
+        ).end().build()
+        xml = to_bpmn_xml(model)
+        assert parse_bpmn(xml, source="a.bpmn") == parse_bpmn(xml)

@@ -1,0 +1,245 @@
+"""Data-flow rules: definite assignment, races, dead writes, consumption."""
+
+from repro.analysis import analyze, build_cfg, dataflow_pass
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import ExclusiveGateway, ParallelGateway, ScriptTask
+
+
+def findings(definition, rule=None):
+    found = dataflow_pass(build_cfg(definition))
+    if rule is None:
+        return found
+    return [f for f in found if f.rule == rule]
+
+
+def xor_diamond(then_script, else_script, after_script):
+    """start -> xor -> (a|b) -> join -> use -> end."""
+    b = ProcessBuilder("p").start().exclusive_gateway("x")
+    b.add_node(ExclusiveGateway(id="j"))
+    b.branch("k > 1").script_task("a", script=then_script).connect_to("j")
+    b.move_to("x").branch(default=True).script_task("b", script=else_script)
+    b.connect_to("j")
+    b.move_to("j").script_task("use", script=after_script).end()
+    return b.build()
+
+
+class TestDefiniteAssignment:
+    def test_clean_sequence_has_no_df001(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t1", script="x = 1")
+            .script_task("t2", script="y = x + 1\nz = y")
+            .end().build()
+        )
+        assert findings(d, "DF001") == []
+
+    def test_one_sided_assignment_is_df001(self):
+        d = xor_diamond("v = 1", "w = 2", "out = v\nsink = w")
+        found = findings(d, "DF001")
+        assert {f.element_id for f in found} == {"use"}
+        assert {m for f in found for m in ("'v'", "'w'") if m in f.message} == {
+            "'v'", "'w'"
+        }
+
+    def test_both_sides_assign_is_clean(self):
+        d = xor_diamond("v = 1", "v = 2", "out = v")
+        assert findings(d, "DF001") == []
+
+    def test_read_before_any_write_in_script_is_flagged(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="y = x\nx = 1")
+            .end().build()
+        )
+        # x is read before its own write; x is written somewhere (same node,
+        # later) so this is DF001, not a process input
+        found = findings(d, "DF001")
+        assert found and "'x'" in found[0].message
+
+    def test_write_then_read_same_script_is_clean(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="x = 1\ny = x")
+            .end().build()
+        )
+        assert findings(d, "DF001") == []
+
+    def test_loop_carried_variable_is_clean(self):
+        # start -> init -> loop_top(xor-join) -> body -> check(xor) -> [back|end]
+        b = ProcessBuilder("p").start().script_task("init", script="n = 0")
+        b.add_node(ExclusiveGateway(id="top"))
+        b.connect_to("top")
+        b.move_to("top").script_task("body", script="n = n + 1")
+        b.exclusive_gateway("check")
+        b.branch("n < 3").connect_to("top")
+        b.move_to("check").branch(default=True).end()
+        d = b.build()
+        assert findings(d, "DF001") == []
+
+    def test_loop_variable_initialized_only_in_body_is_df001(self):
+        b = ProcessBuilder("p").start()
+        b.add_node(ExclusiveGateway(id="top"))
+        b.connect_to("top")
+        b.move_to("top").script_task("body", script="m = n + 1\nn = m")
+        b.exclusive_gateway("check")
+        b.branch("n < 3").connect_to("top")
+        b.move_to("check").branch(default=True).end()
+        d = b.build()
+        found = findings(d, "DF001")
+        assert any(f.element_id == "body" and "'n'" in f.message for f in found)
+
+
+class TestParallel:
+    def test_join_unions_branch_definitions(self):
+        b = ProcessBuilder("p").start().parallel_gateway("split")
+        b.add_node(ParallelGateway(id="join"))
+        b.branch().script_task("a", script="v = 1").connect_to("join")
+        b.move_to("split").branch().script_task("b", script="w = 2")
+        b.connect_to("join")
+        b.move_to("join").script_task("use", script="out = v + w").end()
+        d = b.build()
+        assert findings(d, "DF001") == []
+        assert findings(d, "DF005") == []
+
+    def test_cross_branch_read_is_df005(self):
+        b = ProcessBuilder("p").start().parallel_gateway("split")
+        b.add_node(ParallelGateway(id="join"))
+        b.branch().script_task("writer", script="v = 1").connect_to("join")
+        b.move_to("split").branch().script_task("reader", script="out = v")
+        b.connect_to("join")
+        b.move_to("join").end()
+        d = b.build()
+        found = findings(d, "DF005")
+        assert [f.element_id for f in found] == ["reader"]
+        assert "races" in found[0].message
+        assert findings(d, "DF001") == []
+
+
+class TestHavoc:
+    def test_user_task_defines_everything(self):
+        d = (
+            ProcessBuilder("p").start()
+            .user_task("form", role="clerk")
+            .script_task("use", script="out = anything")
+            .end().build()
+        )
+        assert findings(d, "DF001") == []
+        assert findings(d, "DF002") == []
+
+    def test_boundary_event_path_skips_host_writes(self):
+        b = (
+            ProcessBuilder("p").start()
+            .service_task("work", service="svc", output_variable="result")
+            .boundary_error("oops", attached_to="work")
+            .script_task("recover", script="out = result")
+            .end("e_err")
+        )
+        b.move_to("work").script_task("ok", script="fine = result").end("e_ok")
+        d = b.build()
+        found = findings(d, "DF001")
+        # on the error path `result` was never written (service cancelled)
+        assert any(f.element_id == "recover" for f in found)
+        # on the happy path it definitely was
+        assert not any(f.element_id == "ok" for f in found)
+
+
+class TestProcessInputs:
+    def test_never_assigned_read_is_df002_info(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="fee = amount * 0.05")
+            .end().build()
+        )
+        found = findings(d, "DF002")
+        assert len(found) == 1
+        assert "'amount'" in found[0].message
+        assert "instance start" in found[0].message
+
+    def test_guard_reads_count(self):
+        b = ProcessBuilder("p").start().exclusive_gateway("x")
+        b.branch("flag").script_task("a", script="v = 1").end("e1")
+        b.move_to("x").branch(default=True).end("e2")
+        d = b.build()
+        found = findings(d, "DF002")
+        assert found and "'flag'" in found[0].message
+
+
+class TestDeadWrites:
+    def test_immediately_overwritten_value_is_df003(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("first", script="x = 1")
+            .script_task("second", script="x = 2\nout = x")
+            .end().build()
+        )
+        found = findings(d, "DF003")
+        assert [f.element_id for f in found] == ["first"]
+
+    def test_read_on_one_path_keeps_write_alive(self):
+        # w writes x; one branch reads it, the other overwrites it — the
+        # write is live (the reading path can be taken)
+        b = ProcessBuilder("p").start().script_task("w", script="x = 9")
+        b.exclusive_gateway("split")
+        b.add_node(ExclusiveGateway(id="j"))
+        b.branch("k > 1").script_task("a", script="out = x").connect_to("j")
+        b.move_to("split").branch(default=True).script_task("b", script="x = 2")
+        b.connect_to("j")
+        b.move_to("j").script_task("use", script="final = x").end()
+        d = b.build()
+        assert not any(f.element_id == "w" for f in findings(d, "DF003"))
+
+    def test_write_overwritten_on_sibling_branch_is_dead(self):
+        # a's write can never be observed: the only continuation overwrites
+        d = xor_diamond("x = 9", "out = 0", "x = 2\nfinal = x")
+        found = findings(d, "DF003")
+        assert any(f.element_id == "a" for f in found)
+
+    def test_augmented_assignment_reads_its_target(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("first", script="x = 1")
+            .script_task("second", script="x += 2\nout = x")
+            .end().build()
+        )
+        assert findings(d, "DF003") == []
+
+
+class TestConsumption:
+    def test_unread_variable_is_df004(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="x = 1\ny = x")
+            .end().build()
+        )
+        found = findings(d, "DF004")
+        assert len(found) == 1 and "'y'" in found[0].message
+
+    def test_call_activity_without_mappings_consumes_all(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="x = 1")
+            .call_activity("sub", process_key="child")
+            .end().build()
+        )
+        assert findings(d, "DF004") == []
+
+
+class TestSuppression:
+    def test_builder_suppress_hides_finding_and_counts_it(self):
+        b = ProcessBuilder("p").start().script_task("t", script="x = 1").end()
+        b.suppress("t", "DF004")
+        report = analyze(b.build())
+        assert report.by_rule("DF004") == []
+        assert report.suppressed == 1
+
+    def test_star_suppresses_all_rules_on_element(self):
+        b = ProcessBuilder("p").start().script_task("t", script="x = 1").end()
+        b.suppress("t")
+        report = analyze(b.build())
+        assert all(d.element_id != "t" for d in report.diagnostics)
+
+    def test_process_wide_star_key(self):
+        b = ProcessBuilder("p").start().script_task("t", script="x = 1").end()
+        b.suppress("*", "DF004")
+        report = analyze(b.build())
+        assert report.by_rule("DF004") == []

@@ -1,0 +1,75 @@
+"""Every shipped example must lint clean against the known-issue baseline.
+
+The baseline (``examples_baseline.json``) pins the accepted *info*-level
+findings — declared process inputs (DF002) and write-only output variables
+(DF004) are idiomatic in demos whose host code supplies/reads them.  Any
+new finding, and any warning or error at all, fails the suite so example
+rot is caught the moment it is introduced.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import runpy
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, analyze
+from repro.analysis.diagnostics import Severity
+from repro.model.process import ProcessDefinition
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+BASELINE = Baseline.load(Path(__file__).parent / "examples_baseline.json")
+
+_cache: dict[str, list[ProcessDefinition]] = {}
+
+
+def example_models(path: Path) -> list[ProcessDefinition]:
+    if path.name not in _cache:
+        with contextlib.redirect_stdout(io.StringIO()):
+            module_globals = runpy.run_path(str(path))
+        models = [
+            value for value in module_globals.values()
+            if isinstance(value, ProcessDefinition)
+        ]
+        if not models and "claims_model" in module_globals:
+            models = [module_globals["claims_model"]()]
+        _cache[path.name] = models
+    return _cache[path.name]
+
+
+@pytest.mark.parametrize(
+    "path", sorted(EXAMPLES.glob("*.py")), ids=lambda p: p.name
+)
+def test_example_lints_clean_against_baseline(path):
+    models = example_models(path)
+    assert models, f"{path.name} defines no ProcessDefinition"
+    for model in models:
+        report = analyze(model)
+        assert not report.at_least(Severity.WARNING), [
+            (d.rule, d.element_id, d.message)
+            for d in report.diagnostics
+            if d.severity.rank >= Severity.WARNING.rank
+        ]
+        remaining = BASELINE.apply(report)
+        assert not remaining.diagnostics, [
+            f"{d.rule}:{d.element_id} — {d.message}"
+            for d in remaining.diagnostics
+        ]
+
+
+def test_baseline_has_no_stale_entries():
+    """Fixed findings must be removed from the baseline, not kept forever."""
+    live = set()
+    for path in sorted(EXAMPLES.glob("*.py")):
+        for model in example_models(path):
+            for diagnostic in analyze(model).diagnostics:
+                live.add(f"{diagnostic.rule}:{diagnostic.element_id}")
+    baseline = json.loads(
+        (Path(__file__).parent / "examples_baseline.json").read_text()
+    )
+    stale = set(baseline) - live
+    assert not stale, f"baseline entries no longer reported: {sorted(stale)}"

@@ -1,0 +1,160 @@
+"""Reference rules (REF*) and deploy gating through the engine."""
+
+import pytest
+
+from repro.analysis import AnalysisContext, analyze, reference_pass
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.engine.errors import EngineError
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+from repro.obs import InMemorySpanExporter, Observability
+
+
+def service_model(service="charge"):
+    return (
+        ProcessBuilder("pay").start()
+        .service_task("call", service=service, output_variable="r")
+        .end().build()
+    )
+
+
+class TestReferencePass:
+    def test_unregistered_service_is_ref001(self):
+        context = AnalysisContext(services=frozenset({"other"}))
+        found = reference_pass(service_model(), context)
+        assert [f.rule for f in found] == ["REF001"]
+        assert found[0].element_id == "call"
+        assert "'charge'" in found[0].message
+
+    def test_known_service_is_clean(self):
+        context = AnalysisContext(services=frozenset({"charge"}))
+        assert reference_pass(service_model(), context) == []
+
+    def test_none_namespace_skips_check(self):
+        assert reference_pass(service_model(), AnalysisContext()) == []
+
+    def test_unknown_role_is_ref002(self):
+        model = (
+            ProcessBuilder("p").start()
+            .user_task("review", role="auditor")
+            .end().build()
+        )
+        found = reference_pass(model, AnalysisContext(roles=frozenset({"clerk"})))
+        assert [f.rule for f in found] == ["REF002"]
+
+    def test_unknown_decision_is_ref003(self):
+        model = (
+            ProcessBuilder("p").start()
+            .business_rule_task("score", decision="risk", result_variable="out")
+            .end().build()
+        )
+        found = reference_pass(model, AnalysisContext(decisions=frozenset()))
+        assert [f.rule for f in found] == ["REF003"]
+        assert "none are registered" in found[0].message
+
+    def test_unknown_called_process_is_ref004(self):
+        model = (
+            ProcessBuilder("p").start()
+            .call_activity("sub", process_key="child")
+            .end().build()
+        )
+        found = reference_pass(
+            model, AnalysisContext(process_keys=frozenset({"other"}))
+        )
+        assert [f.rule for f in found] == ["REF004"]
+
+    def test_self_recursion_is_allowed(self):
+        model = (
+            ProcessBuilder("rec").start().exclusive_gateway("x")
+            .branch("depth > 0").call_activity("again", process_key="rec")
+            .end("e1")
+            .branch_from("x", default=True).end("e2")
+            .build()
+        )
+        found = reference_pass(model, AnalysisContext(process_keys=frozenset()))
+        assert found == []
+
+    def test_from_engine_snapshots_registries(self, engine):
+        engine.services.register("charge", lambda **kw: {"ok": True})
+        context = AnalysisContext.from_engine(engine)
+        assert "charge" in context.services
+        assert "clerk" in context.roles  # conftest staffs ana/bo as clerks
+        assert context.process_keys == frozenset()
+
+
+class TestDeployGating:
+    def make_engine(self, **kwargs):
+        exporter = InMemorySpanExporter()
+        obs = Observability(enabled=True, exporters=[exporter])
+        engine = ProcessEngine(clock=VirtualClock(0), obs=obs, **kwargs)
+        return engine, exporter
+
+    def test_unregistered_service_warns_but_deploys(self):
+        engine, _ = self.make_engine()
+        identifier = engine.deploy(service_model())
+        assert identifier == "pay:1"
+        assert engine.obs.registry.counter("engine.lint.warnings").value >= 1
+
+    def test_strict_references_blocks(self):
+        engine, _ = self.make_engine(strict_references=True)
+        with pytest.raises(EngineError, match="REF001"):
+            engine.deploy(service_model())
+        assert engine.obs.registry.counter("engine.lint.deploy_blocked").value == 1
+
+    def test_strict_references_force_overrides(self):
+        engine, _ = self.make_engine(strict_references=True)
+        assert engine.deploy(service_model(), force=True) == "pay:1"
+
+    def test_diagnostics_emitted_as_obs_events(self):
+        engine, exporter = self.make_engine()
+        engine.deploy(service_model())
+        # obs events are exported as zero-duration spans
+        events = [s for s in exporter.spans if s.name == "lint.diagnostic"]
+        assert events
+        assert events[0].attributes["rule"] == "REF001"
+        assert events[0].attributes["severity"] == "warning"
+
+    def test_runtime_confirms_unregistered_service_fails(self):
+        from repro.services.errors import ServiceNotFoundError
+
+        engine, _ = self.make_engine()
+        engine.deploy(service_model())
+        with pytest.raises(ServiceNotFoundError):
+            engine.start_instance("pay")
+
+    def test_registered_service_is_clean_and_runs(self):
+        engine, _ = self.make_engine()
+        engine.services.register("charge", lambda **kw: {"ok": True})
+        engine.deploy(service_model())
+        instance = engine.start_instance("pay")
+        assert instance.state is InstanceState.COMPLETED
+
+
+class TestUninitializedReadRuntime:
+    """Acceptance: a DF001 model really fails at runtime on the bad path."""
+
+    def make_model(self):
+        from repro.model.elements import ExclusiveGateway
+
+        b = ProcessBuilder("uninit").start().exclusive_gateway("x")
+        b.add_node(ExclusiveGateway(id="j"))
+        b.branch("k > 1").script_task("a", script="v = 1").connect_to("j")
+        b.move_to("x").branch(default=True).script_task("skip", script="w = 0")
+        b.connect_to("j")
+        b.move_to("j").script_task("use", script="out = v + 1").end()
+        return b.build()
+
+    def test_flagged_as_df001(self):
+        report = analyze(self.make_model())
+        found = report.by_rule("DF001")
+        assert found and found[0].element_id == "use"
+
+    def test_runtime_fails_on_the_unassigned_path(self):
+        engine = ProcessEngine(clock=VirtualClock(0))
+        engine.deploy(self.make_model())
+        bad = engine.start_instance("uninit", {"k": 0})
+        assert bad.state is InstanceState.FAILED
+        assert "unknown variable 'v'" in (bad.failure or "")
+        good = engine.start_instance("uninit", {"k": 5})
+        assert good.state is InstanceState.COMPLETED

@@ -1,0 +1,141 @@
+"""Structural rules (STR*) and the validation.py adapter."""
+
+import pytest
+
+from repro.analysis import Severity, analyze, structural_pass
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import ExclusiveGateway, ScriptTask, UserTask
+from repro.model.validation import validate
+
+
+def rules_of(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestEntryExit:
+    def test_missing_start_is_str001(self):
+        d = ProcessBuilder("p").start().end().build()
+        del d.nodes["start"]
+        assert "STR001" in rules_of(structural_pass(d))
+
+    def test_clean_model_has_no_findings(self):
+        d = ProcessBuilder("p").start().script_task("t", script="x = 1").end().build()
+        assert structural_pass(d) == []
+
+
+class TestCardinalities:
+    def test_merging_activity_is_str002(self):
+        b = ProcessBuilder("p").start().exclusive_gateway("x")
+        b.add_node(ScriptTask(id="t", script="v = 1"))
+        b.branch("a > 1").connect_to("t")
+        b.move_to("x").branch(default=True).connect_to("t")
+        b.move_to("t").end()
+        d = b.build(validate=False)
+        found = structural_pass(d)
+        assert any(
+            f.rule == "STR002" and f.element_id == "t" for f in found
+        )
+
+    def test_dangling_gateway_is_str002(self):
+        b = ProcessBuilder("p").start().end()
+        b._definition.add_node(ExclusiveGateway(id="x"))
+        found = structural_pass(b.build(validate=False))
+        assert any(f.rule == "STR002" and f.element_id == "x" for f in found)
+
+
+class TestGateways:
+    def test_unguarded_xor_branch_is_warning(self):
+        b = ProcessBuilder("p").start().exclusive_gateway("x")
+        b.add_node(ExclusiveGateway(id="e_join"))
+        b.branch().script_task("a", script="v = 1").connect_to("e_join")
+        b.move_to("x").branch("k > 1").script_task("b", script="v = 2")
+        b.connect_to("e_join")
+        b.move_to("e_join").end()
+        d = b.build(validate=False)
+        findings = [f for f in structural_pass(d) if f.rule == "STR003"]
+        assert findings
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_default_on_parallel_gateway_is_error(self):
+        b = ProcessBuilder("p").start().parallel_gateway("g")
+        b.branch(default=True).script_task("a", script="v = 1").end("e1")
+        b.move_to("g").branch().script_task("b", script="w = 1").end("e2")
+        d = b.build(validate=False)
+        assert any(
+            f.rule == "STR003" and f.severity is Severity.ERROR
+            for f in structural_pass(d)
+        )
+
+
+class TestExpressions:
+    def test_bad_condition_is_str005(self):
+        b = ProcessBuilder("p").start().exclusive_gateway("x")
+        b.branch("amount >").script_task("a", script="v = 1").end()
+        b.move_to("x").branch(default=True).connect_to("end")
+        d = b.build(validate=False)
+        assert "STR005" in rules_of(structural_pass(d))
+
+    def test_script_non_assignment_is_str005(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="print(1)")
+            .end().build(validate=False)
+        )
+        found = [f for f in structural_pass(d) if f.rule == "STR005"]
+        assert found and "not an assignment" in found[0].message
+
+    def test_script_keyword_target_is_str005(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="true = 1")
+            .end().build(validate=False)
+        )
+        found = [f for f in structural_pass(d) if f.rule == "STR005"]
+        assert found and "keyword" in found[0].message
+
+
+class TestSeparationAndConnectivity:
+    def test_separate_from_non_user_task_is_str007(self):
+        b = ProcessBuilder("p").start().script_task("s", script="v = 1")
+        b.add_node(UserTask(id="u", role="clerk", separate_from=("s",)))
+        b.add_flow("s", "u")
+        b.move_to("u").end()
+        d = b.build(validate=False)
+        assert "STR007" in rules_of(structural_pass(d))
+
+    def test_unreachable_node_is_str008(self):
+        b = ProcessBuilder("p").start().end()
+        b._definition.add_node(ScriptTask(id="orphan", script="v = 1"))
+        d = b.build(validate=False)
+        found = [f for f in structural_pass(d) if f.rule == "STR008"]
+        assert any(f.element_id == "orphan" for f in found)
+
+
+class TestValidationAdapter:
+    """model.validation.validate is now a façade over the structural pass."""
+
+    def test_preserves_issue_api(self):
+        d = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="print(1)")
+            .end().build(validate=False)
+        )
+        report = validate(d)
+        assert not report.ok
+        assert report.errors[0].severity == "error"
+        assert "not an assignment" in str(report.errors[0])
+
+    def test_builder_still_validates_on_build(self):
+        from repro.model.errors import ValidationFailed
+
+        b = ProcessBuilder("p").start().script_task("t", script="nope!")
+        with pytest.raises(ValidationFailed):
+            b.end().build()
+
+
+class TestAnalyzeSkipsOnStructuralErrors:
+    def test_no_behavioral_findings_for_malformed_model(self):
+        d = ProcessBuilder("p").start().end().build()
+        del d.nodes["start"]
+        report = analyze(d)
+        assert not any(r.startswith("SND") for r in rules_of(report.diagnostics))
