@@ -11,6 +11,12 @@ Typical wiring::
 For durability pass a :class:`~repro.storage.kvstore.DurableKV`; after a
 crash, construct an engine over the same store (with services re-registered
 — code is not persisted, state is) and call :meth:`ProcessEngine.recover`.
+
+Persistence is incremental: every flush writes only the records that
+changed since the last one (``instance/<id>``, ``jobs/<id>``,
+``workitem/<id>``), and the commit policy decides when flushes happen —
+per call (default), every ``commit_interval`` records, or once per
+:meth:`ProcessEngine.batch` block (group commit for bulk traffic).
 """
 
 from __future__ import annotations
@@ -62,7 +68,13 @@ class ProcessEngine(ExecutionMixin):
         max_steps: int = 100_000,
         obs: Observability | None = None,
         strict_references: bool = False,
+        commit_interval: int = 1,
     ) -> None:
+        """``commit_interval`` sets the durable commit policy: ``1``
+        (default) flushes dirty state after every public API call
+        (autocommit); ``n > 1`` defers until at least ``n`` dirty records
+        accumulate — call :meth:`flush` (or use :meth:`batch`) to force a
+        commit earlier.  See DESIGN.md §Persistence & commit policies."""
         # `is None` checks throughout: several of these are container-like
         # (empty store/org would be falsy under `or`)
         self.clock = clock if clock is not None else WallClock()
@@ -106,6 +118,15 @@ class ProcessEngine(ExecutionMixin):
             "engine.lint.deploy_blocked"
         )
         self._g_queue_depth = self.obs.registry.gauge("engine.scheduler.queue_depth")
+        self._c_jobs_orphaned = self.obs.registry.counter("engine.jobs.orphaned")
+        self._c_flush_commits = self.obs.registry.counter("engine.flush.commits")
+        self._c_flush_records = self.obs.registry.counter(
+            "engine.flush.records_written"
+        )
+        self._h_flush_batch = self.obs.registry.histogram(
+            "engine.flush.batch_records",
+            (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0),
+        )
         self._instance_spans: dict[str, Span] = {}
         self._engine_span: Span | None = (
             self.obs.tracer.start_span("engine") if self.obs.enabled else None
@@ -119,6 +140,13 @@ class ProcessEngine(ExecutionMixin):
         self._instance_seq = 0
         self._dirty: set[str] = set()
         self._advancing: set[str] = set()
+        # incremental-persistence bookkeeping: the commit policy, the
+        # batch() nesting depth, whether the message-wait list changed,
+        # and the last instance_seq written to engine/meta
+        self._commit_interval = max(1, int(commit_interval))
+        self._batch_depth = 0
+        self._waits_dirty = False
+        self._persisted_seq = 0
 
     # -- deployment -----------------------------------------------------------
 
@@ -526,6 +554,8 @@ class ProcessEngine(ExecutionMixin):
 
         Jobs whose instance is suspended are *deferred* (re-queued with
         their original due time) so they fire after the instance resumes.
+        Jobs whose instance no longer exists are dropped — counted under
+        ``engine.jobs.orphaned``, not in the returned total.
         """
         processed = 0
         deferred: list = []
@@ -535,7 +565,10 @@ class ProcessEngine(ExecutionMixin):
                 break
             for job in due:
                 instance = self._instances.get(job.instance_id)
-                if instance is not None and instance.state is InstanceState.SUSPENDED:
+                if instance is None:
+                    self._c_jobs_orphaned.inc()
+                    continue
+                if instance.state is InstanceState.SUSPENDED:
                     deferred.append(job)
                     continue
                 processed += 1
@@ -635,6 +668,7 @@ class ProcessEngine(ExecutionMixin):
             instance = self._instances.get(wait["instance_id"])
             if instance is None or instance.state.is_finished:
                 self._message_waits.remove(wait)
+                self._waits_dirty = True
                 continue
             if instance.state is not InstanceState.RUNNING:
                 # suspended: keep the subscription, let the message be
@@ -643,6 +677,7 @@ class ProcessEngine(ExecutionMixin):
             token = instance.token(wait["token_id"])
             if token is None or token.state is not TokenState.WAITING:
                 self._message_waits.remove(wait)
+                self._waits_dirty = True
                 continue
             self._deliver_to_wait(instance, token, wait, message.payload)
             return True
@@ -658,6 +693,7 @@ class ProcessEngine(ExecutionMixin):
             self._deliver_race_message(instance, definition, token, wait, payload)
         else:
             self._message_waits.remove(wait)
+            self._waits_dirty = True
             node = definition.node(wait["node_id"])
             self._apply_message(instance, node, payload)
             token.waiting_on = {}
@@ -706,24 +742,94 @@ class ProcessEngine(ExecutionMixin):
 
     # -- persistence & recovery ---------------------------------------------------------------------------
 
-    def _flush(self) -> None:
-        """Persist all dirty state in one transaction."""
-        if not self._dirty and not self._instances:
-            # still persist counters lazily on first use
-            pass
+    def batch(self) -> "_EngineBatch":
+        """Context manager deferring all flushes to one group commit.
+
+        Inside the block every public API call mutates memory but skips
+        persistence; the outermost exit performs a single
+        :meth:`_flush` — one store transaction, one journal sync — no
+        matter how many calls ran.  Re-entrant (nested batches commit once,
+        at the outermost exit).  On an exception the accumulated state is
+        still flushed: the in-memory mutations already happened and memory
+        is the source of truth.
+
+        >>> # with engine.batch():
+        >>> #     for item in engine.worklist.items():
+        >>> #         engine.complete_work_item(item.id)
+        """
+        return _EngineBatch(self)
+
+    def flush(self) -> None:
+        """Force-persist all pending dirty state now, whatever the policy."""
+        self._flush(force=True)
+
+    def _flush(self, force: bool = False) -> None:
+        """Persist the differential write-set in one transaction.
+
+        Per-record layout: dirty instances to ``instance/<id>``, changed
+        jobs to ``jobs/<id>`` (fired/cancelled ones deleted), changed work
+        items to ``workitem/<id>``; ``engine/message_waits`` and
+        ``engine/meta`` only when they actually changed.  Writes nothing —
+        not even an empty transaction — when nothing is dirty.  Honours
+        the commit policy: inside :meth:`batch` or below
+        ``commit_interval`` pending records the flush is deferred (unless
+        ``force``).
+        """
+        if self._batch_depth > 0 and not force:
+            return
+        dirty_jobs, removed_jobs = self.scheduler.pending_changes()
+        dirty_items = self.worklist.dirty_item_ids()
+        meta_dirty = self._instance_seq != self._persisted_seq
+        records = (
+            len(self._dirty)
+            + len(dirty_jobs)
+            + len(removed_jobs)
+            + len(dirty_items)
+            + (1 if self._waits_dirty else 0)
+            + (1 if meta_dirty else 0)
+        )
+        if records == 0:
+            return  # read-only call: zero store writes, zero syncs
+        if not force and records < self._commit_interval:
+            return  # defer until the record-count policy is met
+        span = (
+            self._tracer.start_span(
+                "engine.flush", parent=self._engine_span, records=records
+            )
+            if self.obs.enabled
+            else None
+        )
         with self.store.transaction():
-            for instance_id in self._dirty:
+            for instance_id in sorted(self._dirty):
                 instance = self._instances.get(instance_id)
                 if instance is not None:
                     self.store.put(f"instance/{instance_id}", instance.to_dict())
-            self.store.put("engine/jobs", self.scheduler.export())
-            self.store.put("engine/workitems", self.worklist.export_items())
-            self.store.put("engine/message_waits", list(self._message_waits))
-            self.store.put(
-                "engine/meta",
-                {"instance_seq": self._instance_seq},
-            )
+            for job_id in dirty_jobs:
+                job = self.scheduler.get(job_id)
+                if job is not None:
+                    self.store.put(f"jobs/{job_id}", job.to_dict())
+            for job_id in removed_jobs:
+                self.store.delete(f"jobs/{job_id}")
+            for item_id in dirty_items:
+                self.store.put(
+                    f"workitem/{item_id}", self.worklist.item(item_id).to_dict()
+                )
+            if self._waits_dirty:
+                self.store.put("engine/message_waits", list(self._message_waits))
+            if meta_dirty:
+                self.store.put("engine/meta", {"instance_seq": self._instance_seq})
+        # group-commit boundary for deferred-sync stores (no-op otherwise)
+        self.store.sync()
         self._dirty.clear()
+        self.scheduler.clear_changes()
+        self.worklist.clear_dirty()
+        self._waits_dirty = False
+        self._persisted_seq = self._instance_seq
+        self._c_flush_commits.inc()
+        self._c_flush_records.inc(records)
+        self._h_flush_batch.observe(records)
+        if span is not None:
+            span.finish()
 
     def recover(self) -> dict[str, int]:
         """Rebuild engine state from the backing store after a restart.
@@ -743,13 +849,66 @@ class ProcessEngine(ExecutionMixin):
             instance = ProcessInstance.from_dict(raw)
             self._instances[instance.id] = instance
             counts["instances"] += 1
-        jobs = self.store.get("engine/jobs", [])
-        self.scheduler.import_jobs(jobs)
-        counts["jobs"] = len(jobs)
-        items = self.store.get("engine/workitems", [])
-        self.worklist.import_items(items)
-        counts["workitems"] = len(items)
+        # jobs and work items: read the per-record layout (``jobs/<id>``,
+        # ``workitem/<id>``) and, for stores written before the incremental
+        # layout, the legacy whole-collection blobs.  Per-record wins on
+        # conflict: import_jobs skips ids it already has, import_items
+        # overwrites, so ordering below gives per-record precedence.
+        legacy_jobs = self.store.get("engine/jobs", None)
+        self.scheduler.import_jobs([raw for _, raw in self.store.scan("jobs/")])
+        if legacy_jobs:
+            self.scheduler.import_jobs(legacy_jobs)
+        counts["jobs"] = len(self.scheduler)
+        legacy_items = self.store.get("engine/workitems", None)
+        if legacy_items:
+            self.worklist.import_items(legacy_items)
+        self.worklist.import_items(
+            [raw for _, raw in self.store.scan("workitem/")]
+        )
+        counts["workitems"] = len(self.worklist.items())
         self._message_waits = list(self.store.get("engine/message_waits", []))
         meta = self.store.get("engine/meta", {})
         self._instance_seq = max(meta.get("instance_seq", 0), self._instance_seq)
+        self._persisted_seq = meta.get("instance_seq", self._persisted_seq)
+        # recovery imports are clean, not dirty — only changes made after
+        # this point need flushing
+        self.scheduler.clear_changes()
+        self.worklist.clear_dirty()
+        if legacy_jobs is not None or legacy_items is not None:
+            self._migrate_legacy_layout()
         return counts
+
+    def _migrate_legacy_layout(self) -> None:
+        """Rewrite legacy whole-collection blobs as per-record keys.
+
+        Runs once, at the first :meth:`recover` over a pre-incremental
+        store: afterwards the blob keys are gone and every job/work item
+        lives under its own key, so later flushes and recoveries never
+        consult (or resurrect state from) a stale blob.
+        """
+        with self.store.transaction():
+            for job in self.scheduler.pending():
+                self.store.put(f"jobs/{job.id}", job.to_dict())
+            for item in self.worklist.items():
+                self.store.put(f"workitem/{item.id}", item.to_dict())
+            self.store.delete("engine/jobs")
+            self.store.delete("engine/workitems")
+        self.store.sync()
+
+
+class _EngineBatch:
+    """Re-entrant deferral scope returned by :meth:`ProcessEngine.batch`."""
+
+    def __init__(self, engine: ProcessEngine) -> None:
+        self._engine = engine
+
+    def __enter__(self) -> ProcessEngine:
+        self._engine._batch_depth += 1
+        return self._engine
+
+    def __exit__(self, exc_type: type | None, *exc_info: object) -> None:
+        self._engine._batch_depth -= 1
+        if self._engine._batch_depth == 0:
+            # flush even on exception: memory already mutated and is the
+            # source of truth; the store must not lag behind it
+            self._engine._flush(force=True)

@@ -786,6 +786,7 @@ class ExecutionMixin:
                         "race_event": target.id,
                     }
                 )
+                self._waits_dirty = True
                 wait_count += 1
             else:
                 raise EngineError(
@@ -925,6 +926,7 @@ class ExecutionMixin:
                 "is_activity": is_activity,
             }
         )
+        self._waits_dirty = True
         token.wait(
             "message",
             message_name=message_name,
@@ -965,11 +967,14 @@ class ExecutionMixin:
         job_ids = set(token.waiting_on.get("job_ids", ()))
         for job_id in job_ids:
             self.scheduler.cancel(job_id)
-        self._message_waits = [
+        kept = [
             w
             for w in self._message_waits
             if not (w["instance_id"] == instance.id and w["token_id"] == token.id)
         ]
+        if len(kept) != len(self._message_waits):
+            self._waits_dirty = True
+        self._message_waits = kept
 
     # -- token cancellation ------------------------------------------------------------------------
 
@@ -990,13 +995,16 @@ class ExecutionMixin:
             if job_id is not None:
                 self.scheduler.cancel(job_id)
         elif reason == "message":
-            self._message_waits = [
+            kept = [
                 w
                 for w in self._message_waits
                 if not (
                     w["instance_id"] == instance.id and w["token_id"] == token.id
                 )
             ]
+            if len(kept) != len(self._message_waits):
+                self._waits_dirty = True
+            self._message_waits = kept
         elif reason == "event_race":
             self._settle_race(instance, token)
         elif reason == "child":

@@ -51,6 +51,11 @@ class JobScheduler:
         self._heap: list[tuple[float, int, str]] = []
         self._jobs: dict[str, Job] = {}
         self._seq = itertools.count(1)
+        # differential write-set for the engine's incremental persistence:
+        # ids scheduled (or re-scheduled) since the last flush, and ids
+        # removed (fired or cancelled) whose store records must be deleted
+        self._dirty: set[str] = set()
+        self._removed: set[str] = set()
 
     def schedule(
         self,
@@ -73,17 +78,23 @@ class JobScheduler:
             raise ValueError(f"duplicate job id {job.id!r}")
         self._jobs[job.id] = job
         heapq.heappush(self._heap, (due, seq, job.id))
+        self._dirty.add(job.id)
+        self._removed.discard(job.id)
         return job
 
     def cancel(self, job_id: str) -> bool:
         """Remove a job by id (lazy heap deletion); returns existence."""
-        return self._jobs.pop(job_id, None) is not None
+        if self._jobs.pop(job_id, None) is None:
+            return False
+        self._note_removed(job_id)
+        return True
 
     def cancel_where(self, predicate: Callable[[Job], bool]) -> int:
         """Cancel all jobs matching a predicate; returns the count."""
         doomed = [job_id for job_id, job in self._jobs.items() if predicate(job)]
         for job_id in doomed:
             del self._jobs[job_id]
+            self._note_removed(job_id)
         return len(doomed)
 
     def cancel_for_instance(self, instance_id: str) -> int:
@@ -97,6 +108,7 @@ class JobScheduler:
             _, _, job_id = heapq.heappop(self._heap)
             job = self._jobs.pop(job_id, None)
             if job is not None:  # skip lazily cancelled entries
+                self._note_removed(job_id)
                 ready.append(job)
         return ready
 
@@ -121,6 +133,25 @@ class JobScheduler:
         return sorted(self._jobs.values(), key=lambda j: (j.due, j.id))
 
     # -- persistence ----------------------------------------------------------
+
+    def _note_removed(self, job_id: str) -> None:
+        self._dirty.discard(job_id)
+        self._removed.add(job_id)
+
+    def pending_changes(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """``(changed_ids, removed_ids)`` since :meth:`clear_changes`.
+
+        ``changed_ids`` are pending jobs whose records must be (re)written;
+        ``removed_ids`` are fired/cancelled jobs whose records must be
+        deleted.  The sets are left intact so a failed commit can retry —
+        call :meth:`clear_changes` only after the write succeeded.
+        """
+        return tuple(sorted(self._dirty)), tuple(sorted(self._removed))
+
+    def clear_changes(self) -> None:
+        """Forget the differential write-set (after a successful commit)."""
+        self._dirty.clear()
+        self._removed.clear()
 
     def export(self) -> list[dict[str, Any]]:
         """Serializable snapshot of pending jobs."""

@@ -74,6 +74,7 @@ class Journal:
             self._truncate_torn_tail()
         self._file = open(path, "ab")
         self._pending = 0
+        self._last_known_size = self._file.tell()
 
     # -- writing ------------------------------------------------------------
 
@@ -98,7 +99,16 @@ class Journal:
         return offset
 
     def append_many(self, payloads: list[bytes], sync: bool = True) -> list[int]:
-        """Group-commit helper: append a batch, then one sync."""
+        """Group-commit helper: append a batch, then one sync.
+
+        The ``sync`` defaults are deliberately asymmetric with
+        :meth:`append` (``sync=False``): ``append`` is the low-level
+        buffered primitive callers compose with an explicit :meth:`sync`,
+        while ``append_many`` *is* the group-commit operation — its
+        contract is "the whole batch is durable on return", amortizing one
+        fsync over the batch.  Pass ``sync=False`` only to concatenate
+        batches under a caller-managed sync (see DESIGN.md §Persistence).
+        """
         offsets = [self.append(p, sync=False) for p in payloads]
         if sync:
             self.sync()
@@ -122,8 +132,18 @@ class Journal:
 
     @property
     def size(self) -> int:
-        """Current journal length in bytes."""
-        return self._file.tell() if not self._file.closed else os.path.getsize(self.path)
+        """Journal length in bytes.
+
+        After :meth:`close` this reads the file; if the file has since
+        been deleted, the last known length is returned instead of
+        raising :class:`FileNotFoundError`.
+        """
+        if not self._file.closed:
+            return self._file.tell()
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return self._last_known_size
 
     # -- reading ------------------------------------------------------------
 
@@ -216,6 +236,7 @@ class Journal:
         if not self._file.closed:
             self._file.flush()
             os.fsync(self._file.fileno())
+            self._last_known_size = self._file.tell()
             self._file.close()
 
     def __enter__(self) -> "Journal":

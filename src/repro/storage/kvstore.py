@@ -72,6 +72,14 @@ class KeyValueStore:
         """
         return _Transaction(self)
 
+    def sync(self) -> None:
+        """Make all committed writes durable (no-op for volatile backends).
+
+        Deferred-sync durable backends (``DurableKV(sync_writes=False)``)
+        buffer journal records; this is the group-commit boundary that
+        fsyncs them all at once.
+        """
+
     def close(self) -> None:
         """Release resources (no-op for volatile backends)."""
 
@@ -241,8 +249,14 @@ class DurableKV(_TransactionMixin, KeyValueStore):
         return self._journal.size
 
     def sync(self) -> None:
-        """Fsync any buffered journal records (group commit)."""
-        self._journal.sync()
+        """Fsync any buffered journal records (group commit).
+
+        A no-op when nothing is buffered, so callers can invoke it
+        unconditionally after a commit without paying a redundant fsync
+        on ``sync_writes=True`` stores.
+        """
+        if self._journal.pending_records:
+            self._journal.sync()
 
     def close(self) -> None:
         self._journal.close()

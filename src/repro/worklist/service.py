@@ -54,6 +54,10 @@ class WorklistService:
         self._completion_listeners: list[CompletionListener] = []
         self._cancellation_listeners: list[CompletionListener] = []
         self._id_counter = itertools.count(1)
+        # differential write-set for the engine's incremental persistence:
+        # ids of items created or mutated since the last flush (items are
+        # never deleted, so there is no removed-set)
+        self._dirty: set[str] = set()
 
     # -- wiring -----------------------------------------------------------------
 
@@ -103,6 +107,7 @@ class WorklistService:
         if item.id in self._items:
             raise WorklistError(f"duplicate work item id {item.id!r}")
         self._items[item.id] = item
+        self._dirty.add(item.id)
         if self._g_open is not None:
             self._g_open.inc()
         self._record(item, EventTypes.WORKITEM_CREATED, priority=priority)
@@ -206,6 +211,7 @@ class WorklistService:
                 "(separation of duties)"
             )
         item.allocate(resource_id, self.clock.now())
+        self._dirty.add(item.id)
         self._record(item, EventTypes.WORKITEM_ALLOCATED, resource=resource_id)
         return item
 
@@ -213,6 +219,7 @@ class WorklistService:
         """Return an allocated item to its role queue."""
         item = self.item(item_id)
         item.reoffer(self.clock.now())
+        self._dirty.add(item.id)
         self._record(item, EventTypes.WORKITEM_OFFERED, delegated=True)
         return item
 
@@ -220,6 +227,7 @@ class WorklistService:
         """The allocated resource begins work."""
         item = self.item(item_id)
         item.start(self.clock.now())
+        self._dirty.add(item.id)
         self._record(item, EventTypes.WORKITEM_STARTED, resource=item.allocated_to)
         return item
 
@@ -227,6 +235,7 @@ class WorklistService:
         """Finish an item; fires completion listeners (the engine resumes)."""
         item = self.item(item_id)
         item.complete(result, self.clock.now())
+        self._dirty.add(item.id)
         if self._g_open is not None:
             self._g_open.dec()
         self._record(
@@ -246,6 +255,7 @@ class WorklistService:
         """Withdraw a live item (engine calls this on interrupts)."""
         item = self.item(item_id)
         item.cancel(self.clock.now())
+        self._dirty.add(item.id)
         if self._g_open is not None:
             self._g_open.dec()
         self._record(item, EventTypes.WORKITEM_CANCELLED)
@@ -279,6 +289,7 @@ class WorklistService:
             item.priority += 1
             item.escalations += 1
             item.due_at = None  # one escalation per deadline
+            self._dirty.add(item.id)
             if item.state is WorkItemState.ALLOCATED:
                 item.reoffer(now)
             self._record(
@@ -288,6 +299,18 @@ class WorklistService:
         return escalated
 
     # -- persistence hooks -----------------------------------------------------------
+
+    def dirty_item_ids(self) -> tuple[str, ...]:
+        """Ids of items changed since :meth:`clear_dirty` (sorted).
+
+        The set is left intact so a failed commit can retry — call
+        :meth:`clear_dirty` only after the write succeeded.
+        """
+        return tuple(sorted(self._dirty))
+
+    def clear_dirty(self) -> None:
+        """Forget the differential write-set (after a successful commit)."""
+        self._dirty.clear()
 
     def export_items(self) -> list[dict[str, Any]]:
         """Serializable snapshot of all items (engine persistence)."""

@@ -173,6 +173,124 @@ class TestRecovery:
         }
 
 
+class TestBatchedCommitCrashConsistency:
+    """A crash between a completion and the batched commit must recover to
+    a consistent *pre-completion* state — no half-applied updates."""
+
+    def test_crash_mid_batch_recovers_pre_completion_state(self, store_path):
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(approval_model())
+        instance_id = engine.start_instance("approval", {"amount": 5}).id
+        item_id = engine.worklist.items()[0].id
+        engine.worklist.start(item_id)
+        engine.flush()
+
+        scope = engine.batch()
+        scope.__enter__()
+        engine.complete_work_item(item_id, {"approved": True})
+        # in memory the completion fully applied...
+        assert engine.instance(instance_id).variables["done"] is True
+        # ...then the process dies before the batch commits
+        store.close()
+
+        store2 = DurableKV(store_path)
+        engine2 = build_engine(store2, clock)
+        engine2.recover()
+        recovered = engine2.instance(instance_id)
+        # consistent pre-completion state: no variable from the completion,
+        # the work item still live, the token still parked at the task
+        assert recovered.state is InstanceState.RUNNING
+        assert recovered.variables == {"amount": 5}
+        assert "approved" not in recovered.variables
+        assert "done" not in recovered.variables
+        item = engine2.worklist.item(item_id)
+        assert not item.state.is_terminal
+        assert recovered.tokens[0].node_id == "review"
+        # and the run can redo the completion to the same end state
+        engine2.complete_work_item(item_id, {"approved": True})
+        assert recovered.state is InstanceState.COMPLETED
+        assert recovered.variables["done"] is True
+        store2.close()
+
+
+class TestLegacyLayoutMigration:
+    """Stores written by the pre-incremental engine (whole-collection
+    blobs under engine/jobs, engine/workitems) must restore cleanly and
+    be migrated to the per-record layout."""
+
+    def _make_legacy_store(self, store_path, model):
+        """Run a current engine, then rewrite its store into the legacy
+        whole-blob layout (what the seed engine used to write)."""
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(model)
+        instance_id = engine.start_instance("approval", {"amount": 3}).id
+        item_id = engine.worklist.items()[0].id
+        with store.transaction():
+            store.put("engine/jobs", engine.scheduler.export())
+            store.put("engine/workitems", engine.worklist.export_items())
+            for key in list(store.keys("jobs/")) + list(store.keys("workitem/")):
+                store.delete(key)
+        store.close()
+        return instance_id, item_id
+
+    def test_legacy_blob_store_recovers_and_migrates(self, store_path):
+        instance_id, item_id = self._make_legacy_store(
+            store_path, approval_model()
+        )
+
+        store = DurableKV(store_path)
+        engine = build_engine(store, VirtualClock(0))
+        counts = engine.recover()
+        assert counts["instances"] == 1
+        assert counts["workitems"] == 1
+        # the blob keys are gone, every item now has its own record
+        assert store.get("engine/jobs") is None
+        assert store.get("engine/workitems") is None
+        assert store.get(f"workitem/{item_id}") is not None
+        # and the recovered run completes normally
+        engine.worklist.start(item_id)
+        engine.complete_work_item(item_id, {"approved": True})
+        assert engine.instance(instance_id).state is InstanceState.COMPLETED
+        store.close()
+
+        # a second recovery reads the migrated (per-record) layout
+        store2 = DurableKV(store_path)
+        engine2 = build_engine(store2, VirtualClock(0))
+        counts2 = engine2.recover()
+        assert counts2["instances"] == 1
+        assert engine2.instance(instance_id).state is InstanceState.COMPLETED
+        store2.close()
+
+    def test_per_record_wins_over_stale_legacy_blob(self, store_path):
+        """A store holding both layouts (mid-upgrade) trusts per-record."""
+        clock = VirtualClock(0)
+        store = DurableKV(store_path)
+        engine = build_engine(store, clock)
+        engine.deploy(approval_model())
+        engine.start_instance("approval")
+        item = engine.worklist.items()[0]
+        # stale legacy blob: claims the item is still offered
+        stale = item.to_dict()
+        with store.transaction():
+            store.put("engine/workitems", [stale])
+            store.put("engine/jobs", [])
+        engine.worklist.start(item.id)
+        engine.flush()
+        store.close()
+
+        store2 = DurableKV(store_path)
+        engine2 = build_engine(store2, clock)
+        engine2.recover()
+        from repro.worklist.items import WorkItemState
+
+        assert engine2.worklist.item(item.id).state is WorkItemState.STARTED
+        store2.close()
+
+
 class TestPersistenceDetail:
     def test_instance_state_persisted_per_operation(self, store_path):
         clock = VirtualClock(0)
@@ -192,7 +310,7 @@ class TestPersistenceDetail:
         engine = build_engine(store, clock)
         engine.deploy(approval_model())
         engine.start_instance("approval")
-        items = store.get("engine/workitems")
+        items = [raw for _, raw in store.scan("workitem/")]
         assert len(items) == 1
         assert items[0]["node_id"] == "review"
         store.close()

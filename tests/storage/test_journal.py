@@ -69,6 +69,49 @@ class TestAppendReplay:
             assert [r.payload for r in journal.replay()] == [b"first", b"second"]
 
 
+class TestSizeReporting:
+    def test_size_while_open_tracks_appends(self, journal_path):
+        with Journal(journal_path) as journal:
+            assert journal.size == 0
+            journal.append(b"abc", sync=True)
+            assert journal.size == 8 + 3  # header + payload
+
+    def test_size_after_close_reads_file(self, journal_path):
+        journal = Journal(journal_path)
+        journal.append(b"abc", sync=True)
+        journal.close()
+        assert journal.size == 11
+
+    def test_size_after_close_and_delete_returns_last_known(self, journal_path):
+        """Regression: this used to raise FileNotFoundError."""
+        journal = Journal(journal_path)
+        journal.append(b"abc", sync=True)
+        journal.close()
+        os.remove(journal_path)
+        assert journal.size == 11
+
+
+class TestSyncDefaults:
+    """Pin the deliberate append/append_many asymmetry (DESIGN.md
+    §Persistence): append is the buffered primitive (sync=False),
+    append_many is the group-commit operation (durable on return)."""
+
+    def test_append_default_is_buffered(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append(b"a")
+            assert journal.pending_records == 1
+
+    def test_append_many_default_is_durable(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append_many([b"a", b"b", b"c"])
+            assert journal.pending_records == 0
+
+    def test_append_many_opt_out_stays_buffered(self, journal_path):
+        with Journal(journal_path) as journal:
+            journal.append_many([b"a", b"b"], sync=False)
+            assert journal.pending_records == 2
+
+
 class TestCrashSafety:
     def _write_then_tear(self, path, keep_bytes_off_end):
         with Journal(path) as journal:

@@ -203,7 +203,8 @@ class TestTrace:
         with open(out_path, encoding="utf-8") as fh:
             spans = load_spans_jsonl(fh)
         assert [s["name"] for s in spans].count("node") == 3
-        assert "wrote     : 4 spans" in capsys.readouterr().out
+        # instance + 3 nodes + the engine.flush group-commit span
+        assert "wrote     : 5 spans" in capsys.readouterr().out
 
 
 class TestMetrics:
