@@ -1,0 +1,265 @@
+"""F10 — command-pipeline dispatch overhead and concurrent throughput.
+
+Shape claims: (a) the dispatch *mechanism* — serialization gate, composed
+middleware indirection, idempotency check, per-type metrics, commit
+policy — costs < 10% wall time over the seed's direct-call path (handler
+body + ``_flush``) on an in-memory store, where middleware cost is not
+hidden behind fsync.  The *durable command log* (per-command ``to_dict``,
+``dispatch/<seq>`` store record, ``command.dispatched`` history event) is
+new write work the seed simply did not do; its cost is measured and
+recorded separately on both stores, with a sanity bound rather than the
+mechanism gate.  (b) under group commit on a durable store, N client
+threads hammering the single-writer gate sustain throughput comparable
+to one thread (the gate serializes, it must not collapse).
+
+Noise discipline: paths are timed in interleaved repeats and compared by
+best-of (min) — the minimum approximates the true cost with the fewest
+scheduler/fsync artifacts, and both sides are treated identically.
+
+Smoke mode (``F10_SMOKE=1``, used by CI) shrinks the workload so the
+bench exercises both paths without meaningful wall time; at that scale
+per-call noise dominates, so smoke runs check correctness but skip the
+perf-shape assertions — those are full-run gates.
+"""
+
+import os
+import threading
+import time
+
+from repro.clock import VirtualClock
+from repro.engine import commands as cmds
+from repro.engine.engine import ProcessEngine
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+from repro.storage.kvstore import DurableKV
+from repro.worklist.allocation import ShortestQueueAllocator
+
+_SMOKE = os.environ.get("F10_SMOKE", "") not in ("", "0")
+#: instances started per measured repeat of the overhead comparison
+N_STARTS = int(os.environ.get("F10_STARTS", "50" if _SMOKE else "400"))
+#: interleaved best-of repeats; medians squeeze out scheduler noise
+N_REPEATS = int(os.environ.get("F10_REPEATS", "3" if _SMOKE else "9"))
+#: work items completed per thread count in the throughput matrix
+N_ITEMS = int(os.environ.get("F10_ITEMS", "40" if _SMOKE else "600"))
+
+
+def automated_model():
+    return (
+        ProcessBuilder("auto")
+        .start()
+        .script_task("work", script="doubled = n * 2")
+        .end()
+        .build()
+    )
+
+
+def approval_model():
+    return (
+        ProcessBuilder("approval")
+        .start()
+        .user_task("review", role="clerk")
+        .end()
+        .build()
+    )
+
+
+# -- (a) dispatch overhead vs the seed direct-call path ---------------------------
+
+#: the pipeline with the command-log stage removed: what dispatch itself
+#: costs (gate + indirection + dedup check + metrics + commit policy)
+_MECHANISM_CHAIN = None
+
+
+def _mechanism_chain():
+    global _MECHANISM_CHAIN
+    if _MECHANISM_CHAIN is None:
+        from repro.engine.dispatch import (
+            commit_middleware,
+            idempotency_middleware,
+            observability_middleware,
+        )
+
+        _MECHANISM_CHAIN = (
+            idempotency_middleware,
+            observability_middleware,
+            commit_middleware,
+        )
+    return _MECHANISM_CHAIN
+
+
+def fresh_engine(directory=None, chain=None):
+    store = DurableKV(directory) if directory else None  # None -> MemoryKV
+    engine = ProcessEngine(clock=VirtualClock(0), store=store)
+    if chain is not None:
+        from repro.engine.dispatch import Dispatcher
+
+        engine._dispatcher = Dispatcher(
+            engine,
+            handlers=engine._command_handlers(),
+            middleware=chain,
+            lock=engine._dispatch_lock,
+        )
+    engine.deploy(automated_model())
+    return engine, store
+
+
+def time_direct(n, directory=None):
+    """The seed's shape: handler body + ``_flush`` per call, no pipeline."""
+    engine, store = fresh_engine(directory)
+    started = time.perf_counter()
+    for k in range(n):
+        engine._handle_start_instance(
+            cmds.StartInstance(key="auto", variables={"n": k})
+        )
+        engine._flush()
+    elapsed = time.perf_counter() - started
+    assert len(engine.instances(InstanceState.COMPLETED)) == n
+    if store is not None:
+        store.close()
+    return elapsed
+
+
+def time_dispatched(n, directory=None, chain=None):
+    """The same work through ``engine.dispatch`` with the given chain."""
+    engine, store = fresh_engine(directory, chain)
+    started = time.perf_counter()
+    for k in range(n):
+        engine.start_instance("auto", {"n": k})
+    elapsed = time.perf_counter() - started
+    assert len(engine.instances(InstanceState.COMPLETED)) == n
+    if store is not None:
+        store.close()
+    return elapsed
+
+
+def measure(tmp_dir=None):
+    """Best-of interleaved repeats for each path; see the noise note above."""
+    times = {"direct": [], "mechanism": [], "full": []}
+    for repeat in range(N_REPEATS):
+        sub = (
+            None
+            if tmp_dir is None
+            else os.path.join(tmp_dir, f"r{repeat}")
+        )
+        times["direct"].append(
+            time_direct(N_STARTS, sub and os.path.join(sub, "direct"))
+        )
+        times["mechanism"].append(
+            time_dispatched(
+                N_STARTS,
+                sub and os.path.join(sub, "mech"),
+                chain=_mechanism_chain(),
+            )
+        )
+        times["full"].append(
+            time_dispatched(N_STARTS, sub and os.path.join(sub, "full"))
+        )
+    return {name: min(samples) for name, samples in times.items()}
+
+
+def test_f10_dispatch_overhead(benchmark, tmp_path, emit):
+    memory = measure()
+    durable = measure(str(tmp_path))
+    benchmark.pedantic(
+        lambda: time_dispatched(min(N_STARTS, 100)), rounds=1, iterations=1
+    )
+    emit(
+        "",
+        "== F10: dispatch overhead vs seed direct-call path "
+        "(start->completion, best-of) ==",
+        f"{'path':>26} {'MemoryKV us':>12} {'DurableKV us':>13}",
+    )
+    for name, label in (
+        ("direct", "direct (seed path)"),
+        ("mechanism", "dispatch, no cmd log"),
+        ("full", "dispatch + cmd log"),
+    ):
+        emit(
+            f"{label:>26} {1e6 * memory[name] / N_STARTS:>12.1f} "
+            f"{1e6 * durable[name] / N_STARTS:>13.1f}"
+        )
+    mech_ratio = memory["mechanism"] / memory["direct"]
+    full_mem = memory["full"] / memory["direct"]
+    full_dur = durable["full"] / durable["direct"]
+    emit(
+        f"    mechanism overhead : {100 * (mech_ratio - 1):+.1f}%  (gate < +10%)",
+        f"    + durable cmd log  : {100 * (full_mem - 1):+.1f}% memory, "
+        f"{100 * (full_dur - 1):+.1f}% durable  (new write work; sanity < +60%)",
+    )
+    if _SMOKE:
+        return  # correctness asserted in the timers; shape needs full scale
+    assert mech_ratio < 1.10, (
+        f"dispatch mechanism overhead {100 * (mech_ratio - 1):+.1f}% >= 10%"
+    )
+    # the command log does real extra writes; bound it so a regression
+    # (e.g. re-serializing the whole log per flush) cannot hide
+    assert full_mem < 1.60, f"command log overhead {100 * (full_mem - 1):+.1f}%"
+    assert full_dur < 1.60, f"command log overhead {100 * (full_dur - 1):+.1f}%"
+
+
+# -- (b) multi-threaded client throughput under group commit ----------------------
+
+
+def run_threads(tmp_dir, n_threads, n_items):
+    """n_threads workers complete n_items items under interval-64 commit."""
+    store = DurableKV(os.path.join(tmp_dir, f"kv-{n_threads}"))
+    engine = ProcessEngine(
+        clock=VirtualClock(0),
+        store=store,
+        allocator=ShortestQueueAllocator(),
+        commit_interval=64,
+        dispatch_log_retention=4 * n_items,
+    )
+    engine.organization.add("ana", roles=["clerk"])
+    engine.deploy(approval_model())
+    with engine.batch():
+        for _ in range(n_items):
+            engine.start_instance("approval")
+    item_ids = [item.id for item in engine.worklist.items()]
+    engine.flush()
+
+    chunks = [item_ids[i::n_threads] for i in range(n_threads)]
+    barrier = threading.Barrier(n_threads + 1)
+
+    def worker(chunk):
+        barrier.wait()
+        for item_id in chunk:
+            engine.start_work_item(item_id)
+            engine.complete_work_item(item_id)
+
+    threads = [
+        threading.Thread(target=worker, args=(chunk,)) for chunk in chunks
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    engine.flush()
+    elapsed = time.perf_counter() - started
+
+    completed = len(engine.instances(InstanceState.COMPLETED))
+    assert completed == n_items, (n_threads, completed)
+    store.close()
+    return n_items / elapsed
+
+
+def test_f10_threaded_throughput(tmp_path, emit):
+    rows = [
+        (n, run_threads(str(tmp_path), n, N_ITEMS)) for n in (1, 2, 4, 8)
+    ]
+    emit(
+        "",
+        "== F10b: completions/sec vs client threads "
+        "(DurableKV, interval-64 group commit) ==",
+        f"{'threads':>8} {'compl/s':>10} {'vs 1 thread':>12}",
+    )
+    base = rows[0][1]
+    for n, rate in rows:
+        emit(f"{n:>8} {rate:>10.0f} {rate / base:>11.2f}x")
+    if _SMOKE:
+        return
+    # the gate serializes: more clients must not collapse throughput
+    worst = min(rate for _, rate in rows)
+    assert worst > base / 2.5, rows

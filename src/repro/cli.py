@@ -16,6 +16,9 @@ Commands:
 * ``metrics FILE.bpmn [--json]``       — run one instance and print the
   full metrics snapshot.
 * ``patterns``                         — the pattern support matrix.
+* ``commands [--store DIR]``           — list the registered command types;
+  with a store, dump the recent dispatch history (idempotency keys,
+  status, depth) recorded by the command pipeline.
 """
 
 from __future__ import annotations
@@ -275,6 +278,53 @@ def cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_commands(args: argparse.Namespace) -> int:
+    from repro.engine.commands import COMMAND_TYPES
+
+    registry = [
+        {
+            "command": name,
+            "external": cls.external,
+            "fields": [f for f in cls.__dataclass_fields__],
+        }
+        for name, cls in sorted(COMMAND_TYPES.items())
+    ]
+    history = None
+    if args.store:
+        from repro.storage.kvstore import DurableKV
+
+        store = DurableKV(args.store, sync_writes=False)
+        history = sorted(
+            (raw for _, raw in store.scan("dispatch/")),
+            key=lambda r: r.get("seq", 0),
+        )
+        if args.limit:
+            history = history[-args.limit:]
+    if args.json:
+        payload = {"commands": registry}
+        if history is not None:
+            payload["history"] = history
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("registered command types:")
+    for entry in registry:
+        kind = "external" if entry["external"] else "internal"
+        print(f"  {entry['command']:<22} [{kind}]  "
+              f"fields: {', '.join(entry['fields']) or '(none)'}")
+    if history is not None:
+        print(f"dispatch history ({len(history)} entries):")
+        for record in history:
+            dedup = record.get("dedup_key")
+            print(
+                f"  #{record.get('seq', '?'):>4} {record.get('name', '?'):<22} "
+                f"status={record.get('status', '?'):<8} "
+                f"depth={record.get('depth', '?')} "
+                f"at={record.get('at', 0):.3f}"
+                + (f" dedup_key={dedup}" if dedup is not None else "")
+            )
+    return 0
+
+
 def cmd_patterns(args: argparse.Namespace) -> int:
     from repro.patterns.catalog import PATTERNS
 
@@ -367,6 +417,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_patterns = sub.add_parser("patterns", help="pattern support matrix")
     p_patterns.set_defaults(func=cmd_patterns)
+
+    p_commands = sub.add_parser(
+        "commands",
+        help="list command types; with --store, dump dispatch history",
+    )
+    p_commands.add_argument(
+        "--store", metavar="DIR",
+        help="DurableKV directory to read the dispatch log from",
+    )
+    p_commands.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="show only the last N history entries",
+    )
+    p_commands.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_commands.set_defaults(func=cmd_commands)
     return parser
 
 

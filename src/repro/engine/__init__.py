@@ -5,8 +5,30 @@ definitions, starts instances, advances tokens through nodes, creates work
 items for user tasks, invokes services, schedules timers, correlates
 messages, records history, persists every quiescent state, and recovers
 in-flight instances from storage after a crash.
+
+Every external mutation is a typed :class:`~repro.engine.commands.Command`
+executed through :meth:`ProcessEngine.dispatch`; the public methods are
+thin constructors over that single path.
 """
 
+from repro.engine.commands import (
+    COMMAND_TYPES,
+    AdvanceTime,
+    ClaimWorkItem,
+    Command,
+    CompleteWorkItem,
+    CorrelateMessage,
+    DeployDefinition,
+    MigrateInstance,
+    ResumeInstance,
+    RunDueJobs,
+    StartInstance,
+    StartWorkItem,
+    SuspendInstance,
+    TerminateInstance,
+    command_from_dict,
+)
+from repro.engine.dispatch import DEFAULT_MIDDLEWARE, Dispatcher
 from repro.engine.engine import ProcessEngine
 from repro.engine.errors import (
     BpmnError,
@@ -22,19 +44,36 @@ from repro.engine.jobs import Job, JobScheduler
 from repro.engine.migration import MigrationPlan
 
 __all__ = [
+    "AdvanceTime",
     "BpmnError",
+    "COMMAND_TYPES",
+    "ClaimWorkItem",
+    "Command",
+    "CompleteWorkItem",
+    "CorrelateMessage",
+    "DEFAULT_MIDDLEWARE",
     "DefinitionNotFoundError",
+    "DeployDefinition",
+    "Dispatcher",
     "EngineError",
     "IllegalInstanceStateError",
     "InstanceNotFoundError",
     "InstanceState",
     "Job",
     "JobScheduler",
+    "MigrateInstance",
     "MigrationError",
     "MigrationPlan",
     "NoFlowSelectedError",
     "ProcessEngine",
     "ProcessInstance",
+    "ResumeInstance",
+    "RunDueJobs",
+    "StartInstance",
+    "StartWorkItem",
+    "SuspendInstance",
+    "TerminateInstance",
     "Token",
     "TokenState",
+    "command_from_dict",
 ]

@@ -1,0 +1,293 @@
+"""Typed engine commands: the only way external clients mutate state.
+
+Every public mutation entry point of :class:`~repro.engine.engine.
+ProcessEngine` constructs one of these dataclasses and hands it to
+``engine.dispatch(cmd)``; the dispatch pipeline (see :mod:`repro.engine.
+dispatch`) supplies serialization, idempotency, observability, history,
+and the commit policy uniformly, so the commands themselves are pure
+data.
+
+Commands are *serializable*: :meth:`Command.to_dict` /
+:func:`command_from_dict` round-trip every command through JSON-safe
+dicts, which is what the persisted dispatch log stores and what the
+concurrent-dispatch stress tests replay.
+
+Taxonomy
+--------
+
+*Externally-originated* commands (``external = True``) come from clients
+the engine cannot trust to call exactly once — worklist handlers, message
+gateways, admin consoles.  They accept an optional ``dedup_key``: two
+dispatches with the same key apply once, the second returning the
+recorded result (see the idempotency middleware).  *Internal* commands
+(``RunDueJobs``, ``AdvanceTime``) originate from the owning driver loop
+and carry no dedup key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+#: name -> command class, populated by :func:`register_command`.
+COMMAND_TYPES: dict[str, type["Command"]] = {}
+
+
+def register_command(cls: type["Command"]) -> type["Command"]:
+    """Class decorator adding a command type to the registry."""
+    if not cls.name:
+        raise ValueError(f"command class {cls.__name__} has no name")
+    if cls.name in COMMAND_TYPES:
+        raise ValueError(f"duplicate command name {cls.name!r}")
+    COMMAND_TYPES[cls.name] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base of all engine commands (pure data; no behaviour)."""
+
+    #: wire/registry name, e.g. ``"start_instance"``.
+    name: ClassVar[str] = ""
+    #: True for client-originated commands that accept a ``dedup_key``.
+    external: ClassVar[bool] = False
+
+    # non-external commands have no dedup field; this class attribute is
+    # shadowed by a real dataclass field on external command types
+    dedup_key = None  # type: str | None
+
+    def loggable(self, result: Any) -> bool:
+        """Whether a successful dispatch is worth a dispatch-log entry.
+
+        Default: always.  Pump commands override this so an *idle* pump
+        (nothing due, nothing dirty) stays a true read-only call — zero
+        store writes, zero history growth.
+        """
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation, ``{"command": name, **fields}``.
+
+        Shallow on purpose: command fields are scalars or one-level dicts
+        (``variables``, ``payload``, ...), and ``dataclasses.asdict``'s
+        recursive deep copy is measurable on the dispatch hot path.
+        """
+        payload: dict[str, Any] = {"command": self.name}
+        for field_name in self.__dataclass_fields__:
+            value = getattr(self, field_name)
+            payload[field_name] = dict(value) if isinstance(value, dict) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "Command":
+        """Rebuild a command of this type from :meth:`to_dict` output."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in raw.items() if k in names})
+
+
+def command_from_dict(raw: dict[str, Any]) -> Command:
+    """Rebuild any registered command from its :meth:`Command.to_dict`."""
+    try:
+        cls = COMMAND_TYPES[raw["command"]]
+    except KeyError:
+        raise ValueError(f"unknown command type {raw.get('command')!r}") from None
+    return cls.from_dict(raw)
+
+
+# -- deployment ---------------------------------------------------------------
+
+
+@register_command
+@dataclass(frozen=True)
+class DeployDefinition(Command):
+    """Deploy a process definition (admin-tool interface)."""
+
+    name: ClassVar[str] = "deploy_definition"
+
+    definition: Any = None  # ProcessDefinition
+    verify: bool | None = None
+    force: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        from repro.model.serialization import definition_to_dict
+
+        return {
+            "command": self.name,
+            "definition": definition_to_dict(self.definition),
+            "verify": self.verify,
+            "force": self.force,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "DeployDefinition":
+        from repro.model.serialization import definition_from_dict
+
+        definition = raw.get("definition")
+        if isinstance(definition, dict):
+            definition = definition_from_dict(definition)
+        return cls(
+            definition=definition,
+            verify=raw.get("verify"),
+            force=raw.get("force", False),
+        )
+
+
+# -- instance lifecycle -------------------------------------------------------
+
+
+@register_command
+@dataclass(frozen=True)
+class StartInstance(Command):
+    """Create and advance a new instance of a deployed definition."""
+
+    name: ClassVar[str] = "start_instance"
+    external: ClassVar[bool] = True
+
+    key: str = ""
+    variables: dict[str, Any] = field(default_factory=dict)
+    business_key: str | None = None
+    version: int | None = None
+    dedup_key: str | None = None
+
+
+@register_command
+@dataclass(frozen=True)
+class TerminateInstance(Command):
+    """Administratively cancel a running instance."""
+
+    name: ClassVar[str] = "terminate_instance"
+    external: ClassVar[bool] = True
+
+    instance_id: str = ""
+    reason: str = "user request"
+    dedup_key: str | None = None
+
+
+@register_command
+@dataclass(frozen=True)
+class SuspendInstance(Command):
+    """Pause an instance: waiting triggers defer until resume."""
+
+    name: ClassVar[str] = "suspend_instance"
+    external: ClassVar[bool] = True
+
+    instance_id: str = ""
+    dedup_key: str | None = None
+
+
+@register_command
+@dataclass(frozen=True)
+class ResumeInstance(Command):
+    """Resume a suspended instance and advance it."""
+
+    name: ClassVar[str] = "resume_instance"
+    external: ClassVar[bool] = True
+
+    instance_id: str = ""
+    dedup_key: str | None = None
+
+
+@register_command
+@dataclass(frozen=True)
+class MigrateInstance(Command):
+    """Move a running instance to another deployed version."""
+
+    name: ClassVar[str] = "migrate_instance"
+    external: ClassVar[bool] = True
+
+    instance_id: str = ""
+    target_version: int = 0
+    #: ``{old_node_id: new_node_id}``; identity mapping when empty
+    node_mapping: dict[str, str] = field(default_factory=dict)
+    dedup_key: str | None = None
+
+
+# -- work items (worklist-handler interface) ----------------------------------
+
+
+@register_command
+@dataclass(frozen=True)
+class ClaimWorkItem(Command):
+    """A resource pulls an offered item from its role queue."""
+
+    name: ClassVar[str] = "claim_work_item"
+    external: ClassVar[bool] = True
+
+    item_id: str = ""
+    resource_id: str = ""
+    dedup_key: str | None = None
+
+
+@register_command
+@dataclass(frozen=True)
+class StartWorkItem(Command):
+    """The allocated resource begins work on an item."""
+
+    name: ClassVar[str] = "start_work_item"
+    external: ClassVar[bool] = True
+
+    item_id: str = ""
+    dedup_key: str | None = None
+
+
+@register_command
+@dataclass(frozen=True)
+class CompleteWorkItem(Command):
+    """Complete a started work item; the owning token advances."""
+
+    name: ClassVar[str] = "complete_work_item"
+    external: ClassVar[bool] = True
+
+    item_id: str = ""
+    result: dict[str, Any] = field(default_factory=dict)
+    dedup_key: str | None = None
+
+
+# -- messages -----------------------------------------------------------------
+
+
+@register_command
+@dataclass(frozen=True)
+class CorrelateMessage(Command):
+    """Publish an external message into the engine's bus."""
+
+    name: ClassVar[str] = "correlate_message"
+    external: ClassVar[bool] = True
+
+    message_name: str = ""
+    correlation: Any = None
+    payload: dict[str, Any] = field(default_factory=dict)
+    dedup_key: str | None = None
+
+
+# -- time (driver-loop interface) ---------------------------------------------
+
+
+@register_command
+@dataclass(frozen=True)
+class RunDueJobs(Command):
+    """Fire every due job (timer pump)."""
+
+    name: ClassVar[str] = "run_due_jobs"
+
+    def loggable(self, result: Any) -> bool:
+        # an idle pump (nothing fired) is a read-only call; logging it
+        # would turn every driver tick into a store write.  When the pump
+        # *did* change state the commit middleware leaves dirty markers,
+        # which the log middleware also checks (see dispatch module).
+        return bool(result)
+
+
+@register_command
+@dataclass(frozen=True)
+class AdvanceTime(Command):
+    """Advance a virtual clock and fire everything that became due.
+
+    Always logged: even a zero-job advance moves the clock, which a
+    sequential replay must reproduce.
+    """
+
+    name: ClassVar[str] = "advance_time"
+
+    seconds: float = 0.0

@@ -14,23 +14,38 @@ crash, construct an engine over the same store (with services re-registered
 
 Persistence is incremental: every flush writes only the records that
 changed since the last one (``instance/<id>``, ``jobs/<id>``,
-``workitem/<id>``), and the commit policy decides when flushes happen —
-per call (default), every ``commit_interval`` records, or once per
-:meth:`ProcessEngine.batch` block (group commit for bulk traffic).
+``workitem/<id>``, ``dispatch/<seq>``), and the commit policy decides when
+flushes happen — per call (default), every ``commit_interval`` records, or
+once per :meth:`ProcessEngine.batch` block (group commit for bulk traffic).
+
+Every public mutation is a typed :class:`~repro.engine.commands.Command`
+executed through :meth:`ProcessEngine.dispatch` — one path carrying the
+serialization gate (thread safety), idempotent dedup keys, observability,
+the dispatch log, and the commit policy.  The public methods below are
+thin command constructors; node semantics live in
+:mod:`repro.engine.executors` and the interpreter core in
+:mod:`repro.engine.execution`.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import threading
+from typing import Any, Callable
 
 from repro.clock import Clock, VirtualClock, WallClock
+from repro.engine import commands as cmds
+from repro.engine import execution as core
+from repro.engine import executors as _executors  # noqa: F401 - registry load
+from repro.engine.commands import Command
+from repro.engine.dispatch import Dispatcher
 from repro.engine.errors import (
     DefinitionNotFoundError,
     EngineError,
     IllegalInstanceStateError,
     InstanceNotFoundError,
 )
-from repro.engine.execution import ExecutionMixin
+from repro.engine.executors.subprocesses import on_mi_child_finished
+from repro.engine.executors.tasks import perform_service_invocation
 from repro.engine.instance import InstanceState, ProcessInstance, TokenState
 from repro.engine.jobs import JobScheduler
 from repro.engine.metrics import EngineMetrics
@@ -51,7 +66,7 @@ from repro.worklist.resources import OrganizationalModel
 from repro.worklist.service import WorklistService
 
 
-class ProcessEngine(ExecutionMixin):
+class ProcessEngine:
     """The workflow enactment service."""
 
     def __init__(
@@ -69,12 +84,15 @@ class ProcessEngine(ExecutionMixin):
         obs: Observability | None = None,
         strict_references: bool = False,
         commit_interval: int = 1,
+        dispatch_log_retention: int = 256,
     ) -> None:
         """``commit_interval`` sets the durable commit policy: ``1``
         (default) flushes dirty state after every public API call
         (autocommit); ``n > 1`` defers until at least ``n`` dirty records
         accumulate — call :meth:`flush` (or use :meth:`batch`) to force a
-        commit earlier.  See DESIGN.md §Persistence & commit policies."""
+        commit earlier.  ``dispatch_log_retention`` bounds the persisted
+        command log and with it the idempotency (dedup-key) window.  See
+        DESIGN.md §Persistence & commit policies and §Command pipeline."""
         # `is None` checks throughout: several of these are container-like
         # (empty store/org would be falsy under `or`)
         self.clock = clock if clock is not None else WallClock()
@@ -127,6 +145,11 @@ class ProcessEngine(ExecutionMixin):
             "engine.flush.batch_records",
             (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0),
         )
+        self._c_commands = self.obs.registry.counter("engine.commands.dispatched")
+        self._c_commands_deduped = self.obs.registry.counter(
+            "engine.commands.deduped"
+        )
+        self._command_counters: dict[str, Any] = {}
         self._instance_spans: dict[str, Span] = {}
         self._engine_span: Span | None = (
             self.obs.tracer.start_span("engine") if self.obs.enabled else None
@@ -140,6 +163,14 @@ class ProcessEngine(ExecutionMixin):
         self._instance_seq = 0
         self._dirty: set[str] = set()
         self._advancing: set[str] = set()
+        # secondary indexes: instance ids by state and by business key,
+        # maintained solely by _register_instance/_set_instance_state so
+        # instances(state=...) / find_instances need not scan linearly
+        self._by_state: dict[InstanceState, dict[str, None]] = {
+            state: {} for state in InstanceState
+        }
+        self._by_business_key: dict[str, dict[str, None]] = {}
+        self._creation_order: dict[str, int] = {}
         # incremental-persistence bookkeeping: the commit policy, the
         # batch() nesting depth, whether the message-wait list changed,
         # and the last instance_seq written to engine/meta
@@ -147,6 +178,91 @@ class ProcessEngine(ExecutionMixin):
         self._batch_depth = 0
         self._waits_dirty = False
         self._persisted_seq = 0
+        # the command pipeline: a single re-entrant serialization gate
+        # shared with the worklist and the bus, the idempotency window,
+        # and the bounded persisted dispatch log
+        self._dispatch_lock = threading.RLock()
+        self.worklist.bind_lock(self._dispatch_lock)
+        self.bus.bind_lock(self._dispatch_lock)
+        self._dedup: dict[str, dict[str, Any]] = {}
+        self._dispatch_log: list[dict[str, Any]] = []
+        self._dispatch_seq = 0
+        self._dispatch_log_retention = max(1, int(dispatch_log_retention))
+        self._dispatch_dirty: set[int] = set()
+        self._dispatch_removed: set[int] = set()
+        self._dispatcher = Dispatcher(
+            self, handlers=self._command_handlers(), lock=self._dispatch_lock
+        )
+
+    # -- the command pipeline --------------------------------------------------
+
+    def dispatch(self, command: Command) -> Any:
+        """Execute a typed command through the middleware pipeline.
+
+        This is the single mutation path: serialization gate →
+        idempotency → observability → commit policy → dispatch log →
+        handler.  All public mutation methods below delegate here.
+        """
+        return self._dispatcher.dispatch(command)
+
+    def _command_handlers(self) -> dict[type[Command], Callable[[Any], Any]]:
+        return {
+            cmds.DeployDefinition: self._handle_deploy,
+            cmds.StartInstance: self._handle_start_instance,
+            cmds.TerminateInstance: self._handle_terminate_instance,
+            cmds.SuspendInstance: self._handle_suspend_instance,
+            cmds.ResumeInstance: self._handle_resume_instance,
+            cmds.MigrateInstance: self._handle_migrate_instance,
+            cmds.ClaimWorkItem: self._handle_claim_work_item,
+            cmds.StartWorkItem: self._handle_start_work_item,
+            cmds.CompleteWorkItem: self._handle_complete_work_item,
+            cmds.CorrelateMessage: self._handle_correlate_message,
+            cmds.RunDueJobs: self._handle_run_due_jobs,
+            cmds.AdvanceTime: self._handle_advance_time,
+        }
+
+    def _append_dispatch_record(self, record: dict[str, Any]) -> None:
+        """Assign the next sequence number and store the log entry.
+
+        The log is bounded by ``dispatch_log_retention``: pruned entries
+        are deleted from the store on the next flush, and dedup keys
+        whose recording entry fell out of the window are evicted — the
+        idempotency guarantee holds within the retention window.
+        """
+        self._dispatch_seq += 1
+        record["seq"] = self._dispatch_seq
+        self._dispatch_log.append(record)
+        self._dispatch_dirty.add(record["seq"])
+        while len(self._dispatch_log) > self._dispatch_log_retention:
+            old = self._dispatch_log.pop(0)
+            seq = old["seq"]
+            if seq in self._dispatch_dirty:
+                self._dispatch_dirty.discard(seq)  # never reached the store
+            else:
+                self._dispatch_removed.add(seq)
+            key = old.get("dedup_key")
+            if key is not None:
+                hit = self._dedup.get(key)
+                if hit is not None and hit.get("seq") == seq:
+                    del self._dedup[key]
+
+    def _has_pending_dirty(self) -> bool:
+        """Whether any state changed since the last flush (log trigger)."""
+        if self._dirty or self._waits_dirty:
+            return True
+        if self._instance_seq != self._persisted_seq:
+            return True
+        dirty_jobs, removed_jobs = self.scheduler.pending_changes()
+        if dirty_jobs or removed_jobs:
+            return True
+        return bool(self.worklist.dirty_item_ids())
+
+    def dispatch_history(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Recent dispatch-log entries, oldest first (``repro commands``)."""
+        log = list(self._dispatch_log)
+        if limit is not None and limit >= 0:
+            log = log[len(log) - min(limit, len(log)):]
+        return log
 
     # -- deployment -----------------------------------------------------------
 
@@ -169,9 +285,15 @@ class ProcessEngine(ExecutionMixin):
         Every non-info finding is emitted as a ``lint.diagnostic``
         observability event.
         """
+        return self.dispatch(
+            cmds.DeployDefinition(definition=definition, verify=verify, force=force)
+        )
+
+    def _handle_deploy(self, cmd: cmds.DeployDefinition) -> str:
         from repro.analysis import AnalysisContext, Severity, analyze
 
-        behavioral = verify if verify is not None else self.verify_soundness
+        definition = cmd.definition
+        behavioral = cmd.verify if cmd.verify is not None else self.verify_soundness
         overrides = None
         if not self.strict_references:
             overrides = {
@@ -204,7 +326,7 @@ class ProcessEngine(ExecutionMixin):
             ]
             errors = structural if structural else report.errors
             kind = "invalid" if structural else "unsound"
-            if not force:
+            if not cmd.force:
                 self._c_lint_blocked.inc()
                 raise EngineError(
                     f"definition {definition.key!r} {kind}: "
@@ -252,12 +374,12 @@ class ProcessEngine(ExecutionMixin):
                 f"{instance.definition_id!r}"
             ) from None
 
-    # -- history plumbing --------------------------------------------------------
+    # -- history plumbing ------------------------------------------------------
 
     def _record(self, instance: ProcessInstance, event_type: str, **data: Any) -> None:
         self.history.record(instance.id, event_type, **data)
 
-    # -- instances -----------------------------------------------------------------
+    # -- instances -------------------------------------------------------------
 
     def start_instance(
         self,
@@ -265,13 +387,28 @@ class ProcessEngine(ExecutionMixin):
         variables: dict[str, Any] | None = None,
         business_key: str | None = None,
         version: int | None = None,
+        dedup_key: str | None = None,
     ) -> ProcessInstance:
         """Create and advance a new instance of a deployed definition."""
-        instance = self._start_instance_internal(
-            key, version, dict(variables or {}), business_key, None, None
+        return self.dispatch(
+            cmds.StartInstance(
+                key=key,
+                variables=dict(variables or {}),
+                business_key=business_key,
+                version=version,
+                dedup_key=dedup_key,
+            )
         )
-        self._flush()
-        return instance
+
+    def _handle_start_instance(self, cmd: cmds.StartInstance) -> ProcessInstance:
+        return self._start_instance_internal(
+            key=cmd.key,
+            version=cmd.version,
+            variables=dict(cmd.variables),
+            business_key=cmd.business_key,
+            parent_instance_id=None,
+            parent_token_id=None,
+        )
 
     def _start_instance_internal(
         self,
@@ -296,7 +433,7 @@ class ProcessEngine(ExecutionMixin):
             parent_instance_id=parent_instance_id,
             parent_token_id=parent_token_id,
         )
-        self._instances[instance.id] = instance
+        self._register_instance(instance, self._instance_seq)
         instance.new_token(starts[0].id)
         self.metrics.instances_started += 1
         if self.obs.enabled:
@@ -314,8 +451,38 @@ class ProcessEngine(ExecutionMixin):
             business_key=business_key,
             parent=parent_instance_id,
         )
-        self._advance(instance)
+        core.advance(self, instance)
         return instance
+
+    # -- secondary indexes ------------------------------------------------------
+
+    def _register_instance(self, instance: ProcessInstance, rank: int) -> None:
+        """Add an instance to the primary map and the secondary indexes."""
+        self._instances[instance.id] = instance
+        self._creation_order[instance.id] = rank
+        self._by_state[instance.state][instance.id] = None
+        if instance.business_key is not None:
+            self._by_business_key.setdefault(instance.business_key, {})[
+                instance.id
+            ] = None
+
+    def _set_instance_state(
+        self, instance: ProcessInstance, state: InstanceState
+    ) -> None:
+        """The single place instance state changes: keeps the index exact."""
+        old = instance.state
+        if old is state:
+            return
+        self._by_state[old].pop(instance.id, None)
+        instance.state = state
+        self._by_state[state][instance.id] = None
+
+    def _in_creation_order(self, instance_ids) -> list[ProcessInstance]:
+        order = self._creation_order
+        return [
+            self._instances[instance_id]
+            for instance_id in sorted(instance_ids, key=lambda i: order.get(i, 0))
+        ]
 
     def instance(self, instance_id: str) -> ProcessInstance:
         """Look up an instance; raises :class:`InstanceNotFoundError`."""
@@ -325,11 +492,10 @@ class ProcessEngine(ExecutionMixin):
             raise InstanceNotFoundError(f"unknown instance {instance_id!r}") from None
 
     def instances(self, state: InstanceState | None = None) -> list[ProcessInstance]:
-        """All instances (optionally by state), in creation order."""
-        values = list(self._instances.values())
-        if state is not None:
-            values = [i for i in values if i.state is state]
-        return values
+        """All instances (optionally filtered by state), in creation order."""
+        if state is None:
+            return list(self._instances.values())
+        return self._in_creation_order(self._by_state[state])
 
     def find_instances(
         self,
@@ -342,16 +508,29 @@ class ProcessEngine(ExecutionMixin):
         """Query instances by state, definition, business key, variable
         equality (``where``), and/or the node a token is parked at.
 
+        Backed by the secondary indexes: a ``business_key`` or ``state``
+        filter narrows to the matching index bucket instead of scanning
+        every instance; the remaining predicates apply to that bucket.
+
         >>> # engine.find_instances(business_key="ORD-7",
         >>> #                       where={"priority": "high"})
         """
+        if business_key is not None:
+            candidates = self._in_creation_order(
+                self._by_business_key.get(business_key, ())
+            )
+        elif state is not None:
+            candidates = self._in_creation_order(self._by_state[state])
+        else:
+            candidates = list(self._instances.values())
         results = []
-        for instance in self._instances.values():
+        for instance in candidates:
             if state is not None and instance.state is not state:
                 continue
-            if definition_key is not None and instance.definition_key != definition_key:
-                continue
-            if business_key is not None and instance.business_key != business_key:
+            if (
+                definition_key is not None
+                and instance.definition_key != definition_key
+            ):
                 continue
             if where is not None and any(
                 instance.variables.get(name) != value
@@ -365,7 +544,7 @@ class ProcessEngine(ExecutionMixin):
             results.append(instance)
         return results
 
-    # -- instance lifecycle transitions ------------------------------------------------
+    # -- instance lifecycle transitions -----------------------------------------
 
     def _finish_instance_span(self, instance: ProcessInstance, status: str) -> None:
         span = self._instance_spans.pop(instance.id, None)
@@ -375,7 +554,7 @@ class ProcessEngine(ExecutionMixin):
 
     def _complete_instance(self, instance: ProcessInstance) -> None:
         self.metrics.instances_completed += 1
-        instance.state = InstanceState.COMPLETED
+        self._set_instance_state(instance, InstanceState.COMPLETED)
         instance.ended_at = self.clock.now()
         self._record(instance, EventTypes.INSTANCE_COMPLETED)
         self._finish_instance_span(instance, "ok")
@@ -384,21 +563,23 @@ class ProcessEngine(ExecutionMixin):
 
     def _terminate_instance(self, instance: ProcessInstance, reason: str) -> None:
         self.metrics.instances_terminated += 1
-        instance.state = InstanceState.TERMINATED
+        self._set_instance_state(instance, InstanceState.TERMINATED)
         instance.ended_at = self.clock.now()
         self._record(instance, EventTypes.INSTANCE_TERMINATED, reason=reason)
         self._finish_instance_span(instance, "ok")
         self._dirty.add(instance.id)
         self._notify_parent(instance)
 
-    def _terminate_instance_internal(self, instance: ProcessInstance, reason: str) -> None:
+    def _terminate_instance_internal(
+        self, instance: ProcessInstance, reason: str
+    ) -> None:
         for token in list(instance.tokens):
-            self._cancel_token(instance, token, reason=reason)
+            core.cancel_token(self, instance, token, reason=reason)
         self._terminate_instance(instance, reason)
 
     def _fail_instance(self, instance: ProcessInstance, reason: str) -> None:
         self.metrics.instances_failed += 1
-        instance.state = InstanceState.FAILED
+        self._set_instance_state(instance, InstanceState.FAILED)
         instance.ended_at = self.clock.now()
         instance.failure = reason
         self._record(instance, EventTypes.INSTANCE_FAILED, reason=reason)
@@ -420,25 +601,24 @@ class ProcessEngine(ExecutionMixin):
         if reason == "mi":
             definition = self._definition_of(parent)
             node = definition.node(token.node_id)
-            self._on_mi_child_finished(parent, definition, token, node, child, failed)
+            on_mi_child_finished(self, parent, definition, token, node, child, failed)
             return
         if reason != "child":
             return
         definition = self._definition_of(parent)
         node = definition.node(token.node_id)
-        self._cancel_boundary_jobs(parent, token)
+        core.cancel_boundary_jobs(self, parent, token)
         if failed:
-            from repro.engine.execution import TECHNICAL_ERROR_CODE
-
             token.waiting_on = {}
-            self._handle_error(
+            core.handle_error(
+                self,
                 parent,
                 definition,
                 token,
-                TECHNICAL_ERROR_CODE,
+                core.TECHNICAL_ERROR_CODE,
                 f"child instance {child.id!r} failed: {child.failure}",
             )
-            self._advance(parent)
+            core.advance(self, parent)
             return
         # map child outputs into parent variables
         from repro.expr import ExpressionError, compile_expression
@@ -453,11 +633,11 @@ class ProcessEngine(ExecutionMixin):
             else:
                 parent.variables.update(child.variables)
         except ExpressionError as exc:
-            from repro.engine.execution import TECHNICAL_ERROR_CODE
-
             token.waiting_on = {}
-            self._handle_error(parent, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            self._advance(parent)
+            core.handle_error(
+                self, parent, definition, token, core.TECHNICAL_ERROR_CODE, str(exc)
+            )
+            core.advance(self, parent)
             return
         self._record(
             parent,
@@ -466,54 +646,102 @@ class ProcessEngine(ExecutionMixin):
             is_activity=True,
             child_id=child.id,
         )
-        flow = self._single_outgoing(definition, node)
+        flow = core.single_outgoing(definition, node)
         token.resume(flow.target, arrived_via=flow.id)
-        self._advance(parent)
+        core.advance(self, parent)
 
-    def terminate_instance(self, instance_id: str, reason: str = "user request") -> None:
+    def terminate_instance(
+        self,
+        instance_id: str,
+        reason: str = "user request",
+        dedup_key: str | None = None,
+    ) -> None:
         """Administratively cancel a running instance."""
-        instance = self.instance(instance_id)
+        self.dispatch(
+            cmds.TerminateInstance(
+                instance_id=instance_id, reason=reason, dedup_key=dedup_key
+            )
+        )
+
+    def _handle_terminate_instance(self, cmd: cmds.TerminateInstance) -> None:
+        instance = self.instance(cmd.instance_id)
         if instance.state.is_finished:
             raise IllegalInstanceStateError(
-                f"instance {instance_id!r} already {instance.state.value}"
+                f"instance {cmd.instance_id!r} already {instance.state.value}"
             )
-        self._terminate_instance_internal(instance, reason)
-        self._flush()
+        self._terminate_instance_internal(instance, cmd.reason)
 
-    def suspend_instance(self, instance_id: str) -> None:
+    def suspend_instance(self, instance_id: str, dedup_key: str | None = None) -> None:
         """Pause an instance: waiting triggers are deferred until resume."""
-        instance = self.instance(instance_id)
+        self.dispatch(
+            cmds.SuspendInstance(instance_id=instance_id, dedup_key=dedup_key)
+        )
+
+    def _handle_suspend_instance(self, cmd: cmds.SuspendInstance) -> None:
+        instance = self.instance(cmd.instance_id)
         if instance.state is not InstanceState.RUNNING:
             raise IllegalInstanceStateError(
                 f"cannot suspend instance in state {instance.state.value}"
             )
-        instance.state = InstanceState.SUSPENDED
+        self._set_instance_state(instance, InstanceState.SUSPENDED)
         self._record(instance, EventTypes.INSTANCE_SUSPENDED)
         self._dirty.add(instance.id)
-        self._flush()
 
-    def resume_instance(self, instance_id: str) -> None:
+    def resume_instance(self, instance_id: str, dedup_key: str | None = None) -> None:
         """Resume a suspended instance and advance it."""
-        instance = self.instance(instance_id)
+        self.dispatch(
+            cmds.ResumeInstance(instance_id=instance_id, dedup_key=dedup_key)
+        )
+
+    def _handle_resume_instance(self, cmd: cmds.ResumeInstance) -> None:
+        instance = self.instance(cmd.instance_id)
         if instance.state is not InstanceState.SUSPENDED:
             raise IllegalInstanceStateError(
                 f"cannot resume instance in state {instance.state.value}"
             )
-        instance.state = InstanceState.RUNNING
+        self._set_instance_state(instance, InstanceState.RUNNING)
         self._record(instance, EventTypes.INSTANCE_RESUMED)
-        self._advance(instance)
+        self._dirty.add(instance.id)
+        core.advance(self, instance)
         self._redeliver_retained(instance)
-        self._flush()
 
-    # -- work items -----------------------------------------------------------------------
+    # -- work items -------------------------------------------------------------
+
+    def claim_work_item(
+        self, item_id: str, resource_id: str, dedup_key: str | None = None
+    ) -> WorkItem:
+        """A resource pulls an offered item from its role queue."""
+        return self.dispatch(
+            cmds.ClaimWorkItem(
+                item_id=item_id, resource_id=resource_id, dedup_key=dedup_key
+            )
+        )
+
+    def _handle_claim_work_item(self, cmd: cmds.ClaimWorkItem) -> WorkItem:
+        return self.worklist.claim(cmd.item_id, cmd.resource_id)
+
+    def start_work_item(self, item_id: str, dedup_key: str | None = None) -> WorkItem:
+        """The allocated resource begins work on an item."""
+        return self.dispatch(cmds.StartWorkItem(item_id=item_id, dedup_key=dedup_key))
+
+    def _handle_start_work_item(self, cmd: cmds.StartWorkItem) -> WorkItem:
+        return self.worklist.start(cmd.item_id)
 
     def complete_work_item(
-        self, item_id: str, result: dict[str, Any] | None = None
+        self,
+        item_id: str,
+        result: dict[str, Any] | None = None,
+        dedup_key: str | None = None,
     ) -> WorkItem:
         """Complete a started work item; the owning token advances."""
-        item = self.worklist.complete(item_id, result)
-        self._flush()
-        return item
+        return self.dispatch(
+            cmds.CompleteWorkItem(
+                item_id=item_id, result=dict(result or {}), dedup_key=dedup_key
+            )
+        )
+
+    def _handle_complete_work_item(self, cmd: cmds.CompleteWorkItem) -> WorkItem:
+        return self.worklist.complete(cmd.item_id, dict(cmd.result))
 
     def _on_work_item_completed(self, item: WorkItem) -> None:
         instance = self._instances.get(item.instance_id)
@@ -524,7 +752,7 @@ class ProcessEngine(ExecutionMixin):
             return
         definition = self._definition_of(instance)
         node = definition.node(token.node_id)
-        self._cancel_boundary_jobs(instance, token)
+        core.cancel_boundary_jobs(self, instance, token)
         if item.result:
             instance.variables.update(item.result)
             self._record(
@@ -540,14 +768,14 @@ class ProcessEngine(ExecutionMixin):
             is_activity=True,
             resource=item.allocated_to,
         )
-        flow = self._single_outgoing(definition, node)
+        flow = core.single_outgoing(definition, node)
         token.resume(flow.target, arrived_via=flow.id)
         if instance.state is InstanceState.RUNNING:
-            self._advance(instance)
+            core.advance(self, instance)
         else:
             self._dirty.add(instance.id)
 
-    # -- timers ------------------------------------------------------------------------------
+    # -- timers ------------------------------------------------------------------
 
     def run_due_jobs(self) -> int:
         """Fire every due job; returns the number processed.
@@ -557,6 +785,9 @@ class ProcessEngine(ExecutionMixin):
         Jobs whose instance no longer exists are dropped — counted under
         ``engine.jobs.orphaned``, not in the returned total.
         """
+        return self.dispatch(cmds.RunDueJobs())
+
+    def _handle_run_due_jobs(self, cmd: cmds.RunDueJobs) -> int:
         processed = 0
         deferred: list = []
         while True:
@@ -579,15 +810,19 @@ class ProcessEngine(ExecutionMixin):
             )
         self.worklist.check_deadlines()
         self._g_queue_depth.set(len(self.scheduler))
-        self._flush()
         return processed
 
     def advance_time(self, seconds: float) -> int:
         """Advance a virtual clock and fire everything that became due."""
+        return self.dispatch(cmds.AdvanceTime(seconds=seconds))
+
+    def _handle_advance_time(self, cmd: cmds.AdvanceTime) -> int:
         if not isinstance(self.clock, VirtualClock):
             raise EngineError("advance_time requires a VirtualClock")
-        self.clock.advance(seconds)
-        return self.run_due_jobs()
+        self.clock.advance(cmd.seconds)
+        # nested dispatch: re-enters the serialization gate (re-entrant
+        # lock) and logs at depth 2 — replay tooling skips nested entries
+        return self.dispatch(cmds.RunDueJobs())
 
     def _dispatch_job(self, job) -> None:
         instance = self._instances.get(job.instance_id)
@@ -606,8 +841,10 @@ class ProcessEngine(ExecutionMixin):
                 instance, EventTypes.TIMER_FIRED, node_id=node.id, job_id=job.id
             )
             token.waiting_on = {}
-            self._move_through(instance, definition, token, node, is_activity=False)
-            self._advance(instance)
+            core.move_through(
+                self, instance, definition, token, node, is_activity=False
+            )
+            core.advance(self, instance)
         elif job.kind == "boundary_timer":
             boundary = definition.node(job.data["boundary_id"])
             if token.node_id != boundary.attached_to:
@@ -616,54 +853,70 @@ class ProcessEngine(ExecutionMixin):
             self._record(
                 instance, EventTypes.TIMER_FIRED, node_id=boundary.id, job_id=job.id
             )
-            self._trigger_boundary(
-                instance, definition, boundary, token, detail="boundary timer"
+            core.trigger_boundary(
+                self, instance, definition, boundary, token, detail="boundary timer"
             )
-            self._advance(instance)
+            core.advance(self, instance)
         elif job.kind == "async_service":
             if token.waiting_on.get("job_id") != job.id:
                 return
             node = definition.node(job.data["node_id"])
             token.waiting_on = {}
-            self._perform_service_invocation(instance, definition, token, node)
-            self._advance(instance)
+            perform_service_invocation(self, instance, definition, token, node)
+            core.advance(self, instance)
         elif job.kind == "event_race_timer":
             if token.waiting_on.get("reason") != "event_race":
                 return
             event = definition.node(job.data["event_id"])
-            self._settle_race(instance, token)
+            core.settle_race(self, instance, token)
             self.metrics.timers_fired += 1
             self._record(
                 instance, EventTypes.TIMER_FIRED, node_id=event.id, job_id=job.id
             )
-            self._enter(instance, event, is_activity=False)
-            self._move_through(instance, definition, token, event, is_activity=False)
-            self._advance(instance)
+            core.enter(self, instance, event, is_activity=False)
+            core.move_through(
+                self, instance, definition, token, event, is_activity=False
+            )
+            core.advance(self, instance)
         else:
             raise EngineError(f"unknown job kind {job.kind!r}")
 
-    # -- messages ---------------------------------------------------------------------------------
+    # -- messages ----------------------------------------------------------------
 
     def correlate_message(
         self,
         name: str,
         correlation: Any = None,
         payload: dict[str, Any] | None = None,
+        dedup_key: str | None = None,
     ) -> Message:
         """Publish a message into the engine's bus (external entry point).
 
         If a waiting catch matches it is delivered immediately; otherwise
         the message is retained for a future receiver.
         """
-        message = self.bus.publish(name, correlation=correlation, payload=payload)
-        self._flush()
-        return message
+        return self.dispatch(
+            cmds.CorrelateMessage(
+                message_name=name,
+                correlation=correlation,
+                payload=dict(payload or {}),
+                dedup_key=dedup_key,
+            )
+        )
+
+    def _handle_correlate_message(self, cmd: cmds.CorrelateMessage) -> Message:
+        return self.bus.publish(
+            cmd.message_name, correlation=cmd.correlation, payload=dict(cmd.payload)
+        )
 
     def _on_bus_message(self, message: Message) -> bool:
         for wait in list(self._message_waits):
             if wait["name"] != message.name:
                 continue
-            if not wait.get("match_any") and wait.get("correlation") != message.correlation:
+            if (
+                not wait.get("match_any")
+                and wait.get("correlation") != message.correlation
+            ):
                 continue
             instance = self._instances.get(wait["instance_id"])
             if instance is None or instance.state.is_finished:
@@ -684,24 +937,31 @@ class ProcessEngine(ExecutionMixin):
         return False
 
     def _deliver_to_wait(
-        self, instance: ProcessInstance, token, wait: dict[str, Any],
+        self,
+        instance: ProcessInstance,
+        token,
+        wait: dict[str, Any],
         payload: dict[str, Any],
     ) -> None:
         definition = self._definition_of(instance)
         self.metrics.messages_delivered += 1
         if "race_event" in wait:
-            self._deliver_race_message(instance, definition, token, wait, payload)
+            core.deliver_race_message(self, instance, definition, token, wait, payload)
         else:
             self._message_waits.remove(wait)
             self._waits_dirty = True
             node = definition.node(wait["node_id"])
-            self._apply_message(instance, node, payload)
+            core.apply_message(self, instance, node, payload)
             token.waiting_on = {}
-            self._move_through(
-                instance, definition, token, node,
+            core.move_through(
+                self,
+                instance,
+                definition,
+                token,
+                node,
                 is_activity=wait.get("is_activity", True),
             )
-            self._advance(instance)
+            core.advance(self, instance)
 
     def _redeliver_retained(self, instance: ProcessInstance) -> None:
         """Match bus-retained messages against this instance's waits
@@ -718,29 +978,42 @@ class ProcessEngine(ExecutionMixin):
             if message is not None:
                 self._deliver_to_wait(instance, token, wait, message.payload)
 
-    # -- migration -------------------------------------------------------------------------------------
+    # -- migration ---------------------------------------------------------------
 
     def migrate_instance(
-        self, instance_id: str, target_version: int, plan: MigrationPlan | None = None
+        self,
+        instance_id: str,
+        target_version: int,
+        plan: MigrationPlan | None = None,
+        dedup_key: str | None = None,
     ) -> ProcessInstance:
         """Move a running instance to another deployed version.
 
         See :mod:`repro.engine.migration` for the compatibility rules.
         """
-        instance = self.instance(instance_id)
-        target = self.definition(instance.definition_key, target_version)
-        apply_migration(self, instance, target, plan or MigrationPlan())
+        return self.dispatch(
+            cmds.MigrateInstance(
+                instance_id=instance_id,
+                target_version=target_version,
+                node_mapping=dict(plan.node_mapping) if plan is not None else {},
+                dedup_key=dedup_key,
+            )
+        )
+
+    def _handle_migrate_instance(self, cmd: cmds.MigrateInstance) -> ProcessInstance:
+        instance = self.instance(cmd.instance_id)
+        target = self.definition(instance.definition_key, cmd.target_version)
+        apply_migration(self, instance, target, MigrationPlan(dict(cmd.node_mapping)))
         self.metrics.migrations += 1
         self._record(
             instance,
             EventTypes.INSTANCE_MIGRATED,
-            to_version=target_version,
+            to_version=cmd.target_version,
         )
-        self._advance(instance)
-        self._flush()
+        core.advance(self, instance)
         return instance
 
-    # -- persistence & recovery ---------------------------------------------------------------------------
+    # -- persistence & recovery ---------------------------------------------------
 
     def batch(self) -> "_EngineBatch":
         """Context manager deferring all flushes to one group commit.
@@ -768,10 +1041,11 @@ class ProcessEngine(ExecutionMixin):
 
         Per-record layout: dirty instances to ``instance/<id>``, changed
         jobs to ``jobs/<id>`` (fired/cancelled ones deleted), changed work
-        items to ``workitem/<id>``; ``engine/message_waits`` and
-        ``engine/meta`` only when they actually changed.  Writes nothing —
-        not even an empty transaction — when nothing is dirty.  Honours
-        the commit policy: inside :meth:`batch` or below
+        items to ``workitem/<id>``, new dispatch-log entries to
+        ``dispatch/<seq>`` (pruned ones deleted); ``engine/message_waits``
+        and ``engine/meta`` only when they actually changed.  Writes
+        nothing — not even an empty transaction — when nothing is dirty.
+        Honours the commit policy: inside :meth:`batch` or below
         ``commit_interval`` pending records the flush is deferred (unless
         ``force``).
         """
@@ -785,6 +1059,8 @@ class ProcessEngine(ExecutionMixin):
             + len(dirty_jobs)
             + len(removed_jobs)
             + len(dirty_items)
+            + len(self._dispatch_dirty)
+            + len(self._dispatch_removed)
             + (1 if self._waits_dirty else 0)
             + (1 if meta_dirty else 0)
         )
@@ -814,6 +1090,17 @@ class ProcessEngine(ExecutionMixin):
                 self.store.put(
                     f"workitem/{item_id}", self.worklist.item(item_id).to_dict()
                 )
+            if self._dispatch_dirty:
+                # the log holds contiguous seqs (appended +1, pruned from
+                # the front), so a dirty seq is found by offset, not scan
+                log = self._dispatch_log
+                base = log[0]["seq"] if log else 0
+                for seq in sorted(self._dispatch_dirty):
+                    index = seq - base
+                    if 0 <= index < len(log):
+                        self.store.put(f"dispatch/{seq:010d}", log[index])
+            for seq in sorted(self._dispatch_removed):
+                self.store.delete(f"dispatch/{seq:010d}")
             if self._waits_dirty:
                 self.store.put("engine/message_waits", list(self._message_waits))
             if meta_dirty:
@@ -823,6 +1110,8 @@ class ProcessEngine(ExecutionMixin):
         self._dirty.clear()
         self.scheduler.clear_changes()
         self.worklist.clear_dirty()
+        self._dispatch_dirty.clear()
+        self._dispatch_removed.clear()
         self._waits_dirty = False
         self._persisted_seq = self._instance_seq
         self._c_flush_commits.inc()
@@ -834,12 +1123,18 @@ class ProcessEngine(ExecutionMixin):
     def recover(self) -> dict[str, int]:
         """Rebuild engine state from the backing store after a restart.
 
-        Definitions, instances, pending jobs, work items, and message waits
-        are restored; services and resources must be re-registered by the
-        host application (code is not persisted).  Returns counts per
-        category.
+        Definitions, instances, pending jobs, work items, message waits,
+        and the dispatch log (with its idempotency keys) are restored;
+        services and resources must be re-registered by the host
+        application (code is not persisted).  Returns counts per category.
         """
-        counts = {"definitions": 0, "instances": 0, "jobs": 0, "workitems": 0}
+        counts = {
+            "definitions": 0,
+            "instances": 0,
+            "jobs": 0,
+            "workitems": 0,
+            "commands": 0,
+        }
         self._latest_version = dict(self.store.get("engine/latest_versions", {}))
         for key, raw in self.store.scan("definition/"):
             definition = definition_from_dict(raw)
@@ -847,7 +1142,7 @@ class ProcessEngine(ExecutionMixin):
             counts["definitions"] += 1
         for key, raw in self.store.scan("instance/"):
             instance = ProcessInstance.from_dict(raw)
-            self._instances[instance.id] = instance
+            self._register_instance(instance, _creation_rank(instance.id))
             counts["instances"] += 1
         # jobs and work items: read the per-record layout (``jobs/<id>``,
         # ``workitem/<id>``) and, for stores written before the incremental
@@ -862,14 +1157,30 @@ class ProcessEngine(ExecutionMixin):
         legacy_items = self.store.get("engine/workitems", None)
         if legacy_items:
             self.worklist.import_items(legacy_items)
-        self.worklist.import_items(
-            [raw for _, raw in self.store.scan("workitem/")]
-        )
+        self.worklist.import_items([raw for _, raw in self.store.scan("workitem/")])
         counts["workitems"] = len(self.worklist.items())
         self._message_waits = list(self.store.get("engine/message_waits", []))
         meta = self.store.get("engine/meta", {})
         self._instance_seq = max(meta.get("instance_seq", 0), self._instance_seq)
-        self._persisted_seq = meta.get("instance_seq", self._persisted_seq)
+        self._persisted_seq = self._instance_seq
+        # the dispatch log: restores the idempotency window, so a client
+        # retrying a dedup-keyed command across the crash still gets the
+        # recorded (summarized) result instead of a double apply
+        log = sorted(
+            (raw for _, raw in self.store.scan("dispatch/")),
+            key=lambda r: r.get("seq", 0),
+        )
+        self._dispatch_log = log[max(0, len(log) - self._dispatch_log_retention):]
+        if log:
+            self._dispatch_seq = max(self._dispatch_seq, log[-1].get("seq", 0))
+        for record in self._dispatch_log:
+            key = record.get("dedup_key")
+            if key is not None and record.get("status") == "applied":
+                self._dedup[key] = {
+                    "result": record.get("result"),
+                    "seq": record.get("seq", 0),
+                }
+        counts["commands"] = len(self._dispatch_log)
         # recovery imports are clean, not dirty — only changes made after
         # this point need flushing
         self.scheduler.clear_changes()
@@ -894,6 +1205,12 @@ class ProcessEngine(ExecutionMixin):
             self.store.delete("engine/jobs")
             self.store.delete("engine/workitems")
         self.store.sync()
+
+
+def _creation_rank(instance_id: str) -> int:
+    """Creation order of a recovered instance (ids end in the seq)."""
+    tail = instance_id.rsplit("-", 1)[-1]
+    return int(tail) if tail.isdigit() else 0
 
 
 class _EngineBatch:

@@ -1,10 +1,15 @@
-"""Token-game execution semantics for every node type.
+"""The interpreter core: token-game execution until quiescence.
 
-``ExecutionMixin`` is the interpreter half of :class:`~repro.engine.engine.
-ProcessEngine`: given an instance with active tokens, it executes node
-behaviour until the instance is *quiescent* (every token waiting on an
-external trigger, or no tokens left).  The public API half lives in
-:mod:`repro.engine.engine`.
+This module is the shared runtime half of the engine: the advance loop,
+token movement, boundary-event routing, message waits, and cancellation.
+Node *semantics* live in per-family executor modules under
+:mod:`repro.engine.executors`, resolved through the node-type → executor
+registry — the old ``ExecutionMixin`` god-class is gone.
+
+Every function takes the engine as its first argument; nothing here
+holds state.  All calls happen under the engine's dispatch serialization
+gate (see :mod:`repro.engine.dispatch`), so the interpreter remains a
+logical single writer even with concurrent clients.
 """
 
 from __future__ import annotations
@@ -12,1082 +17,458 @@ from __future__ import annotations
 from typing import Any
 
 from repro.engine.errors import EngineError, NoFlowSelectedError
+from repro.engine.executors.registry import EXECUTORS
 from repro.engine.instance import InstanceState, ProcessInstance, Token, TokenState
-from repro.expr import EvaluationError, ExpressionError, compile_expression, run_script
+from repro.expr import compile_expression
 from repro.history.events import EventTypes
-from repro.model.elements import (
-    ACTIVITY_TYPES,
-    BoundaryEvent,
-    BusinessRuleTask,
-    CallActivity,
-    EndEvent,
-    EventBasedGateway,
-    ExclusiveGateway,
-    InclusiveGateway,
-    IntermediateMessageEvent,
-    IntermediateTimerEvent,
-    ManualTask,
-    MultiInstanceActivity,
-    Node,
-    ParallelGateway,
-    ReceiveTask,
-    ScriptTask,
-    SendTask,
-    SequenceFlow,
-    ServiceTask,
-    StartEvent,
-    UserTask,
-)
+from repro.model.elements import ACTIVITY_TYPES, BoundaryEvent, Node, SequenceFlow
 from repro.model.process import ProcessDefinition
 
 #: error code the engine synthesizes for technical (non-BPMN) failures.
 TECHNICAL_ERROR_CODE = "TECHNICAL_FAILURE"
 
 
-class ExecutionMixin:
-    """Node semantics; mixed into ProcessEngine."""
+# -- main loop ---------------------------------------------------------------
 
-    # -- main loop ---------------------------------------------------------------
 
-    def _advance(self, instance: ProcessInstance) -> None:
-        """Run the instance until quiescence.
+def advance(engine, instance: ProcessInstance) -> None:
+    """Run the instance until quiescence.
 
-        Re-entrant calls (a child completing synchronously, a message
-        delivered to the same instance mid-step) are absorbed: the
-        outermost frame keeps draining active tokens.
-        """
-        if instance.state is not InstanceState.RUNNING:
-            return
-        if instance.id in self._advancing:
-            return
-        self._advancing.add(instance.id)
-        try:
-            definition = self._definition_of(instance)
-            steps = 0
-            while instance.state is InstanceState.RUNNING:
-                active = instance.active_tokens()
-                if not active:
-                    break
-                steps += 1
-                if steps > self.max_steps:
-                    self._fail_instance(
-                        instance,
-                        f"step budget ({self.max_steps}) exhausted — livelock?",
-                    )
-                    break
-                self._c_token_moves.inc()
-                self._execute_token(instance, definition, active[0])
-            if instance.state is InstanceState.RUNNING and not instance.tokens:
-                self._complete_instance(instance)
-        finally:
-            self._advancing.discard(instance.id)
-        self._dirty.add(instance.id)
+    Re-entrant calls (a child completing synchronously, a message
+    delivered to the same instance mid-step) are absorbed: the
+    outermost frame keeps draining active tokens.
+    """
+    if instance.state is not InstanceState.RUNNING:
+        return
+    if instance.id in engine._advancing:
+        return
+    engine._advancing.add(instance.id)
+    try:
+        definition = engine._definition_of(instance)
+        steps = 0
+        while instance.state is InstanceState.RUNNING:
+            active = instance.active_tokens()
+            if not active:
+                break
+            steps += 1
+            if steps > engine.max_steps:
+                engine._fail_instance(
+                    instance,
+                    f"step budget ({engine.max_steps}) exhausted — livelock?",
+                )
+                break
+            engine._c_token_moves.inc()
+            execute_token(engine, instance, definition, active[0])
+        if instance.state is InstanceState.RUNNING and not instance.tokens:
+            engine._complete_instance(instance)
+    finally:
+        engine._advancing.discard(instance.id)
+    engine._dirty.add(instance.id)
 
-    def _execute_token(
-        self, instance: ProcessInstance, definition: ProcessDefinition, token: Token
-    ) -> None:
-        node = definition.node(token.node_id)
-        handler = self._HANDLERS.get(type(node))
-        if handler is None:
-            raise EngineError(f"no handler for node type {type(node).__name__}")
-        tracer = self._tracer
-        if not tracer.enabled:
-            handler(self, instance, definition, token, node)
-            return
-        # manual span lifecycle (no context-manager dispatch): this is the
-        # hottest instrumented site in the engine — benchmark F7 holds the
-        # enabled path under 10% of the per-node budget
-        span = tracer.span(
-            "node",
-            parent=self._instance_spans.get(instance.id),
-            node_id=node.id,
-            node_type=node.type_name,
+
+def execute_token(
+    engine, instance: ProcessInstance, definition: ProcessDefinition, token: Token
+) -> None:
+    """Execute one active token's node via the executor registry."""
+    node = definition.node(token.node_id)
+    handler = EXECUTORS.get(type(node))
+    if handler is None:
+        raise EngineError(f"no executor for node type {type(node).__name__}")
+    tracer = engine._tracer
+    if not tracer.enabled:
+        handler(engine, instance, definition, token, node)
+        return
+    # manual span lifecycle (no context-manager dispatch): this is the
+    # hottest instrumented site in the engine — benchmark F7 holds the
+    # enabled path under 10% of the per-node budget
+    span = tracer.span(
+        "node",
+        parent=engine._instance_spans.get(instance.id),
+        node_id=node.id,
+        node_type=node.type_name,
+    )
+    stack = tracer._stack
+    stack.append(span)
+    try:
+        handler(engine, instance, definition, token, node)
+    except BaseException:
+        if stack and stack[-1] is span:
+            stack.pop()
+        span.finish("error")
+        raise
+    else:
+        if stack and stack[-1] is span:
+            stack.pop()
+        span.end = tracer._now()
+        if span.status == "unset":
+            span.status = "ok"
+        for exporter in tracer.exporters:
+            exporter.export(span)
+
+
+# -- movement helpers ----------------------------------------------------------
+
+
+def single_outgoing(definition: ProcessDefinition, node: Node) -> SequenceFlow:
+    outgoing = definition.outgoing(node.id)
+    if len(outgoing) != 1:
+        raise EngineError(
+            f"node {node.id!r} needs exactly one outgoing flow, has {len(outgoing)}"
         )
+    return outgoing[0]
+
+
+def move_through(
+    engine,
+    instance: ProcessInstance,
+    definition: ProcessDefinition,
+    token: Token,
+    node: Node,
+    is_activity: bool,
+    **event_data: Any,
+) -> None:
+    """Complete a 1-out node and move the token along its flow."""
+    engine._record(
+        instance,
+        EventTypes.NODE_COMPLETED,
+        node_id=node.id,
+        is_activity=is_activity,
+        **event_data,
+    )
+    flow = single_outgoing(definition, node)
+    token.resume(flow.target, arrived_via=flow.id)
+
+
+def enter(
+    engine,
+    instance: ProcessInstance,
+    node: Node,
+    is_activity: bool,
+    **event_data: Any,
+) -> None:
+    engine.metrics.count_node(node.type_name)
+    tracer = engine._tracer
+    if tracer.enabled:
         stack = tracer._stack
-        stack.append(span)
-        try:
-            handler(self, instance, definition, token, node)
-        except BaseException:
-            if stack and stack[-1] is span:
-                stack.pop()
-            span.finish("error")
-            raise
-        else:
-            if stack and stack[-1] is span:
-                stack.pop()
-            span.end = tracer._now()
-            if span.status == "unset":
-                span.status = "ok"
-            for exporter in tracer.exporters:
-                exporter.export(span)
+        if stack:
+            # direct write, not .set(): this runs once per executed node
+            stack[-1].attributes["entered"] = True
+    engine._record(
+        instance,
+        EventTypes.NODE_ENTERED,
+        node_id=node.id,
+        is_activity=is_activity,
+        **event_data,
+    )
 
-    # -- movement helpers ----------------------------------------------------------
 
-    def _single_outgoing(self, definition: ProcessDefinition, node: Node) -> SequenceFlow:
-        outgoing = definition.outgoing(node.id)
-        if len(outgoing) != 1:
-            raise EngineError(
-                f"node {node.id!r} needs exactly one outgoing flow, has {len(outgoing)}"
-            )
-        return outgoing[0]
+def performers_of(
+    engine, instance: ProcessInstance, node_ids: tuple[str, ...]
+) -> set[str]:
+    """Resources who completed any of the named nodes in this instance."""
+    wanted = set(node_ids)
+    return {
+        event.data["resource"]
+        for event in engine.history.instance_events(instance.id)
+        if event.type == EventTypes.NODE_COMPLETED
+        and event.data.get("node_id") in wanted
+        and event.data.get("resource")
+    }
 
-    def _move_through(
-        self,
-        instance: ProcessInstance,
-        definition: ProcessDefinition,
-        token: Token,
-        node: Node,
-        is_activity: bool,
-        **event_data: Any,
-    ) -> None:
-        """Complete a 1-out node and move the token along its flow."""
-        self._record(
-            instance,
-            EventTypes.NODE_COMPLETED,
-            node_id=node.id,
-            is_activity=is_activity,
-            **event_data,
-        )
-        flow = self._single_outgoing(definition, node)
-        token.resume(flow.target, arrived_via=flow.id)
 
-    def _enter(
-        self,
-        instance: ProcessInstance,
-        node: Node,
-        is_activity: bool,
-        **event_data: Any,
-    ) -> None:
-        self.metrics.count_node(node.type_name)
-        tracer = self._tracer
-        if tracer.enabled:
-            stack = tracer._stack
-            if stack:
-                # direct write, not .set(): this runs once per executed node
-                stack[-1].attributes["entered"] = True
-        self._record(
-            instance,
-            EventTypes.NODE_ENTERED,
-            node_id=node.id,
-            is_activity=is_activity,
-            **event_data,
-        )
+# -- boundary events --------------------------------------------------------------
 
-    # -- events ----------------------------------------------------------------------
 
-    def _execute_start(self, instance, definition, token, node: StartEvent) -> None:
-        self._enter(instance, node, is_activity=False)
-        self._move_through(instance, definition, token, node, is_activity=False)
-
-    def _execute_end(self, instance, definition, token, node: EndEvent) -> None:
-        self._enter(instance, node, is_activity=False)
-        self._record(
-            instance, EventTypes.NODE_COMPLETED, node_id=node.id, is_activity=False
-        )
-        instance.remove_token(token)
-        if node.terminate and instance.tokens:
-            for other in list(instance.tokens):
-                self._cancel_token(instance, other, reason="terminate end event")
-            self._terminate_instance(instance, f"terminate end event {node.id!r}")
-            return
-        if not instance.tokens:
-            self._complete_instance(instance)
-
-    def _execute_timer_event(
-        self, instance, definition, token, node: IntermediateTimerEvent
-    ) -> None:
-        self._enter(instance, node, is_activity=False)
-        due = self.clock.now() + node.duration
-        job = self.scheduler.schedule(
-            due,
-            "timer",
-            instance.id,
-            {"token_id": token.id, "node_id": node.id},
-        )
-        token.wait("timer", job_id=job.id, node_id=node.id)
-        self._record(
-            instance,
-            EventTypes.TIMER_SCHEDULED,
-            node_id=node.id,
-            due=due,
-            job_id=job.id,
-        )
-
-    def _execute_message_event(
-        self, instance, definition, token, node: IntermediateMessageEvent
-    ) -> None:
-        self._enter(instance, node, is_activity=False)
-        self._await_message(
-            instance,
-            token,
-            node,
-            node.message_name,
-            node.correlation_expression,
-            is_activity=False,
-        )
-
-    # -- human / automated tasks -----------------------------------------------------
-
-    def _execute_user_task(self, instance, definition, token, node: UserTask) -> None:
-        self._enter(instance, node, is_activity=True)
-        data: dict[str, Any] = {
-            "token_id": token.id,
-            "form_fields": list(node.form_fields),
-        }
-        if node.separate_from:
-            excluded = self._performers_of(instance, node.separate_from)
-            if excluded:
-                data["excluded_resources"] = sorted(excluded)
-        item = self.worklist.create_item(
-            instance_id=instance.id,
-            node_id=node.id,
-            role=node.role,
-            priority=node.priority,
-            due_seconds=node.due_seconds,
-            data=data,
-        )
-        token.wait("user_task", work_item_id=item.id, node_id=node.id)
-        self._schedule_boundary_timers(instance, definition, token, node)
-
-    def _performers_of(
-        self, instance: ProcessInstance, node_ids: tuple[str, ...]
-    ) -> set[str]:
-        """Resources who completed any of the named nodes in this instance."""
-        wanted = set(node_ids)
-        return {
-            event.data["resource"]
-            for event in self.history.instance_events(instance.id)
-            if event.type == EventTypes.NODE_COMPLETED
-            and event.data.get("node_id") in wanted
-            and event.data.get("resource")
-        }
-
-    def _execute_manual_task(self, instance, definition, token, node: ManualTask) -> None:
-        # performed entirely outside any system: the engine only records it
-        self._enter(instance, node, is_activity=True)
-        self._move_through(instance, definition, token, node, is_activity=True)
-
-    def _execute_script_task(self, instance, definition, token, node: ScriptTask) -> None:
-        self._enter(instance, node, is_activity=True)
-        scratch = dict(instance.variables)
-        try:
-            run_script(node.script, scratch)
-        except ExpressionError as exc:
-            self._record(
-                instance,
-                EventTypes.ERROR_RAISED,
-                node_id=node.id,
-                code=TECHNICAL_ERROR_CODE,
-                message=str(exc),
-            )
-            self._handle_error(instance, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            return
-        instance.variables = scratch
-        self._record(
-            instance, EventTypes.VARIABLES_UPDATED, node_id=node.id,
-            keys=sorted(scratch.keys()),
-        )
-        self._move_through(instance, definition, token, node, is_activity=True)
-
-    def _execute_service_task(self, instance, definition, token, node: ServiceTask) -> None:
-        self._enter(instance, node, is_activity=True)
-        self._schedule_boundary_timers(instance, definition, token, node)
-        if node.async_execution:
-            # decouple from the caller: park the token, invoke on the next pump
-            job = self.scheduler.schedule(
-                self.clock.now(),
-                "async_service",
+def schedule_boundary_timers(
+    engine, instance: ProcessInstance, definition: ProcessDefinition,
+    token: Token, node: Node,
+) -> None:
+    for boundary in definition.boundary_events_of(node.id):
+        if boundary.kind == "timer":
+            engine.scheduler.schedule(
+                engine.clock.now() + boundary.duration,
+                "boundary_timer",
                 instance.id,
-                {"token_id": token.id, "node_id": node.id},
+                {"token_id": token.id, "boundary_id": boundary.id},
             )
-            token.wait("async_service", job_id=job.id, node_id=node.id)
-            return
-        self._perform_service_invocation(instance, definition, token, node)
 
-    def _perform_service_invocation(
-        self, instance, definition, token, node: ServiceTask
-    ) -> None:
-        from repro.engine.errors import BpmnError  # cycle guard
 
-        try:
-            arguments = {
-                name: compile_expression(expr).evaluate(instance.variables)
-                for name, expr in node.inputs.items()
-            }
-        except ExpressionError as exc:
-            self._cancel_boundary_jobs(instance, token)
-            self._handle_error(instance, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            return
-        self._record(
-            instance, EventTypes.SERVICE_INVOKED, node_id=node.id, service=node.service
+def cancel_boundary_jobs(engine, instance: ProcessInstance, token: Token) -> None:
+    engine.scheduler.cancel_where(
+        lambda job: job.kind == "boundary_timer"
+        and job.instance_id == instance.id
+        and job.data.get("token_id") == token.id
+    )
+
+
+def trigger_boundary(
+    engine,
+    instance: ProcessInstance,
+    definition: ProcessDefinition,
+    boundary: BoundaryEvent,
+    token: Token,
+    detail: str = "",
+) -> None:
+    """Interrupt the host activity and route the token via the boundary."""
+    engine._record(
+        instance,
+        EventTypes.BOUNDARY_TRIGGERED,
+        node_id=boundary.id,
+        attached_to=boundary.attached_to,
+        kind=boundary.kind,
+        detail=detail,
+    )
+    engine._record(
+        instance,
+        EventTypes.NODE_CANCELLED,
+        node_id=boundary.attached_to,
+        is_activity=True,
+    )
+    release_waits(engine, instance, token)
+    flow = single_outgoing(definition, boundary)
+    token.resume(flow.target, arrived_via=flow.id)
+
+
+def handle_error(
+    engine,
+    instance: ProcessInstance,
+    definition: ProcessDefinition,
+    token: Token,
+    code: str,
+    detail: str,
+) -> None:
+    """Route an error to a matching boundary event or fail the instance."""
+    node = definition.nodes.get(token.node_id)
+    if node is not None:
+        boundaries = definition.boundary_events_of(node.id)
+        match = next(
+            (b for b in boundaries if b.kind == "error" and b.error_code == code),
+            None,
+        ) or next(
+            (b for b in boundaries if b.kind == "error" and b.error_code is None),
+            None,
         )
-        try:
-            result = self.invoker.invoke(node.service, arguments, retry=node.retry)
-        except BpmnError as exc:
-            self._cancel_boundary_jobs(instance, token)
-            self._record(
-                instance,
-                EventTypes.ERROR_RAISED,
-                node_id=node.id,
-                code=exc.code,
-                message=exc.detail,
-            )
-            self._handle_error(instance, definition, token, exc.code, exc.detail)
+        if match is not None:
+            trigger_boundary(engine, instance, definition, match, token, detail=detail)
             return
-        self._cancel_boundary_jobs(instance, token)
-        if not result.succeeded:
-            self._record(
-                instance,
-                EventTypes.SERVICE_FAILED,
-                node_id=node.id,
-                service=node.service,
-                attempts=result.attempts,
-                error=result.error,
-            )
-            self._handle_error(
-                instance, definition, token, TECHNICAL_ERROR_CODE,
-                result.error or "service failed",
-            )
-            return
-        if node.output_variable is not None:
-            instance.variables[node.output_variable] = result.value
-            self._record(
-                instance,
-                EventTypes.VARIABLES_UPDATED,
-                node_id=node.id,
-                keys=[node.output_variable],
-            )
-        self._move_through(
-            instance, definition, token, node, is_activity=True,
-            attempts=result.attempts,
-        )
+    engine._fail_instance(instance, f"{code}: {detail}")
 
-    def _execute_business_rule_task(
-        self, instance, definition, token, node: BusinessRuleTask
-    ) -> None:
-        from repro.decisions.table import DecisionError
 
-        self._enter(instance, node, is_activity=True)
-        try:
-            table = self.decisions.get(node.decision)
-            outputs = table.evaluate(instance.variables)
-        except DecisionError as exc:
-            self._record(
-                instance,
-                EventTypes.ERROR_RAISED,
-                node_id=node.id,
-                code=TECHNICAL_ERROR_CODE,
-                message=str(exc),
-            )
-            self._handle_error(instance, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            return
-        if node.result_variable is not None:
-            instance.variables[node.result_variable] = outputs
-            changed = [node.result_variable]
-        else:
-            instance.variables.update(outputs)
-            changed = sorted(outputs)
-        self._record(
-            instance, EventTypes.VARIABLES_UPDATED, node_id=node.id, keys=changed
-        )
-        self._move_through(
-            instance, definition, token, node, is_activity=True,
-            decision=node.decision,
-        )
+# -- messages ------------------------------------------------------------------------------
 
-    def _execute_send_task(self, instance, definition, token, node: SendTask) -> None:
-        self._enter(instance, node, is_activity=True)
-        payload: dict[str, Any] = {}
-        if node.payload_expression is not None:
+
+def correlation_of(
+    expression: str | None, variables: dict[str, Any]
+) -> tuple[Any, bool]:
+    """Evaluate a correlation expression; (value, match_any)."""
+    if expression is None:
+        return None, True
+    return compile_expression(expression).evaluate(variables), False
+
+
+def await_message(
+    engine,
+    instance: ProcessInstance,
+    token: Token,
+    node: Node,
+    message_name: str,
+    correlation_expression: str | None,
+    is_activity: bool,
+) -> None:
+    correlation, match_any = correlation_of(
+        correlation_expression, instance.variables
+    )
+    retained = engine.bus.consume_retained(message_name, correlation, match_any)
+    if retained is not None:
+        # a retained message satisfying the wait *is* a delivery — count
+        # it like the live-subscription path does
+        engine.metrics.messages_delivered += 1
+        apply_message(engine, instance, node, retained.payload)
+        definition = engine._definition_of(instance)
+        move_through(engine, instance, definition, token, node, is_activity=is_activity)
+        return
+    engine._message_waits.append(
+        {
+            "instance_id": instance.id,
+            "token_id": token.id,
+            "name": message_name,
+            "correlation": correlation,
+            "match_any": match_any,
+            "node_id": node.id,
+            "is_activity": is_activity,
+        }
+    )
+    engine._waits_dirty = True
+    token.wait(
+        "message",
+        message_name=message_name,
+        correlation=correlation,
+        node_id=node.id,
+    )
+
+
+def apply_message(
+    engine, instance: ProcessInstance, node: Node, payload: dict[str, Any]
+) -> None:
+    if payload:
+        instance.variables.update(payload)
+    engine._record(
+        instance,
+        EventTypes.MESSAGE_RECEIVED,
+        node_id=node.id,
+        payload_keys=sorted(payload.keys()),
+    )
+
+
+def deliver_race_message(
+    engine,
+    instance: ProcessInstance,
+    definition: ProcessDefinition,
+    token: Token,
+    wait: dict[str, Any],
+    payload: dict[str, Any],
+) -> None:
+    """A raced catch event won via message: settle the race."""
+    event = definition.node(wait["race_event"])
+    settle_race(engine, instance, token)
+    apply_message(engine, instance, event, payload)
+    enter(engine, instance, event, is_activity=False)
+    move_through(engine, instance, definition, token, event, is_activity=False)
+    advance(engine, instance)
+
+
+def settle_race(engine, instance: ProcessInstance, token: Token) -> None:
+    """Cancel all pending subscriptions of an event race."""
+    job_ids = set(token.waiting_on.get("job_ids", ()))
+    for job_id in job_ids:
+        engine.scheduler.cancel(job_id)
+    kept = [
+        w
+        for w in engine._message_waits
+        if not (w["instance_id"] == instance.id and w["token_id"] == token.id)
+    ]
+    if len(kept) != len(engine._message_waits):
+        engine._waits_dirty = True
+    engine._message_waits = kept
+
+
+# -- token cancellation ------------------------------------------------------------------------
+
+
+def release_waits(engine, instance: ProcessInstance, token: Token) -> None:
+    """Cancel everything a waiting token is parked on."""
+    reason = token.waiting_on.get("reason")
+    if reason == "user_task":
+        item_id = token.waiting_on.get("work_item_id")
+        if item_id is not None:
             try:
-                value = compile_expression(node.payload_expression).evaluate(
-                    instance.variables
-                )
-            except ExpressionError as exc:
-                self._handle_error(
-                    instance, definition, token, TECHNICAL_ERROR_CODE, str(exc)
-                )
-                return
-            payload = value if isinstance(value, dict) else {"value": value}
-        correlation = payload.get("correlation")
-        self.bus.publish(node.message_name, correlation=correlation, payload=payload)
-        self._record(
-            instance,
-            EventTypes.MESSAGE_SENT,
-            node_id=node.id,
-            message_name=node.message_name,
-            correlation=correlation,
-        )
-        self._move_through(instance, definition, token, node, is_activity=True)
-
-    def _execute_receive_task(self, instance, definition, token, node: ReceiveTask) -> None:
-        self._enter(instance, node, is_activity=True)
-        self._await_message(
-            instance,
-            token,
-            node,
-            node.message_name,
-            node.correlation_expression,
-            is_activity=True,
-        )
-
-    def _execute_call_activity(self, instance, definition, token, node: CallActivity) -> None:
-        self._enter(instance, node, is_activity=True)
-        try:
-            if node.input_mappings:
-                child_variables = {
-                    name: compile_expression(expr).evaluate(instance.variables)
-                    for name, expr in node.input_mappings.items()
-                }
-            else:
-                child_variables = dict(instance.variables)
-        except ExpressionError as exc:
-            self._handle_error(instance, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            return
-        token.wait("child", node_id=node.id)
-        self._schedule_boundary_timers(instance, definition, token, node)
-        child = self._start_instance_internal(
-            key=node.process_key,
-            version=None,
-            variables=child_variables,
-            business_key=instance.business_key,
-            parent_instance_id=instance.id,
-            parent_token_id=token.id,
-        )
-        # record the linkage for recovery and diagnostics — unless the child
-        # already completed synchronously and resumed this token
-        if token.waiting_on.get("reason") == "child":
-            token.waiting_on["child_id"] = child.id
-
-    def _execute_multi_instance(
-        self, instance, definition, token, node: MultiInstanceActivity
-    ) -> None:
-        self._enter(instance, node, is_activity=True)
-        try:
-            cardinality = compile_expression(node.cardinality_expression).evaluate(
-                instance.variables
-            )
-        except ExpressionError as exc:
-            self._handle_error(instance, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            return
-        if isinstance(cardinality, bool) or not isinstance(cardinality, int) or cardinality < 0:
-            self._handle_error(
-                instance,
-                definition,
-                token,
-                TECHNICAL_ERROR_CODE,
-                f"multi-instance cardinality must be a non-negative integer, "
-                f"got {cardinality!r}",
-            )
-            return
-
-        if not node.wait_for_completion:
-            # pattern 12: fire-and-forget — no parent link, token moves on
-            for index in range(cardinality):
-                variables = self._mi_child_variables(instance, definition, token, node, index)
-                if variables is None:
-                    return
-                self._start_instance_internal(
-                    key=node.process_key,
-                    version=None,
-                    variables=variables,
-                    business_key=instance.business_key,
-                    parent_instance_id=None,
-                    parent_token_id=None,
-                )
-            self._move_through(
-                instance, definition, token, node, is_activity=True,
-                spawned=cardinality,
-            )
-            return
-
-        if cardinality == 0:
-            if node.output_collection is not None:
-                instance.variables[node.output_collection] = []
-            self._move_through(
-                instance, definition, token, node, is_activity=True, spawned=0
-            )
-            return
-
-        token.wait(
-            "mi",
-            node_id=node.id,
-            remaining=cardinality,
-            total=cardinality,
-            next_index=1 if node.sequential else cardinality,
-            children=[],
-            collected=[],
-        )
-        self._schedule_boundary_timers(instance, definition, token, node)
-        spawn = 1 if node.sequential else cardinality
-        for index in range(spawn):
-            if token.waiting_on.get("reason") != "mi":
-                return  # all children finished synchronously mid-loop
-            self._spawn_mi_child(instance, definition, token, node, index)
-
-    def _mi_child_variables(
-        self, instance, definition, token, node: MultiInstanceActivity, index: int
-    ) -> dict[str, Any] | None:
-        try:
-            if node.input_mappings:
-                variables = {
-                    name: compile_expression(expr).evaluate(
-                        {**instance.variables, "instance_index": index}
-                    )
-                    for name, expr in node.input_mappings.items()
-                }
-            else:
-                variables = dict(instance.variables)
-        except ExpressionError as exc:
-            self._handle_error(instance, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            return None
-        variables["instance_index"] = index
-        return variables
-
-    def _spawn_mi_child(
-        self, instance, definition, token, node: MultiInstanceActivity, index: int
-    ) -> None:
-        variables = self._mi_child_variables(instance, definition, token, node, index)
-        if variables is None:
-            return
-        child = self._start_instance_internal(
-            key=node.process_key,
-            version=None,
-            variables=variables,
-            business_key=instance.business_key,
-            parent_instance_id=instance.id,
-            parent_token_id=token.id,
-        )
-        if token.waiting_on.get("reason") == "mi":
-            token.waiting_on["children"].append(child.id)
-
-    def _on_mi_child_finished(
-        self, parent, definition, token, node: MultiInstanceActivity, child, failed: bool
-    ) -> None:
-        """One child of a waiting multi-instance activity ended."""
-        waiting = token.waiting_on
-        if failed:
-            children = list(waiting.get("children", ()))
-            token.waiting_on = {}
-            for child_id in children:
-                sibling = self._instances.get(child_id)
-                if sibling is not None and not sibling.state.is_finished:
-                    self._terminate_instance_internal(sibling, "mi sibling failed")
-            self._cancel_boundary_jobs(parent, token)
-            self._handle_error(
-                parent,
-                definition,
-                token,
-                TECHNICAL_ERROR_CODE,
-                f"multi-instance child {child.id!r} failed: {child.failure}",
-            )
-            self._advance(parent)
-            return
-        try:
-            if node.output_mappings:
-                result = {
-                    name: compile_expression(expr).evaluate(child.variables)
-                    for name, expr in node.output_mappings.items()
-                }
-            else:
-                result = dict(child.variables)
-        except ExpressionError as exc:
-            token.waiting_on = {}
-            self._cancel_boundary_jobs(parent, token)
-            self._handle_error(parent, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            self._advance(parent)
-            return
-        waiting["collected"].append(result)
-        waiting["remaining"] -= 1
-        if waiting["remaining"] > 0:
-            if node.sequential:
-                next_index = waiting["next_index"]
-                waiting["next_index"] += 1
-                self._spawn_mi_child(parent, definition, token, node, next_index)
-            return
-        # all children done
-        collected = waiting["collected"]
-        token.waiting_on = {}
-        self._cancel_boundary_jobs(parent, token)
-        if node.output_collection is not None:
-            parent.variables[node.output_collection] = collected
-        self._record(
-            parent,
-            EventTypes.NODE_COMPLETED,
-            node_id=node.id,
-            is_activity=True,
-            children=waiting.get("total"),
-        )
-        flow = self._single_outgoing(definition, node)
-        token.resume(flow.target, arrived_via=flow.id)
-        self._advance(parent)
-
-    # -- gateways ------------------------------------------------------------------------
-
-    def _execute_exclusive(self, instance, definition, token, node: ExclusiveGateway) -> None:
-        self._enter(instance, node, is_activity=False)
-        try:
-            flow = self._select_exclusive_flow(definition, node, instance.variables)
-        except (NoFlowSelectedError, ExpressionError) as exc:
-            self._handle_error(instance, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            return
-        self._record(
-            instance, EventTypes.NODE_COMPLETED, node_id=node.id, is_activity=False,
-            selected_flow=flow.id,
-        )
-        token.resume(flow.target, arrived_via=flow.id)
-
-    def _select_exclusive_flow(
-        self,
-        definition: ProcessDefinition,
-        node: Node,
-        variables: dict[str, Any],
-    ) -> SequenceFlow:
-        outgoing = definition.outgoing(node.id)
-        if len(outgoing) == 1:
-            return outgoing[0]
-        default = None
-        for flow in outgoing:
-            if flow.is_default:
-                default = flow
-                continue
-            if flow.condition is None:
-                return flow  # unguarded: always true (validator warns)
-            if compile_expression(flow.condition).evaluate_bool(variables):
-                return flow
-        if default is not None:
-            return default
-        raise NoFlowSelectedError(node.id, variables)
-
-    def _execute_parallel(self, instance, definition, token, node: ParallelGateway) -> None:
-        incoming = definition.incoming(node.id)
-        outgoing = definition.outgoing(node.id)
-        if len(incoming) > 1:
-            # join side: wait for one token per incoming flow
-            arrived = {
-                t.arrived_via
-                for t in instance.tokens_at(node.id)
-                if t.arrived_via is not None
-                and (t is token or t.waiting_on.get("reason") == "join")
-            }
-            if arrived < {f.id for f in incoming}:
-                token.wait("join", node_id=node.id)
-                return
-            # all partners present: consume them, keep this token
-            self._enter(instance, node, is_activity=False)
-            for other in list(instance.tokens_at(node.id)):
-                if other is not token:
-                    instance.remove_token(other)
-        else:
-            self._enter(instance, node, is_activity=False)
-        self._record(
-            instance, EventTypes.NODE_COMPLETED, node_id=node.id, is_activity=False
-        )
-        first, *rest = outgoing
-        for flow in rest:
-            instance.new_token(flow.target, arrived_via=flow.id)
-        token.resume(first.target, arrived_via=first.id)
-
-    def _execute_inclusive(self, instance, definition, token, node: InclusiveGateway) -> None:
-        incoming = definition.incoming(node.id)
-        outgoing = definition.outgoing(node.id)
-        if len(incoming) > 1:
-            if not self._inclusive_join_ready(instance, definition, node, token):
-                token.wait("join", node_id=node.id)
-                return
-            self._enter(instance, node, is_activity=False)
-            for other in list(instance.tokens_at(node.id)):
-                if other is not token:
-                    instance.remove_token(other)
-        else:
-            self._enter(instance, node, is_activity=False)
-        if len(outgoing) == 1:
-            self._record(
-                instance, EventTypes.NODE_COMPLETED, node_id=node.id, is_activity=False
-            )
-            flow = outgoing[0]
-            token.resume(flow.target, arrived_via=flow.id)
-            return
-        # split: activate every flow whose guard holds; default if none
-        try:
-            chosen = []
-            default = None
-            for flow in outgoing:
-                if flow.is_default:
-                    default = flow
-                    continue
-                if flow.condition is None or compile_expression(
-                    flow.condition
-                ).evaluate_bool(instance.variables):
-                    chosen.append(flow)
-            if not chosen:
-                if default is None:
-                    raise NoFlowSelectedError(node.id, instance.variables)
-                chosen = [default]
-        except (NoFlowSelectedError, ExpressionError) as exc:
-            self._handle_error(instance, definition, token, TECHNICAL_ERROR_CODE, str(exc))
-            return
-        self._record(
-            instance, EventTypes.NODE_COMPLETED, node_id=node.id, is_activity=False,
-            selected_flows=[f.id for f in chosen],
-        )
-        first, *rest = chosen
-        for flow in rest:
-            instance.new_token(flow.target, arrived_via=flow.id)
-        token.resume(first.target, arrived_via=first.id)
-
-    def _inclusive_join_ready(
-        self,
-        instance: ProcessInstance,
-        definition: ProcessDefinition,
-        node: Node,
-        arriving: Token,
-    ) -> bool:
-        """OR-join: ready when no token elsewhere can still reach the join."""
-        for other in instance.tokens:
-            if other is arriving:
-                continue
-            if other.node_id == node.id:
-                continue  # already here, will be merged
-            if self._can_reach(definition, other.node_id, node.id):
-                return False
-        return True
-
-    def _execute_event_gateway(self, instance, definition, token, node: EventBasedGateway) -> None:
-        self._enter(instance, node, is_activity=False)
-        job_ids: list[str] = []
-        wait_count = 0
-        for flow in definition.outgoing(node.id):
-            target = definition.node(flow.target)
-            if isinstance(target, IntermediateTimerEvent):
-                job = self.scheduler.schedule(
-                    self.clock.now() + target.duration,
-                    "event_race_timer",
-                    instance.id,
-                    {
-                        "token_id": token.id,
-                        "gateway_id": node.id,
-                        "event_id": target.id,
-                    },
-                )
-                job_ids.append(job.id)
-            elif isinstance(target, (IntermediateMessageEvent, ReceiveTask)):
-                correlation, match_any = self._correlation_of(
-                    target.correlation_expression, instance.variables
-                )
-                self._message_waits.append(
-                    {
-                        "instance_id": instance.id,
-                        "token_id": token.id,
-                        "name": target.message_name,
-                        "correlation": correlation,
-                        "match_any": match_any,
-                        "race_gateway": node.id,
-                        "race_event": target.id,
-                    }
-                )
-                self._waits_dirty = True
-                wait_count += 1
-            else:
-                raise EngineError(
-                    f"event gateway {node.id!r} leads to non-catch node {target.id!r}"
-                )
-        if not job_ids and not wait_count:
-            raise EngineError(f"event gateway {node.id!r} has nothing to wait for")
-        token.wait("event_race", gateway_id=node.id, job_ids=job_ids)
-        # a raced message may already be retained on the bus — try immediately
-        self._try_retained_for_race(instance, definition, token)
-
-    def _try_retained_for_race(self, instance, definition, token) -> None:
-        for wait in [w for w in self._message_waits if w["token_id"] == token.id
-                     and w["instance_id"] == instance.id]:
-            message = self.bus.consume_retained(
-                wait["name"], wait.get("correlation"), wait.get("match_any", False)
-            )
-            if message is not None:
-                # count the delivery: this path bypasses _deliver_to_wait
-                self.metrics.messages_delivered += 1
-                self._deliver_race_message(instance, definition, token, wait, message.payload)
-                return
-
-    # -- boundary events --------------------------------------------------------------------
-
-    def _schedule_boundary_timers(
-        self, instance, definition: ProcessDefinition, token: Token, node: Node
-    ) -> None:
-        for boundary in definition.boundary_events_of(node.id):
-            if boundary.kind == "timer":
-                self.scheduler.schedule(
-                    self.clock.now() + boundary.duration,
-                    "boundary_timer",
-                    instance.id,
-                    {"token_id": token.id, "boundary_id": boundary.id},
-                )
-
-    def _cancel_boundary_jobs(self, instance: ProcessInstance, token: Token) -> None:
-        self.scheduler.cancel_where(
-            lambda job: job.kind == "boundary_timer"
-            and job.instance_id == instance.id
-            and job.data.get("token_id") == token.id
-        )
-
-    def _trigger_boundary(
-        self,
-        instance: ProcessInstance,
-        definition: ProcessDefinition,
-        boundary: BoundaryEvent,
-        token: Token,
-        detail: str = "",
-    ) -> None:
-        """Interrupt the host activity and route the token via the boundary."""
-        self._record(
-            instance,
-            EventTypes.BOUNDARY_TRIGGERED,
-            node_id=boundary.id,
-            attached_to=boundary.attached_to,
-            kind=boundary.kind,
-            detail=detail,
-        )
-        self._record(
-            instance,
-            EventTypes.NODE_CANCELLED,
-            node_id=boundary.attached_to,
-            is_activity=True,
-        )
-        self._release_waits(instance, token)
-        flow = self._single_outgoing(definition, boundary)
-        token.resume(flow.target, arrived_via=flow.id)
-
-    def _handle_error(
-        self,
-        instance: ProcessInstance,
-        definition: ProcessDefinition,
-        token: Token,
-        code: str,
-        detail: str,
-    ) -> None:
-        """Route an error to a matching boundary event or fail the instance."""
-        node = definition.nodes.get(token.node_id)
-        if node is not None:
-            boundaries = definition.boundary_events_of(node.id)
-            match = next(
-                (b for b in boundaries if b.kind == "error" and b.error_code == code),
-                None,
-            ) or next(
-                (b for b in boundaries if b.kind == "error" and b.error_code is None),
-                None,
-            )
-            if match is not None:
-                self._trigger_boundary(instance, definition, match, token, detail=detail)
-                return
-        self._fail_instance(instance, f"{code}: {detail}")
-
-    # -- messages ------------------------------------------------------------------------------
-
-    def _correlation_of(
-        self, expression: str | None, variables: dict[str, Any]
-    ) -> tuple[Any, bool]:
-        """Evaluate a correlation expression; (value, match_any)."""
-        if expression is None:
-            return None, True
-        return compile_expression(expression).evaluate(variables), False
-
-    def _await_message(
-        self,
-        instance: ProcessInstance,
-        token: Token,
-        node: Node,
-        message_name: str,
-        correlation_expression: str | None,
-        is_activity: bool,
-    ) -> None:
-        correlation, match_any = self._correlation_of(
-            correlation_expression, instance.variables
-        )
-        retained = self.bus.consume_retained(message_name, correlation, match_any)
-        if retained is not None:
-            # a retained message satisfying the wait *is* a delivery — count
-            # it like the live-subscription path does
-            self.metrics.messages_delivered += 1
-            self._apply_message(instance, node, retained.payload)
-            definition = self._definition_of(instance)
-            self._move_through(
-                instance, definition, token, node, is_activity=is_activity
-            )
-            return
-        self._message_waits.append(
-            {
-                "instance_id": instance.id,
-                "token_id": token.id,
-                "name": message_name,
-                "correlation": correlation,
-                "match_any": match_any,
-                "node_id": node.id,
-                "is_activity": is_activity,
-            }
-        )
-        self._waits_dirty = True
-        token.wait(
-            "message",
-            message_name=message_name,
-            correlation=correlation,
-            node_id=node.id,
-        )
-
-    def _apply_message(
-        self, instance: ProcessInstance, node: Node, payload: dict[str, Any]
-    ) -> None:
-        if payload:
-            instance.variables.update(payload)
-        self._record(
-            instance,
-            EventTypes.MESSAGE_RECEIVED,
-            node_id=node.id,
-            payload_keys=sorted(payload.keys()),
-        )
-
-    def _deliver_race_message(
-        self,
-        instance: ProcessInstance,
-        definition: ProcessDefinition,
-        token: Token,
-        wait: dict[str, Any],
-        payload: dict[str, Any],
-    ) -> None:
-        """A raced catch event won via message: settle the race."""
-        event = definition.node(wait["race_event"])
-        self._settle_race(instance, token)
-        self._apply_message(instance, event, payload)
-        self._enter(instance, event, is_activity=False)
-        self._move_through(instance, definition, token, event, is_activity=False)
-        self._advance(instance)
-
-    def _settle_race(self, instance: ProcessInstance, token: Token) -> None:
-        """Cancel all pending subscriptions of an event race."""
-        job_ids = set(token.waiting_on.get("job_ids", ()))
-        for job_id in job_ids:
-            self.scheduler.cancel(job_id)
+                item = engine.worklist.item(item_id)
+            except Exception:  # noqa: BLE001 - already gone is fine
+                item = None
+            if item is not None and not item.state.is_terminal:
+                engine.worklist.cancel(item_id)
+    elif reason == "timer":
+        job_id = token.waiting_on.get("job_id")
+        if job_id is not None:
+            engine.scheduler.cancel(job_id)
+    elif reason == "message":
         kept = [
             w
-            for w in self._message_waits
-            if not (w["instance_id"] == instance.id and w["token_id"] == token.id)
+            for w in engine._message_waits
+            if not (
+                w["instance_id"] == instance.id and w["token_id"] == token.id
+            )
         ]
-        if len(kept) != len(self._message_waits):
-            self._waits_dirty = True
-        self._message_waits = kept
-
-    # -- token cancellation ------------------------------------------------------------------------
-
-    def _release_waits(self, instance: ProcessInstance, token: Token) -> None:
-        """Cancel everything a waiting token is parked on."""
-        reason = token.waiting_on.get("reason")
-        if reason == "user_task":
-            item_id = token.waiting_on.get("work_item_id")
-            if item_id is not None:
-                try:
-                    item = self.worklist.item(item_id)
-                except Exception:  # noqa: BLE001 - already gone is fine
-                    item = None
-                if item is not None and not item.state.is_terminal:
-                    self.worklist.cancel(item_id)
-        elif reason == "timer":
-            job_id = token.waiting_on.get("job_id")
-            if job_id is not None:
-                self.scheduler.cancel(job_id)
-        elif reason == "message":
-            kept = [
-                w
-                for w in self._message_waits
-                if not (
-                    w["instance_id"] == instance.id and w["token_id"] == token.id
-                )
-            ]
-            if len(kept) != len(self._message_waits):
-                self._waits_dirty = True
-            self._message_waits = kept
-        elif reason == "event_race":
-            self._settle_race(instance, token)
-        elif reason == "child":
-            child_id = token.waiting_on.get("child_id")
-            # clear the linkage FIRST so the child's completion callback
-            # cannot resume the token we are cancelling
-            token.waiting_on = {}
-            if child_id is not None:
-                child = self._instances.get(child_id)
-                if child is not None and not child.state.is_finished:
-                    self._terminate_instance_internal(child, "parent cancelled")
-        elif reason == "mi":
-            children = list(token.waiting_on.get("children", ()))
-            token.waiting_on = {}
-            for child_id in children:
-                child = self._instances.get(child_id)
-                if child is not None and not child.state.is_finished:
-                    self._terminate_instance_internal(child, "parent cancelled")
-        self._cancel_boundary_jobs(instance, token)
+        if len(kept) != len(engine._message_waits):
+            engine._waits_dirty = True
+        engine._message_waits = kept
+    elif reason == "event_race":
+        settle_race(engine, instance, token)
+    elif reason == "child":
+        child_id = token.waiting_on.get("child_id")
+        # clear the linkage FIRST so the child's completion callback
+        # cannot resume the token we are cancelling
         token.waiting_on = {}
+        if child_id is not None:
+            child = engine._instances.get(child_id)
+            if child is not None and not child.state.is_finished:
+                engine._terminate_instance_internal(child, "parent cancelled")
+    elif reason == "mi":
+        children = list(token.waiting_on.get("children", ()))
+        token.waiting_on = {}
+        for child_id in children:
+            child = engine._instances.get(child_id)
+            if child is not None and not child.state.is_finished:
+                engine._terminate_instance_internal(child, "parent cancelled")
+    cancel_boundary_jobs(engine, instance, token)
+    token.waiting_on = {}
 
-    def _cancel_token(
-        self, instance: ProcessInstance, token: Token, reason: str
-    ) -> None:
-        self._release_waits(instance, token)
-        self._record(
-            instance,
-            EventTypes.NODE_CANCELLED,
-            node_id=token.node_id,
-            is_activity=isinstance(
-                self._definition_of(instance).nodes.get(token.node_id), ACTIVITY_TYPES
-            ),
-            detail=reason,
-        )
-        instance.remove_token(token)
 
-    # -- static reachability cache ---------------------------------------------------------------------
+def cancel_token(
+    engine, instance: ProcessInstance, token: Token, reason: str
+) -> None:
+    release_waits(engine, instance, token)
+    engine._record(
+        instance,
+        EventTypes.NODE_CANCELLED,
+        node_id=token.node_id,
+        is_activity=isinstance(
+            engine._definition_of(instance).nodes.get(token.node_id), ACTIVITY_TYPES
+        ),
+        detail=reason,
+    )
+    instance.remove_token(token)
 
-    def _can_reach(
-        self, definition: ProcessDefinition, source: str, target: str
-    ) -> bool:
-        """Static flow-graph reachability (includes boundary attachments)."""
-        cache = self._reach_cache.setdefault(definition.identifier, {})
-        key = (source, target)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        seen: set[str] = set()
-        stack = [source]
-        found = False
-        while stack:
-            node_id = stack.pop()
-            if node_id == target:
-                found = True
-                break
-            if node_id in seen:
-                continue
-            seen.add(node_id)
-            for flow in definition.outgoing(node_id):
-                stack.append(flow.target)
-            for boundary in definition.boundary_events_of(node_id):
-                stack.append(boundary.id)
-        cache[key] = found
-        return found
 
-    # -- dispatch table ----------------------------------------------------------------------------------
+# -- static reachability cache ---------------------------------------------------------------------
 
-    _HANDLERS = {
-        StartEvent: _execute_start,
-        EndEvent: _execute_end,
-        IntermediateTimerEvent: _execute_timer_event,
-        IntermediateMessageEvent: _execute_message_event,
-        UserTask: _execute_user_task,
-        ManualTask: _execute_manual_task,
-        ScriptTask: _execute_script_task,
-        ServiceTask: _execute_service_task,
-        BusinessRuleTask: _execute_business_rule_task,
-        SendTask: _execute_send_task,
-        ReceiveTask: _execute_receive_task,
-        CallActivity: _execute_call_activity,
-        MultiInstanceActivity: _execute_multi_instance,
-        ExclusiveGateway: _execute_exclusive,
-        ParallelGateway: _execute_parallel,
-        InclusiveGateway: _execute_inclusive,
-        EventBasedGateway: _execute_event_gateway,
-    }
+
+def can_reach(
+    engine, definition: ProcessDefinition, source: str, target: str
+) -> bool:
+    """Static flow-graph reachability (includes boundary attachments)."""
+    cache = engine._reach_cache.setdefault(definition.identifier, {})
+    key = (source, target)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    seen: set[str] = set()
+    stack = [source]
+    found = False
+    while stack:
+        node_id = stack.pop()
+        if node_id == target:
+            found = True
+            break
+        if node_id in seen:
+            continue
+        seen.add(node_id)
+        for flow in definition.outgoing(node_id):
+            stack.append(flow.target)
+        for boundary in definition.boundary_events_of(node_id):
+            stack.append(boundary.id)
+    cache[key] = found
+    return found
+
+
+def _select_exclusive_flow(
+    definition: ProcessDefinition,
+    node: Node,
+    variables: dict[str, Any],
+) -> SequenceFlow:
+    """XOR flow selection (shared with migration sanity checks/tests)."""
+    outgoing = definition.outgoing(node.id)
+    if len(outgoing) == 1:
+        return outgoing[0]
+    default = None
+    for flow in outgoing:
+        if flow.is_default:
+            default = flow
+            continue
+        if flow.condition is None:
+            return flow  # unguarded: always true (validator warns)
+        if compile_expression(flow.condition).evaluate_bool(variables):
+            return flow
+    if default is not None:
+        return default
+    raise NoFlowSelectedError(node.id, variables)

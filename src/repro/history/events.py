@@ -51,3 +51,6 @@ class EventTypes:
 
     # deployment
     DEFINITION_DEPLOYED = "definition.deployed"
+
+    # command pipeline
+    COMMAND_DISPATCHED = "command.dispatched"

@@ -10,6 +10,7 @@ budget.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable
 
 from repro.clock import Clock, WallClock
@@ -32,7 +33,15 @@ class CircuitOpenError(ServiceError):
 
 
 class CircuitBreaker:
-    """Per-service breaker; thread-unsafe by design (single-writer engine)."""
+    """Per-service breaker; thread-safe.
+
+    State transitions (including the timeout-driven OPEN → HALF_OPEN probe
+    performed lazily by :attr:`state`) happen under an internal re-entrant
+    lock, so breakers shared across concurrently dispatching clients never
+    lose a failure count or double-admit the half-open trial call.  The
+    ``on_state_change`` listener fires inside the lock: keep it fast and
+    do not call back into the breaker's mutating API from it.
+    """
 
     def __init__(
         self,
@@ -49,6 +58,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.clock = clock or WallClock()
+        self._lock = threading.RLock()
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -70,32 +80,38 @@ class CircuitBreaker:
     @property
     def state(self) -> CircuitState:
         """Current state, accounting for timeout-driven OPEN → HALF_OPEN."""
-        if (
-            self._state is CircuitState.OPEN
-            and self.clock.now() - self._opened_at >= self.reset_timeout
-        ):
-            self._set_state(CircuitState.HALF_OPEN)
-        return self._state
+        with self._lock:
+            if (
+                self._state is CircuitState.OPEN
+                and self.clock.now() - self._opened_at >= self.reset_timeout
+            ):
+                self._set_state(CircuitState.HALF_OPEN)
+            return self._state
 
     def before_call(self) -> None:
         """Gate a call; raises :class:`CircuitOpenError` when OPEN."""
-        if self.state is CircuitState.OPEN:
-            self.rejected_calls += 1
-            raise CircuitOpenError(self.service, self._opened_at + self.reset_timeout)
+        with self._lock:
+            if self.state is CircuitState.OPEN:
+                self.rejected_calls += 1
+                raise CircuitOpenError(
+                    self.service, self._opened_at + self.reset_timeout
+                )
 
     def record_success(self) -> None:
         """Feed back a successful call."""
-        self._consecutive_failures = 0
-        self._set_state(CircuitState.CLOSED)
+        with self._lock:
+            self._consecutive_failures = 0
+            self._set_state(CircuitState.CLOSED)
 
     def record_failure(self) -> None:
         """Feed back a failed call; may trip the breaker."""
-        if self.state is CircuitState.HALF_OPEN:
-            self._trip()
-            return
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.failure_threshold:
-            self._trip()
+        with self._lock:
+            if self.state is CircuitState.HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
 
     def _trip(self) -> None:
         self._opened_at = self.clock.now()
@@ -104,5 +120,6 @@ class CircuitBreaker:
 
     def reset(self) -> None:
         """Force-close (administrative override)."""
-        self._consecutive_failures = 0
-        self._set_state(CircuitState.CLOSED)
+        with self._lock:
+            self._consecutive_failures = 0
+            self._set_state(CircuitState.CLOSED)

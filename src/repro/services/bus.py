@@ -4,11 +4,18 @@ Send tasks publish; the engine subscribes a catch-all and correlates
 messages to waiting receive tasks / message events.  Undelivered messages
 are retained per message name so a message arriving *before* its receiver
 is not lost (at-least-once, buffer semantics).
+
+Mutating operations are serialized by a re-entrant lock.  An engine binds
+its dispatch lock here (:meth:`MessageBus.bind_lock`) so bus traffic and
+command dispatch share one serialization gate — a publish arriving from a
+foreign thread queues behind the running command instead of interleaving
+with it.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -37,12 +44,22 @@ class MessageBus:
         self._subscribers: list[Subscriber] = []
         self._retained: dict[str, list[Message]] = {}
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
         self.published_count = 0
         self.delivered_count = 0
 
+    def bind_lock(self, lock: threading.RLock) -> None:
+        """Share the caller's (engine's) serialization lock.
+
+        Re-entrant, so a publish issued from inside a dispatched command
+        (send task) does not deadlock against the dispatch gate.
+        """
+        self._lock = lock
+
     def subscribe(self, subscriber: Subscriber) -> None:
         """Register a consumer; called for every published message."""
-        self._subscribers.append(subscriber)
+        with self._lock:
+            self._subscribers.append(subscriber)
 
     def publish(
         self,
@@ -53,23 +70,25 @@ class MessageBus:
         """Publish a message; retained if no subscriber consumes it."""
         if not name:
             raise ValueError("message name must be non-empty")
-        message = Message(
-            id=next(self._ids),
-            name=name,
-            correlation=correlation,
-            payload=dict(payload or {}),
-        )
-        self.published_count += 1
-        for subscriber in self._subscribers:
-            if subscriber(message):
-                self.delivered_count += 1
-                return message
-        self._retained.setdefault(name, []).append(message)
-        return message
+        with self._lock:
+            message = Message(
+                id=next(self._ids),
+                name=name,
+                correlation=correlation,
+                payload=dict(payload or {}),
+            )
+            self.published_count += 1
+            for subscriber in self._subscribers:
+                if subscriber(message):
+                    self.delivered_count += 1
+                    return message
+            self._retained.setdefault(name, []).append(message)
+            return message
 
     def retained(self, name: str) -> list[Message]:
         """Undelivered messages for a name, oldest first."""
-        return list(self._retained.get(name, ()))
+        with self._lock:
+            return list(self._retained.get(name, ()))
 
     def consume_retained(
         self, name: str, correlation: Any = None, match_any: bool = False
@@ -79,16 +98,18 @@ class MessageBus:
         ``match_any=True`` ignores the correlation value (used by catch
         events without a correlation expression).
         """
-        queue = self._retained.get(name)
-        if not queue:
+        with self._lock:
+            queue = self._retained.get(name)
+            if not queue:
+                return None
+            for index, message in enumerate(queue):
+                if match_any or message.correlation == correlation:
+                    self.delivered_count += 1
+                    return queue.pop(index)
             return None
-        for index, message in enumerate(queue):
-            if match_any or message.correlation == correlation:
-                self.delivered_count += 1
-                return queue.pop(index)
-        return None
 
     @property
     def retained_count(self) -> int:
         """Total undelivered messages across names."""
-        return sum(len(q) for q in self._retained.values())
+        with self._lock:
+            return sum(len(q) for q in self._retained.values())

@@ -170,7 +170,7 @@ class SimulationRunner:
                 item = self._take_item(resource.id)
                 if item is None:
                     continue
-                self.engine.worklist.start(item.id)
+                self.engine.start_work_item(item.id)
                 duration = self._service_for(item.node_id).sample(self.rng)
                 self._busy.add(resource.id)
                 self.result.busy_time[resource.id] = (
@@ -190,5 +190,5 @@ class SimulationRunner:
                 return item
         offered = self.engine.worklist.offered_for_resource(resource_id)
         if offered:
-            return self.engine.worklist.claim(offered[0].id, resource_id)
+            return self.engine.claim_work_item(offered[0].id, resource_id)
         return None

@@ -3,11 +3,18 @@
 The engine calls :meth:`WorklistService.create_item` when a token reaches a
 user task and registers a completion listener to resume the token.  People
 (or the simulator) interact through ``claim``/``start``/``complete``.
+
+Lifecycle mutations are serialized by a re-entrant lock.  An engine binds
+its dispatch lock here (:meth:`WorklistService.bind_lock`) so direct
+worklist calls from foreign threads queue behind the running command
+instead of interleaving with it; calls made from inside a dispatched
+command re-enter the same lock without deadlocking.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -54,12 +61,17 @@ class WorklistService:
         self._completion_listeners: list[CompletionListener] = []
         self._cancellation_listeners: list[CompletionListener] = []
         self._id_counter = itertools.count(1)
+        self._lock = threading.RLock()
         # differential write-set for the engine's incremental persistence:
         # ids of items created or mutated since the last flush (items are
         # never deleted, so there is no removed-set)
         self._dirty: set[str] = set()
 
     # -- wiring -----------------------------------------------------------------
+
+    def bind_lock(self, lock: threading.RLock) -> None:
+        """Share the caller's (engine's) serialization lock."""
+        self._lock = lock
 
     def on_completion(self, listener: CompletionListener) -> None:
         """Register a callback fired on every completed item (engine hook)."""
@@ -93,31 +105,32 @@ class WorklistService:
         item_id: str | None = None,
     ) -> WorkItem:
         """Create, then offer/allocate a work item per the allocator."""
-        now = self.clock.now()
-        item = WorkItem(
-            id=item_id or f"wi-{next(self._id_counter)}",
-            instance_id=instance_id,
-            node_id=node_id,
-            role=role,
-            priority=priority,
-            created_at=now,
-            due_at=None if due_seconds is None else now + due_seconds,
-            data=dict(data or {}),
-        )
-        if item.id in self._items:
-            raise WorklistError(f"duplicate work item id {item.id!r}")
-        self._items[item.id] = item
-        self._dirty.add(item.id)
-        if self._g_open is not None:
-            self._g_open.inc()
-        self._record(item, EventTypes.WORKITEM_CREATED, priority=priority)
-        if self._h_route is None:
-            self._route(item)
-        else:
-            started = time.perf_counter()
-            self._route(item)
-            self._h_route.observe(time.perf_counter() - started)
-        return item
+        with self._lock:
+            now = self.clock.now()
+            item = WorkItem(
+                id=item_id or f"wi-{next(self._id_counter)}",
+                instance_id=instance_id,
+                node_id=node_id,
+                role=role,
+                priority=priority,
+                created_at=now,
+                due_at=None if due_seconds is None else now + due_seconds,
+                data=dict(data or {}),
+            )
+            if item.id in self._items:
+                raise WorklistError(f"duplicate work item id {item.id!r}")
+            self._items[item.id] = item
+            self._dirty.add(item.id)
+            if self._g_open is not None:
+                self._g_open.inc()
+            self._record(item, EventTypes.WORKITEM_CREATED, priority=priority)
+            if self._h_route is None:
+                self._route(item)
+            else:
+                started = time.perf_counter()
+                self._route(item)
+                self._h_route.observe(time.perf_counter() - started)
+            return item
 
     def _route(self, item: WorkItem) -> None:
         now = self.clock.now()
@@ -199,78 +212,87 @@ class WorklistService:
         separation-of-duties constraint (``excluded_resources`` in the
         item's data).
         """
-        item = self.item(item_id)
-        resource = self.organization.get(resource_id)
-        if not resource.has_role(item.role):
-            raise WorklistError(
-                f"resource {resource_id!r} lacks role {item.role!r} for {item_id!r}"
-            )
-        if resource_id in item.data.get("excluded_resources", ()):
-            raise WorklistError(
-                f"resource {resource_id!r} is excluded from {item_id!r} "
-                "(separation of duties)"
-            )
-        item.allocate(resource_id, self.clock.now())
-        self._dirty.add(item.id)
-        self._record(item, EventTypes.WORKITEM_ALLOCATED, resource=resource_id)
-        return item
+        with self._lock:
+            item = self.item(item_id)
+            resource = self.organization.get(resource_id)
+            if not resource.has_role(item.role):
+                raise WorklistError(
+                    f"resource {resource_id!r} lacks role {item.role!r} "
+                    f"for {item_id!r}"
+                )
+            if resource_id in item.data.get("excluded_resources", ()):
+                raise WorklistError(
+                    f"resource {resource_id!r} is excluded from {item_id!r} "
+                    "(separation of duties)"
+                )
+            item.allocate(resource_id, self.clock.now())
+            self._dirty.add(item.id)
+            self._record(item, EventTypes.WORKITEM_ALLOCATED, resource=resource_id)
+            return item
 
     def delegate(self, item_id: str) -> WorkItem:
         """Return an allocated item to its role queue."""
-        item = self.item(item_id)
-        item.reoffer(self.clock.now())
-        self._dirty.add(item.id)
-        self._record(item, EventTypes.WORKITEM_OFFERED, delegated=True)
-        return item
+        with self._lock:
+            item = self.item(item_id)
+            item.reoffer(self.clock.now())
+            self._dirty.add(item.id)
+            self._record(item, EventTypes.WORKITEM_OFFERED, delegated=True)
+            return item
 
     def start(self, item_id: str) -> WorkItem:
         """The allocated resource begins work."""
-        item = self.item(item_id)
-        item.start(self.clock.now())
-        self._dirty.add(item.id)
-        self._record(item, EventTypes.WORKITEM_STARTED, resource=item.allocated_to)
-        return item
+        with self._lock:
+            item = self.item(item_id)
+            item.start(self.clock.now())
+            self._dirty.add(item.id)
+            self._record(
+                item, EventTypes.WORKITEM_STARTED, resource=item.allocated_to
+            )
+            return item
 
     def complete(self, item_id: str, result: dict[str, Any] | None = None) -> WorkItem:
         """Finish an item; fires completion listeners (the engine resumes)."""
-        item = self.item(item_id)
-        item.complete(result, self.clock.now())
-        self._dirty.add(item.id)
-        if self._g_open is not None:
-            self._g_open.dec()
-        self._record(
-            item,
-            EventTypes.WORKITEM_COMPLETED,
-            resource=item.allocated_to,
-            result_keys=sorted((result or {}).keys()),
-        )
-        record_completion = getattr(self.allocator, "record_completion", None)
-        if record_completion is not None and item.allocated_to:
-            record_completion(item.instance_id, item.allocated_to)
-        for listener in self._completion_listeners:
-            listener(item)
-        return item
+        with self._lock:
+            item = self.item(item_id)
+            item.complete(result, self.clock.now())
+            self._dirty.add(item.id)
+            if self._g_open is not None:
+                self._g_open.dec()
+            self._record(
+                item,
+                EventTypes.WORKITEM_COMPLETED,
+                resource=item.allocated_to,
+                result_keys=sorted((result or {}).keys()),
+            )
+            record_completion = getattr(self.allocator, "record_completion", None)
+            if record_completion is not None and item.allocated_to:
+                record_completion(item.instance_id, item.allocated_to)
+            for listener in self._completion_listeners:
+                listener(item)
+            return item
 
     def cancel(self, item_id: str) -> WorkItem:
         """Withdraw a live item (engine calls this on interrupts)."""
-        item = self.item(item_id)
-        item.cancel(self.clock.now())
-        self._dirty.add(item.id)
-        if self._g_open is not None:
-            self._g_open.dec()
-        self._record(item, EventTypes.WORKITEM_CANCELLED)
-        for listener in self._cancellation_listeners:
-            listener(item)
-        return item
+        with self._lock:
+            item = self.item(item_id)
+            item.cancel(self.clock.now())
+            self._dirty.add(item.id)
+            if self._g_open is not None:
+                self._g_open.dec()
+            self._record(item, EventTypes.WORKITEM_CANCELLED)
+            for listener in self._cancellation_listeners:
+                listener(item)
+            return item
 
     def cancel_for_instance(self, instance_id: str) -> int:
         """Cancel every live item of one instance; returns the count."""
-        cancelled = 0
-        for item in list(self._items.values()):
-            if item.instance_id == instance_id and not item.state.is_terminal:
-                self.cancel(item.id)
-                cancelled += 1
-        return cancelled
+        with self._lock:
+            cancelled = 0
+            for item in list(self._items.values()):
+                if item.instance_id == instance_id and not item.state.is_terminal:
+                    self.cancel(item.id)
+                    cancelled += 1
+            return cancelled
 
     # -- deadlines -----------------------------------------------------------------
 
@@ -281,22 +303,23 @@ class WorklistService:
         items to their role queue so a less-loaded resource can claim them.
         Items already started are only bumped.  Returns escalated items.
         """
-        now = self.clock.now()
-        escalated = []
-        for item in self._items.values():
-            if not item.is_overdue(now):
-                continue
-            item.priority += 1
-            item.escalations += 1
-            item.due_at = None  # one escalation per deadline
-            self._dirty.add(item.id)
-            if item.state is WorkItemState.ALLOCATED:
-                item.reoffer(now)
-            self._record(
-                item, EventTypes.WORKITEM_ESCALATED, new_priority=item.priority
-            )
-            escalated.append(item)
-        return escalated
+        with self._lock:
+            now = self.clock.now()
+            escalated = []
+            for item in self._items.values():
+                if not item.is_overdue(now):
+                    continue
+                item.priority += 1
+                item.escalations += 1
+                item.due_at = None  # one escalation per deadline
+                self._dirty.add(item.id)
+                if item.state is WorkItemState.ALLOCATED:
+                    item.reoffer(now)
+                self._record(
+                    item, EventTypes.WORKITEM_ESCALATED, new_priority=item.priority
+                )
+                escalated.append(item)
+            return escalated
 
     # -- persistence hooks -----------------------------------------------------------
 

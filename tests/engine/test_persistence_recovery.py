@@ -170,6 +170,7 @@ class TestRecovery:
             "instances": 0,
             "jobs": 0,
             "workitems": 0,
+            "commands": 0,
         }
 
 

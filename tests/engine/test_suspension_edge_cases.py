@@ -5,6 +5,7 @@ lost, and message subscriptions were dropped on first non-delivery.
 """
 
 from repro.engine.instance import InstanceState
+from repro.history.events import EventTypes
 from repro.model.builder import ProcessBuilder
 
 
@@ -54,6 +55,78 @@ class TestTimersUnderSuspension:
         engine.run_due_jobs()
         assert active.state is InstanceState.COMPLETED
         assert suspended.state is InstanceState.SUSPENDED
+
+
+class TestSuspendResumeTimerRaces:
+    """Suspend racing ``advance_time``: defer while suspended, then fire
+    exactly once on resume — never zero times, never twice."""
+
+    def make_model(self):
+        return (
+            ProcessBuilder("timed")
+            .start()
+            .timer("cooldown", duration=60)
+            .script_task("after", script="fired = true")
+            .end()
+            .build()
+        )
+
+    def test_advance_time_defers_suspended_instances_timers(self, engine, clock):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("timed")
+        engine.suspend_instance(instance.id)
+        # the AdvanceTime command pumps due jobs via a nested RunDueJobs,
+        # which must defer — not consume — the suspended instance's timer
+        assert engine.advance_time(120) == 0
+        assert instance.state is InstanceState.SUSPENDED
+        assert len(engine.scheduler) == 1
+        assert engine.metrics.timers_fired == 0
+
+    def test_resume_after_advance_time_fires_exactly_once(self, engine, clock):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("timed")
+        engine.suspend_instance(instance.id)
+        engine.advance_time(120)
+        engine.resume_instance(instance.id)
+        assert engine.run_due_jobs() == 1
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["fired"] is True
+        assert engine.metrics.timers_fired == 1
+        fired = [
+            e
+            for e in engine.history.instance_events(instance.id)
+            if e.type == EventTypes.TIMER_FIRED
+        ]
+        assert len(fired) == 1
+        # nothing left to fire: the job was consumed exactly once
+        assert engine.run_due_jobs() == 0
+        assert len(engine.scheduler) == 0
+
+    def test_repeated_advance_time_while_suspended_fires_once_on_resume(
+        self, engine, clock
+    ):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("timed")
+        engine.suspend_instance(instance.id)
+        for _ in range(3):
+            engine.advance_time(60)
+        assert len(engine.scheduler) == 1
+        engine.resume_instance(instance.id)
+        assert engine.advance_time(0) == 1
+        assert instance.state is InstanceState.COMPLETED
+        assert engine.metrics.timers_fired == 1
+
+    def test_suspend_between_due_and_pump_defers(self, engine, clock):
+        engine.deploy(self.make_model())
+        instance = engine.start_instance("timed")
+        clock.advance(120)  # timer already due...
+        engine.suspend_instance(instance.id)  # ...but suspended before a pump
+        assert engine.run_due_jobs() == 0
+        assert instance.state is InstanceState.SUSPENDED
+        engine.resume_instance(instance.id)
+        assert engine.run_due_jobs() == 1
+        assert instance.state is InstanceState.COMPLETED
+        assert engine.metrics.timers_fired == 1
 
 
 class TestMessagesUnderSuspension:

@@ -185,6 +185,77 @@ class TestPatterns:
         assert "Deferred Choice" in out
 
 
+class TestCommands:
+    def test_lists_registered_command_types(self, capsys):
+        assert main(["commands"]) == 0
+        out = capsys.readouterr().out
+        assert "registered command types:" in out
+        assert "start_instance" in out
+        assert "[external]" in out
+        assert "run_due_jobs" in out
+        assert "[internal]" in out
+
+    def test_dumps_dispatch_history_from_store(self, tmp_path, capsys):
+        from repro.clock import VirtualClock
+        from repro.engine.engine import ProcessEngine
+        from repro.model.builder import ProcessBuilder
+        from repro.storage.kvstore import DurableKV
+
+        directory = str(tmp_path / "kv")
+        store = DurableKV(directory)
+        engine = ProcessEngine(clock=VirtualClock(0), store=store)
+        model = (
+            ProcessBuilder("demo")
+            .start()
+            .script_task("work", script="doubled = n * 2")
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        engine.start_instance("demo", {"n": 1}, dedup_key="req-1")
+        store.close()
+
+        assert main(["commands", "--store", directory]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch history (2 entries):" in out
+        assert "deploy_definition" in out
+        assert "start_instance" in out
+        assert "status=applied" in out
+        assert "dedup_key=req-1" in out
+
+    def test_json_output_with_limit(self, tmp_path, capsys):
+        import json
+
+        from repro.clock import VirtualClock
+        from repro.engine.engine import ProcessEngine
+        from repro.model.builder import ProcessBuilder
+        from repro.storage.kvstore import DurableKV
+
+        directory = str(tmp_path / "kv")
+        store = DurableKV(directory)
+        engine = ProcessEngine(clock=VirtualClock(0), store=store)
+        model = (
+            ProcessBuilder("demo")
+            .start()
+            .script_task("work", script="doubled = n * 2")
+            .end()
+            .build()
+        )
+        engine.deploy(model)
+        for n in range(3):
+            engine.start_instance("demo", {"n": n})
+        store.close()
+
+        assert main(["commands", "--store", directory, "--limit", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {c["command"] for c in payload["commands"]} >= {
+            "start_instance",
+            "advance_time",
+        }
+        assert len(payload["history"]) == 2
+        assert all(r["name"] == "start_instance" for r in payload["history"])
+
+
 class TestTrace:
     def test_prints_span_tree(self, model_file, capsys):
         assert main(["trace", model_file, "--var", "n=21"]) == 0
@@ -204,7 +275,12 @@ class TestTrace:
             spans = load_spans_jsonl(fh)
         assert [s["name"] for s in spans].count("node") == 3
         # instance + 3 nodes + the engine.flush group-commit span
-        assert "wrote     : 5 spans" in capsys.readouterr().out
+        # + one engine.command span per dispatched command
+        names = [s["name"] for s in spans]
+        assert names.count("instance") == 1
+        assert names.count("engine.command") == 2  # deploy + start_instance
+        assert len(spans) == 3 + 1 + 2 + names.count("engine.flush")
+        assert f"wrote     : {len(spans)} spans" in capsys.readouterr().out
 
 
 class TestMetrics:
