@@ -245,7 +245,7 @@ def run_threads(tmp_dir, n_threads, n_items):
     return n_items / elapsed
 
 
-def test_f10_threaded_throughput(tmp_path, emit):
+def test_f10_threaded_throughput(tmp_path, emit, bench_json):
     rows = [
         (n, run_threads(str(tmp_path), n, N_ITEMS)) for n in (1, 2, 4, 8)
     ]
@@ -258,6 +258,14 @@ def test_f10_threaded_throughput(tmp_path, emit):
     base = rows[0][1]
     for n, rate in rows:
         emit(f"{n:>8} {rate:>10.0f} {rate / base:>11.2f}x")
+    bench_json(
+        "f10",
+        {
+            "completions_per_second_by_threads": {
+                str(n): rate for n, rate in rows
+            },
+        },
+    )
     if _SMOKE:
         return
     # the gate serializes: more clients must not collapse throughput

@@ -30,7 +30,7 @@ def run_batch(n):
     return engine
 
 
-def test_f1_throughput_series(benchmark, emit):
+def test_f1_throughput_series(benchmark, emit, bench_json):
     rows = []
     for n in COUNTS:
         started = time.perf_counter()
@@ -51,6 +51,15 @@ def test_f1_throughput_series(benchmark, emit):
     )
     for n, secs, rate in rows:
         emit(f"{n:>10} {secs:>9.3f} {rate:>12.1f} {rate * 10:>10.0f}")
+
+    bench_json(
+        "f1",
+        {
+            "instances_per_second": {
+                str(n): rate for n, _, rate in rows
+            },
+        },
+    )
 
     # shape: throughput at 1000 instances within ~3x of throughput at 10
     rate_10 = rows[1][2]

@@ -123,3 +123,54 @@ def test_f2_node_overhead_ranking(benchmark, emit):
     # user tasks are the dominant cost by a wide margin
     cheapest = min(timings.values())
     assert timings["user task"] > 3 * cheapest
+
+
+def test_f2_topology_query_cache(emit):
+    """Delta from caching the definition's topology queries.
+
+    ``outgoing()``/``boundary_events_of()`` run once per token move; the
+    seed shape allocated a fresh list (adjacency) or scanned every node
+    (boundary lookup) per call.  Both are now memoized immutable tuples
+    — this pins the delta so a regression back to per-call allocation
+    shows up as a number, not a vibe.
+    """
+    model = script_chain()
+    node_ids = [f"s{k}" for k in range(REPEAT)]
+    loops = 400
+
+    def seed_shape():
+        # what the queries cost before the cache: list alloc + full scan
+        for node_id in node_ids:
+            list(model._outgoing.get(node_id, ()))
+            [
+                n
+                for n in model.nodes.values()
+                if getattr(n, "attached_to", None) == node_id
+            ]
+
+    def cached():
+        for node_id in node_ids:
+            model.outgoing(node_id)
+            model.boundary_events_of(node_id)
+
+    cached()  # warm the caches; steady-state is what the engine sees
+    best = {"seed shape": float("inf"), "cached": float("inf")}
+    for _ in range(7):
+        for name, fn in (("seed shape", seed_shape), ("cached", cached)):
+            started = time.perf_counter()
+            for _ in range(loops):
+                fn()
+            best[name] = min(best[name], time.perf_counter() - started)
+
+    calls = loops * REPEAT
+    speedup = best["seed shape"] / best["cached"]
+    emit(
+        "",
+        "== F2b: topology query cost (outgoing + boundary lookup, ns/call"
+        ", best-of) ==",
+        f"  {'seed shape':<12} {1e9 * best['seed shape'] / calls:>8.0f} ns",
+        f"  {'cached':<12} {1e9 * best['cached'] / calls:>8.0f} ns",
+        f"  speedup      {speedup:>7.1f}x",
+    )
+    # the cache must beat per-call allocation + scan outright
+    assert speedup > 1.0, speedup

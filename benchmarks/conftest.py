@@ -3,7 +3,15 @@
 ``emit`` prints experiment tables through pytest's output capture, so the
 rows appear in ``pytest benchmarks/ --benchmark-only`` output (and in
 ``bench_output.txt``) alongside pytest-benchmark's timing table.
+
+``bench_json`` writes machine-readable ``BENCH_<tag>.json`` result files
+(CI uploads them as artifacts so run-over-run numbers are diffable).
+The target directory defaults to the working directory and is overridden
+with ``BENCH_JSON_DIR``.
 """
+
+import json
+import os
 
 import pytest
 
@@ -16,3 +24,16 @@ def emit(capsys):
                 print(line, flush=True)
 
     return _emit
+
+
+@pytest.fixture
+def bench_json():
+    def _write(tag, payload):
+        directory = os.environ.get("BENCH_JSON_DIR", ".")
+        path = os.path.join(directory, f"BENCH_{tag}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return _write

@@ -19,6 +19,8 @@ Commands:
 * ``commands [--store DIR]``           — list the registered command types;
   with a store, dump the recent dispatch history (idempotency keys,
   status, depth) recorded by the command pipeline.
+* ``cluster status --store DIR``       — per-shard topology and state
+  counts for a sharded runtime's ``shard-<n>`` store directories.
 """
 
 from __future__ import annotations
@@ -325,6 +327,96 @@ def cmd_commands(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Offline inspection of a sharded cluster's store directories.
+
+    Expects the bench/test layout: one ``shard-<n>`` DurableKV directory
+    per shard under ``--store``.  Reads each partition's persisted
+    topology record and per-record state counts without an engine.
+    """
+    import os
+
+    from repro.storage.kvstore import DurableKV
+
+    try:
+        entries = sorted(os.listdir(args.store))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {args.store}: {exc}")
+    shard_dirs = [
+        entry
+        for entry in entries
+        if entry.startswith("shard-")
+        and os.path.isdir(os.path.join(args.store, entry))
+    ]
+    shard_dirs.sort(
+        key=lambda d: (
+            int(d.rsplit("-", 1)[-1]) if d.rsplit("-", 1)[-1].isdigit() else 0
+        )
+    )
+    if not shard_dirs:
+        raise SystemExit(f"error: no shard-* store directories under {args.store}")
+    rows = []
+    for directory in shard_dirs:
+        store = DurableKV(os.path.join(args.store, directory), sync_writes=False)
+        meta = store.get("cluster/meta", None)
+        by_state: dict[str, int] = {}
+        for _, raw in store.scan("instance/"):
+            state = raw.get("state", "?")
+            by_state[state] = by_state.get(state, 0) + 1
+        rows.append(
+            {
+                "directory": directory,
+                "topology": meta,
+                "instances": sum(by_state.values()),
+                "by_state": by_state,
+                "jobs": len(store.keys("jobs/")),
+                "workitems": len(store.keys("workitem/")),
+                "commands": len(store.keys("dispatch/")),
+            }
+        )
+        store.close()
+    widths = {row["topology"]["shards"] for row in rows if row["topology"]}
+    consistent = (
+        len(widths) == 1
+        and len(rows) == next(iter(widths))
+        and all(
+            row["topology"] and row["topology"].get("shard") == index
+            for index, row in enumerate(rows)
+        )
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {"consistent": consistent, "shards": rows},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if consistent else 1
+    print(
+        f"cluster   : {len(rows)} shard store(s), topology "
+        + ("consistent" if consistent else "INCONSISTENT")
+    )
+    for index, row in enumerate(rows):
+        states = ", ".join(
+            f"{state}={count}" for state, count in sorted(row["by_state"].items())
+        )
+        recorded = row["topology"]
+        tag = (
+            f"{recorded.get('shard')}/{recorded.get('shards')}"
+            if recorded
+            else "missing"
+        )
+        print(
+            f"  shard {index} ({row['directory']}, topology {tag}): "
+            f"instances={row['instances']}"
+            + (f" [{states}]" if states else "")
+            + f" jobs={row['jobs']} workitems={row['workitems']}"
+            f" commands={row['commands']}"
+        )
+    return 0 if consistent else 1
+
+
 def cmd_patterns(args: argparse.Namespace) -> int:
     from repro.patterns.catalog import PATTERNS
 
@@ -434,6 +526,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     p_commands.set_defaults(func=cmd_commands)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="sharded-runtime tools (see repro.cluster)"
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+    p_cluster_status = cluster_sub.add_parser(
+        "status", help="inspect a cluster's shard-<n> store directories"
+    )
+    p_cluster_status.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="directory containing one shard-<n> DurableKV per shard",
+    )
+    p_cluster_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_cluster_status.set_defaults(func=cmd_cluster_status)
     return parser
 
 

@@ -1,0 +1,23 @@
+"""The sharded runtime: instance-partitioned parallel dispatch.
+
+>>> from repro.cluster import ShardedEngine
+>>> cluster = ShardedEngine(shards=4)
+
+See DESIGN.md §Sharded runtime for the routing rule, the cross-shard
+fan-out semantics, and the recovery topology check.
+"""
+
+from repro.cluster.router import (
+    message_home_shard,
+    parse_shard_tag,
+    shard_of_key,
+)
+from repro.cluster.sharded import TOPOLOGY_KEY, ShardedEngine
+
+__all__ = [
+    "ShardedEngine",
+    "TOPOLOGY_KEY",
+    "message_home_shard",
+    "parse_shard_tag",
+    "shard_of_key",
+]

@@ -1,0 +1,44 @@
+"""Deterministic routing for the sharded runtime.
+
+Every generated id carries its shard in-band (``order-s2-7``,
+``wi-s2-3``), so per-instance commands route by parsing the tag — no
+lookup table, no cross-shard coordination.  Ids and keys minted outside
+the cluster hash with :func:`zlib.crc32`, which (unlike the builtin
+``hash``) is stable across processes and restarts — the routing rule
+must survive recovery.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from typing import Any
+
+#: the shard segment spliced into generated ids: ``s<index>``
+_SHARD_SEGMENT = re.compile(r"^s(\d+)$")
+
+
+def shard_of_key(value: str, shards: int) -> int:
+    """Stable hash routing for business keys and foreign ids."""
+    return zlib.crc32(value.encode("utf-8")) % shards
+
+
+def parse_shard_tag(entity_id: str) -> int | None:
+    """The shard index embedded in a cluster-generated id, if any.
+
+    Cluster ids end in ``-s<k>-<seq>`` (``order-s2-7``, ``wi-s0-12``);
+    anything else — including plain-engine ids like ``order-7`` — returns
+    ``None`` and falls back to hash routing.
+    """
+    parts = entity_id.rsplit("-", 2)
+    if len(parts) == 3 and parts[2].isdigit():
+        match = _SHARD_SEGMENT.match(parts[1])
+        if match is not None:
+            return int(match.group(1))
+    return None
+
+
+def message_home_shard(name: str, correlation: Any, shards: int) -> int:
+    """Where an unmatched message retains, so a later receiver and a
+    retry of the same publish converge on one shard."""
+    return shard_of_key(f"{name}\x00{correlation!r}", shards)

@@ -1,0 +1,708 @@
+"""``ShardedEngine``: N independent engine shards behind one facade.
+
+PR 4 made concurrent clients *safe* — one serialization gate — and its
+F10 benchmark showed they were no *faster*: every command funnels through
+a single lock.  This module partitions process instances across N
+:class:`~repro.engine.engine.ProcessEngine` shards, each with its own
+dispatch lock, store, journal, group-commit policy, and idempotency
+window, the way Zeebe partitions and Camunda's sharded job executor
+scale the same architecture.  Per-instance commands route determinis-
+tically (see :mod:`repro.cluster.router`) and dispatch in parallel;
+the GIL releases during store transactions, journal fsyncs, and service
+invocations, so the parallelism is real wall-clock win on I/O-bound
+workloads (bench_f11).
+
+Cross-shard semantics:
+
+* ``correlate_message`` — probe every shard (read-only, one lock at a
+  time) and publish where a running wait would consume it (first match
+  in shard order); else where a suspended subscriber sits; else on the
+  message's deterministic *home shard*.  Undelivered messages land in a
+  cluster-shared retained buffer, so a receiver activating later on any
+  shard consumes them exactly as a single engine would.
+* internal send tasks — a message published inside shard A that A's own
+  engine does not consume is intercepted by the cluster's forwarder,
+  queued, and re-routed *after* A's dispatch returns: no thread ever
+  holds two shard locks, which is what makes the fan-out deadlock-free.
+* ``advance_time`` — the shared clock advances exactly once, then
+  ``RunDueJobs`` fans out to every shard and the counts merge.
+* ``instances(state=)`` / ``find_instances`` — scatter-gather; a
+  ``business_key`` filter narrows to the key's home shard because
+  instances are co-located by business key at start.
+* ``recover()`` — reattaches each shard's partition from its own store
+  and rejects a store whose persisted topology (shard count/index) does
+  not match the cluster, so a 4-shard store set cannot be silently
+  reopened as 2 shards with half the instances unreachable.
+
+One lock-ordering invariant keeps this deadlock-free: a thread holds at
+most one shard's dispatch lock at any moment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.clock import Clock, VirtualClock, WallClock
+from repro.cluster.router import message_home_shard, parse_shard_tag, shard_of_key
+from repro.engine import commands as cmds
+from repro.engine.commands import Command
+from repro.engine.engine import ProcessEngine, _creation_rank
+from repro.engine.errors import EngineError, InstanceNotFoundError
+from repro.engine.instance import InstanceState, ProcessInstance
+from repro.engine.migration import MigrationPlan
+from repro.model.process import ProcessDefinition
+from repro.obs import Observability
+from repro.services.bus import Message, MessageBus
+from repro.services.registry import ServiceRegistry
+from repro.storage.kvstore import KeyValueStore, MemoryKV
+from repro.worklist.allocation import Allocator
+from repro.worklist.items import WorkItem, WorkItemState
+from repro.worklist.resources import OrganizationalModel
+
+#: store key holding each shard's persisted topology record
+TOPOLOGY_KEY = "cluster/meta"
+
+
+class _ClusterBus(MessageBus):
+    """A shard-local bus whose *retained* buffer is cluster-shared.
+
+    Publish/subscribe stays shard-local (each shard's engine correlates
+    its own instances), but an unconsumed message must be visible to a
+    receiver activating later on *any* shard — exactly the single-engine
+    retention contract.  The shared buffer has its own guard lock,
+    acquired strictly *inside* a shard's serialization lock (innermost
+    everywhere), so shards can touch it concurrently without an ABBA
+    cycle.
+    """
+
+    def __init__(
+        self,
+        shared_retained: dict[str, list[Message]],
+        guard: threading.Lock,
+    ) -> None:
+        super().__init__()
+        self._retained = shared_retained
+        self._retained_guard = guard
+
+    def _retain(self, message: Message) -> None:
+        # publish() already holds self._lock; the guard nests inside it
+        with self._retained_guard:
+            super()._retain(message)
+
+    def consume_retained(
+        self, name: str, correlation: Any = None, match_any: bool = False
+    ) -> Message | None:
+        with self._lock:  # same outermost lock as the base class
+            with self._retained_guard:
+                return super().consume_retained(name, correlation, match_any)
+
+    def retained(self, name: str) -> list[Message]:
+        with self._lock:
+            with self._retained_guard:
+                return super().retained(name)
+
+    @property
+    def retained_count(self) -> int:
+        with self._lock:
+            with self._retained_guard:
+                return sum(len(queue) for queue in self._retained.values())
+
+
+class ShardedEngine:
+    """A cluster of independently locked engine shards, one facade.
+
+    The public surface mirrors :class:`ProcessEngine` — clients swap a
+    constructor call, not their code.  ``store_factory(index)`` supplies
+    one backing store per shard (separate stores, separate journals,
+    separate group commits — the parallelism comes from here); omitted,
+    every shard gets its own :class:`MemoryKV`.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        store_factory: Callable[[int], KeyValueStore] | None = None,
+        clock: Clock | None = None,
+        organization: OrganizationalModel | None = None,
+        allocator: Allocator | None = None,
+        services: ServiceRegistry | None = None,
+        obs: Observability | None = None,
+        commit_interval: int = 1,
+        dispatch_log_retention: int = 256,
+        verify_soundness: bool = False,
+        strict_references: bool = False,
+        max_steps: int = 100_000,
+    ) -> None:
+        if shards < 1:
+            raise EngineError(f"cluster needs at least one shard, got {shards}")
+        self.shard_count = shards
+        self.clock = clock if clock is not None else WallClock()
+        self.obs = obs if obs is not None else Observability()
+        self.organization = (
+            organization if organization is not None else OrganizationalModel()
+        )
+        self.services = services if services is not None else ServiceRegistry()
+        # one cluster-wide retained-message buffer (see _ClusterBus)
+        self._retained_messages: dict[str, list[Message]] = {}
+        self._retained_guard = threading.Lock()
+        self.shards: tuple[ProcessEngine, ...] = tuple(
+            ProcessEngine(
+                clock=self.clock,
+                store=store_factory(i) if store_factory is not None else MemoryKV(),
+                organization=self.organization,
+                allocator=allocator,
+                services=self.services,
+                bus=_ClusterBus(self._retained_messages, self._retained_guard),
+                obs=self.obs,
+                verify_soundness=verify_soundness,
+                strict_references=strict_references,
+                max_steps=max_steps,
+                commit_interval=commit_interval,
+                dispatch_log_retention=dispatch_log_retention,
+                shard_tag=f"s{i}",
+            )
+            for i in range(shards)
+        )
+        try:
+            self._check_or_stamp_topology()
+        except EngineError:
+            for shard in self.shards:
+                shard.store.close()
+            raise
+        # round-robin cursor for keyless StartInstance and the cluster
+        # routing table for dedup keys whose first routing decision was
+        # nondeterministic (round-robin starts, state-dependent message
+        # probes) — a retry must land on the shard that recorded the key
+        self._route_lock = threading.Lock()
+        self._rr_cursor = 0
+        self._dedup_route: dict[str, int] = {}
+        # cross-shard message forwarding: messages a shard's own engine
+        # did not consume queue here (under that shard's lock) and are
+        # re-routed after the originating dispatch returns (no lock held)
+        self._pending_forwards: deque[tuple[int, Message]] = deque()
+        self._local = threading.local()
+        for index in range(shards):
+            self.shards[index].bus.subscribe(self._make_forwarder(index))
+        # per-shard instruments, through the shared registry
+        registry = self.obs.registry
+        self._c_dispatches = tuple(
+            registry.counter(f"cluster.shard.dispatches.{i}") for i in range(shards)
+        )
+        self._g_queue_depth = tuple(
+            registry.gauge(f"cluster.shard.queue_depth.{i}") for i in range(shards)
+        )
+        self._h_lock_wait = tuple(
+            registry.histogram(f"cluster.shard.lock_wait_seconds.{i}")
+            for i in range(shards)
+        )
+        self._c_forwards = registry.counter("cluster.message_forwards")
+
+    # -- topology ---------------------------------------------------------------
+
+    def _check_or_stamp_topology(self) -> None:
+        """Stamp each shard store with the topology, or validate a match.
+
+        The record pins both the cluster width and the store's own slot,
+        so neither reopening 4 stores as a 2-shard cluster nor swapping
+        two shard directories passes silently.
+        """
+        for index, shard in enumerate(self.shards):
+            recorded = shard.store.get(TOPOLOGY_KEY, None)
+            if recorded is None:
+                shard.store.put(
+                    TOPOLOGY_KEY, {"shards": self.shard_count, "shard": index}
+                )
+                shard.store.sync()
+                continue
+            self._validate_topology(recorded, index)
+
+    def _validate_topology(self, recorded: dict[str, Any], index: int) -> None:
+        if recorded.get("shards") != self.shard_count:
+            raise EngineError(
+                f"shard {index} store was written by a "
+                f"{recorded.get('shards')}-shard cluster; this cluster has "
+                f"{self.shard_count} — refusing mismatched topology"
+            )
+        if recorded.get("shard") != index:
+            raise EngineError(
+                f"store attached as shard {index} is shard "
+                f"{recorded.get('shard')}'s partition — refusing swapped stores"
+            )
+
+    # -- routing ----------------------------------------------------------------
+
+    def _shard_for_instance(self, instance_id: str) -> int:
+        tagged = parse_shard_tag(instance_id)
+        if tagged is not None:
+            if tagged >= self.shard_count:
+                raise InstanceNotFoundError(
+                    f"instance {instance_id!r} belongs to shard {tagged}, "
+                    f"outside this {self.shard_count}-shard cluster"
+                )
+            return tagged
+        return shard_of_key(instance_id, self.shard_count)
+
+    def _shard_for_item(self, item_id: str) -> int:
+        tagged = parse_shard_tag(item_id)
+        if tagged is not None and tagged < self.shard_count:
+            return tagged
+        return shard_of_key(item_id, self.shard_count)
+
+    def _route_start(self, cmd: cmds.StartInstance) -> int:
+        """Business keys co-locate (stable hash); keyless starts spread
+        round-robin; a dedup-keyed retry repeats its recorded route."""
+        with self._route_lock:
+            if cmd.dedup_key is not None:
+                known = self._dedup_route.get(cmd.dedup_key)
+                if known is not None:
+                    return known
+            if cmd.business_key is not None:
+                index = shard_of_key(cmd.business_key, self.shard_count)
+            else:
+                index = self._rr_cursor
+                self._rr_cursor = (self._rr_cursor + 1) % self.shard_count
+            if cmd.dedup_key is not None:
+                self._dedup_route[cmd.dedup_key] = index
+            return index
+
+    # -- the dispatch path ------------------------------------------------------
+
+    def dispatch(self, command: Command) -> Any:
+        """Route a typed command to its shard (or fan it out) and run it."""
+        if isinstance(command, cmds.StartInstance):
+            return self._dispatch_on(self._route_start(command), command)
+        if isinstance(
+            command,
+            (
+                cmds.TerminateInstance,
+                cmds.SuspendInstance,
+                cmds.ResumeInstance,
+                cmds.MigrateInstance,
+            ),
+        ):
+            return self._dispatch_on(
+                self._shard_for_instance(command.instance_id), command
+            )
+        if isinstance(
+            command, (cmds.ClaimWorkItem, cmds.StartWorkItem, cmds.CompleteWorkItem)
+        ):
+            return self._dispatch_on(self._shard_for_item(command.item_id), command)
+        if isinstance(command, cmds.CorrelateMessage):
+            return self._correlate(command)
+        if isinstance(command, cmds.DeployDefinition):
+            return self._broadcast_deploy(command)
+        if isinstance(command, cmds.RunDueJobs):
+            return sum(
+                self._dispatch_on(i, cmds.RunDueJobs())
+                for i in range(self.shard_count)
+            )
+        if isinstance(command, cmds.AdvanceTime):
+            return self._advance_time(command.seconds)
+        raise EngineError(f"cluster cannot route command {command.name!r}")
+
+    def _dispatch_on(self, index: int, command: Command) -> Any:
+        """Run one command on one shard, measuring lock contention.
+
+        The shard lock is acquired here (re-entered by the shard's own
+        dispatcher) so the wait — the time this thread spent blocked
+        behind commands running on the same shard — lands in the
+        per-shard histogram.
+        """
+        shard = self.shards[index]
+        lock = shard._dispatch_lock
+        started = time.perf_counter()
+        lock.acquire()
+        try:
+            self._h_lock_wait[index].observe(time.perf_counter() - started)
+            self._c_dispatches[index].inc()
+            result = shard.dispatch(command)
+            self._g_queue_depth[index].set(len(shard.scheduler))
+        finally:
+            lock.release()
+        self._drain_forwards()
+        return result
+
+    # -- cross-shard messaging --------------------------------------------------
+
+    def _make_forwarder(self, index: int) -> Callable[[Message], bool]:
+        """The bus subscriber that exports unconsumed messages.
+
+        Subscribed *after* the shard engine's own correlator, so it sees
+        only messages with no local receiver.  It claims them (returning
+        ``True`` keeps the bus from retaining shard-locally) and queues
+        them for re-routing; ``delivered_count`` is pre-decremented so
+        the claim nets zero until a real delivery happens somewhere.
+        A publish the cluster itself just routed here is left alone
+        (one-shot thread-local mark) — that is the retention fallback.
+        """
+        bus = self.shards[index].bus
+
+        def forward(message: Message) -> bool:
+            expected = getattr(self._local, "expect", None)
+            if expected == (message.name, message.correlation):
+                self._local.expect = None
+                return False
+            bus.delivered_count -= 1
+            self._pending_forwards.append((index, message))
+            return True
+
+        return forward
+
+    def _drain_forwards(self) -> None:
+        """Re-route every queued message; runs with no shard lock held."""
+        while True:
+            try:
+                _origin, message = self._pending_forwards.popleft()
+            except IndexError:
+                return
+            self._c_forwards.inc()
+            self._route_publish(
+                message.name, message.correlation, dict(message.payload)
+            )
+
+    def _probe_target(self, name: str, correlation: Any) -> int:
+        """First shard that would deliver now; else one that would hold
+        it for a suspended receiver; else the message's home shard."""
+        suspended = None
+        for index, shard in enumerate(self.shards):
+            with shard._dispatch_lock:
+                verdict = shard.message_delivery_probe(name, correlation)
+            if verdict == "deliver":
+                return index
+            if verdict == "wait" and suspended is None:
+                suspended = index
+        if suspended is not None:
+            return suspended
+        return message_home_shard(name, correlation, self.shard_count)
+
+    def _route_publish(
+        self,
+        name: str,
+        correlation: Any,
+        payload: dict[str, Any],
+        dedup_key: str | None = None,
+        target: int | None = None,
+    ) -> Message:
+        if target is None:
+            target = self._probe_target(name, correlation)
+        command = cmds.CorrelateMessage(
+            message_name=name,
+            correlation=correlation,
+            payload=payload,
+            dedup_key=dedup_key,
+        )
+        # mark the publish so the target's forwarder lets it retain there
+        # if the matched wait disappeared between probe and dispatch
+        self._local.expect = (name, correlation)
+        try:
+            return self._dispatch_on(target, command)
+        finally:
+            self._local.expect = None
+
+    def _correlate(self, command: cmds.CorrelateMessage) -> Message:
+        target = None
+        if command.dedup_key is not None:
+            with self._route_lock:
+                target = self._dedup_route.get(command.dedup_key)
+                if target is None:
+                    target = self._probe_target(
+                        command.message_name, command.correlation
+                    )
+                    self._dedup_route[command.dedup_key] = target
+        return self._route_publish(
+            command.message_name,
+            command.correlation,
+            dict(command.payload),
+            dedup_key=command.dedup_key,
+            target=target,
+        )
+
+    # -- public surface (mirrors ProcessEngine) ---------------------------------
+
+    def deploy(
+        self,
+        definition: ProcessDefinition,
+        verify: bool | None = None,
+        force: bool = False,
+    ) -> str:
+        """Deploy to every shard; returns the ``key:version`` identifier."""
+        return self._broadcast_deploy(
+            cmds.DeployDefinition(definition=definition, verify=verify, force=force)
+        )
+
+    def _broadcast_deploy(self, command: cmds.DeployDefinition) -> str:
+        identifiers = [
+            self._dispatch_on(i, command) for i in range(self.shard_count)
+        ]
+        if len(set(identifiers)) != 1:  # pragma: no cover - defensive
+            raise EngineError(f"divergent deployment versions: {identifiers}")
+        return identifiers[0]
+
+    def definition(self, key: str, version: int | None = None) -> ProcessDefinition:
+        """Look up a deployed definition (identical on every shard)."""
+        return self.shards[0].definition(key, version)
+
+    def definitions(self) -> list[ProcessDefinition]:
+        """All deployed definitions."""
+        return self.shards[0].definitions()
+
+    def start_instance(
+        self,
+        key: str,
+        variables: dict[str, Any] | None = None,
+        business_key: str | None = None,
+        version: int | None = None,
+        dedup_key: str | None = None,
+    ) -> ProcessInstance:
+        """Create and advance an instance on its routed shard."""
+        return self.dispatch(
+            cmds.StartInstance(
+                key=key,
+                variables=dict(variables or {}),
+                business_key=business_key,
+                version=version,
+                dedup_key=dedup_key,
+            )
+        )
+
+    def instance(self, instance_id: str) -> ProcessInstance:
+        """Look up an instance on its routed shard."""
+        return self.shards[self._shard_for_instance(instance_id)].instance(
+            instance_id
+        )
+
+    def instances(self, state: InstanceState | None = None) -> list[ProcessInstance]:
+        """Scatter-gather across shards, merged in creation order.
+
+        Creation ranks are per-shard sequences, so the merge is exact
+        within a shard and rank-interleaved across shards.
+        """
+        return self._merge_instances(
+            shard.instances(state) for shard in self.shards
+        )
+
+    def find_instances(self, **filters: Any) -> list[ProcessInstance]:
+        """Cross-shard :meth:`ProcessEngine.find_instances`.
+
+        A ``business_key`` filter narrows to the key's home shard (starts
+        co-locate by business key, and subprocess children inherit their
+        parent's key on the parent's shard); anything else scatter-gathers.
+        """
+        business_key = filters.get("business_key")
+        if business_key is not None:
+            index = shard_of_key(business_key, self.shard_count)
+            return self.shards[index].find_instances(**filters)
+        return self._merge_instances(
+            shard.find_instances(**filters) for shard in self.shards
+        )
+
+    def _merge_instances(
+        self, per_shard: Iterable[list[ProcessInstance]]
+    ) -> list[ProcessInstance]:
+        collected = [
+            (rank_index, instance)
+            for rank_index, shard_result in enumerate(per_shard)
+            for instance in shard_result
+        ]
+        collected.sort(key=lambda pair: (_creation_rank(pair[1].id), pair[0]))
+        return [instance for _, instance in collected]
+
+    def terminate_instance(
+        self,
+        instance_id: str,
+        reason: str = "user request",
+        dedup_key: str | None = None,
+    ) -> None:
+        self.dispatch(
+            cmds.TerminateInstance(
+                instance_id=instance_id, reason=reason, dedup_key=dedup_key
+            )
+        )
+
+    def suspend_instance(self, instance_id: str, dedup_key: str | None = None) -> None:
+        self.dispatch(
+            cmds.SuspendInstance(instance_id=instance_id, dedup_key=dedup_key)
+        )
+
+    def resume_instance(self, instance_id: str, dedup_key: str | None = None) -> None:
+        self.dispatch(
+            cmds.ResumeInstance(instance_id=instance_id, dedup_key=dedup_key)
+        )
+
+    def migrate_instance(
+        self,
+        instance_id: str,
+        target_version: int,
+        plan: MigrationPlan | None = None,
+        dedup_key: str | None = None,
+    ) -> ProcessInstance:
+        return self.dispatch(
+            cmds.MigrateInstance(
+                instance_id=instance_id,
+                target_version=target_version,
+                node_mapping=dict(plan.node_mapping) if plan is not None else {},
+                dedup_key=dedup_key,
+            )
+        )
+
+    def claim_work_item(
+        self, item_id: str, resource_id: str, dedup_key: str | None = None
+    ) -> WorkItem:
+        return self.dispatch(
+            cmds.ClaimWorkItem(
+                item_id=item_id, resource_id=resource_id, dedup_key=dedup_key
+            )
+        )
+
+    def start_work_item(self, item_id: str, dedup_key: str | None = None) -> WorkItem:
+        return self.dispatch(
+            cmds.StartWorkItem(item_id=item_id, dedup_key=dedup_key)
+        )
+
+    def complete_work_item(
+        self,
+        item_id: str,
+        result: dict[str, Any] | None = None,
+        dedup_key: str | None = None,
+    ) -> WorkItem:
+        return self.dispatch(
+            cmds.CompleteWorkItem(
+                item_id=item_id, result=dict(result or {}), dedup_key=dedup_key
+            )
+        )
+
+    def work_items(self, state: WorkItemState | None = None) -> list[WorkItem]:
+        """All work items across shards (optionally by state)."""
+        items: list[WorkItem] = []
+        for shard in self.shards:
+            items.extend(shard.worklist.items(state))
+        return items
+
+    def correlate_message(
+        self,
+        name: str,
+        correlation: Any = None,
+        payload: dict[str, Any] | None = None,
+        dedup_key: str | None = None,
+    ) -> Message:
+        """Broadcast-correlate: deliver to the first shard with a
+        matching running wait, else retain on the message's home shard."""
+        return self._correlate(
+            cmds.CorrelateMessage(
+                message_name=name,
+                correlation=correlation,
+                payload=dict(payload or {}),
+                dedup_key=dedup_key,
+            )
+        )
+
+    def run_due_jobs(self) -> int:
+        """Fire due jobs on every shard; returns the merged count."""
+        return self.dispatch(cmds.RunDueJobs())
+
+    def advance_time(self, seconds: float) -> int:
+        """Advance the shared virtual clock once, then pump every shard."""
+        return self.dispatch(cmds.AdvanceTime(seconds=seconds))
+
+    def _advance_time(self, seconds: float) -> int:
+        if not isinstance(self.clock, VirtualClock):
+            raise EngineError("advance_time requires a VirtualClock")
+        # the clock is shared: advance it exactly once here, not once per
+        # shard — then fan out the job pump so each partition's timers
+        # fire exactly once
+        self.clock.advance(seconds)
+        return sum(
+            self._dispatch_on(i, cmds.RunDueJobs())
+            for i in range(self.shard_count)
+        )
+
+    # -- persistence & lifecycle ------------------------------------------------
+
+    def flush(self) -> None:
+        """Force-commit every shard's pending dirty state."""
+        for index in range(self.shard_count):
+            shard = self.shards[index]
+            with shard._dispatch_lock:
+                shard.flush()
+
+    def recover(self) -> dict[str, int]:
+        """Recover every shard from its own partition; merged counts.
+
+        Re-validates the persisted topology first (a recovery driver may
+        construct the cluster over freshly opened stores) and rebuilds
+        the cluster routing table for recovered dedup keys so retries
+        keep landing on the shard that recorded them.
+        """
+        totals = {
+            "definitions": 0,
+            "instances": 0,
+            "jobs": 0,
+            "workitems": 0,
+            "commands": 0,
+        }
+        for index, shard in enumerate(self.shards):
+            recorded = shard.store.get(TOPOLOGY_KEY, None)
+            if recorded is not None:
+                self._validate_topology(recorded, index)
+            with shard._dispatch_lock:
+                counts = shard.recover()
+                for key in counts:
+                    totals[key] = totals.get(key, 0) + counts[key]
+                with self._route_lock:
+                    for dedup_key in shard._dedup:
+                        self._dedup_route[dedup_key] = index
+                self._g_queue_depth[index].set(len(shard.scheduler))
+        # deployed definitions must agree shard-to-shard; recovery is the
+        # one moment a partially written partition could diverge
+        deployed = {
+            tuple(sorted(shard._definitions)) for shard in self.shards
+        }
+        if len(deployed) > 1:
+            raise EngineError(
+                "shards recovered divergent definition sets; "
+                "redeploy before serving traffic"
+            )
+        return totals
+
+    def close(self) -> None:
+        """Flush and release every shard's backing store."""
+        self.flush()
+        for shard in self.shards:
+            shard.store.close()
+
+    # -- introspection ----------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Cluster topology and per-shard load (``repro cluster status``)."""
+        per_shard = []
+        for index, shard in enumerate(self.shards):
+            with shard._dispatch_lock:
+                states = {
+                    state.value: len(ids)
+                    for state, ids in shard._by_state.items()
+                    if ids
+                }
+                per_shard.append(
+                    {
+                        "shard": index,
+                        "instances": len(shard._instances),
+                        "by_state": states,
+                        "scheduler_depth": len(shard.scheduler),
+                        "open_work_items": sum(
+                            1
+                            for item in shard.worklist.items()
+                            if not item.state.is_terminal
+                        ),
+                        "dispatches": self._c_dispatches[index].value,
+                        "retained_messages": shard.bus.retained_count,
+                    }
+                )
+        return {
+            "shards": self.shard_count,
+            "pending_forwards": len(self._pending_forwards),
+            "per_shard": per_shard,
+        }

@@ -260,6 +260,16 @@ class CorrelateMessage(Command):
     payload: dict[str, Any] = field(default_factory=dict)
     dedup_key: str | None = None
 
+    def loggable(self, result: Any) -> bool:
+        # a publish that found no waiting receiver only parks the message
+        # in the bus's in-memory retained buffer — no engine record
+        # changed, so logging it would turn a miss into a store write.
+        # Deliveries leave the advanced instance dirty, and the dispatch
+        # log middleware's dirty-state fallback logs those; a dedup-keyed
+        # publish is always logged so the idempotency window survives
+        # recovery.
+        return self.dedup_key is not None
+
 
 # -- time (driver-loop interface) ---------------------------------------------
 

@@ -85,13 +85,17 @@ class ProcessEngine:
         strict_references: bool = False,
         commit_interval: int = 1,
         dispatch_log_retention: int = 256,
+        shard_tag: str = "",
     ) -> None:
         """``commit_interval`` sets the durable commit policy: ``1``
         (default) flushes dirty state after every public API call
         (autocommit); ``n > 1`` defers until at least ``n`` dirty records
         accumulate — call :meth:`flush` (or use :meth:`batch`) to force a
         commit earlier.  ``dispatch_log_retention`` bounds the persisted
-        command log and with it the idempotency (dedup-key) window.  See
+        command log and with it the idempotency (dedup-key) window.
+        ``shard_tag`` (e.g. ``"s2"``, set by the cluster layer) namespaces
+        generated instance and work-item ids (``order-s2-7``, ``wi-s2-3``)
+        so several engines can coexist without id collisions.  See
         DESIGN.md §Persistence & commit policies and §Command pipeline."""
         # `is None` checks throughout: several of these are container-like
         # (empty store/org would be falsy under `or`)
@@ -111,6 +115,8 @@ class ProcessEngine:
         self.soundness_max_states = soundness_max_states
         self.max_steps = max_steps
         self.strict_references = strict_references
+        self.shard_tag = shard_tag
+        self._id_ns = f"{shard_tag}-" if shard_tag else ""
 
         from repro.decisions.table import DecisionRegistry
 
@@ -123,6 +129,7 @@ class ProcessEngine:
             clock=self.clock,
             history=self.history,
             obs=self.obs,
+            id_namespace=shard_tag,
         )
         self.worklist.on_completion(self._on_work_item_completed)
         self.invoker = ServiceInvoker(self.services, clock=self.clock, obs=self.obs)
@@ -425,7 +432,7 @@ class ProcessEngine:
             raise EngineError(f"definition {key!r} needs exactly one start event")
         self._instance_seq += 1
         instance = ProcessInstance(
-            id=f"{key}-{self._instance_seq}",
+            id=f"{key}-{self._id_ns}{self._instance_seq}",
             definition_id=definition.identifier,
             business_key=business_key,
             variables=variables,
@@ -908,6 +915,37 @@ class ProcessEngine:
         return self.bus.publish(
             cmd.message_name, correlation=cmd.correlation, payload=dict(cmd.payload)
         )
+
+    def message_delivery_probe(self, name: str, correlation: Any = None) -> str:
+        """What a publish of (name, correlation) would do on this engine.
+
+        Returns ``"deliver"`` (a running wait matches and would consume it
+        now), ``"wait"`` (only a suspended instance subscribes — the
+        message should be retained *here* for redelivery on resume), or
+        ``"none"``.  Read-only: mirrors :meth:`_on_bus_message` matching
+        without its dead-wait cleanup, so the cluster router can pick the
+        target shard before publishing anywhere.
+        """
+        best = "none"
+        for wait in self._message_waits:
+            if wait["name"] != name:
+                continue
+            if (
+                not wait.get("match_any")
+                and wait.get("correlation") != correlation
+            ):
+                continue
+            instance = self._instances.get(wait["instance_id"])
+            if instance is None or instance.state.is_finished:
+                continue
+            if instance.state is not InstanceState.RUNNING:
+                best = "wait"
+                continue
+            token = instance.token(wait["token_id"])
+            if token is None or token.state is not TokenState.WAITING:
+                continue
+            return "deliver"
+        return best
 
     def _on_bus_message(self, message: Message) -> bool:
         for wait in list(self._message_waits):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any
 
 from repro.model.elements import (
     BoundaryEvent,
@@ -13,6 +13,57 @@ from repro.model.elements import (
     StartEvent,
 )
 from repro.model.errors import ModelError
+
+
+class _ObservedDict(dict):
+    """A dict that notifies its owner on mutation.
+
+    Definitions are mutable until deployed, and some tools (and tests)
+    edit ``definition.nodes`` directly instead of going through
+    ``add_node`` — the node map must stay a live view, so the query
+    caches hang off this hook rather than assuming append-only growth.
+    """
+
+    __slots__ = ("_on_change",)
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._on_change: Any = None
+
+    def _changed(self) -> None:
+        if self._on_change is not None:
+            self._on_change()
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        super().__setitem__(key, value)
+        self._changed()
+
+    def __delitem__(self, key: Any) -> None:
+        super().__delitem__(key)
+        self._changed()
+
+    def pop(self, *args: Any) -> Any:
+        result = super().pop(*args)
+        self._changed()
+        return result
+
+    def popitem(self) -> Any:
+        result = super().popitem()
+        self._changed()
+        return result
+
+    def clear(self) -> None:
+        super().clear()
+        self._changed()
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        super().update(*args, **kwargs)
+        self._changed()
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        result = super().setdefault(key, default)
+        self._changed()
+        return result
 
 
 @dataclass
@@ -42,6 +93,16 @@ class ProcessDefinition:
             self.name = self.key
         self._outgoing: dict[str, list[SequenceFlow]] = {}
         self._incoming: dict[str, list[SequenceFlow]] = {}
+        # query caches: definitions are frozen after deploy, so adjacency
+        # and per-type lookups are memoized as immutable tuples.  The
+        # builder still mutates during construction — add_node/add_flow
+        # invalidate whatever the mutation can affect.
+        self._outgoing_cache: dict[str, tuple[SequenceFlow, ...]] = {}
+        self._incoming_cache: dict[str, tuple[SequenceFlow, ...]] = {}
+        self._type_cache: dict[type, tuple[Node, ...]] = {}
+        self._boundary_cache: dict[str, tuple[BoundaryEvent, ...]] | None = None
+        self.nodes = _ObservedDict(self.nodes)
+        self.nodes._on_change = self._invalidate_node_caches
         # source provenance (set by the BPMN reader; not part of equality or
         # the serialized form — it describes where the model came from, not
         # what it is)
@@ -56,7 +117,7 @@ class ProcessDefinition:
         """Add a node; raises on duplicate id."""
         if node.id in self.nodes or node.id in self.flows:
             raise ModelError(f"duplicate element id {node.id!r}")
-        self.nodes[node.id] = node
+        self.nodes[node.id] = node  # _ObservedDict invalidates the caches
         return node
 
     def add_flow(self, flow: SequenceFlow) -> SequenceFlow:
@@ -71,9 +132,15 @@ class ProcessDefinition:
         self._index_flow(flow)
         return flow
 
+    def _invalidate_node_caches(self) -> None:
+        self._type_cache.clear()
+        self._boundary_cache = None
+
     def _index_flow(self, flow: SequenceFlow) -> None:
         self._outgoing.setdefault(flow.source, []).append(flow)
         self._incoming.setdefault(flow.target, []).append(flow)
+        self._outgoing_cache.pop(flow.source, None)
+        self._incoming_cache.pop(flow.target, None)
 
     # -- queries ------------------------------------------------------------
 
@@ -91,33 +158,55 @@ class ProcessDefinition:
         except KeyError:
             raise ModelError(f"unknown flow {flow_id!r}") from None
 
-    def outgoing(self, node_id: str) -> list[SequenceFlow]:
-        """Outgoing flows of a node, in insertion order."""
-        return list(self._outgoing.get(node_id, ()))
+    def outgoing(self, node_id: str) -> tuple[SequenceFlow, ...]:
+        """Outgoing flows of a node, in insertion order.
 
-    def incoming(self, node_id: str) -> list[SequenceFlow]:
-        """Incoming flows of a node, in insertion order."""
-        return list(self._incoming.get(node_id, ()))
+        Cached as an immutable tuple: this sits on the interpreter's
+        token-move hot path and used to allocate a fresh list per call.
+        """
+        cached = self._outgoing_cache.get(node_id)
+        if cached is None:
+            cached = tuple(self._outgoing.get(node_id, ()))
+            self._outgoing_cache[node_id] = cached
+        return cached
 
-    def start_events(self) -> list[StartEvent]:
+    def incoming(self, node_id: str) -> tuple[SequenceFlow, ...]:
+        """Incoming flows of a node, in insertion order (cached tuple)."""
+        cached = self._incoming_cache.get(node_id)
+        if cached is None:
+            cached = tuple(self._incoming.get(node_id, ()))
+            self._incoming_cache[node_id] = cached
+        return cached
+
+    def start_events(self) -> tuple[StartEvent, ...]:
         """All start events (a valid definition has exactly one)."""
-        return [n for n in self.nodes.values() if isinstance(n, StartEvent)]
+        return self.nodes_of_type(StartEvent)
 
-    def end_events(self) -> list[EndEvent]:
+    def end_events(self) -> tuple[EndEvent, ...]:
         """All end events."""
-        return [n for n in self.nodes.values() if isinstance(n, EndEvent)]
+        return self.nodes_of_type(EndEvent)
 
-    def boundary_events_of(self, activity_id: str) -> list[BoundaryEvent]:
+    def boundary_events_of(self, activity_id: str) -> tuple[BoundaryEvent, ...]:
         """Boundary events attached to the given activity."""
-        return [
-            n
-            for n in self.nodes.values()
-            if isinstance(n, BoundaryEvent) and n.attached_to == activity_id
-        ]
+        cache = self._boundary_cache
+        if cache is None:
+            cache = {}
+            for n in self.nodes.values():
+                if isinstance(n, BoundaryEvent):
+                    cache.setdefault(n.attached_to, []).append(n)
+            cache = {k: tuple(v) for k, v in cache.items()}
+            self._boundary_cache = cache
+        return cache.get(activity_id, ())
 
-    def nodes_of_type(self, node_type: type) -> Iterator[Node]:
-        """Iterate nodes of a given element class."""
-        return (n for n in self.nodes.values() if isinstance(n, node_type))
+    def nodes_of_type(self, node_type: type) -> tuple[Node, ...]:
+        """Nodes of a given element class (per-definition type index)."""
+        cached = self._type_cache.get(node_type)
+        if cached is None:
+            cached = tuple(
+                n for n in self.nodes.values() if isinstance(n, node_type)
+            )
+            self._type_cache[node_type] = cached
+        return cached
 
     @property
     def identifier(self) -> str:

@@ -82,8 +82,13 @@ class MessageBus:
                 if subscriber(message):
                     self.delivered_count += 1
                     return message
-            self._retained.setdefault(name, []).append(message)
+            self._retain(message)
             return message
+
+    def _retain(self, message: Message) -> None:
+        """Buffer an unconsumed message (hook: the cluster's shard buses
+        redirect this into one shared, cluster-wide buffer)."""
+        self._retained.setdefault(message.name, []).append(message)
 
     def retained(self, name: str) -> list[Message]:
         """Undelivered messages for a name, oldest first."""

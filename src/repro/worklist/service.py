@@ -42,7 +42,11 @@ class WorklistService:
         clock: Clock | None = None,
         history: HistoryService | None = None,
         obs: "Observability | None" = None,
+        id_namespace: str = "",
     ) -> None:
+        """``id_namespace`` (e.g. ``"s2"``) is spliced into generated item
+        ids (``wi-s2-7``) so several services — one per cluster shard —
+        can coexist without id collisions."""
         # `is None` checks: an empty OrganizationalModel is falsy (__len__)
         self.organization = (
             organization if organization is not None else OrganizationalModel()
@@ -61,6 +65,7 @@ class WorklistService:
         self._completion_listeners: list[CompletionListener] = []
         self._cancellation_listeners: list[CompletionListener] = []
         self._id_counter = itertools.count(1)
+        self._id_prefix = f"wi-{id_namespace}-" if id_namespace else "wi-"
         self._lock = threading.RLock()
         # differential write-set for the engine's incremental persistence:
         # ids of items created or mutated since the last flush (items are
@@ -108,7 +113,7 @@ class WorklistService:
         with self._lock:
             now = self.clock.now()
             item = WorkItem(
-                id=item_id or f"wi-{next(self._id_counter)}",
+                id=item_id or f"{self._id_prefix}{next(self._id_counter)}",
                 instance_id=instance_id,
                 node_id=node_id,
                 role=role,
@@ -344,10 +349,12 @@ class WorklistService:
         for raw in raw_items:
             item = WorkItem.from_dict(raw)
             self._items[item.id] = item
-        # keep generated ids unique after recovery
+        # keep generated ids unique after recovery: the counter is the
+        # trailing segment (``wi-7`` and namespaced ``wi-s2-7`` alike)
         numeric = [
-            int(i.id[3:]) for i in self._items.values()
-            if i.id.startswith("wi-") and i.id[3:].isdigit()
+            int(i.id.rsplit("-", 1)[-1]) for i in self._items.values()
+            if i.id.startswith(self._id_prefix)
+            and i.id.rsplit("-", 1)[-1].isdigit()
         ]
         if numeric:
             self._id_counter = itertools.count(max(numeric) + 1)

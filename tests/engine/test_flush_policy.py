@@ -262,6 +262,64 @@ class TestOrphanedJobs:
         assert engine.obs.registry.counter("engine.jobs.orphaned").value == 0
 
 
+class TestCorrelateWriteSet:
+    """A publish that matches no waiting receiver only parks the message
+    in the bus's in-memory retained buffer — the store must see zero
+    writes (the sharded runtime probes + publishes on every broadcast,
+    so a dirtying no-op here would multiply into N commits per message)."""
+
+    def receive_model(self):
+        return (
+            ProcessBuilder("msg")
+            .start()
+            .receive_task("wait", message_name="go", correlation_expression="key")
+            .end()
+            .build()
+        )
+
+    def test_unmatched_publish_writes_nothing(self):
+        store = CountingKV()
+        engine = build_engine(store)
+        engine.deploy(self.receive_model())
+        store.reset_counts()
+
+        message = engine.correlate_message("go", "nobody-waiting", {})
+        assert message.name == "go"
+        assert store.puts == 0
+        assert store.deletes == 0
+        assert store.commits == 0
+        # the message is retained, not lost
+        assert engine.bus.retained_count == 1
+
+    def test_delivered_publish_still_writes(self):
+        store = CountingKV()
+        engine = build_engine(store)
+        engine.deploy(self.receive_model())
+        instance = engine.start_instance("msg", {"key": "k1"})
+        store.reset_counts()
+
+        engine.correlate_message("go", "k1", {})
+        assert engine.instance(instance.id).state is InstanceState.COMPLETED
+        assert f"instance/{instance.id}" in store.put_keys
+        assert store.commits >= 1
+
+    def test_dedup_keyed_unmatched_publish_logs_the_dispatch(self):
+        """An idempotency-keyed publish must keep its dispatch record even
+        when nothing matched, so the dedup window survives recovery."""
+        store = CountingKV()
+        engine = build_engine(store)
+        engine.deploy(self.receive_model())
+        store.reset_counts()
+
+        engine.correlate_message("go", "nobody", {}, dedup_key="pub-1")
+        dispatch_puts = [k for k in store.put_keys if k.startswith("dispatch/")]
+        assert len(dispatch_puts) == 1
+        # and only the dispatch record: no instance/job/workitem churn
+        assert [
+            k for k in store.put_keys if not k.startswith("dispatch/")
+        ] == []
+
+
 class TestFlushInstrumentation:
     def test_flush_metrics_and_span(self):
         from repro.obs import InMemorySpanExporter, Observability

@@ -304,3 +304,62 @@ class TestMetrics:
         for needle in ("counters  :", "gauges    :", "histograms:",
                        "engine.token_moves", "engine.scheduler.queue_depth"):
             assert needle in out
+
+
+class TestClusterStatus:
+    @pytest.fixture
+    def cluster_store(self, tmp_path):
+        """A real 2-shard cluster store layout, written by ShardedEngine."""
+        from repro.clock import VirtualClock
+        from repro.cluster import ShardedEngine
+        from repro.storage.kvstore import DurableKV
+
+        root = tmp_path / "cluster"
+        root.mkdir()
+        cluster = ShardedEngine(
+            shards=2,
+            store_factory=lambda i: DurableKV(str(root / f"shard-{i}")),
+            clock=VirtualClock(0),
+        )
+        model = (
+            ProcessBuilder("auto")
+            .start()
+            .script_task("work", script="doubled = n * 2")
+            .end()
+            .build()
+        )
+        cluster.deploy(model)
+        for k in range(4):
+            cluster.start_instance("auto", {"n": k})
+        cluster.close()
+        return str(root)
+
+    def test_consistent_cluster_reports_zero(self, cluster_store, capsys):
+        assert main(["cluster", "status", "--store", cluster_store]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard store(s), topology consistent" in out
+        assert "shard 0 (shard-0, topology 0/2)" in out
+        assert "completed=2" in out
+
+    def test_json_output(self, cluster_store, capsys):
+        import json
+
+        assert main(
+            ["cluster", "status", "--store", cluster_store, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["consistent"] is True
+        assert len(payload["shards"]) == 2
+        assert payload["shards"][1]["topology"] == {"shards": 2, "shard": 1}
+        assert payload["shards"][0]["instances"] == 2
+
+    def test_missing_shard_reports_inconsistent(self, cluster_store, capsys):
+        import shutil
+
+        shutil.rmtree(cluster_store + "/shard-1")
+        assert main(["cluster", "status", "--store", cluster_store]) == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+    def test_empty_directory_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cluster", "status", "--store", str(tmp_path)])
