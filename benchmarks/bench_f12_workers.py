@@ -1,0 +1,206 @@
+"""F12 — worker pool: non-blocking service execution.
+
+Shape claims, on a slow-service workload (the service sleeps, releasing
+the GIL — a stand-in for any external call) over a durable store:
+
+(a) a single engine with a worker pool sustains >= 3x the throughput of
+    the same engine invoking inline at pool width 4 — the enqueue
+    returns in microseconds and the 2 ms waits overlap in the pool,
+    where the synchronous path serializes them inside the dispatch;
+(b) pool widths 1/2/4/8 show the laddering that proves the win is the
+    competing consumers, not the enqueue path itself;
+(c) the facade is cheap where it doesn't apply: on a fast no-I/O
+    workload routed inline (``only_services`` excludes it), an engine
+    with a pool attached stays within 5% of a plain engine — admission
+    is one set lookup plus one locked length check.
+
+Noise discipline follows bench_f10/f11: interleaved repeats compared by
+best-of.  Smoke mode (``F12_SMOKE=1``, used by CI) shrinks the workload
+and skips the perf-shape assertions — those are full-run gates.
+"""
+
+import os
+import time
+
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+from repro.services.registry import ServiceRegistry
+from repro.storage.kvstore import DurableKV
+from repro.workers import WorkerPool
+
+_SMOKE = os.environ.get("F12_SMOKE", "") not in ("", "0")
+#: instances per measured slow-service run
+N_SLOW = int(os.environ.get("F12_SLOW_N", "24" if _SMOKE else "160"))
+#: instances per measured fast-path run
+N_FAST = int(os.environ.get("F12_FAST_N", "60" if _SMOKE else "400"))
+#: interleaved best-of repeats
+N_REPEATS = int(os.environ.get("F12_REPEATS", "2" if _SMOKE else "5"))
+#: service-call latency — the I/O being overlapped (seconds)
+IO_SECONDS = float(os.environ.get("F12_IO_MS", "2.0")) / 1e3
+#: pool widths for the laddering table
+WIDTHS = (1, 2, 4, 8)
+
+
+def slow_model():
+    return (
+        ProcessBuilder("slowjob")
+        .start()
+        .service_task("call", service="slow_call", output_variable="reply")
+        .end()
+        .build()
+    )
+
+
+def fast_model():
+    return (
+        ProcessBuilder("fastjob")
+        .start()
+        .service_task("call", service="fast_call", output_variable="reply")
+        .end()
+        .build()
+    )
+
+
+def services():
+    registry = ServiceRegistry()
+
+    def slow_call(**variables):
+        time.sleep(IO_SECONDS)  # releases the GIL, like any real I/O wait
+        return {"ok": True}
+
+    registry.register("slow_call", slow_call)
+    registry.register("fast_call", lambda **variables: {"ok": True})
+    return registry
+
+
+def build_engine(tmp_dir, label, pool=None):
+    store = DurableKV(os.path.join(tmp_dir, label, "kv"))
+    engine = ProcessEngine(
+        clock=VirtualClock(0),
+        store=store,
+        services=services(),
+        dispatch_log_retention=8 * max(N_SLOW, N_FAST),
+    )
+    if pool is not None:
+        engine.attach_workers(pool)
+    return engine, store
+
+
+def run_slow_sync(tmp_dir, label):
+    """Baseline: every service call inline, inside the dispatch."""
+    engine, store = build_engine(tmp_dir, label)
+    engine.deploy(slow_model())
+    started = time.perf_counter()
+    for k in range(N_SLOW):
+        engine.start_instance("slowjob", {"n": k})
+    elapsed = time.perf_counter() - started
+    done = len(engine.instances(InstanceState.COMPLETED))
+    assert done == N_SLOW, (label, done, N_SLOW)
+    store.close()
+    return N_SLOW / elapsed
+
+
+def run_slow_pooled(tmp_dir, label, width):
+    """Enqueue everything, then wait for the pool to drain it."""
+    pool = WorkerPool(workers=width, queue_capacity=N_SLOW + 1)
+    engine, store = build_engine(tmp_dir, label, pool=pool)
+    engine.deploy(slow_model())
+    started = time.perf_counter()
+    for k in range(N_SLOW):
+        engine.start_instance("slowjob", {"n": k})
+    assert pool.wait_idle(timeout=120), label
+    elapsed = time.perf_counter() - started
+    done = len(engine.instances(InstanceState.COMPLETED))
+    assert done == N_SLOW, (label, done, N_SLOW)
+    # nothing was throttled to the inline path: the measurement is pure
+    status = engine.workers_status()["slow_call"]
+    assert status["enqueued"] == N_SLOW, (label, status)
+    pool.close()
+    store.close()
+    return N_SLOW / elapsed
+
+
+def run_fast(tmp_dir, label, with_pool):
+    """Fast no-I/O workload; the pool (when present) excludes the
+    service, so every start pays only the admission check."""
+    pool = (
+        WorkerPool(workers=2, only_services={"slow_call"}) if with_pool else None
+    )
+    engine, store = build_engine(tmp_dir, label, pool=pool)
+    engine.deploy(fast_model())
+    started = time.perf_counter()
+    for k in range(N_FAST):
+        engine.start_instance("fastjob", {"n": k})
+    elapsed = time.perf_counter() - started
+    done = len(engine.instances(InstanceState.COMPLETED))
+    assert done == N_FAST, (label, done, N_FAST)
+    if pool is not None:
+        assert engine.workers_status() == {}  # nothing ever pooled
+        pool.close()
+    store.close()
+    return N_FAST / elapsed
+
+
+def measure(tmp_dir):
+    """Best-of interleaved repeats per configuration (see module note)."""
+    rates = {"sync": [], "fast-plain": [], "fast-pooled": []}
+    for width in WIDTHS:
+        rates[f"pool-{width}"] = []
+    for repeat in range(N_REPEATS):
+        sub = os.path.join(tmp_dir, f"r{repeat}")
+        rates["sync"].append(run_slow_sync(sub, "sync"))
+        for width in WIDTHS:
+            rates[f"pool-{width}"].append(
+                run_slow_pooled(sub, f"w{width}", width)
+            )
+        rates["fast-plain"].append(run_fast(sub, "fast-plain", with_pool=False))
+        rates["fast-pooled"].append(run_fast(sub, "fast-pooled", with_pool=True))
+    return {name: max(samples) for name, samples in rates.items()}
+
+
+def test_f12_worker_pool_throughput(tmp_path, emit, bench_json):
+    rates = measure(str(tmp_path))
+    base = rates["sync"]
+    overhead = rates["fast-plain"] / rates["fast-pooled"] - 1
+    emit(
+        "",
+        "== F12: slow-service throughput vs pool width "
+        f"({IO_SECONDS * 1e3:.0f}ms service, {N_SLOW} instances, "
+        "DurableKV, best-of) ==",
+        f"{'runtime':>18} {'instances/s':>12} {'vs sync':>9}",
+        f"{'synchronous':>18} {base:>12.1f} {1.0:>8.2f}x",
+    )
+    for width in WIDTHS:
+        rate = rates[f"pool-{width}"]
+        emit(f"{f'pool x{width}':>18} {rate:>12.1f} {rate / base:>8.2f}x")
+    emit(
+        f"    pool-4 speedup             : "
+        f"{rates['pool-4'] / base:.2f}x (gate >= 3x)",
+        f"    fast-path facade overhead  : {100 * overhead:+.1f}% "
+        "(gate < +5%)",
+    )
+    bench_json(
+        "f12",
+        {
+            "config": {
+                "slow_instances": N_SLOW,
+                "fast_instances": N_FAST,
+                "repeats": N_REPEATS,
+                "io_ms": IO_SECONDS * 1e3,
+                "widths": list(WIDTHS),
+                "smoke": _SMOKE,
+            },
+            "instances_per_second": rates,
+            "speedup_pool_4": rates["pool-4"] / base,
+            "fast_path_overhead": overhead,
+        },
+    )
+    if _SMOKE:
+        return  # correctness asserted in the runners; shape needs full scale
+    assert rates["pool-4"] >= 3 * base, (
+        f"pool-4 speedup {rates['pool-4'] / base:.2f}x < 3x"
+    )
+    # attaching a pool must not tax workloads it never touches
+    assert overhead < 0.05, f"fast-path overhead {100 * overhead:+.1f}% >= 5%"

@@ -417,6 +417,118 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
     return 0 if consistent else 1
 
 
+def _dlq_store_paths(root: str) -> list[tuple[str, str]]:
+    """``(label, path)`` per DurableKV under ``root``.
+
+    Accepts either a single engine's store directory or a cluster
+    directory holding ``shard-<n>`` partitions (the bench/test layout).
+    """
+    import os
+
+    try:
+        entries = sorted(os.listdir(root))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {root}: {exc}")
+    shard_dirs = [
+        entry
+        for entry in entries
+        if entry.startswith("shard-") and os.path.isdir(os.path.join(root, entry))
+    ]
+    if shard_dirs:
+        shard_dirs.sort(
+            key=lambda d: (
+                int(d.rsplit("-", 1)[-1]) if d.rsplit("-", 1)[-1].isdigit() else 0
+            )
+        )
+        return [(d, os.path.join(root, d)) for d in shard_dirs]
+    return [("store", root)]
+
+
+def cmd_dlq_list(args: argparse.Namespace) -> int:
+    """Offline listing of dead-lettered invocations in one or N stores."""
+    from repro.storage.kvstore import DurableKV
+
+    rows = []
+    for label, path in _dlq_store_paths(args.store):
+        store = DurableKV(path, sync_writes=False)
+        for _, raw in store.scan("dlq/"):
+            entry = dict(raw)
+            entry["store"] = label
+            rows.append(entry)
+        store.close()
+    rows.sort(key=lambda r: (r.get("failed_at", 0.0), r.get("id", "")))
+    if args.json:
+        print(json.dumps({"dead_letters": rows}, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("dead-letter queue is empty")
+        return 0
+    print(f"{len(rows)} dead-lettered invocation(s):")
+    for row in rows:
+        print(
+            f"  {row.get('id', '?'):<14} service={row.get('service', '?'):<16} "
+            f"instance={row.get('instance_id', '?'):<12} "
+            f"attempts={row.get('attempts', '?')} "
+            f"requeues={row.get('requeues', 0)} "
+            f"error={row.get('error', '')!r}"
+        )
+    return 0
+
+
+def cmd_dlq_show(args: argparse.Namespace) -> int:
+    """Full record of one dead-lettered invocation."""
+    from repro.storage.kvstore import DurableKV
+
+    for label, path in _dlq_store_paths(args.store):
+        store = DurableKV(path, sync_writes=False)
+        raw = store.get(f"dlq/{args.invocation_id}", None)
+        store.close()
+        if raw is not None:
+            payload = dict(raw)
+            payload["store"] = label
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+    raise SystemExit(
+        f"error: no dead-lettered invocation {args.invocation_id!r} "
+        f"under {args.store}"
+    )
+
+
+def cmd_dlq_requeue(args: argparse.Namespace) -> int:
+    """Move a dead-lettered invocation back to the pending table, offline.
+
+    The record's ``requeues`` counter increments (so its completion dedup
+    key is fresh) and the move is one store transaction; the owning
+    engine re-enqueues it to the pool on its next ``recover()``.
+    """
+    from repro.storage.kvstore import DurableKV
+    from repro.workers.records import InvocationRecord
+
+    for _label, path in _dlq_store_paths(args.store):
+        store = DurableKV(path)
+        raw = store.get(f"dlq/{args.invocation_id}", None)
+        if raw is None:
+            store.close()
+            continue
+        record = InvocationRecord.from_dict(raw)
+        record.requeues += 1
+        with store.transaction():
+            store.delete(f"dlq/{record.id}")
+            store.put(f"invocation/{record.id}", record.to_dict())
+        store.sync()
+        store.close()
+        print(
+            f"requeued {record.id} (service={record.service}, "
+            f"requeues={record.requeues}); it will run on the owning "
+            f"engine's next recovery"
+        )
+        return 0
+    raise SystemExit(
+        f"error: no dead-lettered invocation {args.invocation_id!r} "
+        f"under {args.store}"
+    )
+
+
 def cmd_patterns(args: argparse.Namespace) -> int:
     from repro.patterns.catalog import PATTERNS
 
@@ -542,6 +654,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     p_cluster_status.set_defaults(func=cmd_cluster_status)
+
+    p_dlq = sub.add_parser(
+        "dlq", help="dead-letter queue tools (see repro.workers)"
+    )
+    dlq_sub = p_dlq.add_subparsers(dest="dlq_command", required=True)
+    p_dlq_list = dlq_sub.add_parser(
+        "list", help="list dead-lettered invocations in a store directory"
+    )
+    p_dlq_list.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="DurableKV directory, or a cluster directory of shard-<n> stores",
+    )
+    p_dlq_list.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_dlq_list.set_defaults(func=cmd_dlq_list)
+    p_dlq_show = dlq_sub.add_parser(
+        "show", help="print one dead-lettered invocation record"
+    )
+    p_dlq_show.add_argument("invocation_id")
+    p_dlq_show.add_argument("--store", required=True, metavar="DIR")
+    p_dlq_show.set_defaults(func=cmd_dlq_show)
+    p_dlq_requeue = dlq_sub.add_parser(
+        "requeue",
+        help="move a dead-lettered invocation back to pending (offline)",
+    )
+    p_dlq_requeue.add_argument("invocation_id")
+    p_dlq_requeue.add_argument("--store", required=True, metavar="DIR")
+    p_dlq_requeue.set_defaults(func=cmd_dlq_requeue)
     return parser
 
 

@@ -136,6 +136,7 @@ class ShardedEngine:
         verify_soundness: bool = False,
         strict_references: bool = False,
         max_steps: int = 100_000,
+        workers: Any = None,
     ) -> None:
         if shards < 1:
             raise EngineError(f"cluster needs at least one shard, got {shards}")
@@ -173,6 +174,13 @@ class ShardedEngine:
             for shard in self.shards:
                 shard.store.close()
             raise
+        # one worker pool shared by every shard: pool threads complete on
+        # whichever shard enqueued, so competing consumers span partitions
+        # while each completion still serializes under its own shard lock
+        self.workers = workers
+        if workers is not None:
+            for shard in self.shards:
+                shard.attach_workers(workers)
         # round-robin cursor for keyless StartInstance and the cluster
         # routing table for dedup keys whose first routing decision was
         # nondeterministic (round-robin starts, state-dependent message
@@ -291,6 +299,13 @@ class ShardedEngine:
             command, (cmds.ClaimWorkItem, cmds.StartWorkItem, cmds.CompleteWorkItem)
         ):
             return self._dispatch_on(self._shard_for_item(command.item_id), command)
+        if isinstance(
+            command, (cmds.CompleteServiceInvocation, cmds.RequeueDeadLetter)
+        ):
+            # invocation ids carry the enqueueing shard's tag (inv-s2-7)
+            return self._dispatch_on(
+                self._shard_for_item(command.invocation_id), command
+            )
         if isinstance(command, cmds.CorrelateMessage):
             return self._correlate(command)
         if isinstance(command, cmds.DeployDefinition):
@@ -600,6 +615,47 @@ class ShardedEngine:
             )
         )
 
+    def requeue_dead_letter(
+        self, invocation_id: str, dedup_key: str | None = None
+    ) -> dict[str, Any]:
+        """Requeue a dead-lettered invocation on its owning shard."""
+        return self.dispatch(
+            cmds.RequeueDeadLetter(
+                invocation_id=invocation_id, dedup_key=dedup_key
+            )
+        )
+
+    def dead_letters(self) -> list[dict[str, Any]]:
+        """Dead-lettered invocations across every shard, oldest first."""
+        collected: list[dict[str, Any]] = []
+        for shard in self.shards:
+            with shard._dispatch_lock:
+                collected.extend(shard.dead_letters())
+        collected.sort(
+            key=lambda raw: (raw.get("failed_at", 0.0), raw.get("id", ""))
+        )
+        return collected
+
+    def workers_status(self) -> dict[str, dict[str, int]]:
+        """Per-service invocation accounting, merged across shards."""
+        merged: dict[str, dict[str, int]] = {}
+        for shard in self.shards:
+            with shard._dispatch_lock:
+                per_shard = shard.workers_status()
+            for service, counts in per_shard.items():
+                slot = merged.setdefault(
+                    service,
+                    {
+                        "enqueued": 0,
+                        "completed": 0,
+                        "pending": 0,
+                        "dead_lettered": 0,
+                    },
+                )
+                for key, value in counts.items():
+                    slot[key] += value
+        return merged
+
     def run_due_jobs(self) -> int:
         """Fire due jobs on every shard; returns the merged count."""
         return self.dispatch(cmds.RunDueJobs())
@@ -669,7 +725,9 @@ class ShardedEngine:
         return totals
 
     def close(self) -> None:
-        """Flush and release every shard's backing store."""
+        """Stop the pool (if any), flush, release every shard's store."""
+        if self.workers is not None:
+            self.workers.close()
         self.flush()
         for shard in self.shards:
             shard.store.close()
@@ -699,10 +757,15 @@ class ShardedEngine:
                         ),
                         "dispatches": self._c_dispatches[index].value,
                         "retained_messages": shard.bus.retained_count,
+                        "pending_invocations": len(shard._invocations),
+                        "dead_letters": len(shard._dead_letters),
                     }
                 )
         return {
             "shards": self.shard_count,
             "pending_forwards": len(self._pending_forwards),
             "per_shard": per_shard,
+            "workers": (
+                self.workers.status() if self.workers is not None else None
+            ),
         }

@@ -271,6 +271,47 @@ class CorrelateMessage(Command):
         return self.dedup_key is not None
 
 
+# -- asynchronous service execution (worker-pool interface) -------------------
+
+
+@register_command
+@dataclass(frozen=True)
+class CompleteServiceInvocation(Command):
+    """Report a pooled service invocation's outcome.
+
+    Dispatched by worker-pool threads (and by clients retrying on their
+    behalf), so it is external and idempotent twice over: the standard
+    ``dedup_key`` window, plus the pending-invocation table — a completion
+    whose record is already resolved is a recorded no-op, which is what
+    makes the enqueue/execute/complete cycle at-least-once in execution
+    but exactly-once in effect.
+    """
+
+    name: ClassVar[str] = "complete_service_invocation"
+    external: ClassVar[bool] = True
+
+    invocation_id: str = ""
+    #: ``"success"`` | ``"failure"`` (retries exhausted) | ``"bpmn_error"``
+    outcome: str = "success"
+    value: Any = None
+    error: str | None = None
+    error_code: str | None = None
+    attempts: int = 0
+    dedup_key: str | None = None
+
+
+@register_command
+@dataclass(frozen=True)
+class RequeueDeadLetter(Command):
+    """Move a dead-lettered invocation back onto its service queue."""
+
+    name: ClassVar[str] = "requeue_dead_letter"
+    external: ClassVar[bool] = True
+
+    invocation_id: str = ""
+    dedup_key: str | None = None
+
+
 # -- time (driver-loop interface) ---------------------------------------------
 
 

@@ -50,6 +50,9 @@ def summarize_result(result: Any) -> Any:
     """A JSON-safe summary of a handler result for the dispatch log."""
     if result is None or isinstance(result, (bool, int, float, str)):
         return result
+    if isinstance(result, dict):
+        # completion/requeue handlers return JSON-safe status dicts
+        return result
     summarize = getattr(result, "__dispatch_summary__", None)
     if summarize is not None:
         return summarize()

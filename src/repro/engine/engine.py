@@ -156,6 +156,14 @@ class ProcessEngine:
         self._c_commands_deduped = self.obs.registry.counter(
             "engine.commands.deduped"
         )
+        self._c_inv_enqueued = self.obs.registry.counter("workers.enqueued")
+        self._c_inv_completed = self.obs.registry.counter("workers.completed")
+        self._c_inv_duplicates = self.obs.registry.counter(
+            "workers.duplicate_completions"
+        )
+        self._c_inv_cancelled = self.obs.registry.counter("workers.cancelled")
+        self._c_inv_requeued = self.obs.registry.counter("workers.requeued")
+        self._g_dead_letters = self.obs.registry.gauge("workers.dead_letters")
         self._command_counters: dict[str, Any] = {}
         self._instance_spans: dict[str, Span] = {}
         self._engine_span: Span | None = (
@@ -185,6 +193,25 @@ class ProcessEngine:
         self._batch_depth = 0
         self._waits_dirty = False
         self._persisted_seq = 0
+        # asynchronous service execution (see repro.workers): the pending-
+        # invocation table is the at-least-once ledger — records are
+        # persisted in the same group commit as the enqueueing dispatch,
+        # handed to the pool only after that commit, and removed in the
+        # same commit as their completion.  Dead letters are invocations
+        # whose retries exhausted; per-service enqueued/completed counters
+        # back the workers_status() invariant.
+        self.workers = None  # type: Any
+        self._invocations: dict[str, Any] = {}
+        self._invocations_dirty: set[str] = set()
+        self._invocations_removed: set[str] = set()
+        self._invocations_to_submit: list[str] = []
+        self._dead_letters: dict[str, dict[str, Any]] = {}
+        self._dead_letters_dirty: set[str] = set()
+        self._dead_letters_removed: set[str] = set()
+        self._invocation_seq = 0
+        self._persisted_invocation_seq = 0
+        self._inv_enqueued: dict[str, int] = {}
+        self._inv_completed: dict[str, int] = {}
         # the command pipeline: a single re-entrant serialization gate
         # shared with the worklist and the bus, the idempotency window,
         # and the bounded persisted dispatch log
@@ -226,6 +253,8 @@ class ProcessEngine:
             cmds.CorrelateMessage: self._handle_correlate_message,
             cmds.RunDueJobs: self._handle_run_due_jobs,
             cmds.AdvanceTime: self._handle_advance_time,
+            cmds.CompleteServiceInvocation: self._handle_complete_invocation,
+            cmds.RequeueDeadLetter: self._handle_requeue_dead_letter,
         }
 
     def _append_dispatch_record(self, record: dict[str, Any]) -> None:
@@ -258,6 +287,12 @@ class ProcessEngine:
         if self._dirty or self._waits_dirty:
             return True
         if self._instance_seq != self._persisted_seq:
+            return True
+        if self._invocation_seq != self._persisted_invocation_seq:
+            return True
+        if self._invocations_dirty or self._invocations_removed:
+            return True
+        if self._dead_letters_dirty or self._dead_letters_removed:
             return True
         dirty_jobs, removed_jobs = self.scheduler.pending_changes()
         if dirty_jobs or removed_jobs:
@@ -1051,6 +1086,303 @@ class ProcessEngine:
         core.advance(self, instance)
         return instance
 
+    # -- asynchronous service execution (repro.workers) ---------------------------
+
+    def attach_workers(self, pool: Any) -> None:
+        """Attach a :class:`~repro.workers.WorkerPool` to this engine.
+
+        From here on, service tasks the pool admits are *enqueued* instead
+        of invoked inline (see ``execute_service_task``).  Any pending
+        invocations already recovered from the store are submitted now.
+        """
+        if self.workers is not None and self.workers is not pool:
+            raise EngineError("engine already has a worker pool attached")
+        self.workers = pool
+        pool.bind(self)
+        if self._invocations_to_submit:
+            self._submit_pending_invocations()
+
+    def _submit_pending_invocations(self) -> None:
+        """Hand durably committed invocation records to the pool."""
+        pending, self._invocations_to_submit = self._invocations_to_submit, []
+        for invocation_id in pending:
+            record = self._invocations.get(invocation_id)
+            if record is not None:
+                self.workers.submit(self, record)
+
+    def _enqueue_invocation(
+        self, instance: ProcessInstance, token, node, arguments: dict[str, Any]
+    ) -> Any:
+        """Register a pending invocation and park the token on it.
+
+        The record is persisted by the surrounding dispatch's group commit
+        and submitted to the pool only after that commit (see
+        :meth:`_flush`) — at-least-once from the moment the client call
+        returns.
+        """
+        from repro.workers.records import InvocationRecord  # cycle guard
+
+        self._invocation_seq += 1
+        invocation_id = f"inv-{self._id_ns}{self._invocation_seq}"
+        record = InvocationRecord.for_node(
+            invocation_id,
+            instance.id,
+            token.id,
+            node,
+            arguments,
+            enqueued_at=self.clock.now(),
+        )
+        self._invocations[invocation_id] = record
+        self._invocations_dirty.add(invocation_id)
+        self._invocations_removed.discard(invocation_id)
+        self._invocations_to_submit.append(invocation_id)
+        self._inv_enqueued[node.service] = (
+            self._inv_enqueued.get(node.service, 0) + 1
+        )
+        self._c_inv_enqueued.inc()
+        token.wait("service", invocation_id=invocation_id, node_id=node.id)
+        self._record(
+            instance,
+            EventTypes.SERVICE_ENQUEUED,
+            node_id=node.id,
+            service=node.service,
+            invocation_id=invocation_id,
+        )
+        self._dirty.add(instance.id)
+        return record
+
+    def _take_invocation(self, invocation_id: str) -> Any:
+        """Resolve a pending record (its deletion joins the next commit)."""
+        record = self._invocations.pop(invocation_id, None)
+        if record is not None:
+            self._invocations_dirty.discard(invocation_id)
+            self._invocations_removed.add(invocation_id)
+            try:
+                self._invocations_to_submit.remove(invocation_id)
+            except ValueError:
+                pass
+        return record
+
+    def _count_completed(self, service: str) -> None:
+        self._inv_completed[service] = self._inv_completed.get(service, 0) + 1
+        self._c_inv_completed.inc()
+
+    def _drop_invocation(self, invocation_id: str) -> None:
+        """Cancel a pending invocation (token released — boundary timer,
+        terminate, migration).  A pool execution already in flight turns
+        into a stale completion, absorbed as a duplicate."""
+        record = self._take_invocation(invocation_id)
+        if record is None:
+            return
+        self._count_completed(record.service)
+        self._c_inv_cancelled.inc()
+
+    def _handle_complete_invocation(
+        self, cmd: cmds.CompleteServiceInvocation
+    ) -> dict[str, Any]:
+        """Apply one pooled invocation outcome, exactly once.
+
+        The pending table is the intrinsic idempotency check: a completion
+        whose record is already resolved (pool retry after crash, client
+        duplicate, post-cancellation straggler) is a recorded no-op.
+        """
+        record = self._take_invocation(cmd.invocation_id)
+        if record is None:
+            self._c_inv_duplicates.inc()
+            return {"invocation_id": cmd.invocation_id, "status": "duplicate"}
+        instance = self._instances.get(record.instance_id)
+        token = (
+            instance.token(record.token_id)
+            if instance is not None and not instance.state.is_finished
+            else None
+        )
+        live = (
+            token is not None
+            and token.waiting_on.get("reason") == "service"
+            and token.waiting_on.get("invocation_id") == cmd.invocation_id
+        )
+        definition = self._definition_of(instance) if live else None
+        node = definition.nodes.get(record.node_id) if live else None
+        if cmd.outcome == "failure" and live and node is not None:
+            # poison invocation: retries exhausted — park it in the DLQ
+            # with the token still waiting, so an operator requeue (or a
+            # boundary timer on the activity) can still resolve the token
+            raw = record.to_dict()
+            raw["error"] = cmd.error
+            raw["attempts"] = cmd.attempts
+            raw["failed_at"] = self.clock.now()
+            self._dead_letters[record.id] = raw
+            self._dead_letters_dirty.add(record.id)
+            self._dead_letters_removed.discard(record.id)
+            self._g_dead_letters.inc()
+            self._record(
+                instance,
+                EventTypes.SERVICE_FAILED,
+                node_id=node.id,
+                service=record.service,
+                attempts=cmd.attempts,
+                error=cmd.error,
+            )
+            self._record(
+                instance,
+                EventTypes.SERVICE_DEAD_LETTERED,
+                node_id=node.id,
+                service=record.service,
+                invocation_id=record.id,
+                error=cmd.error,
+            )
+            self.obs.event(
+                "workers.dead_letter",
+                service=record.service,
+                invocation_id=record.id,
+                error=cmd.error,
+            )
+            self._dirty.add(instance.id)
+            return {"invocation_id": record.id, "status": "dead_lettered"}
+        if not live or node is None:
+            # the token moved on (cancelled, boundary-routed, migrated) or
+            # the instance finished: the outcome has nowhere to land
+            self._count_completed(record.service)
+            return {"invocation_id": record.id, "status": "orphaned"}
+        self._count_completed(record.service)
+        self._record(
+            instance,
+            EventTypes.SERVICE_INVOKED,
+            node_id=node.id,
+            service=record.service,
+            invocation_id=record.id,
+        )
+        core.cancel_boundary_jobs(self, instance, token)
+        token.waiting_on = {}
+        if cmd.outcome == "bpmn_error":
+            code = cmd.error_code or core.TECHNICAL_ERROR_CODE
+            self._record(
+                instance,
+                EventTypes.ERROR_RAISED,
+                node_id=node.id,
+                code=code,
+                message=cmd.error,
+            )
+            core.handle_error(
+                self, instance, definition, token, code, cmd.error or ""
+            )
+            core.advance(self, instance)
+            self._dirty.add(instance.id)
+            return {"invocation_id": record.id, "status": "error_routed"}
+        if cmd.outcome == "failure":
+            # unreachable for live tokens (handled above) except when the
+            # node vanished mid-flight; kept as a defensive technical error
+            core.handle_error(
+                self,
+                instance,
+                definition,
+                token,
+                core.TECHNICAL_ERROR_CODE,
+                cmd.error or "service failed",
+            )
+            core.advance(self, instance)
+            self._dirty.add(instance.id)
+            return {"invocation_id": record.id, "status": "failed"}
+        if node.output_variable is not None:
+            instance.variables[node.output_variable] = cmd.value
+            self._record(
+                instance,
+                EventTypes.VARIABLES_UPDATED,
+                node_id=node.id,
+                keys=[node.output_variable],
+            )
+        core.move_through(
+            self, instance, definition, token, node, is_activity=True,
+            attempts=cmd.attempts,
+        )
+        core.advance(self, instance)
+        self._dirty.add(instance.id)
+        return {"invocation_id": record.id, "status": "completed"}
+
+    def _handle_requeue_dead_letter(
+        self, cmd: cmds.RequeueDeadLetter
+    ) -> dict[str, Any]:
+        from repro.workers.records import InvocationRecord  # cycle guard
+
+        raw = self._dead_letters.pop(cmd.invocation_id, None)
+        if raw is None:
+            raise EngineError(
+                f"no dead-lettered invocation {cmd.invocation_id!r}"
+            )
+        self._dead_letters_dirty.discard(cmd.invocation_id)
+        self._dead_letters_removed.add(cmd.invocation_id)
+        self._g_dead_letters.dec()
+        record = InvocationRecord.from_dict(raw)
+        record.requeues += 1
+        self._invocations[record.id] = record
+        self._invocations_dirty.add(record.id)
+        self._invocations_removed.discard(record.id)
+        self._invocations_to_submit.append(record.id)
+        self._c_inv_requeued.inc()
+        instance = self._instances.get(record.instance_id)
+        if instance is not None:
+            self._record(
+                instance,
+                EventTypes.SERVICE_REQUEUED,
+                node_id=record.node_id,
+                service=record.service,
+                invocation_id=record.id,
+                requeues=record.requeues,
+            )
+        self.obs.event(
+            "workers.requeue",
+            service=record.service,
+            invocation_id=record.id,
+            requeues=record.requeues,
+        )
+        return {
+            "invocation_id": record.id,
+            "status": "requeued",
+            "requeues": record.requeues,
+        }
+
+    def requeue_dead_letter(
+        self, invocation_id: str, dedup_key: str | None = None
+    ) -> dict[str, Any]:
+        """Move a dead-lettered invocation back onto its service queue."""
+        return self.dispatch(
+            cmds.RequeueDeadLetter(
+                invocation_id=invocation_id, dedup_key=dedup_key
+            )
+        )
+
+    def dead_letters(self) -> list[dict[str, Any]]:
+        """Dead-lettered invocations, oldest first (``repro dlq list``)."""
+        return sorted(
+            (dict(raw) for raw in self._dead_letters.values()),
+            key=lambda raw: (raw.get("failed_at", 0.0), raw.get("id", "")),
+        )
+
+    def workers_status(self) -> dict[str, dict[str, int]]:
+        """Per-service invocation accounting.
+
+        For every service, ``enqueued == completed + pending +
+        dead_lettered`` — the conservation invariant the property tests
+        check after arbitrary completion/requeue/duplicate interleavings.
+        """
+        per_service: dict[str, dict[str, int]] = {}
+
+        def slot(service: str) -> dict[str, int]:
+            return per_service.setdefault(
+                service,
+                {"enqueued": 0, "completed": 0, "pending": 0, "dead_lettered": 0},
+            )
+
+        for service, count in self._inv_enqueued.items():
+            slot(service)["enqueued"] = count
+        for service, count in self._inv_completed.items():
+            slot(service)["completed"] = count
+        for record in self._invocations.values():
+            slot(record.service)["pending"] += 1
+        for raw in self._dead_letters.values():
+            slot(raw.get("service", ""))["dead_lettered"] += 1
+        return per_service
+
     # -- persistence & recovery ---------------------------------------------------
 
     def batch(self) -> "_EngineBatch":
@@ -1091,7 +1423,14 @@ class ProcessEngine:
             return
         dirty_jobs, removed_jobs = self.scheduler.pending_changes()
         dirty_items = self.worklist.dirty_item_ids()
-        meta_dirty = self._instance_seq != self._persisted_seq
+        meta_dirty = (
+            self._instance_seq != self._persisted_seq
+            or self._invocation_seq != self._persisted_invocation_seq
+        )
+        # an id both re-added (requeue) and previously removed in the same
+        # window persists — the dirty write wins over the stale delete
+        removed_invocations = self._invocations_removed - self._invocations_dirty
+        removed_dead = self._dead_letters_removed - self._dead_letters_dirty
         records = (
             len(self._dirty)
             + len(dirty_jobs)
@@ -1099,6 +1438,10 @@ class ProcessEngine:
             + len(dirty_items)
             + len(self._dispatch_dirty)
             + len(self._dispatch_removed)
+            + len(self._invocations_dirty)
+            + len(removed_invocations)
+            + len(self._dead_letters_dirty)
+            + len(removed_dead)
             + (1 if self._waits_dirty else 0)
             + (1 if meta_dirty else 0)
         )
@@ -1139,10 +1482,30 @@ class ProcessEngine:
                         self.store.put(f"dispatch/{seq:010d}", log[index])
             for seq in sorted(self._dispatch_removed):
                 self.store.delete(f"dispatch/{seq:010d}")
+            for invocation_id in sorted(self._invocations_dirty):
+                record = self._invocations.get(invocation_id)
+                if record is not None:
+                    self.store.put(
+                        f"invocation/{invocation_id}", record.to_dict()
+                    )
+            for invocation_id in sorted(removed_invocations):
+                self.store.delete(f"invocation/{invocation_id}")
+            for invocation_id in sorted(self._dead_letters_dirty):
+                raw = self._dead_letters.get(invocation_id)
+                if raw is not None:
+                    self.store.put(f"dlq/{invocation_id}", raw)
+            for invocation_id in sorted(removed_dead):
+                self.store.delete(f"dlq/{invocation_id}")
             if self._waits_dirty:
                 self.store.put("engine/message_waits", list(self._message_waits))
             if meta_dirty:
-                self.store.put("engine/meta", {"instance_seq": self._instance_seq})
+                self.store.put(
+                    "engine/meta",
+                    {
+                        "instance_seq": self._instance_seq,
+                        "invocation_seq": self._invocation_seq,
+                    },
+                )
         # group-commit boundary for deferred-sync stores (no-op otherwise)
         self.store.sync()
         self._dirty.clear()
@@ -1150,13 +1513,23 @@ class ProcessEngine:
         self.worklist.clear_dirty()
         self._dispatch_dirty.clear()
         self._dispatch_removed.clear()
+        self._invocations_dirty.clear()
+        self._invocations_removed.clear()
+        self._dead_letters_dirty.clear()
+        self._dead_letters_removed.clear()
         self._waits_dirty = False
         self._persisted_seq = self._instance_seq
+        self._persisted_invocation_seq = self._invocation_seq
         self._c_flush_commits.inc()
         self._c_flush_records.inc(records)
         self._h_flush_batch.observe(records)
         if span is not None:
             span.finish()
+        # the enqueue→submit ordering contract: invocation records reach
+        # the pool only after the commit that made them durable, so a
+        # crash can never lose an acknowledged enqueue
+        if self._invocations_to_submit and self.workers is not None:
+            self._submit_pending_invocations()
 
     def recover(self) -> dict[str, int]:
         """Rebuild engine state from the backing store after a restart.
@@ -1172,6 +1545,8 @@ class ProcessEngine:
             "jobs": 0,
             "workitems": 0,
             "commands": 0,
+            "invocations": 0,
+            "dead_letters": 0,
         }
         self._latest_version = dict(self.store.get("engine/latest_versions", {}))
         for key, raw in self.store.scan("definition/"):
@@ -1201,6 +1576,33 @@ class ProcessEngine:
         meta = self.store.get("engine/meta", {})
         self._instance_seq = max(meta.get("instance_seq", 0), self._instance_seq)
         self._persisted_seq = self._instance_seq
+        self._invocation_seq = max(
+            meta.get("invocation_seq", 0), self._invocation_seq
+        )
+        self._persisted_invocation_seq = self._invocation_seq
+        # pending invocations: exactly the acknowledged-but-unresolved set
+        # at crash time — re-enqueued for (at-least-once) re-execution;
+        # the completion path dedupes, so effects stay exactly-once
+        from repro.workers.records import InvocationRecord
+
+        for key, raw in self.store.scan("invocation/"):
+            record = InvocationRecord.from_dict(raw)
+            self._invocations[record.id] = record
+            self._invocations_to_submit.append(record.id)
+            counts["invocations"] += 1
+        for key, raw in self.store.scan("dlq/"):
+            self._dead_letters[raw["id"]] = dict(raw)
+            self._g_dead_letters.inc()
+            counts["dead_letters"] += 1
+        # per-service invariant counters restart from the durable state:
+        # enqueued := pending + dead_lettered (completions already settled)
+        for record in self._invocations.values():
+            self._inv_enqueued[record.service] = (
+                self._inv_enqueued.get(record.service, 0) + 1
+            )
+        for raw in self._dead_letters.values():
+            service = raw.get("service", "")
+            self._inv_enqueued[service] = self._inv_enqueued.get(service, 0) + 1
         # the dispatch log: restores the idempotency window, so a client
         # retrying a dedup-keyed command across the crash still gets the
         # recorded (summarized) result instead of a double apply
@@ -1225,6 +1627,8 @@ class ProcessEngine:
         self.worklist.clear_dirty()
         if legacy_jobs is not None or legacy_items is not None:
             self._migrate_legacy_layout()
+        if self.workers is not None:
+            self._submit_pending_invocations()
         return counts
 
     def _migrate_legacy_layout(self) -> None:

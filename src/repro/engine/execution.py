@@ -384,6 +384,12 @@ def release_waits(engine, instance: ProcessInstance, token: Token) -> None:
         engine._message_waits = kept
     elif reason == "event_race":
         settle_race(engine, instance, token)
+    elif reason == "service":
+        # pooled invocation: drop the pending record so its completion
+        # (possibly already executing) lands as a counted duplicate
+        invocation_id = token.waiting_on.get("invocation_id")
+        if invocation_id is not None:
+            engine._drop_invocation(invocation_id)
     elif reason == "child":
         child_id = token.waiting_on.get("child_id")
         # clear the linkage FIRST so the child's completion callback

@@ -89,7 +89,35 @@ def execute_service_task(engine, instance, definition, token, node: ServiceTask)
         )
         token.wait("async_service", job_id=job.id, node_id=node.id)
         return
+    pool = engine.workers
+    if pool is not None and pool.admit(node.service):
+        enqueue_service_invocation(engine, instance, definition, token, node)
+        return
+    # no pool, scope excludes this service, or its queue is full: the
+    # synchronous inline path doubles as the load-leveling fallback
     perform_service_invocation(engine, instance, definition, token, node)
+
+
+def enqueue_service_invocation(
+    engine, instance, definition, token, node: ServiceTask
+) -> None:
+    """Park the token on a durable invocation record for the worker pool.
+
+    Inputs are evaluated *now*, under the lock, against the variables the
+    token saw — the pool thread must not read mutable instance state.
+    """
+    try:
+        arguments = {
+            name: compile_expression(expr).evaluate(instance.variables)
+            for name, expr in node.inputs.items()
+        }
+    except ExpressionError as exc:
+        core.cancel_boundary_jobs(engine, instance, token)
+        core.handle_error(
+            engine, instance, definition, token, core.TECHNICAL_ERROR_CODE, str(exc)
+        )
+        return
+    engine._enqueue_invocation(instance, token, node, arguments)
 
 
 def perform_service_invocation(

@@ -44,6 +44,9 @@ class EventTypes:
     SERVICE_INVOKED = "service.invoked"
     SERVICE_FAILED = "service.failed"
     SERVICE_RETRIED = "service.retried"
+    SERVICE_ENQUEUED = "service.enqueued"
+    SERVICE_DEAD_LETTERED = "service.dead_lettered"
+    SERVICE_REQUEUED = "service.requeued"
 
     # errors / boundaries
     ERROR_RAISED = "error.raised"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -61,6 +62,9 @@ class ServiceInvoker:
         self.breaker_failure_threshold = breaker_failure_threshold
         self.breaker_reset_timeout = breaker_reset_timeout
         self._breakers: dict[str, CircuitBreaker] = {}
+        # worker-pool threads invoke concurrently; guard lazy creation so
+        # two first-callers cannot race distinct breakers for one service
+        self._breakers_lock = threading.Lock()
         self.stats = InvokerStats()
         self.obs = obs if obs is not None else Observability()
         self._h_invoke = self.obs.registry.histogram("services.invoke_seconds")
@@ -69,14 +73,17 @@ class ServiceInvoker:
         """The (lazily created) breaker guarding one service."""
         breaker = self._breakers.get(service)
         if breaker is None:
-            breaker = CircuitBreaker(
-                service,
-                failure_threshold=self.breaker_failure_threshold,
-                reset_timeout=self.breaker_reset_timeout,
-                clock=self.clock,
-            )
-            breaker.on_state_change = self._on_breaker_change
-            self._breakers[service] = breaker
+            with self._breakers_lock:
+                breaker = self._breakers.get(service)
+                if breaker is None:
+                    breaker = CircuitBreaker(
+                        service,
+                        failure_threshold=self.breaker_failure_threshold,
+                        reset_timeout=self.breaker_reset_timeout,
+                        clock=self.clock,
+                    )
+                    breaker.on_state_change = self._on_breaker_change
+                    self._breakers[service] = breaker
         return breaker
 
     def _on_breaker_change(
@@ -133,6 +140,7 @@ class ServiceInvoker:
         self.stats.per_service[service] = self.stats.per_service.get(service, 0) + 1
         breaker = self.breaker_for(service) if self.use_breaker else None
 
+        invoke_started = time.perf_counter()
         for attempt in range(1, policy.max_attempts + 1):
             if breaker is not None:
                 try:
@@ -142,6 +150,10 @@ class ServiceInvoker:
                     result.rejected_by_breaker = True
                     self.stats.breaker_rejections += 1
                     self.stats.failures += 1
+                    # a rejection is still an invocation the caller waited
+                    # on: observe it, or breaker-open storms vanish from
+                    # the latency histogram and skew its percentiles
+                    self._h_invoke.observe(time.perf_counter() - invoke_started)
                     return result
             result.attempts = attempt
             call_started = time.perf_counter()

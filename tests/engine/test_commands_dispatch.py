@@ -52,6 +52,8 @@ class TestCommandTypes:
             "migrate_instance",
             "claim_work_item",
             "start_work_item",
+            "complete_service_invocation",
+            "requeue_dead_letter",
             "complete_work_item",
             "correlate_message",
             "run_due_jobs",

@@ -171,6 +171,8 @@ class TestRecovery:
             "jobs": 0,
             "workitems": 0,
             "commands": 0,
+            "invocations": 0,
+            "dead_letters": 0,
         }
 
 

@@ -185,6 +185,43 @@ class TestInvoker:
         # the breaker saw a *successful* technical call
         assert invoker.breaker_for("svc").state is CircuitState.CLOSED
 
+    def test_invoke_duration_observed_on_every_path(self):
+        """Regression: ``services.invoke_seconds`` must record breaker
+        rejections too, not only calls that reached the handler —
+        otherwise breaker-open storms vanish from the latency histogram.
+        """
+        invoker = self.make(
+            lambda: (_ for _ in ()).throw(RuntimeError("down")),
+            breaker_failure_threshold=1,
+            breaker_reset_timeout=60,
+        )
+        histogram = invoker.obs.registry.histogram("services.invoke_seconds")
+        invoker.invoke("svc", retry=RetryPolicy(max_attempts=1))  # trips
+        assert histogram.count == 1  # failed handler call observed
+        result = invoker.invoke("svc", retry=RetryPolicy(max_attempts=1))
+        assert result.rejected_by_breaker
+        assert histogram.count == 2  # breaker rejection observed too
+
+    def test_breaker_for_is_thread_safe_on_creation(self):
+        """Two pool threads racing the first call to a service must get
+        the same breaker instance, or trip counts split across objects."""
+        import threading
+
+        invoker = self.make(lambda: "ok")
+        barrier = threading.Barrier(4)
+        seen = []
+
+        def create():
+            barrier.wait()
+            seen.append(invoker.breaker_for("svc"))
+
+        threads = [threading.Thread(target=create) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(b) for b in seen}) == 1
+
     def test_invoke_or_raise(self):
         invoker = self.make(lambda: 7)
         assert invoker.invoke_or_raise("svc") == 7

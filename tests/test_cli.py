@@ -363,3 +363,91 @@ class TestClusterStatus:
     def test_empty_directory_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["cluster", "status", "--store", str(tmp_path)])
+
+
+class TestDlq:
+    @pytest.fixture
+    def dlq_store(self, tmp_path):
+        """A single-engine store holding one dead-lettered invocation."""
+        from repro.clock import VirtualClock
+        from repro.engine.engine import ProcessEngine
+        from repro.model.elements import RetryPolicy
+        from repro.storage.kvstore import DurableKV
+        from repro.workers import WorkerPool
+
+        path = str(tmp_path / "store")
+        store = DurableKV(path)
+        engine = ProcessEngine(
+            clock=VirtualClock(1000.0), store=store, commit_interval=1
+        )
+        pool = WorkerPool(workers=0)
+        engine.attach_workers(pool)
+
+        def svc(n):
+            raise RuntimeError("boom")
+
+        engine.services.register("svc", svc)
+        engine.deploy(
+            ProcessBuilder("p")
+            .start()
+            .service_task(
+                "call",
+                service="svc",
+                inputs={"n": "n"},
+                retry=RetryPolicy(max_attempts=1, initial_backoff=0.0),
+            )
+            .end("done")
+            .build()
+        )
+        engine.start_instance("p", {"n": 1})
+        command = pool.run_next()
+        assert command.outcome == "failure"
+        engine.flush()
+        store.close()
+        return path
+
+    def test_list(self, dlq_store, capsys):
+        assert main(["dlq", "list", "--store", dlq_store]) == 0
+        out = capsys.readouterr().out
+        assert "1 dead-lettered invocation(s)" in out
+        assert "inv-1" in out and "boom" in out
+
+    def test_list_json(self, dlq_store, capsys):
+        import json
+
+        assert main(["dlq", "list", "--store", dlq_store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["dead_letters"]) == 1
+        assert payload["dead_letters"][0]["id"] == "inv-1"
+
+    def test_show(self, dlq_store, capsys):
+        import json
+
+        assert main(["dlq", "show", "inv-1", "--store", dlq_store]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["service"] == "svc"
+        assert record["error"] == "RuntimeError: boom"
+
+    def test_show_unknown_id_errors(self, dlq_store):
+        with pytest.raises(SystemExit):
+            main(["dlq", "show", "inv-404", "--store", dlq_store])
+
+    def test_requeue_moves_record_to_pending(self, dlq_store, capsys):
+        from repro.storage.kvstore import DurableKV
+
+        assert main(["dlq", "requeue", "inv-1", "--store", dlq_store]) == 0
+        assert "requeued inv-1" in capsys.readouterr().out
+        store = DurableKV(dlq_store, sync_writes=False)
+        assert store.get("dlq/inv-1", None) is None
+        pending = store.get("invocation/inv-1", None)
+        store.close()
+        assert pending is not None
+        assert pending["requeues"] == 1  # fresh completion dedup key
+
+    def test_empty_store_lists_nothing(self, tmp_path, capsys):
+        from repro.storage.kvstore import DurableKV
+
+        path = str(tmp_path / "empty")
+        DurableKV(path).close()
+        assert main(["dlq", "list", "--store", path]) == 0
+        assert "empty" in capsys.readouterr().out
