@@ -1,0 +1,125 @@
+"""F13 — Deployment-wide analysis cost and the incremental cache.
+
+Claim: deployment-wide interprocess analysis is affordable at registry
+scale *because* of the incremental cache — a warm re-analysis of an
+unchanged deployment skips every per-definition pass and re-keys only
+hashes, landing >= 10x under the cold run; and a cluster-wide deploy pays
+for one analysis, not one per shard.
+
+Smoke mode (``F13_SMOKE=1``, used by CI) shrinks the registry so the
+bench doubles as a fast regression check; the JSON artifact
+(``BENCH_f13.json``) records cold/warm timings and the speedup either
+way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import repro.analysis as analysis_mod
+from repro.analysis import AnalysisCache, analyze_deployment
+from repro.clock import VirtualClock
+from repro.cluster import ShardedEngine
+from repro.model.builder import ProcessBuilder
+
+_SMOKE = os.environ.get("F13_SMOKE", "") not in ("", "0")
+
+N_DEFINITIONS = int(os.environ.get("F13_DEFINITIONS", "8" if _SMOKE else "24"))
+N_TASKS = int(os.environ.get("F13_TASKS", "20" if _SMOKE else "60"))
+N_SHARDS = int(os.environ.get("F13_SHARDS", "4"))
+MIN_SPEEDUP = 10.0
+
+
+def registry(n_definitions: int, n_tasks: int):
+    """A chain of communicating definitions with some call edges.
+
+    Each definition carries enough script tasks that the per-model passes
+    dominate the hash recomputation, plus a send to the next definition
+    in the ring and a receive from the previous one — one big
+    communicating component, the cache's worst case.
+    """
+    definitions = []
+    for index in range(n_definitions):
+        b = ProcessBuilder(f"proc{index}").start()
+        b.script_task("t0", script="acc = 0")
+        for task in range(1, n_tasks):
+            b.script_task(f"t{task}", script=f"acc = acc + {task}")
+        b.send_task("tell_next", message_name=f"ring.{(index + 1) % n_definitions}")
+        b.receive_task("hear_prev", message_name=f"ring.{index}")
+        if index % 4 == 0 and index + 1 < n_definitions:
+            b.call_activity("delegate", process_key=f"proc{index + 1}")
+        definitions.append(b.end().build())
+    return definitions
+
+
+def test_f13_warm_cache_speedup(emit, bench_json):
+    definitions = registry(N_DEFINITIONS, N_TASKS)
+    cache = AnalysisCache()
+
+    started = time.perf_counter()
+    cold_report = analyze_deployment(definitions, cache=cache)
+    cold_s = time.perf_counter() - started
+    cold_stats = dict(cold_report.cache_stats)
+
+    started = time.perf_counter()
+    warm_report = analyze_deployment(definitions, cache=cache)
+    warm_s = time.perf_counter() - started
+    warm_stats = dict(warm_report.cache_stats)
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    assert warm_stats["misses"] == cold_stats["misses"], (
+        "warm run re-analyzed something", cold_stats, warm_stats
+    )
+
+    emit(
+        "",
+        "== F13: deployment-wide analysis, cold vs warm cache ==",
+        f"{'definitions':>12} {'tasks each':>10} {'cold s':>8} "
+        f"{'warm s':>8} {'speedup':>8}",
+        f"{N_DEFINITIONS:>12} {N_TASKS:>10} {cold_s:>8.3f} "
+        f"{warm_s:>8.3f} {speedup:>8.1f}",
+    )
+
+    shard_timings = _shard_deploy_cost(definitions[0])
+    emit(
+        "== F13: cluster deploy analysis count ==",
+        f"shards={N_SHARDS} analyze() calls={shard_timings['analyze_calls']}",
+    )
+
+    bench_json("f13", {
+        "definitions": N_DEFINITIONS,
+        "tasks_per_definition": N_TASKS,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "cold_cache": cold_stats,
+        "warm_cache": warm_stats,
+        "shards": N_SHARDS,
+        "shard_deploy_analyze_calls": shard_timings["analyze_calls"],
+        "smoke": _SMOKE,
+    })
+
+    assert shard_timings["analyze_calls"] == 1
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm cache {speedup:.1f}x < {MIN_SPEEDUP}x (cold {cold_s:.3f}s, "
+        f"warm {warm_s:.3f}s)"
+    )
+
+
+def _shard_deploy_cost(definition):
+    """Deploy one definition cluster-wide, counting analyze() calls."""
+    calls = []
+    real = analysis_mod.analyze
+
+    def spy(target, **kwargs):
+        calls.append(target.key)
+        return real(target, **kwargs)
+
+    analysis_mod.analyze = spy
+    try:
+        cluster = ShardedEngine(shards=N_SHARDS, clock=VirtualClock(0))
+        cluster.deploy(definition)
+    finally:
+        analysis_mod.analyze = real
+    return {"analyze_calls": len(calls)}

@@ -27,9 +27,21 @@ from dataclasses import replace
 from typing import Mapping
 
 from repro.analysis.antipatterns import behavioral_pass
+from repro.analysis.cache import AnalysisCache, content_hash
 from repro.analysis.cfg import ControlFlowGraph, build_cfg, node_effects
+from repro.analysis.choreography import (
+    choreography_pass,
+    choreography_summary,
+    render_choreography,
+)
 from repro.analysis.dataflow import dataflow_pass
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.interproc import (
+    DefinitionInterface,
+    DeploymentGraph,
+    extract_interface,
+    interproc_pass,
+)
 from repro.analysis.reference import AnalysisContext, reference_pass
 from repro.analysis.reporting import (
     Baseline,
@@ -42,22 +54,35 @@ from repro.analysis.structural import structural_pass
 from repro.model.process import ProcessDefinition
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisContext",
     "AnalysisReport",
     "Baseline",
     "ControlFlowGraph",
+    "DefinitionInterface",
+    "DeploymentGraph",
+    "DeploymentReport",
     "Diagnostic",
     "RULES",
     "RuleSpec",
     "Severity",
     "analyze",
+    "analyze_deployment",
     "behavioral_pass",
     "build_cfg",
+    "choreography_pass",
+    "choreography_summary",
+    "content_hash",
     "dataflow_pass",
     "exit_code",
+    "extract_interface",
+    "interproc_pass",
     "node_effects",
     "reference_pass",
+    "render_choreography",
     "render_console",
+    "render_deployment_console",
+    "render_deployment_json",
     "render_json",
     "rule",
     "structural_pass",
@@ -107,6 +132,17 @@ def analyze(
         diagnostics=kept,
         suppressed=suppressed,
     )
+
+
+# Deployment-wide analysis builds on analyze(); imported after its
+# definition so the module is importable from analyze_deployment's lazy
+# internals without a cycle.
+from repro.analysis.deployment import (  # noqa: E402
+    DeploymentReport,
+    analyze_deployment,
+    render_deployment_console,
+    render_deployment_json,
+)
 
 
 def _with_provenance(

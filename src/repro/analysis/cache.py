@@ -1,0 +1,160 @@
+"""Incremental analysis cache for deployment-wide linting.
+
+Deployment-wide analysis is O(registry): every deploy re-examines every
+definition's message/call wiring.  The cache makes re-analysis cheap by
+memoizing at two granularities:
+
+* **local reports** — the per-definition :func:`repro.analysis.analyze`
+  result, keyed by the definition's *content hash* (a digest of its
+  canonical serialized form) plus the analysis options.  Any edit to the
+  definition invalidates only its own entry.
+* **interprocess reports** — the :func:`repro.analysis.interproc.interproc_pass`
+  result, keyed by the content hash *and* the registry fingerprint over
+  every definition's interface.  Editing a script body somewhere leaves
+  all interprocess entries valid; changing any message name, call target,
+  or declared input invalidates them — exactly the information the rules
+  read.
+
+Extracted interfaces are memoized by content hash too, so building a
+:class:`~repro.analysis.interproc.DeploymentGraph` over an unchanged
+registry never re-walks model graphs.
+
+Entries live in bounded LRU maps; the cache is safe to share across
+deploys of one engine but is not thread-safe by itself — the engine calls
+it under its dispatch lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.interproc import DefinitionInterface, extract_interface
+from repro.model.process import ProcessDefinition
+from repro.model.serialization import definition_to_dict
+
+
+def content_hash(definition: ProcessDefinition) -> str:
+    """Digest of the definition's canonical serialized form.
+
+    Attributes (including ``lint.suppress``) are part of the serialized
+    form, so suppression edits correctly invalidate cached reports.
+    """
+    payload = definition_to_dict(definition)
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class _LRU:
+    """A small bounded insertion-refreshing map."""
+
+    def __init__(self, max_entries: int) -> None:
+        self._max = max_entries
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def get(self, key: str) -> Any | None:
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class AnalysisCache:
+    """Memoized per-definition and interprocess analysis results.
+
+    ``hits``/``misses`` count lookups across all three maps — the
+    deployment pass and bench_f13 read them to prove warm re-analysis
+    stays off the expensive paths.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self._local = _LRU(max_entries)
+        self._interproc = _LRU(max_entries)
+        self._interfaces = _LRU(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    # -- content hashing -------------------------------------------------------
+
+    def content_hash(self, definition: ProcessDefinition) -> str:
+        """Digest of the definition's canonical form (see module docs).
+
+        Recomputed on every call — definitions are mutable (tests and the
+        builder edit node maps in place), so memoizing by object identity
+        would serve stale hashes.  Hashing is two orders of magnitude
+        cheaper than the analysis it keys.
+        """
+        return content_hash(definition)
+
+    # -- interfaces ------------------------------------------------------------
+
+    def interface(self, definition: ProcessDefinition) -> DefinitionInterface:
+        """Extract (or recall) the definition's message/call interface."""
+        key = f"iface:{self.content_hash(definition)}"
+        cached = self._interfaces.get(key)
+        if isinstance(cached, DefinitionInterface):
+            self.hits += 1
+            return cached
+        self.misses += 1
+        interface = extract_interface(definition)
+        self._interfaces.put(key, interface)
+        return interface
+
+    # -- local (per-definition) reports ---------------------------------------
+
+    def local_key(self, definition: ProcessDefinition, options: str) -> str:
+        return f"local:{self.content_hash(definition)}:{options}"
+
+    def get_local(self, key: str) -> AnalysisReport | None:
+        report = self._local.get(key)
+        if isinstance(report, AnalysisReport):
+            self.hits += 1
+            return report
+        self.misses += 1
+        return None
+
+    def put_local(self, key: str, report: AnalysisReport) -> None:
+        self._local.put(key, report)
+
+    # -- interprocess reports --------------------------------------------------
+
+    def interproc_key(
+        self, definition: ProcessDefinition, registry_fingerprint: str
+    ) -> str:
+        return (
+            f"interproc:{self.content_hash(definition)}:{registry_fingerprint}"
+        )
+
+    def get_interproc(self, key: str) -> list[Diagnostic] | None:
+        diagnostics = self._interproc.get(key)
+        if isinstance(diagnostics, list):
+            self.hits += 1
+            return list(diagnostics)
+        self.misses += 1
+        return None
+
+    def put_interproc(self, key: str, diagnostics: list[Diagnostic]) -> None:
+        self._interproc.put(key, list(diagnostics))
+
+    # -- stats -----------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "local_entries": len(self._local),
+            "interproc_entries": len(self._interproc),
+            "interface_entries": len(self._interfaces),
+        }

@@ -1,0 +1,535 @@
+"""Interprocess rules (MSG*/CALL*): deployment-wide message & call checking.
+
+Per-model analysis (PR 2) cannot see the defects that live *between*
+definitions: a :class:`~repro.model.elements.SendTask` whose message name
+nothing ever receives, a :class:`~repro.model.elements.CallActivity`
+targeting an undeployed process key, mutual recursion through call
+activities.  This module snapshots a whole deployment into a
+:class:`DeploymentGraph` — per-definition *interfaces* (message endpoints,
+call edges, declared inputs/outputs) plus the derived channel and call-graph
+indexes — and checks each definition against it:
+
+* **MSG001** send with no matching receiver anywhere in the deployment;
+* **MSG002** receive/catch that nothing ever sends (instance waits forever
+  unless an external client publishes the message);
+* **MSG003** ambiguous receivers — several definitions receive one name;
+* **CALL001** call target not deployed (resolution is version-aware: the
+  snapshot carries the *latest* deployed version of every key);
+* **CALL002** static recursion cycle through call activities — an error
+  when every call site on the cycle must execute (unconditional recursion),
+  a warning when some site is guarded by a choice;
+* **CALL003** caller variable mappings inconsistent with the callee's
+  declared inputs/outputs (derived from the same expression ASTs the
+  data-flow pass uses).
+
+Interfaces are deliberately small and hashable: the incremental cache
+(:mod:`repro.analysis.cache`) keys interprocess results on the registry
+fingerprint over all interfaces, so editing a script body in one definition
+does not invalidate another's cached report — changing a message name or a
+call target does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import (
+    CALL001,
+    CALL002,
+    CALL003,
+    MSG001,
+    MSG002,
+    MSG003,
+)
+from repro.model.elements import (
+    CallActivity,
+    EndEvent,
+    IntermediateMessageEvent,
+    MultiInstanceActivity,
+    ReceiveTask,
+    SendTask,
+)
+from repro.model.process import ProcessDefinition
+
+
+@dataclass(frozen=True)
+class MessageEndpoint:
+    """One message send/receive/catch site inside a definition."""
+
+    element_id: str
+    message_name: str
+    kind: str  # "send" | "receive" | "catch"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call-activity (or multi-instance) edge out of a definition."""
+
+    element_id: str
+    target_key: str
+    multi_instance: bool
+    #: every run of the caller reaches this call site (drives CALL002
+    #: severity: unconditional recursion is an error, guarded a warning)
+    must_execute: bool
+    input_keys: tuple[str, ...]
+    #: variable names each output-mapping expression reads from the callee,
+    #: as ``(target_variable, sorted names)`` pairs
+    output_reads: tuple[tuple[str, tuple[str, ...]], ...]
+
+
+@dataclass(frozen=True)
+class DefinitionInterface:
+    """The externally observable surface of one definition.
+
+    Everything the interprocess rules need to know about *other*
+    definitions lives here; the registry fingerprint hashes exactly this.
+    """
+
+    key: str
+    version: int
+    sends: tuple[MessageEndpoint, ...]
+    receives: tuple[MessageEndpoint, ...]
+    calls: tuple[CallSite, ...]
+    #: variables read but never assigned anywhere (the DF002 set) — what a
+    #: caller must supply through input mappings
+    required_inputs: frozenset[str]
+    #: variables the definition explicitly assigns — what output mappings
+    #: may read back
+    writes: frozenset[str]
+    #: some node merges arbitrary keys into the scope (user-task forms,
+    #: message payloads); output-side CALL003 is skipped when true
+    havoc: bool
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the interface (hex digest)."""
+        parts = [self.key, str(self.version)]
+        for endpoint in self.sends + self.receives:
+            parts.append(
+                f"{endpoint.kind}:{endpoint.element_id}:{endpoint.message_name}"
+            )
+        for call in self.calls:
+            parts.append(
+                f"call:{call.element_id}:{call.target_key}"
+                f":{int(call.multi_instance)}:{int(call.must_execute)}"
+                f":{','.join(call.input_keys)}"
+                f":{';'.join(t + '<' + ','.join(n) for t, n in call.output_reads)}"
+            )
+        parts.append("in:" + ",".join(sorted(self.required_inputs)))
+        parts.append("out:" + ",".join(sorted(self.writes)))
+        parts.append(f"havoc:{int(self.havoc)}")
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+        return digest.hexdigest()
+
+
+def extract_interface(definition: ProcessDefinition) -> DefinitionInterface:
+    """Derive a definition's message/call interface from its model."""
+    sends: list[MessageEndpoint] = []
+    receives: list[MessageEndpoint] = []
+    calls: list[CallSite] = []
+    cfg = build_cfg(definition)
+    writes: set[str] = set()
+    reads: set[str] = set()
+    havoc = False
+    for effects in cfg.effects.values():
+        writes.update(effects.writes)
+        for use in effects.uses:
+            reads.update(use.names)
+        havoc = havoc or effects.havoc
+    for node in definition.nodes.values():
+        if isinstance(node, SendTask):
+            sends.append(MessageEndpoint(node.id, node.message_name, "send"))
+        elif isinstance(node, ReceiveTask):
+            receives.append(
+                MessageEndpoint(node.id, node.message_name, "receive")
+            )
+        elif isinstance(node, IntermediateMessageEvent):
+            receives.append(
+                MessageEndpoint(node.id, node.message_name, "catch")
+            )
+        elif isinstance(node, (CallActivity, MultiInstanceActivity)):
+            output_reads = tuple(
+                (target, tuple(sorted(_expr_names(expression))))
+                for target, expression in sorted(node.output_mappings.items())
+            )
+            calls.append(CallSite(
+                element_id=node.id,
+                target_key=node.process_key,
+                multi_instance=isinstance(node, MultiInstanceActivity),
+                must_execute=_must_execute(cfg.successors, definition, node.id),
+                input_keys=tuple(sorted(node.input_mappings)),
+                output_reads=output_reads,
+            ))
+    sends.sort(key=lambda e: e.element_id)
+    receives.sort(key=lambda e: e.element_id)
+    calls.sort(key=lambda c: c.element_id)
+    return DefinitionInterface(
+        key=definition.key,
+        version=definition.version,
+        sends=tuple(sends),
+        receives=tuple(receives),
+        calls=tuple(calls),
+        required_inputs=frozenset(reads - writes),
+        writes=frozenset(writes),
+        havoc=havoc,
+    )
+
+
+def _expr_names(expression: str) -> frozenset[str]:
+    from repro.analysis.cfg import _names
+
+    return _names(expression)
+
+
+def _must_execute(
+    successors: Mapping[str, list[str]],
+    definition: ProcessDefinition,
+    node_id: str,
+) -> bool:
+    """True when no run can complete without executing ``node_id`` —
+    i.e. removing the node disconnects the start from every end event."""
+    starts = definition.start_events()
+    if len(starts) != 1 or starts[0].id == node_id:
+        return len(starts) == 1
+    seen = {starts[0].id}
+    stack = [starts[0].id]
+    while stack:
+        current = stack.pop()
+        for successor in successors.get(current, ()):  # skip the node itself
+            if successor == node_id or successor in seen:
+                continue
+            seen.add(successor)
+            stack.append(successor)
+    return not any(
+        isinstance(definition.nodes[n], EndEvent) for n in seen
+    )
+
+
+@dataclass
+class DeploymentGraph:
+    """The interprocess view of one deployment snapshot.
+
+    Holds the latest version of every definition plus derived channel and
+    call-graph indexes.  Build one with :meth:`build` over the registry
+    snapshot (and the deployment candidate, if any).
+    """
+
+    definitions: dict[str, ProcessDefinition] = field(default_factory=dict)
+    interfaces: dict[str, DefinitionInterface] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        definitions: Iterable[ProcessDefinition],
+        interfaces: Mapping[str, DefinitionInterface] | None = None,
+    ) -> "DeploymentGraph":
+        """Snapshot a deployment; keeps the highest version per key.
+
+        ``interfaces`` may supply pre-extracted (cached) interfaces keyed
+        by definition key; any missing one is extracted here.
+        """
+        graph = cls()
+        for definition in definitions:
+            existing = graph.definitions.get(definition.key)
+            if existing is not None and existing.version >= definition.version:
+                continue
+            graph.definitions[definition.key] = definition
+        for key, definition in graph.definitions.items():
+            supplied = None if interfaces is None else interfaces.get(key)
+            if supplied is not None and supplied.version == definition.version:
+                graph.interfaces[key] = supplied
+            else:
+                graph.interfaces[key] = extract_interface(definition)
+        return graph
+
+    # -- channel / call indexes -----------------------------------------------
+
+    def senders(self, message_name: str) -> list[tuple[str, MessageEndpoint]]:
+        """``(definition key, endpoint)`` pairs sending ``message_name``."""
+        return [
+            (key, endpoint)
+            for key, interface in sorted(self.interfaces.items())
+            for endpoint in interface.sends
+            if endpoint.message_name == message_name
+        ]
+
+    def receivers(self, message_name: str) -> list[tuple[str, MessageEndpoint]]:
+        """``(definition key, endpoint)`` pairs receiving/catching it."""
+        return [
+            (key, endpoint)
+            for key, interface in sorted(self.interfaces.items())
+            for endpoint in interface.receives
+            if endpoint.message_name == message_name
+        ]
+
+    def message_names(self) -> set[str]:
+        """Every message name any definition sends or receives."""
+        return {
+            endpoint.message_name
+            for interface in self.interfaces.values()
+            for endpoint in interface.sends + interface.receives
+        }
+
+    def call_targets(self, key: str) -> set[str]:
+        interface = self.interfaces.get(key)
+        if interface is None:
+            return set()
+        return {call.target_key for call in interface.calls}
+
+    def call_cycles(self) -> list[tuple[str, ...]]:
+        """Cycles in the key-level call graph, as sorted key tuples.
+
+        Strongly connected components of size > 1, plus self-loops.
+        Only edges whose target is actually deployed participate (a
+        missing target is CALL001's problem, not a cycle).
+        """
+        order: list[str] = []
+        visited: set[str] = set()
+
+        def dfs_order(start: str) -> None:
+            stack: list[tuple[str, Iterable[str]]] = [
+                (start, iter(sorted(self.call_targets(start))))
+            ]
+            visited.add(start)
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child in self.interfaces and child not in visited:
+                        visited.add(child)
+                        stack.append(
+                            (child, iter(sorted(self.call_targets(child))))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        for key in sorted(self.interfaces):
+            if key not in visited:
+                dfs_order(key)
+
+        # Kosaraju second pass over the reversed graph.
+        reverse: dict[str, set[str]] = {key: set() for key in self.interfaces}
+        for key in self.interfaces:
+            for target in self.call_targets(key):
+                if target in reverse:
+                    reverse[target].add(key)
+        assigned: set[str] = set()
+        cycles: list[tuple[str, ...]] = []
+        for key in reversed(order):
+            if key in assigned:
+                continue
+            component = {key}
+            stack2 = [key]
+            assigned.add(key)
+            while stack2:
+                node = stack2.pop()
+                for pred in reverse.get(node, ()):
+                    if pred not in assigned:
+                        assigned.add(pred)
+                        component.add(pred)
+                        stack2.append(pred)
+            if len(component) > 1 or key in self.call_targets(key):
+                cycles.append(tuple(sorted(component)))
+        cycles.sort()
+        return cycles
+
+    def fingerprint(self) -> str:
+        """Registry fingerprint: hash over every interface fingerprint.
+
+        Two snapshots with identical interfaces (same message endpoints,
+        call edges, declared inputs/outputs everywhere) share it, even if
+        unrelated internals changed — the interprocess-cache key.
+        """
+        digest = hashlib.sha256()
+        for key in sorted(self.interfaces):
+            digest.update(key.encode("utf-8"))
+            digest.update(self.interfaces[key].fingerprint().encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+
+def interproc_pass(
+    definition: ProcessDefinition, graph: DeploymentGraph
+) -> list[Diagnostic]:
+    """Check one definition's message/call wiring against the deployment.
+
+    Returns diagnostics anchored at this definition's elements only; run it
+    once per definition to lint a whole deployment.  The definition itself
+    must already be part of ``graph``.
+    """
+    interface = graph.interfaces.get(definition.key)
+    if interface is None or interface.version != definition.version:
+        interface = extract_interface(definition)
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_message_rules(interface, graph))
+    diagnostics.extend(_call_rules(interface, graph))
+    return diagnostics
+
+
+def _message_rules(
+    interface: DefinitionInterface, graph: DeploymentGraph
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for endpoint in interface.sends:
+        receivers = graph.receivers(endpoint.message_name)
+        if not receivers:
+            diagnostics.append(Diagnostic(
+                rule=MSG001.id,
+                severity=MSG001.severity,
+                element_id=endpoint.element_id,
+                message=(
+                    f"message {endpoint.message_name!r} is sent but no "
+                    f"deployed definition receives or catches it — at "
+                    f"runtime it is retained (or forwarded) and never "
+                    f"consumed"
+                ),
+                hint="add a receive task / message catch event for it in "
+                     "some definition, or drop the send",
+            ))
+    reported_ambiguous: set[str] = set()
+    for endpoint in interface.receives:
+        senders = graph.senders(endpoint.message_name)
+        if not senders:
+            diagnostics.append(Diagnostic(
+                rule=MSG002.id,
+                severity=MSG002.severity,
+                element_id=endpoint.element_id,
+                message=(
+                    f"message {endpoint.message_name!r} is awaited here but "
+                    f"no deployed definition ever sends it — the instance "
+                    f"waits forever unless an external client publishes it"
+                ),
+                hint="if an outside system sends this message, suppress the "
+                     "finding on this element; otherwise add the sending "
+                     "side or remove the wait",
+            ))
+        receiver_keys = {key for key, _ in graph.receivers(endpoint.message_name)}
+        if len(receiver_keys) > 1 and endpoint.message_name not in reported_ambiguous:
+            reported_ambiguous.add(endpoint.message_name)
+            diagnostics.append(Diagnostic(
+                rule=MSG003.id,
+                severity=MSG003.severity,
+                element_id=endpoint.element_id,
+                message=(
+                    f"message {endpoint.message_name!r} has receivers in "
+                    f"{len(receiver_keys)} definitions "
+                    f"({', '.join(sorted(receiver_keys))}) — which one "
+                    f"consumes a send depends on correlation and runtime "
+                    f"state"
+                ),
+                hint="disambiguate with distinct message names, or rely on "
+                     "correlation expressions deliberately (and suppress "
+                     "this finding)",
+            ))
+    return diagnostics
+
+
+def _call_rules(
+    interface: DefinitionInterface, graph: DeploymentGraph
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    cycles = {
+        key: cycle for cycle in graph.call_cycles() for key in cycle
+    }
+    for call in interface.calls:
+        target = graph.interfaces.get(call.target_key)
+        if target is None:
+            deployed = ", ".join(sorted(graph.interfaces)) or "none"
+            diagnostics.append(Diagnostic(
+                rule=CALL001.id,
+                severity=CALL001.severity,
+                element_id=call.element_id,
+                message=(
+                    f"call target {call.target_key!r} has no deployed "
+                    f"version (deployed keys: {deployed})"
+                ),
+                hint="deploy the called process first, or fix the key",
+            ))
+            continue
+        cycle = cycles.get(interface.key)
+        if cycle is not None and call.target_key in cycle:
+            severity = CALL002.severity if _cycle_unconditional(
+                graph, cycle
+            ) else Severity.WARNING
+            qualifier = (
+                "every call site on the cycle is unconditional — instances "
+                "recurse without bound"
+                if severity is Severity.ERROR
+                else "at least one call site on the cycle is guarded by a "
+                     "choice, so recursion can terminate"
+            )
+            diagnostics.append(Diagnostic(
+                rule=CALL002.id,
+                severity=severity,
+                element_id=call.element_id,
+                message=(
+                    f"call activities form a static recursion cycle "
+                    f"{' -> '.join(cycle + (cycle[0],))}; {qualifier}"
+                ),
+                hint="break the cycle, or guard the recursive call with a "
+                     "terminating condition",
+            ))
+        diagnostics.extend(_mapping_rules(call, target))
+    return diagnostics
+
+
+def _cycle_unconditional(graph: DeploymentGraph, cycle: tuple[str, ...]) -> bool:
+    """True when every intra-cycle call site must execute on every run."""
+    members = set(cycle)
+    for key in cycle:
+        interface = graph.interfaces.get(key)
+        if interface is None:  # pragma: no cover - cycle keys are deployed
+            return False
+        for call in interface.calls:
+            if call.target_key in members and not call.must_execute:
+                return False
+    return True
+
+
+def _mapping_rules(
+    call: CallSite, target: DefinitionInterface
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    if call.input_keys:
+        missing = sorted(target.required_inputs - set(call.input_keys))
+        if missing:
+            diagnostics.append(Diagnostic(
+                rule=CALL003.id,
+                severity=CALL003.severity,
+                element_id=call.element_id,
+                message=(
+                    f"input mappings do not provide "
+                    f"{', '.join(repr(m) for m in missing)} — "
+                    f"{target.key!r} reads "
+                    f"{'them' if len(missing) > 1 else 'it'} without ever "
+                    f"assigning {'them' if len(missing) > 1 else 'it'}"
+                ),
+                hint=f"map {'them' if len(missing) > 1 else 'it'} in the "
+                     f"call activity's input mappings, or initialize "
+                     f"{'them' if len(missing) > 1 else 'it'} inside "
+                     f"{target.key!r}",
+            ))
+    if not target.havoc:
+        known = target.writes | target.required_inputs | set(call.input_keys)
+        for mapped_to, names in call.output_reads:
+            unknown = sorted(set(names) - known)
+            if unknown:
+                diagnostics.append(Diagnostic(
+                    rule=CALL003.id,
+                    severity=CALL003.severity,
+                    element_id=call.element_id,
+                    message=(
+                        f"output mapping for {mapped_to!r} reads "
+                        f"{', '.join(repr(u) for u in unknown)}, which "
+                        f"{target.key!r} never assigns"
+                    ),
+                    hint=f"assign the variable inside {target.key!r}, or "
+                         f"fix the output-mapping expression",
+                ))
+    return diagnostics

@@ -70,11 +70,27 @@ class Baseline:
             )
         return cls(fingerprints=frozenset(entries))
 
-    def apply(self, report: AnalysisReport) -> AnalysisReport:
-        """Drop baselined findings (they count as suppressed)."""
+    def apply(
+        self, report: AnalysisReport, scope: str | None = None
+    ) -> AnalysisReport:
+        """Drop baselined findings (they count as suppressed).
+
+        ``scope`` is the definition key when linting a whole deployment:
+        scoped entries (``"KEY::RULE:element"``) then match alongside the
+        bare ``"RULE:element"`` form, so one baseline file can cover many
+        definitions without element-id collisions.
+        """
+        def matches(fingerprint: str) -> bool:
+            if fingerprint in self.fingerprints:
+                return True
+            return (
+                scope is not None
+                and f"{scope}::{fingerprint}" in self.fingerprints
+            )
+
         kept = [
             d for d in report.diagnostics
-            if d.fingerprint not in self.fingerprints
+            if not matches(d.fingerprint)
         ]
         dropped = len(report.diagnostics) - len(kept)
         return replace(

@@ -160,3 +160,55 @@ REF004 = _register(RuleSpec(
     "REF004", "unknown process key", Severity.WARNING, "reference",
     "a call activity references a process key that is not deployed",
 ))
+
+# -- interprocess: message choreography ---------------------------------------
+
+MSG001 = _register(RuleSpec(
+    "MSG001", "send without receiver", Severity.WARNING, "interproc",
+    "a send task publishes a message name no deployed definition ever "
+    "receives or catches — the message is retained (or forwarded and never "
+    "consumed) at runtime",
+))
+MSG002 = _register(RuleSpec(
+    "MSG002", "receive nothing sends", Severity.WARNING, "interproc",
+    "a receive task or message catch event waits for a message name no "
+    "deployed definition ever sends — unless an external client publishes "
+    "it, the instance waits forever",
+))
+MSG003 = _register(RuleSpec(
+    "MSG003", "ambiguous receivers", Severity.WARNING, "interproc",
+    "several deployed definitions receive the same message name; which one "
+    "consumes a send depends on correlation and runtime state",
+))
+
+# -- interprocess: call graph -------------------------------------------------
+
+CALL001 = _register(RuleSpec(
+    "CALL001", "call target not deployed", Severity.ERROR, "interproc",
+    "a call activity (or multi-instance activity) targets a process key "
+    "with no deployed version; starting the subprocess will fail",
+))
+CALL002 = _register(RuleSpec(
+    "CALL002", "static recursion cycle", Severity.ERROR, "interproc",
+    "call activities form a cycle through the deployment; if every call "
+    "site on the cycle must execute, instances recurse without bound",
+))
+CALL003 = _register(RuleSpec(
+    "CALL003", "call mapping mismatch", Severity.WARNING, "interproc",
+    "a caller's input mappings miss a variable the callee requires at "
+    "start, or an output mapping reads a variable the callee never writes",
+))
+
+# -- interprocess: choreography soundness -------------------------------------
+
+CHOR001 = _register(RuleSpec(
+    "CHOR001", "cross-process deadlock", Severity.WARNING, "interproc",
+    "composing the communicating definitions into one net with message "
+    "channel places reaches a marking where some instance is stuck waiting "
+    "and no internal send can ever satisfy it",
+))
+CHOR003 = _register(RuleSpec(
+    "CHOR003", "choreography analysis skipped", Severity.INFO, "interproc",
+    "the composed state-space budget was exhausted or a definition has no "
+    "WF-net translation; cross-process behavioural rules were not decided",
+))

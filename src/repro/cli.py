@@ -6,6 +6,11 @@ Commands:
   behavioural) verification; exit code 1 on errors.
 * ``lint FILE.bpmn [--json] ...``      — full static analysis: structural,
   data-flow, behavioural, and reference rules with fix hints.
+* ``lint DIR --deployment``            — deployment-wide analysis: every
+  definition in a directory of BPMN files (or a DurableKV store), plus
+  the interprocess message/call rules (MSG*/CALL*/CHOR*).
+* ``choreography DIR [--json]``        — render the deployment's message
+  channels, call edges, and recursion cycles.
 * ``info FILE.bpmn``                   — model summary.
 * ``run FILE.bpmn [--var k=v ...]``    — deploy and run one instance of a
   fully automated model, printing the outcome and final variables.
@@ -81,17 +86,70 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_deployment(path: str):
+    """Definitions for ``lint --deployment`` / ``choreography``.
+
+    ``path`` may be a directory of ``*.bpmn`` files (recursive), a
+    DurableKV store directory (its ``definition/`` records are read, the
+    latest version of each key winning), or a cluster directory of
+    ``shard-<n>`` partitions (shard 0 is read — deployments are identical
+    on every shard).
+    """
+    import os
+
+    from repro.model.serialization import definition_from_dict
+    from repro.storage.kvstore import DurableKV
+
+    if not os.path.isdir(path):
+        raise SystemExit(f"error: not a directory: {path}")
+    entries = sorted(os.listdir(path))
+    shard_dirs = [
+        e for e in entries
+        if e.startswith("shard-") and os.path.isdir(os.path.join(path, e))
+    ]
+    if shard_dirs:
+        shard_dirs.sort(
+            key=lambda d: (
+                int(d.rsplit("-", 1)[-1]) if d.rsplit("-", 1)[-1].isdigit() else 0
+            )
+        )
+        path = os.path.join(path, shard_dirs[0])
+        entries = sorted(os.listdir(path))
+    if "journal.log" in entries or "snapshot.json" in entries:
+        store = DurableKV(path, sync_writes=False)
+        definitions = [
+            definition_from_dict(raw) for _, raw in store.scan("definition/")
+        ]
+        store.close()
+        if not definitions:
+            raise SystemExit(f"error: no definition/ records in store {path}")
+        return definitions
+    models = []
+    for root, _dirs, files in sorted(os.walk(path)):
+        for name in sorted(files):
+            if name.endswith(".bpmn"):
+                models.append(_load_model(os.path.join(root, name)))
+    if not models:
+        raise SystemExit(f"error: no *.bpmn files under {path}")
+    return models
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
+        AnalysisCache,
         AnalysisContext,
-        Baseline,
         analyze,
+        analyze_deployment,
         exit_code,
         render_console,
+        render_deployment_console,
+        render_deployment_json,
         render_json,
     )
 
-    model = _load_model(args.file)
+    use_json = args.json or args.format == "json"
+    if args.write_baseline and not args.baseline:
+        raise SystemExit("error: --write-baseline requires --baseline FILE")
     context = None
     if args.service or args.role or args.decision or args.process_key:
         context = AnalysisContext(
@@ -102,20 +160,74 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 frozenset(args.process_key) if args.process_key else None
             ),
         )
+
+    if args.deployment:
+        report = analyze_deployment(
+            _load_deployment(args.file),
+            context=context,
+            behavioral=not args.no_behavioral,
+            max_states=args.max_states,
+            cache=AnalysisCache(),
+        )
+        if args.write_baseline:
+            _write_baseline(args.baseline, report.fingerprints())
+            return 0
+        if args.baseline:
+            report = report.apply_baseline(_read_baseline(args.baseline))
+        print(
+            render_deployment_json(report)
+            if use_json
+            else render_deployment_console(report)
+        )
+        return exit_code(report, args.fail_on)
+
+    model = _load_model(args.file)
     report = analyze(
         model,
         context=context,
         behavioral=not args.no_behavioral,
         max_states=args.max_states,
     )
+    if args.write_baseline:
+        _write_baseline(
+            args.baseline, sorted(d.fingerprint for d in report.diagnostics)
+        )
+        return 0
     if args.baseline:
-        try:
-            baseline = Baseline.load(args.baseline)
-        except (OSError, ValueError, json.JSONDecodeError) as exc:
-            raise SystemExit(f"error: cannot read baseline: {exc}")
-        report = baseline.apply(report)
-    print(render_json(report) if args.json else render_console(report))
+        report = _read_baseline(args.baseline).apply(report)
+    print(render_json(report) if use_json else render_console(report))
     return exit_code(report, args.fail_on)
+
+
+def _read_baseline(path: str):
+    from repro.analysis import Baseline
+
+    try:
+        return Baseline.load(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read baseline: {exc}")
+
+
+def _write_baseline(path: str, fingerprints: list) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(fingerprints, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(fingerprints)} fingerprint(s) to {path}")
+
+
+def cmd_choreography(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DeploymentGraph,
+        choreography_summary,
+        render_choreography,
+    )
+
+    graph = DeploymentGraph.build(_load_deployment(args.path))
+    if args.json:
+        print(json.dumps(choreography_summary(graph), indent=2, sort_keys=True))
+    else:
+        print(render_choreography(graph))
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -556,9 +668,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint", help="static analysis: data-flow, anti-patterns, references"
     )
-    p_lint.add_argument("file")
+    p_lint.add_argument(
+        "file",
+        help="a BPMN file, or with --deployment a directory of *.bpmn "
+             "files / a DurableKV store / a cluster of shard-<n> stores",
+    )
     p_lint.add_argument("--json", action="store_true",
                         help="machine-readable report")
+    p_lint.add_argument("--format", choices=("console", "json"),
+                        default="console",
+                        help="output format (--format json == --json)")
+    p_lint.add_argument("--deployment", action="store_true",
+                        help="lint a whole deployment: per-model rules plus "
+                             "interprocess message/call checks (MSG*/CALL*/"
+                             "CHOR*) across every definition")
     p_lint.add_argument("--no-behavioral", action="store_true",
                         help="skip the state-space (SND*) rules")
     p_lint.add_argument("--max-states", type=int, default=50_000)
@@ -567,7 +690,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="lowest severity that causes exit code 1")
     p_lint.add_argument("--baseline", metavar="FILE",
                         help="JSON list of known 'RULE:element' fingerprints "
-                             "to ignore")
+                             "to ignore ('KEY::RULE:element' in deployment "
+                             "mode)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the --baseline file from the "
+                             "current findings instead of reporting")
     p_lint.add_argument("--service", action="append", metavar="NAME",
                         help="declare a registered service (enables REF001)")
     p_lint.add_argument("--role", action="append", metavar="NAME",
@@ -621,6 +748,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_patterns = sub.add_parser("patterns", help="pattern support matrix")
     p_patterns.set_defaults(func=cmd_patterns)
+
+    p_chor = sub.add_parser(
+        "choreography",
+        help="render a deployment's message/call graph (channels, call "
+             "edges, recursion cycles)",
+    )
+    p_chor.add_argument(
+        "path",
+        help="directory of *.bpmn files, a DurableKV store, or a cluster "
+             "directory of shard-<n> stores",
+    )
+    p_chor.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_chor.set_defaults(func=cmd_choreography)
 
     p_commands = sub.add_parser(
         "commands",

@@ -43,6 +43,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from dataclasses import replace
 from typing import Any, Callable, Iterable
 
 from repro.clock import Clock, VirtualClock, WallClock
@@ -450,9 +451,19 @@ class ShardedEngine:
         )
 
     def _broadcast_deploy(self, command: cmds.DeployDefinition) -> str:
-        identifiers = [
-            self._dispatch_on(i, command) for i in range(self.shard_count)
-        ]
+        """Deploy to every shard, running the static analysis exactly once.
+
+        Shard 0 lints the definition (and can reject the deploy for the
+        whole cluster); the remaining shards receive the same command
+        marked ``pre_verified`` and only perform structural registration —
+        previously each of the N shards re-ran the full analysis, making
+        deploy cost O(N × analysis).
+        """
+        identifiers = [self._dispatch_on(0, command)]
+        verified = replace(command, pre_verified=True)
+        identifiers.extend(
+            self._dispatch_on(i, verified) for i in range(1, self.shard_count)
+        )
         if len(set(identifiers)) != 1:  # pragma: no cover - defensive
             raise EngineError(f"divergent deployment versions: {identifiers}")
         return identifiers[0]

@@ -108,6 +108,10 @@ class DeployDefinition(Command):
     definition: Any = None  # ProcessDefinition
     verify: bool | None = None
     force: bool = False
+    #: the definition already passed the full static analysis in this
+    #: deployment (set by the cluster layer when fanning a verified deploy
+    #: out to its remaining shards); registration skips re-analysis
+    pre_verified: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         from repro.model.serialization import definition_to_dict
@@ -117,6 +121,7 @@ class DeployDefinition(Command):
             "definition": definition_to_dict(self.definition),
             "verify": self.verify,
             "force": self.force,
+            "pre_verified": self.pre_verified,
         }
 
     @classmethod
@@ -130,6 +135,7 @@ class DeployDefinition(Command):
             definition=definition,
             verify=raw.get("verify"),
             force=raw.get("force", False),
+            pre_verified=raw.get("pre_verified", False),
         )
 
 

@@ -142,6 +142,15 @@ class ProcessEngine:
         self._c_lint_blocked = self.obs.registry.counter(
             "engine.lint.deploy_blocked"
         )
+        self._c_interproc_warnings = self.obs.registry.counter(
+            "engine.lint.interproc_warnings"
+        )
+        self._c_interproc_blocked = self.obs.registry.counter(
+            "engine.lint.interproc_blocked"
+        )
+        # created lazily on first deploy (keeps repro.analysis off the
+        # import path of engine construction)
+        self._analysis_cache: Any | None = None
         self._g_queue_depth = self.obs.registry.gauge("engine.scheduler.queue_depth")
         self._c_jobs_orphaned = self.obs.registry.counter("engine.jobs.orphaned")
         self._c_flush_commits = self.obs.registry.counter("engine.flush.commits")
@@ -335,6 +344,8 @@ class ProcessEngine:
         from repro.analysis import AnalysisContext, Severity, analyze
 
         definition = cmd.definition
+        if cmd.pre_verified:
+            return self._register_deployment(definition)
         behavioral = cmd.verify if cmd.verify is not None else self.verify_soundness
         overrides = None
         if not self.strict_references:
@@ -361,6 +372,21 @@ class ProcessEngine:
                 message=diagnostic.message,
             )
         self._c_lint_warnings.inc(len(report.warnings))
+        interproc = self._interproc_findings(definition)
+        for diagnostic in interproc:
+            if diagnostic.severity is Severity.INFO:
+                continue
+            self.obs.event(
+                "lint.interproc",
+                process=definition.key,
+                rule=diagnostic.rule,
+                severity=diagnostic.severity.value,
+                element=diagnostic.element_id,
+                message=diagnostic.message,
+            )
+        self._c_interproc_warnings.inc(
+            sum(1 for d in interproc if d.severity is Severity.WARNING)
+        )
         if not report.ok:
             behavioural_rules = {"SND001", "SND002", "SND003", "SND005"}
             structural = [
@@ -376,6 +402,70 @@ class ProcessEngine:
                         f"[{d.rule}] {d.element_id}: {d.message}" for d in errors
                     )
                 )
+        interproc_errors = [
+            d for d in interproc if d.severity is Severity.ERROR
+        ]
+        if interproc_errors and not cmd.force:
+            self._c_interproc_blocked.inc()
+            raise EngineError(
+                f"definition {definition.key!r} breaks the deployment: "
+                + "; ".join(
+                    f"[{d.rule}] {d.element_id}: {d.message}"
+                    for d in interproc_errors
+                )
+            )
+        return self._register_deployment(definition)
+
+    def _interproc_findings(self, definition: ProcessDefinition) -> list:
+        """Deployment-wide findings (MSG*/CALL*) for a deploy candidate.
+
+        The candidate is checked against the latest version of every other
+        deployed definition.  Results are memoized in an
+        :class:`~repro.analysis.cache.AnalysisCache` keyed on the
+        candidate's content hash plus the registry's interface
+        fingerprint, so redeploys and interface-neutral edits skip the
+        graph walk.  Unless ``strict_references``, CALL001 (call target
+        not deployed) is downgraded to a warning — deploy order is a
+        legitimate workflow, mirroring REF004.
+        """
+        from dataclasses import replace as _replace
+
+        from repro.analysis import (
+            AnalysisCache,
+            DeploymentGraph,
+            Severity,
+            interproc_pass,
+        )
+        from repro.analysis import _apply_suppressions, _with_provenance
+
+        if self._analysis_cache is None:
+            self._analysis_cache = AnalysisCache()
+        cache = self._analysis_cache
+        snapshot = [
+            self._definitions[f"{key}:{version}"]
+            for key, version in self._latest_version.items()
+            if key != definition.key
+        ]
+        snapshot.append(definition)
+        interfaces = {d.key: cache.interface(d) for d in snapshot}
+        graph = DeploymentGraph.build(snapshot, interfaces=interfaces)
+        cache_key = cache.interproc_key(definition, graph.fingerprint())
+        raw = cache.get_interproc(cache_key)
+        if raw is None:
+            raw = interproc_pass(definition, graph)
+            cache.put_interproc(cache_key, raw)
+        if not self.strict_references:
+            raw = [
+                _replace(d, severity=Severity.WARNING)
+                if d.rule == "CALL001" and d.severity is Severity.ERROR
+                else d
+                for d in raw
+            ]
+        decorated = [_with_provenance(definition, d) for d in raw]
+        kept, _suppressed = _apply_suppressions(definition, decorated)
+        return kept
+
+    def _register_deployment(self, definition: ProcessDefinition) -> str:
         version = self._latest_version.get(definition.key, 0) + 1
         deployed = definition.with_version(version)
         self._definitions[deployed.identifier] = deployed

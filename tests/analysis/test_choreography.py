@@ -1,0 +1,158 @@
+"""Choreography composition: channel places, components, CHOR* findings."""
+
+from __future__ import annotations
+
+from repro.analysis import DeploymentGraph
+from repro.analysis.choreography import (
+    choreography_pass,
+    choreography_summary,
+    closed_channels,
+    communicating_components,
+    compose_component,
+    render_choreography,
+)
+from repro.model.builder import ProcessBuilder
+
+
+def _graph(*definitions):
+    return DeploymentGraph.build(list(definitions))
+
+
+def _ping_pong():
+    """a sends ping then awaits pong; b echoes — sound as a pair."""
+    a = (
+        ProcessBuilder("a").start()
+        .send_task("ping", message_name="ping")
+        .receive_task("wait_pong", message_name="pong")
+        .end().build()
+    )
+    b = (
+        ProcessBuilder("b").start()
+        .receive_task("wait_ping", message_name="ping")
+        .send_task("pong", message_name="pong")
+        .end().build()
+    )
+    return a, b
+
+
+def _mutual_wait():
+    """Each side receives before it sends — classic choreography deadlock."""
+    a = (
+        ProcessBuilder("a").start()
+        .receive_task("wait_b", message_name="from_b")
+        .send_task("to_b", message_name="from_a")
+        .end().build()
+    )
+    b = (
+        ProcessBuilder("b").start()
+        .receive_task("wait_a", message_name="from_a")
+        .send_task("to_a", message_name="from_b")
+        .end().build()
+    )
+    return a, b
+
+
+class TestTopology:
+    def test_closed_channels_need_both_sides(self):
+        a, b = _ping_pong()
+        graph = _graph(a, b)
+        assert closed_channels(graph) == {"ping", "pong"}
+
+    def test_open_channel_is_not_closed(self):
+        only_send = (
+            ProcessBuilder("s").start()
+            .send_task("out", message_name="m").end().build()
+        )
+        assert closed_channels(_graph(only_send)) == set()
+
+    def test_components_group_communicating_definitions(self):
+        a, b = _ping_pong()
+        lonely = ProcessBuilder("c").start().end().build()
+        components = communicating_components(_graph(a, b, lonely))
+        assert components == [("a", "b")]
+
+    def test_disjoint_pairs_stay_separate(self):
+        a, b = _ping_pong()
+        c = (
+            ProcessBuilder("c").start()
+            .send_task("s", message_name="other").end().build()
+        )
+        d = (
+            ProcessBuilder("d").start()
+            .receive_task("r", message_name="other").end().build()
+        )
+        components = communicating_components(_graph(a, b, c, d))
+        assert components == [("a", "b"), ("c", "d")]
+
+
+class TestComposition:
+    def test_channel_places_wire_send_to_receive(self):
+        a, b = _ping_pong()
+        graph = _graph(a, b)
+        net, initial, final = compose_component(graph, ("a", "b"))
+        assert "chan::ping" in net.places
+        assert "chan::pong" in net.places
+        # each member contributes its own start place to the initial marking
+        assert initial["a::i"] == 1 and initial["b::i"] == 1
+        assert final["a::o"] == 1 and final["b::o"] == 1
+        # send produces into the channel, receive consumes from it
+        assert "chan::ping" in net.postset("a::ping")
+        assert "chan::ping" in net.preset("b::wait_ping")
+
+
+class TestChoreographyPass:
+    def test_sound_pair_is_clean(self):
+        a, b = _ping_pong()
+        assert choreography_pass(_graph(a, b)) == {}
+
+    def test_mutual_wait_is_flagged_on_both_sides(self):
+        a, b = _mutual_wait()
+        results = choreography_pass(_graph(a, b))
+        assert {d.rule for diags in results.values() for d in diags} == {"CHOR001"}
+        assert {d.element_id for d in results["a"]} == {"wait_b"}
+        assert {d.element_id for d in results["b"]} == {"wait_a"}
+
+    def test_open_channels_do_not_deadlock(self):
+        # the receive of 'external' has no internal sender: an outside
+        # client may publish it, so composition must not flag the wait
+        a = (
+            ProcessBuilder("a").start()
+            .receive_task("ext", message_name="external")
+            .send_task("ping", message_name="ping")
+            .end().build()
+        )
+        b = (
+            ProcessBuilder("b").start()
+            .receive_task("wait_ping", message_name="ping")
+            .end().build()
+        )
+        results = choreography_pass(_graph(a, b))
+        assert results == {}
+
+    def test_budget_exhaustion_degrades_to_chor003(self):
+        a, b = _ping_pong()
+        results = choreography_pass(_graph(a, b), max_states=1)
+        rules = {d.rule for diags in results.values() for d in diags}
+        assert rules == {"CHOR003"}
+        assert set(results) == {"a", "b"}
+
+
+class TestRendering:
+    def test_summary_shape(self):
+        a, b = _ping_pong()
+        lonely_call = (
+            ProcessBuilder("c").start()
+            .call_activity("go", process_key="ghost").end().build()
+        )
+        summary = choreography_summary(_graph(a, b, lonely_call))
+        assert {d["key"] for d in summary["definitions"]} == {"a", "b", "c"}
+        by_message = {c["message"]: c for c in summary["channels"]}
+        assert not by_message["ping"]["open"]
+        assert summary["calls"][0]["deployed"] is False
+        assert summary["cycles"] == []
+
+    def test_render_mentions_channels_and_calls(self):
+        a, b = _ping_pong()
+        text = render_choreography(_graph(a, b))
+        assert "ping" in text and "a[ping]" in text
+        assert "channels: 2" in text

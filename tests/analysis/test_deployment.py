@@ -1,0 +1,123 @@
+"""analyze_deployment: merged per-definition reports, baselines, rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (
+    AnalysisCache,
+    Baseline,
+    analyze_deployment,
+    exit_code,
+    render_deployment_console,
+    render_deployment_json,
+)
+from repro.analysis.diagnostics import Severity
+from repro.model.builder import ProcessBuilder
+
+
+def _snapshot():
+    sender = (
+        ProcessBuilder("sender").start()
+        .send_task("orphan", message_name="nobody.listens")
+        .end().build()
+    )
+    caller = (
+        ProcessBuilder("caller").start()
+        .call_activity("c", process_key="ghost")
+        .end().build()
+    )
+    return [sender, caller]
+
+
+class TestAnalyzeDeployment:
+    def test_interproc_findings_land_on_their_definition(self):
+        report = analyze_deployment(_snapshot())
+        assert [d.element_id for d in report.reports["sender"].by_rule("MSG001")] == ["orphan"]
+        assert [d.element_id for d in report.reports["caller"].by_rule("CALL001")] == ["c"]
+
+    def test_synthesized_context_resolves_intra_deployment_calls(self):
+        child = ProcessBuilder("child").start().end().build()
+        caller = (
+            ProcessBuilder("caller").start()
+            .call_activity("c", process_key="child")
+            .end().build()
+        )
+        report = analyze_deployment([caller, child])
+        assert report.by_rule("REF004") == []
+        assert report.by_rule("CALL001") == []
+
+    def test_newest_version_wins(self):
+        old = (
+            ProcessBuilder("p").start()
+            .send_task("s", message_name="stale").end().build()
+        )
+        old.version = 1
+        new = ProcessBuilder("p").start().end().build()
+        new.version = 2
+        report = analyze_deployment([old, new])
+        assert report.by_rule("MSG001") == []
+
+    def test_suppressions_apply_to_interproc_findings(self):
+        b = (
+            ProcessBuilder("sender").start()
+            .send_task("orphan", message_name="nobody.listens")
+            .end()
+        )
+        b.suppress("orphan", "MSG001")
+        report = analyze_deployment([b.build()])
+        assert report.by_rule("MSG001") == []
+        assert report.suppressed == 1
+
+    def test_severity_overrides_reach_interproc_rules(self):
+        report = analyze_deployment(
+            _snapshot(),
+            severity_overrides={"CALL001": Severity.WARNING},
+        )
+        finding = report.by_rule("CALL001")[0]
+        assert finding.severity is Severity.WARNING
+
+    def test_exit_code_duck_types_deployment_reports(self):
+        report = analyze_deployment(_snapshot())
+        assert exit_code(report, "error") == 1
+        assert exit_code(report, "never") == 0
+
+
+class TestScopedBaseline:
+    def test_scoped_fingerprints_suppress_per_definition(self, tmp_path):
+        report = analyze_deployment(_snapshot())
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(report.fingerprints()))
+        remaining = report.apply_baseline(Baseline.load(path))
+        assert remaining.diagnostics == []
+        assert remaining.suppressed >= 2
+
+    def test_scope_prevents_cross_definition_matches(self, tmp_path):
+        report = analyze_deployment(_snapshot())
+        path = tmp_path / "baseline.json"
+        # fingerprint exists, but under the wrong definition key
+        path.write_text(json.dumps(["caller::MSG001:orphan"]))
+        remaining = report.apply_baseline(Baseline.load(path))
+        assert remaining.by_rule("MSG001")  # not suppressed
+
+    def test_fingerprints_are_scoped_and_sorted(self):
+        fingerprints = analyze_deployment(_snapshot()).fingerprints()
+        assert "sender::MSG001:orphan" in fingerprints
+        assert fingerprints == sorted(fingerprints)
+
+
+class TestRendering:
+    def test_console_has_summary_and_sections(self):
+        text = render_deployment_console(analyze_deployment(_snapshot()))
+        assert text.startswith("deployment: 2 definition(s)")
+        assert "MSG001" in text and "CALL001" in text
+
+    def test_json_is_one_document(self):
+        payload = json.loads(render_deployment_json(
+            analyze_deployment(_snapshot(), cache=AnalysisCache())
+        ))
+        assert payload["summary"]["errors"] == 1  # CALL001
+        assert {d["process"] for d in payload["definitions"]} == {
+            "sender", "caller",
+        }
+        assert payload["cache"]["misses"] > 0

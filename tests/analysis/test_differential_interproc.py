@@ -1,0 +1,103 @@
+"""Differential property test: MSG001/MSG002 verdicts vs real cluster runs.
+
+Generates small deployments of straight-line processes that first publish
+0-2 messages and then optionally wait for one (sends strictly precede the
+receive, so every send always executes regardless of message arrival
+order).  The interprocess analysis predicts the channel defects; a real
+engine then runs one instance of every definition:
+
+* **MSG001 soundness** — a message flagged as orphan (no receiver in any
+  definition) ends up retained on the bus, one copy per executed send,
+  and never consumed;
+* **MSG002 soundness** — an instance whose receive waits for a message
+  nothing sends must still be running (suspended on the wait) after every
+  instance had its chance;
+* **cleanliness** — when the analysis reports no MSG002 and every message
+  has at least as many sends as receives, every instance completes: the
+  retention buffer makes send/receive interleaving irrelevant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import DeploymentGraph, interproc_pass
+from repro.engine.engine import ProcessEngine
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+
+MESSAGES = ("m0", "m1", "m2")
+
+_process = st.tuples(
+    st.lists(st.integers(0, len(MESSAGES) - 1), max_size=2),  # sends
+    st.one_of(st.none(), st.integers(0, len(MESSAGES) - 1)),  # receive
+)
+
+_deployments = st.lists(_process, min_size=1, max_size=3)
+
+
+def _build(index, sends, receive):
+    b = ProcessBuilder(f"p{index}").start()
+    for position, message_index in enumerate(sends):
+        b.send_task(f"s{position}", message_name=MESSAGES[message_index])
+    if receive is not None:
+        b.receive_task("rx", message_name=MESSAGES[receive])
+    return b.end().build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_deployments)
+def test_message_rules_match_cluster_behavior(shape):
+    definitions = [
+        _build(i, sends, receive) for i, (sends, receive) in enumerate(shape)
+    ]
+    graph = DeploymentGraph.build(definitions)
+    predicted = {
+        definition.key: interproc_pass(definition, graph)
+        for definition in definitions
+    }
+    orphan_messages = set()
+    starved_keys = set()
+    for key, diagnostics in predicted.items():
+        for diagnostic in diagnostics:
+            if diagnostic.rule == "MSG001":
+                element = definitions[int(key[1:])].nodes[diagnostic.element_id]
+                orphan_messages.add(element.message_name)
+            elif diagnostic.rule == "MSG002":
+                starved_keys.add(key)
+
+    engine = ProcessEngine()
+    for definition in definitions:
+        engine.deploy(definition)
+    instances = {
+        definition.key: engine.start_instance(definition.key)
+        for definition in definitions
+    }
+
+    sends_of = Counter(
+        MESSAGES[i] for sends, _ in shape for i in sends
+    )
+    receives_of = Counter(
+        MESSAGES[receive] for _, receive in shape if receive is not None
+    )
+
+    # MSG001 soundness: orphans pile up on the bus, none delivered
+    for message in orphan_messages:
+        assert len(engine.bus.retained(message)) == sends_of[message]
+
+    # MSG002 soundness: the wait can never be satisfied internally
+    for key in starved_keys:
+        assert instances[key].state is InstanceState.RUNNING
+        token = instances[key].tokens[0]
+        assert token.waiting_on["reason"] == "message"
+
+    # cleanliness: enough sends for every receive and no MSG002 anywhere
+    # means every instance runs to completion
+    if not starved_keys and all(
+        sends_of[message] >= count for message, count in receives_of.items()
+    ):
+        for key, instance in instances.items():
+            assert instance.state is InstanceState.COMPLETED, key

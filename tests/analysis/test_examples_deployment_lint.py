@@ -1,0 +1,50 @@
+"""The choreography examples must lint to exactly the seeded defects.
+
+``examples/choreography/`` ships four BPMN definitions with deliberate
+deployment-wide defects (an orphan send, an undeployed call target, a
+guarded call-activity recursion cycle).  The baseline
+(``examples_deployment_baseline.json``) pins those findings; anything new
+— and any seeded finding that silently stops firing — fails the suite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_deployment
+from repro.bpmn import parse_bpmn
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "choreography"
+BASELINE_PATH = Path(__file__).parent / "examples_deployment_baseline.json"
+
+
+def _deployment():
+    return [
+        parse_bpmn(path.read_text(), source=str(path.relative_to(EXAMPLES.parents[1])))
+        for path in sorted(EXAMPLES.glob("*.bpmn"))
+    ]
+
+
+def test_seeded_defects_are_detected():
+    report = analyze_deployment(_deployment())
+    assert [d.element_id for d in report.by_rule("MSG001")] == ["flag_customs"]
+    assert [d.element_id for d in report.by_rule("CALL001")] == ["bill"]
+    assert {d.element_id for d in report.by_rule("CALL002")} == {
+        "escalate", "reopen",
+    }
+
+
+def test_examples_lint_clean_against_baseline():
+    report = analyze_deployment(_deployment())
+    remaining = report.apply_baseline(Baseline.load(BASELINE_PATH))
+    assert remaining.diagnostics == [], [
+        f"{d.rule}:{d.element_id} — {d.message}" for d in remaining.diagnostics
+    ]
+
+
+def test_baseline_has_no_stale_entries():
+    live = set(analyze_deployment(_deployment()).fingerprints())
+    recorded = set(json.loads(BASELINE_PATH.read_text()))
+    stale = recorded - live
+    assert not stale, f"baseline entries no longer reported: {sorted(stale)}"

@@ -1,0 +1,359 @@
+"""Interprocess rules: message channels (MSG*) and the call graph (CALL*)."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    DeploymentGraph,
+    extract_interface,
+    interproc_pass,
+)
+from repro.analysis.diagnostics import Severity
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import ExclusiveGateway
+
+
+def _graph(*definitions):
+    return DeploymentGraph.build(list(definitions))
+
+
+def _rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def _by_rule(diagnostics, rule):
+    return [d for d in diagnostics if d.rule == rule]
+
+
+class TestInterfaceExtraction:
+    def test_sends_receives_and_calls_are_collected(self):
+        model = (
+            ProcessBuilder("p").start()
+            .send_task("s", message_name="m.out", payload_expression="x")
+            .receive_task("r", message_name="m.in")
+            .message_catch("c", message_name="m.catch")
+            .call_activity("call", process_key="child", input_mappings={"a": "x"})
+            .end().build()
+        )
+        interface = extract_interface(model)
+        assert {e.message_name for e in interface.sends} == {"m.out"}
+        assert {(e.message_name, e.kind) for e in interface.receives} == {
+            ("m.in", "receive"), ("m.catch", "catch"),
+        }
+        assert [c.target_key for c in interface.calls] == ["child"]
+        assert interface.calls[0].input_keys == ("a",)
+
+    def test_required_inputs_mirror_df002(self):
+        model = (
+            ProcessBuilder("p").start()
+            .script_task("t", script="y = x + 1")
+            .end().build()
+        )
+        interface = extract_interface(model)
+        assert "x" in interface.required_inputs
+        assert "y" in interface.writes
+        assert "y" not in interface.required_inputs
+
+    def test_guarded_call_is_not_must_execute(self):
+        b = ProcessBuilder("p").start().exclusive_gateway("gw")
+        b.add_node(ExclusiveGateway(id="join"))
+        b.branch("go").call_activity("maybe", process_key="child").connect_to("join")
+        b.move_to("gw").branch(default=True).script_task("skip", script="z = 1")
+        b.connect_to("join")
+        b.move_to("join").end()
+        interface = extract_interface(b.build())
+        call = interface.calls[0]
+        assert call.must_execute is False
+
+    def test_straight_line_call_is_must_execute(self):
+        model = (
+            ProcessBuilder("p").start()
+            .call_activity("always", process_key="child")
+            .end().build()
+        )
+        interface = extract_interface(model)
+        assert interface.calls[0].must_execute is True
+
+    def test_fingerprint_ignores_internal_changes(self):
+        def make(script):
+            return (
+                ProcessBuilder("p").start()
+                .script_task("t", script=script)
+                .send_task("s", message_name="m")
+                .end().build()
+            )
+        # same writes, same channel surface -> same interface fingerprint
+        a = extract_interface(make("x = 1"))
+        b = extract_interface(make("x = 2"))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_changes_with_channel_surface(self):
+        base = (
+            ProcessBuilder("p").start()
+            .send_task("s", message_name="m")
+            .end().build()
+        )
+        changed = (
+            ProcessBuilder("p").start()
+            .send_task("s", message_name="m2")
+            .end().build()
+        )
+        assert (
+            extract_interface(base).fingerprint()
+            != extract_interface(changed).fingerprint()
+        )
+
+
+class TestDeploymentGraph:
+    def test_keeps_highest_version_per_key(self):
+        v1 = ProcessBuilder("p").start().end().build()
+        v1.version = 1
+        v2 = (
+            ProcessBuilder("p").start()
+            .send_task("s", message_name="m")
+            .end().build()
+        )
+        v2.version = 2
+        graph = _graph(v1, v2)
+        assert graph.definitions["p"].version == 2
+        assert graph.senders("m")
+
+    def test_call_cycles_self_loop(self):
+        model = (
+            ProcessBuilder("p").start()
+            .call_activity("rec", process_key="p")
+            .end().build()
+        )
+        cycles = _graph(model).call_cycles()
+        assert cycles == [("p",)]
+
+    def test_call_cycles_mutual(self):
+        a = (
+            ProcessBuilder("a").start()
+            .call_activity("cb", process_key="b").end().build()
+        )
+        b = (
+            ProcessBuilder("b").start()
+            .call_activity("ca", process_key="a").end().build()
+        )
+        cycles = _graph(a, b).call_cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"a", "b"}
+
+    def test_undeployed_target_breaks_no_cycle(self):
+        a = (
+            ProcessBuilder("a").start()
+            .call_activity("c", process_key="ghost").end().build()
+        )
+        assert _graph(a).call_cycles() == []
+
+
+class TestMessageRules:
+    def test_msg001_orphan_send(self):
+        sender = (
+            ProcessBuilder("s").start()
+            .send_task("out", message_name="lonely")
+            .end().build()
+        )
+        graph = _graph(sender)
+        findings = _by_rule(interproc_pass(sender, graph), "MSG001")
+        assert [d.element_id for d in findings] == ["out"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_msg002_never_sent_receive(self):
+        receiver = (
+            ProcessBuilder("r").start()
+            .receive_task("inp", message_name="never")
+            .end().build()
+        )
+        findings = _by_rule(
+            interproc_pass(receiver, _graph(receiver)), "MSG002"
+        )
+        assert [d.element_id for d in findings] == ["inp"]
+
+    def test_matched_channel_is_clean(self):
+        sender = (
+            ProcessBuilder("s").start()
+            .send_task("out", message_name="m").end().build()
+        )
+        receiver = (
+            ProcessBuilder("r").start()
+            .receive_task("inp", message_name="m").end().build()
+        )
+        graph = _graph(sender, receiver)
+        assert not _rules(interproc_pass(sender, graph)) & {"MSG001", "MSG002"}
+        assert not _rules(interproc_pass(receiver, graph)) & {"MSG001", "MSG002"}
+
+    def test_msg003_ambiguous_receivers(self):
+        sender = (
+            ProcessBuilder("s").start()
+            .send_task("out", message_name="m").end().build()
+        )
+        r1 = (
+            ProcessBuilder("r1").start()
+            .receive_task("a", message_name="m").end().build()
+        )
+        r2 = (
+            ProcessBuilder("r2").start()
+            .receive_task("b", message_name="m").end().build()
+        )
+        graph = _graph(sender, r1, r2)
+        # anchored at each receiving definition, once per message name
+        findings = _by_rule(interproc_pass(r1, graph), "MSG003")
+        assert len(findings) == 1
+        assert "r1" in findings[0].message and "r2" in findings[0].message
+        assert _by_rule(interproc_pass(sender, graph), "MSG003") == []
+
+    def test_intermediate_catch_counts_as_receiver(self):
+        sender = (
+            ProcessBuilder("s").start()
+            .send_task("out", message_name="m").end().build()
+        )
+        catcher = (
+            ProcessBuilder("c").start()
+            .message_catch("got", message_name="m").end().build()
+        )
+        graph = _graph(sender, catcher)
+        assert "MSG001" not in _rules(interproc_pass(sender, graph))
+
+
+class TestCallRules:
+    def test_call001_missing_target_is_error(self):
+        caller = (
+            ProcessBuilder("a").start()
+            .call_activity("c", process_key="ghost").end().build()
+        )
+        findings = _by_rule(interproc_pass(caller, _graph(caller)), "CALL001")
+        assert [d.element_id for d in findings] == ["c"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_call001_satisfied_by_deployed_target(self):
+        child = ProcessBuilder("child").start().end().build()
+        caller = (
+            ProcessBuilder("a").start()
+            .call_activity("c", process_key="child").end().build()
+        )
+        graph = _graph(caller, child)
+        assert "CALL001" not in _rules(interproc_pass(caller, graph))
+
+    def test_call002_unconditional_cycle_is_error(self):
+        a = (
+            ProcessBuilder("a").start()
+            .call_activity("cb", process_key="b").end().build()
+        )
+        b = (
+            ProcessBuilder("b").start()
+            .call_activity("ca", process_key="a").end().build()
+        )
+        graph = _graph(a, b)
+        findings = _by_rule(interproc_pass(a, graph), "CALL002")
+        assert findings and findings[0].severity is Severity.ERROR
+        assert "a -> b -> a" in findings[0].message or "b -> a -> b" in findings[0].message
+
+    def test_call002_guarded_cycle_is_warning(self):
+        builder = ProcessBuilder("a").start().exclusive_gateway("gw")
+        builder.add_node(ExclusiveGateway(id="join"))
+        builder.branch("again").call_activity("cb", process_key="b")
+        builder.connect_to("join")
+        builder.move_to("gw").branch(default=True).script_task("stop", script="z = 1")
+        builder.connect_to("join")
+        builder.move_to("join").end()
+        a = builder.build()
+        b = (
+            ProcessBuilder("b").start()
+            .call_activity("ca", process_key="a").end().build()
+        )
+        graph = _graph(a, b)
+        findings = _by_rule(interproc_pass(a, graph), "CALL002")
+        assert findings and findings[0].severity is Severity.WARNING
+
+    def test_call003_missing_required_input(self):
+        child = (
+            ProcessBuilder("child").start()
+            .script_task("use", script="out = amount * 2")
+            .end().build()
+        )
+        caller = (
+            ProcessBuilder("a").start()
+            .script_task("prep", script="other = 1")
+            .call_activity("c", process_key="child", input_mappings={"other": "other"})
+            .end().build()
+        )
+        graph = _graph(caller, child)
+        findings = _by_rule(interproc_pass(caller, graph), "CALL003")
+        assert findings and "amount" in findings[0].message
+
+    def test_call003_satisfied_mapping_is_clean(self):
+        child = (
+            ProcessBuilder("child").start()
+            .script_task("use", script="out = amount * 2")
+            .end().build()
+        )
+        caller = (
+            ProcessBuilder("a").start()
+            .script_task("prep", script="total = 1")
+            .call_activity("c", process_key="child", input_mappings={"amount": "total"})
+            .end().build()
+        )
+        graph = _graph(caller, child)
+        assert "CALL003" not in _rules(interproc_pass(caller, graph))
+
+    def test_call003_unknown_output_variable(self):
+        child = (
+            ProcessBuilder("child").start()
+            .script_task("work", script="produced = 1")
+            .end().build()
+        )
+        caller = (
+            ProcessBuilder("a").start()
+            .call_activity(
+                "c", process_key="child",
+                output_mappings={"missing": "got"},
+            )
+            .end().build()
+        )
+        graph = _graph(caller, child)
+        findings = _by_rule(interproc_pass(caller, graph), "CALL003")
+        assert findings and "missing" in findings[0].message
+
+    def test_call003_silent_when_callee_has_havoc(self):
+        # user-task forms write arbitrary variables; output checks would
+        # be noise, so the rule stays quiet for havoc callees.
+        child = (
+            ProcessBuilder("child").start()
+            .user_task("form", role="clerk", form_fields=("anything",))
+            .end().build()
+        )
+        caller = (
+            ProcessBuilder("a").start()
+            .call_activity(
+                "c", process_key="child",
+                output_mappings={"whatever": "got"},
+            )
+            .end().build()
+        )
+        graph = _graph(caller, child)
+        assert "CALL003" not in _rules(interproc_pass(caller, graph))
+
+
+class TestGraphFingerprint:
+    def test_stable_across_rebuilds(self):
+        a = (
+            ProcessBuilder("a").start()
+            .send_task("s", message_name="m").end().build()
+        )
+        b = (
+            ProcessBuilder("b").start()
+            .receive_task("r", message_name="m").end().build()
+        )
+        assert _graph(a, b).fingerprint() == _graph(a, b).fingerprint()
+
+    def test_changes_when_membership_changes(self):
+        a = (
+            ProcessBuilder("a").start()
+            .send_task("s", message_name="m").end().build()
+        )
+        b = (
+            ProcessBuilder("b").start()
+            .receive_task("r", message_name="m").end().build()
+        )
+        assert _graph(a).fingerprint() != _graph(a, b).fingerprint()

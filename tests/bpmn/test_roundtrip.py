@@ -209,3 +209,67 @@ class TestReaderErrors:
         )
         with pytest.raises(BpmnParseError, match="unknown target"):
             parse_bpmn(xml)
+
+
+class TestInterprocessSurface:
+    """The fields the deployment-wide analysis reads must survive XML
+    round trips with source/line provenance intact."""
+
+    def make(self):
+        return (
+            ProcessBuilder("chor")
+            .start()
+            .send_task("announce", message_name="order.accepted",
+                       payload_expression="status")
+            .receive_task("await_done", message_name="fulfillment.done",
+                          correlation_expression="order_id")
+            .call_activity(
+                "bill",
+                process_key="billing",
+                input_mappings={"amount": "total"},
+                output_mappings={"invoice": "invoice_id"},
+            )
+            .end()
+            .build()
+        )
+
+    def test_message_and_call_fields_roundtrip(self):
+        parsed = parse_bpmn(to_bpmn_xml(self.make()))
+        assert parsed.nodes["announce"].message_name == "order.accepted"
+        assert parsed.nodes["announce"].payload_expression == "status"
+        assert parsed.nodes["await_done"].message_name == "fulfillment.done"
+        assert parsed.nodes["await_done"].correlation_expression == "order_id"
+        call = parsed.nodes["bill"]
+        assert call.process_key == "billing"
+        assert call.input_mappings == {"amount": "total"}
+        assert call.output_mappings == {"invoice": "invoice_id"}
+        assert parsed == self.make()
+
+    def test_interproc_elements_carry_line_provenance(self):
+        parsed = parse_bpmn(to_bpmn_xml(self.make()), source="chor.bpmn")
+        assert parsed.source_path == "chor.bpmn"
+        for element_id in ("announce", "await_done", "bill"):
+            assert parsed.source_lines.get(element_id), element_id
+
+    def test_parsed_definition_matches_built_interface(self):
+        from repro.analysis import extract_interface
+
+        built = extract_interface(self.make())
+        parsed = extract_interface(parse_bpmn(to_bpmn_xml(self.make())))
+        assert built.fingerprint() == parsed.fingerprint()
+
+    def test_interproc_findings_point_at_the_xml_line(self, tmp_path):
+        from repro.analysis import analyze_deployment
+
+        model = (
+            ProcessBuilder("s")
+            .start()
+            .send_task("orphan", message_name="nobody")
+            .end()
+            .build()
+        )
+        parsed = parse_bpmn(to_bpmn_xml(model), source="s.bpmn")
+        report = analyze_deployment([parsed])
+        finding = report.by_rule("MSG001")[0]
+        assert finding.source == "s.bpmn"
+        assert finding.line == parsed.source_lines["orphan"]

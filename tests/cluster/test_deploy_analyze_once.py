@@ -1,0 +1,82 @@
+"""Regression: a cluster-wide deploy runs the static analysis exactly once.
+
+Before the ``pre_verified`` fan-out, ``ShardedEngine.deploy`` dispatched
+the same command to every shard, and each shard engine re-ran the full
+analysis — O(shards × analysis) for identical input.  Shard 0 now
+verifies; shards 1..N-1 register the already-verified definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.analysis as analysis_mod
+from repro.clock import VirtualClock
+from repro.cluster import ShardedEngine
+from repro.engine.errors import EngineError
+from repro.engine.instance import InstanceState
+from repro.model.builder import ProcessBuilder
+
+
+def _model():
+    return (
+        ProcessBuilder("auto").start()
+        .script_task("work", script="doubled = n * 2")
+        .end().build()
+    )
+
+
+@pytest.fixture
+def counting_analyze(monkeypatch):
+    calls = []
+    real = analysis_mod.analyze
+
+    def spy(definition, **kwargs):
+        calls.append(definition.key)
+        return real(definition, **kwargs)
+
+    # the engine resolves analyze lazily per deploy, so patching the
+    # module attribute observes every shard's call
+    monkeypatch.setattr(analysis_mod, "analyze", spy)
+    return calls
+
+
+class TestAnalyzeOnce:
+    def test_deploy_analyzes_on_exactly_one_shard(self, counting_analyze):
+        cluster = ShardedEngine(shards=4, clock=VirtualClock(0))
+        cluster.deploy(_model())
+        assert counting_analyze == ["auto"]
+
+    def test_every_shard_still_registers_the_definition(self, counting_analyze):
+        cluster = ShardedEngine(shards=4, clock=VirtualClock(0))
+        cluster.deploy(_model())
+        for engine in cluster.shards:
+            assert engine.definition("auto").key == "auto"
+
+    def test_pre_verified_copies_still_run(self, counting_analyze):
+        cluster = ShardedEngine(shards=3, clock=VirtualClock(0))
+        cluster.deploy(_model())
+        instance = cluster.start_instance(
+            "auto", {"n": 21}, business_key="bk-1"
+        )
+        assert instance.state is InstanceState.COMPLETED
+        assert instance.variables["doubled"] == 42
+
+    def test_analysis_errors_still_block_the_whole_cluster(
+        self, counting_analyze
+    ):
+        cluster = ShardedEngine(shards=4, clock=VirtualClock(0))
+        bad = (
+            ProcessBuilder("rec").start()
+            .call_activity("self", process_key="rec")
+            .end().build()
+        )
+        with pytest.raises(EngineError, match="CALL002"):
+            cluster.deploy(bad)
+        # shard 0 rejected before any fan-out: nothing registered anywhere
+        from repro.engine.errors import DefinitionNotFoundError
+
+        for engine in cluster.shards:
+            with pytest.raises(DefinitionNotFoundError):
+                engine.definition("rec")
+        assert counting_analyze == ["rec"]

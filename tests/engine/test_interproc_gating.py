@@ -1,0 +1,128 @@
+"""Deploy-time interprocess gating: CALL*/MSG* findings at the engine gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import ProcessEngine
+from repro.engine.errors import EngineError
+from repro.model.builder import ProcessBuilder
+from repro.obs import InMemorySpanExporter, Observability
+
+
+def _warnings(engine):
+    return engine.obs.registry.counter("engine.lint.interproc_warnings").value
+
+
+def _blocked(engine):
+    return engine.obs.registry.counter("engine.lint.interproc_blocked").value
+
+
+def _caller(key="a", target="ghost"):
+    return (
+        ProcessBuilder(key).start()
+        .call_activity("c", process_key=target)
+        .end().build()
+    )
+
+
+def _orphan_sender():
+    return (
+        ProcessBuilder("s").start()
+        .send_task("out", message_name="lonely")
+        .end().build()
+    )
+
+
+class TestMissingCallTarget:
+    def test_non_strict_engine_warns_and_deploys(self, engine):
+        identifier = engine.deploy(_caller())
+        assert identifier == "a:1"
+        assert _warnings(engine) >= 1
+
+    def test_strict_references_blocks_call001(self):
+        engine = ProcessEngine(strict_references=True)
+        with pytest.raises(EngineError, match="breaks the deployment"):
+            engine.deploy(_caller())
+        assert _blocked(engine) == 1
+
+    def test_deploying_the_target_first_unblocks(self):
+        engine = ProcessEngine(strict_references=True)
+        engine.deploy(ProcessBuilder("child").start().end().build())
+        assert engine.deploy(_caller(target="child")) == "a:1"
+
+
+class TestRecursionCycle:
+    def test_unconditional_cycle_blocks_even_non_strict(self, engine):
+        engine.deploy(_caller("a", target="b"))
+        with pytest.raises(EngineError, match="CALL002"):
+            engine.deploy(_caller("b", target="a"))
+
+    def test_force_overrides_the_block(self, engine):
+        engine.deploy(_caller("a", target="b"))
+        assert engine.deploy(_caller("b", target="a"), force=True) == "b:1"
+
+    def test_self_recursion_blocks(self, engine):
+        with pytest.raises(EngineError, match="CALL002"):
+            engine.deploy(_caller("a", target="a"))
+
+    def test_suppression_on_the_call_site_unblocks(self, engine):
+        b = (
+            ProcessBuilder("a").start()
+            .call_activity("c", process_key="a")
+            .end()
+        )
+        b.suppress("c", "CALL002")
+        assert engine.deploy(b.build()) == "a:1"
+
+
+class TestMessageFindings:
+    def test_orphan_send_is_a_warning_not_a_block(self, engine):
+        assert engine.deploy(_orphan_sender()) == "s:1"
+        assert _warnings(engine) >= 1
+
+    def test_matched_channel_raises_no_interproc_warning(self, engine):
+        engine.deploy(
+            ProcessBuilder("r").start()
+            .receive_task("inp", message_name="lonely")
+            .end().build()
+        )
+        before = _warnings(engine)
+        engine.deploy(_orphan_sender())
+        assert _warnings(engine) == before
+
+    def test_interproc_findings_emit_observability_events(self):
+        exporter = InMemorySpanExporter()
+        obs = Observability(enabled=True, exporters=[exporter])
+        engine = ProcessEngine(obs=obs)
+        engine.deploy(_orphan_sender())
+        events = [s for s in exporter.spans if s.name == "lint.interproc"]
+        assert events and events[0].attributes["rule"] == "MSG001"
+        assert events[0].attributes["severity"] == "warning"
+
+
+class TestCandidateSnapshot:
+    def test_candidate_replaces_its_own_old_version(self, engine):
+        # v1 receives 'm'; the v2 candidate does not. If the snapshot kept
+        # the candidate's own old version, the orphan send elsewhere would
+        # still look received and MSG001 would be missed.
+        engine.deploy(
+            ProcessBuilder("p").start()
+            .receive_task("r", message_name="m")
+            .end().build()
+        )
+        before = _warnings(engine)
+        engine.deploy(
+            ProcessBuilder("q").start()
+            .send_task("s", message_name="m")
+            .end().build()
+        )
+        assert _warnings(engine) == before
+        engine.deploy(ProcessBuilder("p").start().end().build())
+        # redeploying the sender now sees no receiver for 'm'
+        engine.deploy(
+            ProcessBuilder("q").start()
+            .send_task("s", message_name="m")
+            .end().build()
+        )
+        assert _warnings(engine) > before
