@@ -200,7 +200,14 @@ def build_cfg(definition: ProcessDefinition) -> ControlFlowGraph:
             predecessors[node.id].append(node.attached_to)
             boundary_hosts[node.id] = node.attached_to
     starts = definition.start_events()
-    effects = {n: node_effects(definition, n) for n in definition.nodes}
+    # compensation handlers run outside the control flow (and only on an
+    # explicit compensate command); their reads/writes would pollute the
+    # flow-sensitive analysis with DF003/DF004 noise
+    handlers = definition.compensation_handler_ids()
+    effects = {
+        n: NodeEffects() if n in handlers else node_effects(definition, n)
+        for n in definition.nodes
+    }
     return ControlFlowGraph(
         definition=definition,
         start_id=starts[0].id if len(starts) == 1 else None,

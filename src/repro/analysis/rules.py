@@ -81,6 +81,12 @@ STR008 = _register(RuleSpec(
     "STR008", "disconnected node", Severity.ERROR, "structural",
     "every node lies on a path from the start event to some end event",
 ))
+STR009 = _register(RuleSpec(
+    "STR009", "compensation handler reference", Severity.ERROR, "structural",
+    "a compensation_handler must name a detached activity of the same "
+    "definition — an existing task with no sequence flows, distinct from "
+    "its host",
+))
 
 # -- data flow ----------------------------------------------------------------
 

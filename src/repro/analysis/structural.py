@@ -1,4 +1,4 @@
-"""Structural rules (STR001–STR008).
+"""Structural rules (STR001–STR009).
 
 These subsume the historical ad-hoc checks from ``model/validation.py`` —
 the messages are kept verbatim so existing tooling (and tests) that match
@@ -23,6 +23,7 @@ from repro.analysis.rules import (
     STR006,
     STR007,
     STR008,
+    STR009,
     RuleSpec,
 )
 from repro.expr import ParseError, compile_expression
@@ -36,9 +37,11 @@ from repro.model.elements import (
     InclusiveGateway,
     IntermediateMessageEvent,
     IntermediateTimerEvent,
+    ManualTask,
     MultiInstanceActivity,
     ReceiveTask,
     ScriptTask,
+    ServiceTask,
     StartEvent,
     UserTask,
 )
@@ -54,6 +57,7 @@ def structural_pass(definition: ProcessDefinition) -> list[Diagnostic]:
     _expressions(definition, diagnostics)
     _boundary_events(definition, diagnostics)
     _separation_of_duties(definition, diagnostics)
+    _compensation_handlers(definition, diagnostics)
     _connectivity(definition, diagnostics)
     return diagnostics
 
@@ -98,9 +102,12 @@ def _entry_exit(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
 
 
 def _cardinalities(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
+    handlers = definition.compensation_handler_ids()
     for node in definition.nodes.values():
         if isinstance(node, (StartEvent, EndEvent)):
             continue
+        if node.id in handlers:
+            continue  # detached by design; STR009 checks them
         incoming = definition.incoming(node.id)
         outgoing = definition.outgoing(node.id)
         if isinstance(node, BoundaryEvent):
@@ -246,9 +253,10 @@ def _boundary_events(definition: ProcessDefinition, out: list[Diagnostic]) -> No
 def _connectivity(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
     if len(definition.start_events()) != 1:
         return  # entry/exit rule already reported
+    handlers = definition.compensation_handler_ids()
     reachable = definition.reachable_from_start()
     for node_id in definition.nodes:
-        if node_id not in reachable:
+        if node_id not in reachable and node_id not in handlers:
             _add(out, STR008, node_id,
                  "node is unreachable from the start event")
     # co-reachability: every node should reach some end event
@@ -270,3 +278,37 @@ def _connectivity(definition: ProcessDefinition, out: list[Diagnostic]) -> None:
     for node_id in definition.nodes:
         if node_id in reachable and node_id not in co_reachable:
             _add(out, STR008, node_id, "no path from node to any end event")
+
+
+#: node types :mod:`repro.engine.executors.compensation` can run inline.
+_HANDLER_TYPES = (ScriptTask, ServiceTask, ManualTask)
+
+
+def _compensation_handlers(
+    definition: ProcessDefinition, out: list[Diagnostic]
+) -> None:
+    for node in definition.nodes.values():
+        handler_id = getattr(node, "compensation_handler", None)
+        if handler_id is None:
+            continue
+        handler = definition.nodes.get(handler_id)
+        if handler is None:
+            _add(out, STR009, node.id,
+                 f"compensation_handler references unknown node {handler_id!r}")
+            continue
+        if handler_id == node.id:
+            _add(out, STR009, node.id,
+                 "a task cannot be its own compensation handler")
+            continue
+        if not isinstance(handler, _HANDLER_TYPES):
+            _add(out, STR009, node.id,
+                 f"compensation handler {handler_id!r} is a "
+                 f"{type(handler).__name__}; handlers must be script, "
+                 f"service, or manual tasks")
+            continue
+        if definition.incoming(handler_id) or definition.outgoing(handler_id):
+            _add(out, STR009, handler_id,
+                 "compensation handlers must be detached: no incoming or "
+                 "outgoing sequence flows",
+                 hint="remove the flows; the handler runs only when the "
+                      "instance is compensated")

@@ -132,6 +132,7 @@ def _parse_node(element: ET.Element) -> Node:
             due_seconds=float(due_raw) if due_raw else None,
             form_fields=tuple(f for f in fields_raw.split(",") if f),
             separate_from=tuple(s for s in separate_raw.split(",") if s),
+            compensation_handler=element.get(_ext("compensationHandler")),
         )
     if tag == "manualTask":
         return ManualTask(node_id, name)
@@ -148,10 +149,16 @@ def _parse_node(element: ET.Element) -> Node:
                 backoff_multiplier=float(element.get(_ext("retryMultiplier")) or 2.0),
             ),
             async_execution=element.get(_ext("async")) == "true",
+            compensation_handler=element.get(_ext("compensationHandler")),
         )
     if tag == "scriptTask":
         script_el = element.find(_q("script"))
-        return ScriptTask(node_id, name, script=(script_el.text or "") if script_el is not None else "")
+        return ScriptTask(
+            node_id,
+            name,
+            script=(script_el.text or "") if script_el is not None else "",
+            compensation_handler=element.get(_ext("compensationHandler")),
+        )
     if tag == "businessRuleTask":
         return BusinessRuleTask(
             node_id,

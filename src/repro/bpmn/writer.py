@@ -127,12 +127,16 @@ def to_bpmn_xml(definition: ProcessDefinition) -> str:
                 element.set(_ext("formFields"), ",".join(node.form_fields))
             if node.separate_from:
                 element.set(_ext("separateFrom"), ",".join(node.separate_from))
+            if node.compensation_handler:
+                element.set(_ext("compensationHandler"), node.compensation_handler)
         elif isinstance(node, ServiceTask):
             element.set(_ext("service"), node.service)
             if node.async_execution:
                 element.set(_ext("async"), "true")
             if node.output_variable:
                 element.set(_ext("outputVariable"), node.output_variable)
+            if node.compensation_handler:
+                element.set(_ext("compensationHandler"), node.compensation_handler)
             element.set(_ext("retryMaxAttempts"), str(node.retry.max_attempts))
             element.set(_ext("retryInitialBackoff"), str(node.retry.initial_backoff))
             element.set(_ext("retryMultiplier"), str(node.retry.backoff_multiplier))
@@ -142,6 +146,8 @@ def to_bpmn_xml(definition: ProcessDefinition) -> str:
         elif isinstance(node, ScriptTask):
             script = ET.SubElement(element, _q("script"))
             script.text = node.script
+            if node.compensation_handler:
+                element.set(_ext("compensationHandler"), node.compensation_handler)
         elif isinstance(node, BusinessRuleTask):
             element.set(_ext("decision"), node.decision)
             if node.result_variable:

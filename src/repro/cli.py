@@ -484,6 +484,10 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
                 "jobs": len(store.keys("jobs/")),
                 "workitems": len(store.keys("workitem/")),
                 "commands": len(store.keys("dispatch/")),
+                # outbox records persisted but not yet drained to their
+                # target shard — nonzero after a crash means recovery will
+                # redeliver these cross-shard messages
+                "pending_forwards": len(store.keys("outbox/")),
             }
         )
         store.close()
@@ -525,6 +529,11 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
             + (f" [{states}]" if states else "")
             + f" jobs={row['jobs']} workitems={row['workitems']}"
             f" commands={row['commands']}"
+            + (
+                f" pending_forwards={row['pending_forwards']}"
+                if row["pending_forwards"]
+                else ""
+            )
         )
     return 0 if consistent else 1
 

@@ -4,10 +4,13 @@
 >>> cluster = ShardedEngine(shards=4)
 
 See DESIGN.md §Sharded runtime for the routing rule, the cross-shard
-fan-out semantics, and the recovery topology check.
+fan-out semantics, the transactional forwarding outbox, and the recovery
+topology check.
 """
 
+from repro.cluster.outbox import OutboxRecord
 from repro.cluster.router import (
+    forward_dedup_key,
     message_home_shard,
     parse_shard_tag,
     shard_of_key,
@@ -15,8 +18,10 @@ from repro.cluster.router import (
 from repro.cluster.sharded import TOPOLOGY_KEY, ShardedEngine
 
 __all__ = [
+    "OutboxRecord",
     "ShardedEngine",
     "TOPOLOGY_KEY",
+    "forward_dedup_key",
     "message_home_shard",
     "parse_shard_tag",
     "shard_of_key",

@@ -1,0 +1,61 @@
+"""The durable unit of cross-shard message forwarding.
+
+An :class:`OutboxRecord` is the transactional-outbox leg of the cluster's
+reliable-publisher pair: when a shard's forwarder claims a message its own
+engine did not consume, the record is written under ``outbox/<seq>`` in the
+*same* group commit as the dispatch that published it — the forward intent
+is durable the moment the originating call returns.  The cluster drains
+records after the origin dispatch releases its lock, re-publishing each via
+the probe-then-route path under the record's deterministic dedup key
+(``fwd:<origin>:<seq>``), and deletes the record only after the target
+shard's dispatch has flushed.  At any crash point the origin store holds
+exactly the set of claimed-but-undelivered forwards; redelivery after
+``recover()`` is absorbed by the target's idempotency window, so the pair
+is at-least-once in transport and exactly-once in effect — the same
+contract :mod:`repro.workers.records` established for service invocations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.router import forward_dedup_key
+
+
+@dataclass
+class OutboxRecord:
+    """One claimed-but-undelivered cross-shard forward, store-serializable."""
+
+    #: per-origin-shard monotonic sequence (never reused across restarts)
+    seq: int
+    #: the claiming shard's tag, e.g. ``"s2"``
+    origin: str
+    name: str
+    correlation: Any = None
+    payload: dict[str, Any] = field(default_factory=dict)
+    created_at: float = 0.0
+
+    @property
+    def dedup_key(self) -> str:
+        """The forward's deterministic idempotency key (``fwd:s2:7``)."""
+        return forward_dedup_key(self.origin, self.seq)
+
+    def store_key(self) -> str:
+        return f"outbox/{self.seq:010d}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "origin": self.origin,
+            "name": self.name,
+            "correlation": self.correlation,
+            "payload": dict(self.payload),
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "OutboxRecord":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in raw.items() if k in names})

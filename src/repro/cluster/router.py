@@ -42,3 +42,13 @@ def message_home_shard(name: str, correlation: Any, shards: int) -> int:
     """Where an unmatched message retains, so a later receiver and a
     retry of the same publish converge on one shard."""
     return shard_of_key(f"{name}\x00{correlation!r}", shards)
+
+
+def forward_dedup_key(origin_tag: str, seq: int) -> str:
+    """The idempotency key of one outbox forward (``fwd:s2:7``).
+
+    Deterministic in (origin shard, outbox sequence), so a redelivery
+    after a crash — or a concurrent double drain — presents the *same*
+    key to the target shard and is absorbed by its dedup window.
+    """
+    return f"fwd:{origin_tag}:{seq}"

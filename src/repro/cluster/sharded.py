@@ -21,9 +21,14 @@ Cross-shard semantics:
   cluster-shared retained buffer, so a receiver activating later on any
   shard consumes them exactly as a single engine would.
 * internal send tasks — a message published inside shard A that A's own
-  engine does not consume is intercepted by the cluster's forwarder,
-  queued, and re-routed *after* A's dispatch returns: no thread ever
-  holds two shard locks, which is what makes the fan-out deadlock-free.
+  engine does not consume is intercepted by the cluster's forwarder and
+  recorded in A's *transactional outbox* (``outbox/<seq>``, same group
+  commit as the originating dispatch); the drainer re-routes it *after*
+  A's dispatch returns under the record's ``fwd:<origin>:<seq>`` dedup
+  key and deletes the record only once the target shard's delivery has
+  flushed.  No thread ever holds two shard locks, which keeps the
+  fan-out deadlock-free, and a crash anywhere in the window re-delivers
+  instead of losing — the target's idempotency window absorbs duplicates.
 * ``advance_time`` — the shared clock advances exactly once, then
   ``RunDueJobs`` fans out to every shard and the counts merge.
 * ``instances(state=)`` / ``find_instances`` — scatter-gather; a
@@ -42,7 +47,6 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from dataclasses import replace
 from typing import Any, Callable, Iterable
 
@@ -190,9 +194,13 @@ class ShardedEngine:
         self._rr_cursor = 0
         self._dedup_route: dict[str, int] = {}
         # cross-shard message forwarding: messages a shard's own engine
-        # did not consume queue here (under that shard's lock) and are
-        # re-routed after the originating dispatch returns (no lock held)
-        self._pending_forwards: deque[tuple[int, Message]] = deque()
+        # did not consume are recorded in that shard's persisted outbox
+        # (under its lock, same group commit) and drained after the
+        # originating dispatch returns (no shard lock held).  The drain
+        # lock serializes drainers without blocking them: a thread that
+        # finds it taken leaves the records to the holder, who re-checks
+        # after finishing so nothing is stranded.
+        self._drain_lock = threading.Lock()
         self._local = threading.local()
         for index in range(shards):
             self.shards[index].bus.subscribe(self._make_forwarder(index))
@@ -209,6 +217,7 @@ class ShardedEngine:
             for i in range(shards)
         )
         self._c_forwards = registry.counter("cluster.message_forwards")
+        self._c_forward_failures = registry.counter("cluster.forward_failures")
 
     # -- topology ---------------------------------------------------------------
 
@@ -288,6 +297,7 @@ class ShardedEngine:
             command,
             (
                 cmds.TerminateInstance,
+                cmds.CompensateInstance,
                 cmds.SuspendInstance,
                 cmds.ResumeInstance,
                 cmds.MigrateInstance,
@@ -349,36 +359,110 @@ class ShardedEngine:
 
         Subscribed *after* the shard engine's own correlator, so it sees
         only messages with no local receiver.  It claims them (returning
-        ``True`` keeps the bus from retaining shard-locally) and queues
-        them for re-routing; ``delivered_count`` is pre-decremented so
-        the claim nets zero until a real delivery happens somewhere.
-        A publish the cluster itself just routed here is left alone
-        (one-shot thread-local mark) — that is the retention fallback.
+        ``True`` keeps the bus from retaining shard-locally) and records
+        them in the shard's outbox — the forwarder runs inside the
+        originating dispatch, so the record joins that dispatch's group
+        commit.  ``delivered_count`` is pre-decremented (atomically: the
+        counter races foreign-thread publishes) so the claim nets zero
+        until a real delivery happens somewhere.  A publish the cluster
+        itself just routed here is left alone (one-shot thread-local
+        mark) — that is the retention fallback.
         """
-        bus = self.shards[index].bus
+        shard = self.shards[index]
+        bus = shard.bus
 
         def forward(message: Message) -> bool:
             expected = getattr(self._local, "expect", None)
             if expected == (message.name, message.correlation):
                 self._local.expect = None
                 return False
-            bus.delivered_count -= 1
-            self._pending_forwards.append((index, message))
+            bus.adjust_delivered(-1)
+            shard.enqueue_outbox_forward(message)
             return True
 
         return forward
 
     def _drain_forwards(self) -> None:
-        """Re-route every queued message; runs with no shard lock held."""
-        while True:
-            try:
-                _origin, message = self._pending_forwards.popleft()
-            except IndexError:
+        """Deliver every undrained outbox record; no shard lock held.
+
+        Non-blocking single-drainer discipline: whoever holds the drain
+        lock owns the whole backlog; a thread that finds it taken returns
+        immediately (its records are covered by the holder's re-check
+        loop).  A record that fails to deliver stays in its origin outbox
+        — counted under ``cluster.forward_failures`` and retried on the
+        next drain trigger or recovery — and ends the loop so a poison
+        record cannot spin.
+        """
+        while any(shard._outbox for shard in self.shards):
+            if not self._drain_lock.acquire(blocking=False):
                 return
+            try:
+                clean = self._drain_outbox_once()
+            finally:
+                self._drain_lock.release()
+            if not clean:
+                return
+
+    def _drain_outbox_once(self) -> bool:
+        """One pass over every shard's outbox; False if any record failed."""
+        clean = True
+        for index, shard in enumerate(self.shards):
+            if not shard._outbox:
+                # racy read, safely so: a claim landing right now happens
+                # inside a dispatch whose own post-dispatch drain follows
+                continue
+            with shard._dispatch_lock:
+                records = shard.outbox_records()
+            for record in records:
+                if not self._forward_record(index, record):
+                    clean = False
+        return clean
+
+    def _forward_record(self, origin: int, record: Any) -> bool:
+        """Route one outbox record to its target shard, exactly-once.
+
+        The route is pinned under the record's ``fwd:`` dedup key before
+        publishing, so a retry (live failure or post-crash redelivery)
+        presents the same key to the same shard and dedupes.  The record
+        is deleted from the origin outbox only after the target's
+        delivery dispatch has flushed — a crash in between re-delivers,
+        never loses.  The delete itself is garbage collection, not a
+        fence: it rides the origin's next group commit (or the closing
+        flush) instead of paying a dedicated fsync per message, because
+        a record that outlives its delivery on disk is always safe to
+        redeliver — the target's persisted dedup window absorbs it.
+        """
+        key = record.dedup_key
+        with self._route_lock:
+            target = self._dedup_route.get(key)
+        if target is None:
+            probed = self._probe_target(record.name, record.correlation)
+            with self._route_lock:
+                target = self._dedup_route.setdefault(key, probed)
+        try:
             self._c_forwards.inc()
             self._route_publish(
-                message.name, message.correlation, dict(message.payload)
+                record.name,
+                record.correlation,
+                dict(record.payload),
+                dedup_key=key,
+                target=target,
             )
+            # the delivery (and its always-logged dedup entry) must be
+            # durable on the target before the origin forgets the intent;
+            # the lock-free peek skips the fence when this thread's own
+            # delivery dispatch already committed (commit_interval 1)
+            target_shard = self.shards[target]
+            if target_shard.has_pending_writes():
+                with target_shard._dispatch_lock:
+                    target_shard.flush()
+        except Exception:
+            self._c_forward_failures.inc()
+            return False
+        origin_shard = self.shards[origin]
+        with origin_shard._dispatch_lock:
+            origin_shard.remove_outbox_record(record.seq)
+        return True
 
     def _probe_target(self, name: str, correlation: Any) -> int:
         """First shard that would deliver now; else one that would hold
@@ -549,6 +633,14 @@ class ShardedEngine:
             )
         )
 
+    def compensate_instance(
+        self, instance_id: str, dedup_key: str | None = None
+    ) -> dict[str, Any]:
+        result = self.dispatch(
+            cmds.CompensateInstance(instance_id=instance_id, dedup_key=dedup_key)
+        )
+        return result  # type: ignore[no-any-return]
+
     def suspend_instance(self, instance_id: str, dedup_key: str | None = None) -> None:
         self.dispatch(
             cmds.SuspendInstance(instance_id=instance_id, dedup_key=dedup_key)
@@ -702,7 +794,12 @@ class ShardedEngine:
         Re-validates the persisted topology first (a recovery driver may
         construct the cluster over freshly opened stores) and rebuilds
         the cluster routing table for recovered dedup keys so retries
-        keep landing on the shard that recorded them.
+        keep landing on the shard that recorded them.  Undrained outbox
+        records — forwards claimed but not confirmed delivered at crash
+        time — are re-drained before this returns, so the cluster never
+        serves traffic with acknowledged cross-shard messages in limbo;
+        redeliveries carry their original ``fwd:`` keys and dedup at the
+        target.
         """
         totals = {
             "definitions": 0,
@@ -733,6 +830,7 @@ class ShardedEngine:
                 "shards recovered divergent definition sets; "
                 "redeploy before serving traffic"
             )
+        self._drain_forwards()
         return totals
 
     def close(self) -> None:
@@ -770,11 +868,14 @@ class ShardedEngine:
                         "retained_messages": shard.bus.retained_count,
                         "pending_invocations": len(shard._invocations),
                         "dead_letters": len(shard._dead_letters),
+                        "pending_forwards": len(shard._outbox),
                     }
                 )
         return {
             "shards": self.shard_count,
-            "pending_forwards": len(self._pending_forwards),
+            "pending_forwards": sum(
+                entry["pending_forwards"] for entry in per_shard
+            ),
             "per_shard": per_shard,
             "workers": (
                 self.workers.status() if self.workers is not None else None

@@ -172,6 +172,24 @@ class TerminateInstance(Command):
 
 @register_command
 @dataclass(frozen=True)
+class CompensateInstance(Command):
+    """Run the instance's compensation handlers in reverse order (saga).
+
+    Each completed activity carrying a ``compensation_handler`` pushed an
+    entry onto the instance's compensation log; this command pops and runs
+    them newest-first, so a half-done business transaction is undone in
+    the opposite order it was done.
+    """
+
+    name: ClassVar[str] = "compensate_instance"
+    external: ClassVar[bool] = True
+
+    instance_id: str = ""
+    dedup_key: str | None = None
+
+
+@register_command
+@dataclass(frozen=True)
 class SuspendInstance(Command):
     """Pause an instance: waiting triggers defer until resume."""
 

@@ -172,6 +172,7 @@ class ProcessEngine:
         )
         self._c_inv_cancelled = self.obs.registry.counter("workers.cancelled")
         self._c_inv_requeued = self.obs.registry.counter("workers.requeued")
+        self._c_compensations = self.obs.registry.counter("engine.compensations")
         self._g_dead_letters = self.obs.registry.gauge("workers.dead_letters")
         self._command_counters: dict[str, Any] = {}
         self._instance_spans: dict[str, Span] = {}
@@ -221,6 +222,18 @@ class ProcessEngine:
         self._persisted_invocation_seq = 0
         self._inv_enqueued: dict[str, int] = {}
         self._inv_completed: dict[str, int] = {}
+        # cross-shard forwarding outbox (see repro.cluster.outbox): records
+        # a forwarder claims under this shard's dispatch lock, persisted in
+        # the same group commit as the claiming dispatch and deleted only
+        # after the target shard's delivery flushed.  The sequence is
+        # persisted in engine/meta because records are removed after drain
+        # — a restart must never re-mint a fwd:<origin>:<seq> key that may
+        # still sit in a target's dedup window.
+        self._outbox: dict[int, Any] = {}
+        self._outbox_dirty: set[int] = set()
+        self._outbox_removed: set[int] = set()
+        self._outbox_seq = 0
+        self._persisted_outbox_seq = 0
         # the command pipeline: a single re-entrant serialization gate
         # shared with the worklist and the bus, the idempotency window,
         # and the bounded persisted dispatch log
@@ -253,6 +266,7 @@ class ProcessEngine:
             cmds.DeployDefinition: self._handle_deploy,
             cmds.StartInstance: self._handle_start_instance,
             cmds.TerminateInstance: self._handle_terminate_instance,
+            cmds.CompensateInstance: self._handle_compensate_instance,
             cmds.SuspendInstance: self._handle_suspend_instance,
             cmds.ResumeInstance: self._handle_resume_instance,
             cmds.MigrateInstance: self._handle_migrate_instance,
@@ -302,6 +316,10 @@ class ProcessEngine:
         if self._invocations_dirty or self._invocations_removed:
             return True
         if self._dead_letters_dirty or self._dead_letters_removed:
+            return True
+        if self._outbox_dirty or self._outbox_removed:
+            return True
+        if self._outbox_seq != self._persisted_outbox_seq:
             return True
         dirty_jobs, removed_jobs = self.scheduler.pending_changes()
         if dirty_jobs or removed_jobs:
@@ -803,6 +821,35 @@ class ProcessEngine:
             )
         self._terminate_instance_internal(instance, cmd.reason)
 
+    def compensate_instance(
+        self, instance_id: str, dedup_key: str | None = None
+    ) -> dict[str, Any]:
+        """Run the instance's compensation handlers in reverse order (saga)."""
+        result = self.dispatch(
+            cmds.CompensateInstance(instance_id=instance_id, dedup_key=dedup_key)
+        )
+        return result  # type: ignore[no-any-return]
+
+    def _handle_compensate_instance(
+        self, cmd: cmds.CompensateInstance
+    ) -> dict[str, Any]:
+        from repro.engine.executors.compensation import run_compensation
+
+        instance = self.instance(cmd.instance_id)
+        if instance.state is InstanceState.RUNNING:
+            raise IllegalInstanceStateError(
+                f"cannot compensate running instance {cmd.instance_id!r}; "
+                "terminate or let it finish first"
+            )
+        definition = self._definition_of(instance)
+        compensated = run_compensation(self, instance, definition)
+        self._c_compensations.inc(len(compensated))
+        return {
+            "instance_id": instance.id,
+            "compensated": compensated,
+            "pending": len(instance.compensations),
+        }
+
     def suspend_instance(self, instance_id: str, dedup_key: str | None = None) -> None:
         """Pause an instance: waiting triggers are deferred until resume."""
         self.dispatch(
@@ -900,6 +947,7 @@ class ProcessEngine:
             is_activity=True,
             resource=item.allocated_to,
         )
+        core.record_compensation(self, instance, node)
         flow = core.single_outgoing(definition, node)
         token.resume(flow.target, arrived_via=flow.id)
         if instance.state is InstanceState.RUNNING:
@@ -1267,6 +1315,47 @@ class ProcessEngine:
         self._count_completed(record.service)
         self._c_inv_cancelled.inc()
 
+    # -- cross-shard forwarding outbox (repro.cluster) ---------------------------
+
+    def enqueue_outbox_forward(self, message: Message) -> Any:
+        """Record a claimed cross-shard forward in this shard's outbox.
+
+        Called by the cluster forwarder *inside* the originating dispatch
+        (under this shard's lock), so the record joins the same group
+        commit as the publish that produced the message — the forward
+        intent is durable before the originating call returns.
+        """
+        from repro.cluster.outbox import OutboxRecord  # cycle guard
+
+        self._outbox_seq += 1
+        record = OutboxRecord(
+            seq=self._outbox_seq,
+            origin=self.shard_tag,
+            name=message.name,
+            correlation=message.correlation,
+            payload=dict(message.payload),
+            created_at=self.clock.now(),
+        )
+        self._outbox[record.seq] = record
+        self._outbox_dirty.add(record.seq)
+        self._outbox_removed.discard(record.seq)
+        return record
+
+    def outbox_records(self) -> list[Any]:
+        """Undrained outbox records, oldest (lowest seq) first."""
+        return [self._outbox[seq] for seq in sorted(self._outbox)]
+
+    def remove_outbox_record(self, seq: int) -> None:
+        """Delete a drained record (joins the next commit on this shard).
+
+        Only called after the *target* shard's delivery dispatch flushed:
+        a crash between that flush and this deletion re-delivers, and the
+        target's dedup window absorbs the duplicate.
+        """
+        if self._outbox.pop(seq, None) is not None:
+            self._outbox_dirty.discard(seq)
+            self._outbox_removed.add(seq)
+
     def _handle_complete_invocation(
         self, cmd: cmds.CompleteServiceInvocation
     ) -> dict[str, Any]:
@@ -1496,6 +1585,39 @@ class ProcessEngine:
         """Force-persist all pending dirty state now, whatever the policy."""
         self._flush(force=True)
 
+    def has_pending_writes(self) -> bool:
+        """Whether a forced flush would persist anything beyond outbox GC
+        tombstones.
+
+        A lock-free peek for the cluster's delivery fence: before the
+        origin may forget a forwarded message, the target's delivery must
+        be durable.  When the delivering thread sees nothing pending here
+        its own delivery has committed, so it can skip taking the target's
+        dispatch lock for a no-op flush.  Tombstones (``_outbox_removed``)
+        are excluded on purpose — they never need fencing, because a
+        record that outlives its delivery is absorbed by dedup on
+        redelivery.  Racing writers can only make this spuriously True
+        (an extra no-op flush), never hide the caller's own writes.
+        """
+        dirty_jobs, removed_jobs = self.scheduler.pending_changes()
+        return bool(
+            self._dirty
+            or dirty_jobs
+            or removed_jobs
+            or self.worklist.dirty_item_ids()
+            or self._dispatch_dirty
+            or self._dispatch_removed
+            or self._invocations_dirty
+            or self._invocations_removed
+            or self._dead_letters_dirty
+            or self._dead_letters_removed
+            or self._outbox_dirty
+            or self._waits_dirty
+            or self._instance_seq != self._persisted_seq
+            or self._invocation_seq != self._persisted_invocation_seq
+            or self._outbox_seq != self._persisted_outbox_seq
+        )
+
     def _flush(self, force: bool = False) -> None:
         """Persist the differential write-set in one transaction.
 
@@ -1516,11 +1638,13 @@ class ProcessEngine:
         meta_dirty = (
             self._instance_seq != self._persisted_seq
             or self._invocation_seq != self._persisted_invocation_seq
+            or self._outbox_seq != self._persisted_outbox_seq
         )
         # an id both re-added (requeue) and previously removed in the same
         # window persists — the dirty write wins over the stale delete
         removed_invocations = self._invocations_removed - self._invocations_dirty
         removed_dead = self._dead_letters_removed - self._dead_letters_dirty
+        removed_outbox = self._outbox_removed - self._outbox_dirty
         records = (
             len(self._dirty)
             + len(dirty_jobs)
@@ -1532,6 +1656,8 @@ class ProcessEngine:
             + len(removed_invocations)
             + len(self._dead_letters_dirty)
             + len(removed_dead)
+            + len(self._outbox_dirty)
+            + len(removed_outbox)
             + (1 if self._waits_dirty else 0)
             + (1 if meta_dirty else 0)
         )
@@ -1586,6 +1712,14 @@ class ProcessEngine:
                     self.store.put(f"dlq/{invocation_id}", raw)
             for invocation_id in sorted(removed_dead):
                 self.store.delete(f"dlq/{invocation_id}")
+            for outbox_seq in sorted(self._outbox_dirty):
+                outbox_record = self._outbox.get(outbox_seq)
+                if outbox_record is not None:
+                    self.store.put(
+                        f"outbox/{outbox_seq:010d}", outbox_record.to_dict()
+                    )
+            for outbox_seq in sorted(removed_outbox):
+                self.store.delete(f"outbox/{outbox_seq:010d}")
             if self._waits_dirty:
                 self.store.put("engine/message_waits", list(self._message_waits))
             if meta_dirty:
@@ -1594,6 +1728,7 @@ class ProcessEngine:
                     {
                         "instance_seq": self._instance_seq,
                         "invocation_seq": self._invocation_seq,
+                        "outbox_seq": self._outbox_seq,
                     },
                 )
         # group-commit boundary for deferred-sync stores (no-op otherwise)
@@ -1607,9 +1742,12 @@ class ProcessEngine:
         self._invocations_removed.clear()
         self._dead_letters_dirty.clear()
         self._dead_letters_removed.clear()
+        self._outbox_dirty.clear()
+        self._outbox_removed.clear()
         self._waits_dirty = False
         self._persisted_seq = self._instance_seq
         self._persisted_invocation_seq = self._invocation_seq
+        self._persisted_outbox_seq = self._outbox_seq
         self._c_flush_commits.inc()
         self._c_flush_records.inc(records)
         self._h_flush_batch.observe(records)
@@ -1637,6 +1775,7 @@ class ProcessEngine:
             "commands": 0,
             "invocations": 0,
             "dead_letters": 0,
+            "outbox": 0,
         }
         self._latest_version = dict(self.store.get("engine/latest_versions", {}))
         for key, raw in self.store.scan("definition/"):
@@ -1670,6 +1809,8 @@ class ProcessEngine:
             meta.get("invocation_seq", 0), self._invocation_seq
         )
         self._persisted_invocation_seq = self._invocation_seq
+        self._outbox_seq = max(meta.get("outbox_seq", 0), self._outbox_seq)
+        self._persisted_outbox_seq = self._outbox_seq
         # pending invocations: exactly the acknowledged-but-unresolved set
         # at crash time — re-enqueued for (at-least-once) re-execution;
         # the completion path dedupes, so effects stay exactly-once
@@ -1684,6 +1825,17 @@ class ProcessEngine:
             self._dead_letters[raw["id"]] = dict(raw)
             self._g_dead_letters.inc()
             counts["dead_letters"] += 1
+        # undrained outbox records: exactly the cross-shard forwards that
+        # were claimed but not yet confirmed delivered at crash time — the
+        # cluster layer re-drains them (redelivery dedupes at the target)
+        from repro.cluster.outbox import OutboxRecord  # cycle guard
+
+        for key, raw in self.store.scan("outbox/"):
+            outbox_record = OutboxRecord.from_dict(raw)
+            self._outbox[outbox_record.seq] = outbox_record
+            self._outbox_seq = max(self._outbox_seq, outbox_record.seq)
+            counts["outbox"] += 1
+        self._persisted_outbox_seq = self._outbox_seq
         # per-service invariant counters restart from the durable state:
         # enqueued := pending + dead_lettered (completions already settled)
         for record in self._invocations.values():

@@ -135,8 +135,25 @@ def move_through(
         is_activity=is_activity,
         **event_data,
     )
+    if is_activity:
+        record_compensation(engine, instance, node)
     flow = single_outgoing(definition, node)
     token.resume(flow.target, arrived_via=flow.id)
+
+
+def record_compensation(engine, instance: ProcessInstance, node: Node) -> None:
+    """Log a completed activity's compensation handler for later undo.
+
+    The entry joins the instance's persisted ``compensations`` list (same
+    record as the token state, same group commit), so the saga log
+    survives a crash exactly as far as the completion it describes.
+    """
+    handler_id = getattr(node, "compensation_handler", None)
+    if handler_id is None:
+        return
+    instance.compensations.append(
+        {"node_id": node.id, "handler_id": handler_id}
+    )
 
 
 def enter(

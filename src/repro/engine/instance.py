@@ -101,6 +101,10 @@ class ProcessInstance:
     parent_instance_id: str | None = None
     parent_token_id: int | None = None
     failure: str | None = None
+    # completed activities with a compensation handler, in completion
+    # order ({"node_id": ..., "handler_id": ...}); compensation runs the
+    # handlers in reverse and pops entries as each one succeeds
+    compensations: list[dict[str, Any]] = field(default_factory=list)
     _token_seq: int = 0
 
     @property
@@ -158,6 +162,7 @@ class ProcessInstance:
             "parent_instance_id": self.parent_instance_id,
             "parent_token_id": self.parent_token_id,
             "failure": self.failure,
+            "compensations": [dict(entry) for entry in self.compensations],
             "token_seq": self._token_seq,
         }
 
@@ -174,6 +179,7 @@ class ProcessInstance:
             parent_instance_id=raw.get("parent_instance_id"),
             parent_token_id=raw.get("parent_token_id"),
             failure=raw.get("failure"),
+            compensations=[dict(e) for e in raw.get("compensations", ())],
         )
         instance.state = InstanceState(raw.get("state", "running"))
         instance._token_seq = raw.get("token_seq", len(instance.tokens))

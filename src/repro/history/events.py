@@ -52,6 +52,10 @@ class EventTypes:
     ERROR_RAISED = "error.raised"
     BOUNDARY_TRIGGERED = "boundary.triggered"
 
+    # compensation (saga orchestration)
+    COMPENSATION_TRIGGERED = "compensation.triggered"
+    NODE_COMPENSATED = "node.compensated"
+
     # deployment
     DEFINITION_DEPLOYED = "definition.deployed"
 

@@ -172,11 +172,15 @@ class ProcessBuilder:
         due_seconds: float | None = None,
         form_fields: tuple[str, ...] = (),
         separate_from: tuple[str, ...] = (),
+        compensation_handler: str | None = None,
     ) -> "ProcessBuilder":
         """Add a human task routed to ``role`` via the worklist.
 
         ``separate_from`` names earlier user tasks whose performers are
         excluded from this one (four-eyes principle).
+        ``compensation_handler`` names a detached activity (added via
+        :meth:`add_node`, no flows) run to undo this task on
+        ``compensate_instance``.
         """
         return self._attach(
             UserTask(
@@ -187,6 +191,7 @@ class ProcessBuilder:
                 due_seconds=due_seconds,
                 form_fields=form_fields,
                 separate_from=separate_from,
+                compensation_handler=compensation_handler,
             )
         )
 
@@ -202,6 +207,7 @@ class ProcessBuilder:
         output_variable: str | None = None,
         retry: RetryPolicy | None = None,
         async_execution: bool = False,
+        compensation_handler: str | None = None,
         name: str = "",
     ) -> "ProcessBuilder":
         """Add an automated task calling a registered service."""
@@ -214,12 +220,26 @@ class ProcessBuilder:
                 output_variable=output_variable,
                 retry=retry or RetryPolicy(),
                 async_execution=async_execution,
+                compensation_handler=compensation_handler,
             )
         )
 
-    def script_task(self, node_id: str, script: str, name: str = "") -> "ProcessBuilder":
+    def script_task(
+        self,
+        node_id: str,
+        script: str,
+        compensation_handler: str | None = None,
+        name: str = "",
+    ) -> "ProcessBuilder":
         """Add a script task mutating instance variables."""
-        return self._attach(ScriptTask(node_id, name, script=script))
+        return self._attach(
+            ScriptTask(
+                node_id,
+                name,
+                script=script,
+                compensation_handler=compensation_handler,
+            )
+        )
 
     def business_rule_task(
         self,

@@ -150,6 +150,9 @@ class UserTask(Node):
     due_seconds: float | None = None
     form_fields: tuple[str, ...] = ()
     separate_from: tuple[str, ...] = ()
+    #: id of a detached activity run to undo this task's completed work
+    #: when the instance is compensated (saga orchestration)
+    compensation_handler: str | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -201,6 +204,9 @@ class ServiceTask(Node):
     output_variable: str | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     async_execution: bool = False
+    #: id of a detached activity run to undo this task's completed work
+    #: when the instance is compensated (saga orchestration)
+    compensation_handler: str | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -213,6 +219,9 @@ class ScriptTask(Node):
     """A task that runs a restricted script against instance variables."""
 
     script: str = ""
+    #: id of a detached activity run to undo this task's completed work
+    #: when the instance is compensated (saga orchestration)
+    compensation_handler: str | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -61,7 +61,13 @@ def to_workflow_net(definition: ProcessDefinition) -> WorkflowNet:
     for flow_id in definition.flows:
         net.add_place(_flow_place(flow_id))
 
+    # compensation handlers are detached activities outside the control
+    # flow — they have no flow places to connect and never fire in a run
+    handlers = definition.compensation_handler_ids()
+
     for node in definition.nodes.values():
+        if node.id in handlers:
+            continue
         incoming = [_flow_place(f.id) for f in definition.incoming(node.id)]
         outgoing = [_flow_place(f.id) for f in definition.outgoing(node.id)]
 

@@ -101,6 +101,7 @@ class ProcessDefinition:
         self._incoming_cache: dict[str, tuple[SequenceFlow, ...]] = {}
         self._type_cache: dict[type, tuple[Node, ...]] = {}
         self._boundary_cache: dict[str, tuple[BoundaryEvent, ...]] | None = None
+        self._handler_cache: frozenset[str] | None = None
         self.nodes = _ObservedDict(self.nodes)
         self.nodes._on_change = self._invalidate_node_caches
         # source provenance (set by the BPMN reader; not part of equality or
@@ -135,6 +136,7 @@ class ProcessDefinition:
     def _invalidate_node_caches(self) -> None:
         self._type_cache.clear()
         self._boundary_cache = None
+        self._handler_cache = None
 
     def _index_flow(self, flow: SequenceFlow) -> None:
         self._outgoing.setdefault(flow.source, []).append(flow)
@@ -197,6 +199,25 @@ class ProcessDefinition:
             cache = {k: tuple(v) for k, v in cache.items()}
             self._boundary_cache = cache
         return cache.get(activity_id, ())
+
+    def compensation_handler_ids(self) -> frozenset[str]:
+        """Ids of nodes referenced as a task's ``compensation_handler``.
+
+        Handlers are *detached* activities: part of the definition but
+        outside the sequence-flow graph (the structural rules exempt them
+        from cardinality/connectivity and check them via STR009 instead),
+        executed only by instance compensation.
+        """
+        cached = self._handler_cache
+        if cached is None:
+            cached = frozenset(
+                handler_id
+                for n in self.nodes.values()
+                if (handler_id := getattr(n, "compensation_handler", None))
+                is not None
+            )
+            self._handler_cache = cached
+        return cached
 
     def nodes_of_type(self, node_type: type) -> tuple[Node, ...]:
         """Nodes of a given element class (per-definition type index)."""

@@ -61,6 +61,7 @@ def node_to_dict(node: Node) -> dict[str, Any]:
             due_seconds=node.due_seconds,
             form_fields=list(node.form_fields),
             separate_from=list(node.separate_from),
+            compensation_handler=node.compensation_handler,
         )
     elif isinstance(node, ServiceTask):
         base.update(
@@ -73,9 +74,11 @@ def node_to_dict(node: Node) -> dict[str, Any]:
                 "backoff_multiplier": node.retry.backoff_multiplier,
             },
             async_execution=node.async_execution,
+            compensation_handler=node.compensation_handler,
         )
     elif isinstance(node, ScriptTask):
         base["script"] = node.script
+        base["compensation_handler"] = node.compensation_handler
     elif isinstance(node, BusinessRuleTask):
         base["decision"] = node.decision
         base["result_variable"] = node.result_variable
@@ -140,6 +143,7 @@ def node_from_dict(raw: dict[str, Any]) -> Node:
             due_seconds=raw.get("due_seconds"),
             form_fields=tuple(raw.get("form_fields", ())),
             separate_from=tuple(raw.get("separate_from", ())),
+            compensation_handler=raw.get("compensation_handler"),
         )
     if kind == "ManualTask":
         return ManualTask(node_id, name)
@@ -157,9 +161,15 @@ def node_from_dict(raw: dict[str, Any]) -> Node:
                 backoff_multiplier=retry_raw.get("backoff_multiplier", 2.0),
             ),
             async_execution=raw.get("async_execution", False),
+            compensation_handler=raw.get("compensation_handler"),
         )
     if kind == "ScriptTask":
-        return ScriptTask(node_id, name, script=raw["script"])
+        return ScriptTask(
+            node_id,
+            name,
+            script=raw["script"],
+            compensation_handler=raw.get("compensation_handler"),
+        )
     if kind == "BusinessRuleTask":
         return BusinessRuleTask(
             node_id,

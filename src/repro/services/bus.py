@@ -61,6 +61,17 @@ class MessageBus:
         with self._lock:
             self._subscribers.append(subscriber)
 
+    def adjust_delivered(self, delta: int) -> None:
+        """Atomically shift ``delivered_count`` (cluster forwarder hook).
+
+        The counter is a bare int mutated under the bus lock everywhere
+        else; an unguarded read-modify-write from a forwarder claiming a
+        message would race the ``+= 1`` in :meth:`publish` /
+        :meth:`consume_retained` and lose increments.
+        """
+        with self._lock:
+            self.delivered_count += delta
+
     def publish(
         self,
         name: str,

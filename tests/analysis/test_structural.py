@@ -111,6 +111,61 @@ class TestSeparationAndConnectivity:
         assert any(f.element_id == "orphan" for f in found)
 
 
+class TestCompensationHandlers:
+    def model_with_handler(self, **task_kwargs):
+        b = ProcessBuilder("p")
+        b.add_node(ScriptTask(id="undo", script="v = 0"))
+        b.start().script_task(
+            "t", script="v = 1", compensation_handler="undo", **task_kwargs
+        )
+        return b.end()
+
+    def test_detached_handler_is_clean(self):
+        d = self.model_with_handler().build()
+        assert structural_pass(d) == []
+
+    def test_unknown_handler_is_str009(self):
+        b = ProcessBuilder("p").start().script_task(
+            "t", script="v = 1", compensation_handler="ghost"
+        )
+        d = b.end().build(validate=False)
+        found = [f for f in structural_pass(d) if f.rule == "STR009"]
+        assert any("unknown node" in f.message for f in found)
+
+    def test_self_handler_is_str009(self):
+        b = ProcessBuilder("p").start().script_task(
+            "t", script="v = 1", compensation_handler="t"
+        )
+        d = b.end().build(validate=False)
+        found = [f for f in structural_pass(d) if f.rule == "STR009"]
+        assert any("own compensation handler" in f.message for f in found)
+
+    def test_connected_handler_is_str009(self):
+        b = self.model_with_handler()
+        b.add_flow("t", "undo")
+        d = b.build(validate=False)
+        found = [f for f in structural_pass(d) if f.rule == "STR009"]
+        assert any(f.element_id == "undo" for f in found)
+
+    def test_non_task_handler_is_str009(self):
+        b = ProcessBuilder("p")
+        b.add_node(UserTask(id="undo", role="clerk"))
+        b.start().script_task("t", script="v = 1", compensation_handler="undo")
+        d = b.end().build(validate=False)
+        found = [f for f in structural_pass(d) if f.rule == "STR009"]
+        assert any("must be script" in f.message for f in found)
+
+    def test_handler_exempt_from_behavioral_pass(self):
+        """The detached handler must not break the WF-net translation,
+        show up as a dead activity, or leak its writes into dataflow."""
+        report = analyze(self.model_with_handler().build())
+        assert not [d for d in report.diagnostics if d.rule.startswith("SND")]
+        assert not [d for d in report.diagnostics if d.element_id == "undo"]
+        assert not [
+            d for d in report.diagnostics if d.severity is Severity.ERROR
+        ]
+
+
 class TestValidationAdapter:
     """model.validation.validate is now a façade over the structural pass."""
 

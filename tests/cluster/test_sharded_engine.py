@@ -113,6 +113,23 @@ class TestRouting:
         c.terminate_instance(instance.id, reason="test")
         assert c.instance(instance.id).state is InstanceState.TERMINATED
 
+    def test_compensate_routes_to_owning_shard(self):
+        from repro.model.elements import ScriptTask
+
+        b = ProcessBuilder("saga")
+        b.add_node(ScriptTask("undo", script="undone = true"))
+        b.start()
+        b.script_task("do", script="done = true", compensation_handler="undo")
+        b.end()
+        c = cluster()
+        c.deploy(b.build())
+        instance = c.start_instance("saga")
+        result = c.compensate_instance(instance.id, dedup_key="COMP-1")
+        assert result["compensated"] == ["undo"]
+        assert c.instance(instance.id).variables["undone"] is True
+        # replays on the owning shard instead of re-running
+        assert c.compensate_instance(instance.id, dedup_key="COMP-1") == result
+
     def test_work_items_route_by_tag(self):
         c = cluster(allocator=ShortestQueueAllocator())
         c.organization.add("ana", roles=["clerk"])

@@ -47,6 +47,7 @@ class TestCommandTypes:
             "deploy_definition",
             "start_instance",
             "terminate_instance",
+            "compensate_instance",
             "suspend_instance",
             "resume_instance",
             "migrate_instance",

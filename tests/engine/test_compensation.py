@@ -1,0 +1,265 @@
+"""Saga compensation: handler recording, reverse execution, retry resume.
+
+Completed activities carrying a ``compensation_handler`` push onto the
+instance's persisted compensation log; ``compensate_instance`` pops it
+newest-first, so the business transaction is undone in the opposite
+order it was done.  A failed handler keeps the unfinished tail, making
+the command safely retryable (at the failed step, not from the top).
+"""
+
+import pytest
+
+from repro.bpmn.reader import parse_bpmn
+from repro.bpmn.writer import to_bpmn_xml
+from repro.clock import VirtualClock
+from repro.engine.engine import ProcessEngine
+from repro.engine.errors import BpmnError, EngineError, IllegalInstanceStateError
+from repro.engine.executors.compensation import CompensationError
+from repro.engine.instance import InstanceState
+from repro.history.events import EventTypes
+from repro.model.builder import ProcessBuilder
+from repro.model.elements import ManualTask, ScriptTask, ServiceTask
+from repro.model.serialization import definition_from_dict, definition_to_dict
+from repro.storage.kvstore import DurableKV
+
+
+def trip_model():
+    """Book a flight, then a hotel; each step has an undo handler."""
+    b = ProcessBuilder("trip")
+    b.add_node(ScriptTask("cancel_flight", script="order = order + 'F'"))
+    b.add_node(ScriptTask("cancel_hotel", script="order = order + 'H'"))
+    b.start()
+    b.script_task(
+        "book_flight", script="flight = 1", compensation_handler="cancel_flight"
+    )
+    b.script_task(
+        "book_hotel", script="hotel = 1", compensation_handler="cancel_hotel"
+    )
+    b.end()
+    return b.build()
+
+
+def engine(**kwargs):
+    return ProcessEngine(clock=VirtualClock(0), **kwargs)
+
+
+class TestRecording:
+    def test_completed_activities_append_in_order(self):
+        e = engine()
+        e.deploy(trip_model())
+        instance = e.start_instance("trip", {"order": ""})
+        assert instance.compensations == [
+            {"node_id": "book_flight", "handler_id": "cancel_flight"},
+            {"node_id": "book_hotel", "handler_id": "cancel_hotel"},
+        ]
+
+    def test_activities_without_handler_record_nothing(self):
+        e = engine()
+        e.deploy(
+            ProcessBuilder("plain")
+            .start()
+            .script_task("t", script="x = 1")
+            .end()
+            .build()
+        )
+        instance = e.start_instance("plain")
+        assert instance.compensations == []
+
+    def test_user_task_completion_records_handler(self):
+        """User tasks complete through the work-item path, which bypasses
+        move_through — the hook must still fire."""
+        b = ProcessBuilder("review")
+        b.add_node(ScriptTask("undo_review", script="undone = true"))
+        b.start()
+        b.user_task("check", role="clerk", compensation_handler="undo_review")
+        b.end()
+        e = engine()
+        e.organization.add("ana", roles=["clerk"])
+        e.deploy(b.build())
+        instance = e.start_instance("review")
+        item = e.worklist.items()[0]
+        e.claim_work_item(item.id, "ana")
+        e.start_work_item(item.id)
+        e.complete_work_item(item.id, {"ok": True})
+        assert instance.compensations == [
+            {"node_id": "check", "handler_id": "undo_review"}
+        ]
+
+    def test_log_round_trips_through_persistence(self, tmp_path):
+        store = DurableKV(str(tmp_path / "kv"))
+        e = ProcessEngine(store=store, clock=VirtualClock(0))
+        e.deploy(trip_model())
+        instance = e.start_instance("trip", {"order": ""})
+        store.close()
+
+        reopened = ProcessEngine(
+            store=DurableKV(str(tmp_path / "kv")), clock=VirtualClock(0)
+        )
+        reopened.recover()
+        recovered = reopened.instance(instance.id)
+        assert recovered.compensations == instance.compensations
+        reopened.store.close()
+
+
+class TestExecution:
+    def test_handlers_run_in_reverse_completion_order(self):
+        e = engine()
+        e.deploy(trip_model())
+        instance = e.start_instance("trip", {"order": ""})
+        result = e.compensate_instance(instance.id)
+        assert result["compensated"] == ["cancel_hotel", "cancel_flight"]
+        assert result["pending"] == 0
+        assert instance.variables["order"] == "HF"
+        assert instance.compensations == []
+
+    def test_events_are_recorded(self):
+        e = engine()
+        e.deploy(trip_model())
+        instance = e.start_instance("trip", {"order": ""})
+        e.compensate_instance(instance.id)
+        events = [r.type for r in e.history.instance_events(instance.id)]
+        assert EventTypes.COMPENSATION_TRIGGERED in events
+        assert events.count(EventTypes.NODE_COMPENSATED) == 2
+
+    def test_running_instance_is_rejected(self):
+        b = ProcessBuilder("wait")
+        b.add_node(ScriptTask("undo", script="x = 0"))
+        b.start()
+        b.script_task("t", script="x = 1", compensation_handler="undo")
+        b.receive_task("rx", message_name="go")
+        b.end()
+        e = engine()
+        e.deploy(b.build())
+        instance = e.start_instance("wait")
+        assert instance.state is InstanceState.RUNNING
+        with pytest.raises(IllegalInstanceStateError):
+            e.compensate_instance(instance.id)
+
+    def test_empty_log_is_a_quiet_no_op(self):
+        e = engine()
+        e.deploy(
+            ProcessBuilder("plain")
+            .start()
+            .script_task("t", script="x = 1")
+            .end()
+            .build()
+        )
+        instance = e.start_instance("plain")
+        result = e.compensate_instance(instance.id)
+        assert result == {
+            "instance_id": instance.id,
+            "compensated": [],
+            "pending": 0,
+        }
+
+    def test_service_and_manual_handlers(self):
+        b = ProcessBuilder("mixed")
+        b.add_node(
+            ServiceTask(
+                "refund",
+                service="refund_payment",
+                inputs={"amount": "paid"},
+                output_variable="refunded",
+            )
+        )
+        b.add_node(ManualTask("call_customer"))
+        b.start()
+        b.script_task("charge", script="paid = 40", compensation_handler="refund")
+        b.script_task(
+            "notify", script="sent = true", compensation_handler="call_customer"
+        )
+        b.end()
+        e = engine()
+        calls = []
+        e.services.register("refund_payment", lambda amount: calls.append(amount))
+        e.deploy(b.build())
+        instance = e.start_instance("mixed")
+        result = e.compensate_instance(instance.id)
+        assert result["compensated"] == ["call_customer", "refund"]
+        assert calls == [40]
+
+    def test_dedup_key_absorbs_retry(self):
+        e = engine()
+        e.deploy(trip_model())
+        instance = e.start_instance("trip", {"order": ""})
+        first = e.compensate_instance(instance.id, dedup_key="C1")
+        replay = e.compensate_instance(instance.id, dedup_key="C1")
+        assert replay == first
+        assert instance.variables["order"] == "HF"  # ran once
+
+
+class TestFailureResume:
+    def failing_model(self):
+        b = ProcessBuilder("trip")
+        b.add_node(ScriptTask("cancel_flight", script="order = order + 'F'"))
+        b.add_node(
+            ServiceTask("cancel_hotel", service="hotel_api", inputs={})
+        )
+        b.start()
+        b.script_task(
+            "book_flight", script="flight = 1",
+            compensation_handler="cancel_flight",
+        )
+        b.script_task(
+            "book_hotel", script="hotel = 1", compensation_handler="cancel_hotel"
+        )
+        b.end()
+        return b.build()
+
+    def test_failed_handler_keeps_the_tail_and_resumes(self):
+        e = engine()
+        attempts = {"n": 0}
+
+        def hotel_api():
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise BpmnError("HOTEL_DOWN", "try later")
+            return "cancelled"
+
+        e.services.register("hotel_api", hotel_api)
+        e.deploy(self.failing_model())
+        instance = e.start_instance("trip", {"order": ""})
+        with pytest.raises(CompensationError, match="cancel_hotel"):
+            e.compensate_instance(instance.id)
+        # the failed step and everything before it stay pending
+        assert len(instance.compensations) == 2
+        assert instance.variables["order"] == ""
+
+        result = e.compensate_instance(instance.id)
+        assert result["compensated"] == ["cancel_hotel", "cancel_flight"]
+        assert instance.variables["order"] == "F"
+
+    def test_missing_handler_node_fails_loudly(self):
+        e = engine()
+        e.deploy(trip_model())
+        instance = e.start_instance("trip", {"order": ""})
+        instance.compensations.append(
+            {"node_id": "book_hotel", "handler_id": "vanished"}
+        )
+        with pytest.raises(EngineError, match="vanished"):
+            e.compensate_instance(instance.id)
+
+
+class TestModelRoundTrips:
+    def test_handler_survives_dict_serialization(self):
+        d = trip_model()
+        rebuilt = definition_from_dict(definition_to_dict(d))
+        assert rebuilt.node("book_flight").compensation_handler == "cancel_flight"
+        assert rebuilt.compensation_handler_ids() == {
+            "cancel_flight", "cancel_hotel",
+        }
+
+    def test_handler_survives_bpmn_round_trip(self):
+        b = ProcessBuilder("mix")
+        b.add_node(ScriptTask("undo_s", script="x = 0"))
+        b.add_node(ScriptTask("undo_u", script="y = 0"))
+        b.add_node(ScriptTask("undo_v", script="z = 0"))
+        b.start()
+        b.script_task("s", script="x = 1", compensation_handler="undo_s")
+        b.user_task("u", role="clerk", compensation_handler="undo_u")
+        b.service_task("v", service="svc", compensation_handler="undo_v")
+        b.end()
+        d = b.build()
+        rebuilt = parse_bpmn(to_bpmn_xml(d))
+        for task, handler in (("s", "undo_s"), ("u", "undo_u"), ("v", "undo_v")):
+            assert rebuilt.node(task).compensation_handler == handler

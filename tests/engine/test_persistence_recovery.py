@@ -173,6 +173,7 @@ class TestRecovery:
             "commands": 0,
             "invocations": 0,
             "dead_letters": 0,
+            "outbox": 0,
         }
 
 

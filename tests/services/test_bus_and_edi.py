@@ -31,6 +31,41 @@ class TestMessageBus:
         assert bus.retained_count == 1
         assert len(bus.retained("ping")) == 1
 
+    @pytest.mark.threads
+    def test_adjust_delivered_races_with_publish(self):
+        """Regression: the cluster forwarder used to decrement
+        ``delivered_count`` with a bare ``-= 1`` racing the ``+= 1`` in
+        publish; lost updates left the counter drifting.  The adjust
+        method takes the bus lock, so N publishes matched by N claims
+        must net to exactly zero."""
+        import threading
+
+        bus = MessageBus()
+        bus.subscribe(lambda m: True)
+        rounds = 500
+        barrier = threading.Barrier(2)
+
+        def publisher():
+            barrier.wait()
+            for _ in range(rounds):
+                bus.publish("ping")
+
+        def claimer():
+            barrier.wait()
+            for _ in range(rounds):
+                bus.adjust_delivered(-1)
+
+        threads = [
+            threading.Thread(target=publisher),
+            threading.Thread(target=claimer),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert bus.published_count == rounds
+        assert bus.delivered_count == 0
+
     def test_consume_retained_by_correlation(self):
         bus = MessageBus()
         bus.publish("reply", correlation="a")

@@ -353,6 +353,29 @@ class TestClusterStatus:
         assert payload["shards"][1]["topology"] == {"shards": 2, "shard": 1}
         assert payload["shards"][0]["instances"] == 2
 
+    def test_undrained_outbox_records_are_reported(self, cluster_store, capsys):
+        """Offline stores with persisted-but-undrained forward records —
+        the crash-recovery backlog — show up as pending_forwards."""
+        import json
+
+        from repro.storage.kvstore import DurableKV
+
+        store = DurableKV(cluster_store + "/shard-0")
+        store.put(
+            "outbox/0000000001",
+            {"seq": 1, "origin": "s0", "name": "go", "correlation": "X",
+             "payload": {}, "created_at": 0.0},
+        )
+        store.close()
+        assert main(
+            ["cluster", "status", "--store", cluster_store, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"][0]["pending_forwards"] == 1
+        assert payload["shards"][1]["pending_forwards"] == 0
+        assert main(["cluster", "status", "--store", cluster_store]) == 0
+        assert "pending_forwards=1" in capsys.readouterr().out
+
     def test_missing_shard_reports_inconsistent(self, cluster_store, capsys):
         import shutil
 
