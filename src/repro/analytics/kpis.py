@@ -10,6 +10,68 @@ from repro.history.events import EventTypes
 
 
 @dataclass
+class CycleTimeAggregate:
+    """A mergeable, constant-size cycle-time summary (count/total/min/max).
+
+    Unlike the raw duration lists kept by :class:`FleetReport`, this
+    aggregate is O(1) in memory and supports both incremental
+    ``observe`` (the read-model maintenance path in :mod:`repro.views`)
+    and cross-shard ``merge`` — the two operations a materialized
+    per-definition analytics view needs.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def observe(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        self.min = duration if self.min is None else builtins_min(self.min, duration)
+        self.max = duration if self.max is None else builtins_max(self.max, duration)
+
+    def merge(self, other: "CycleTimeAggregate") -> "CycleTimeAggregate":
+        """A new aggregate combining both (neither operand mutated)."""
+        if other.count == 0:
+            return CycleTimeAggregate(self.count, self.total, self.min, self.max)
+        if self.count == 0:
+            return CycleTimeAggregate(other.count, other.total, other.min, other.max)
+        return CycleTimeAggregate(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min=builtins_min(self.min, other.min),
+            max=builtins_max(self.max, other.max),
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "CycleTimeAggregate":
+        return cls(
+            count=int(raw.get("count", 0)),
+            total=float(raw.get("total", 0.0)),
+            min=raw.get("min"),
+            max=raw.get("max"),
+        )
+
+
+# dataclass fields shadow the builtins inside the class body
+builtins_min = min
+builtins_max = max
+
+
+@dataclass
 class ActivityStats:
     """Aggregate statistics for one activity across instances."""
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.bpmn import BpmnParseError, parse_bpmn
 from repro.history.log import EventLog
@@ -439,6 +439,51 @@ def cmd_commands(args: argparse.Namespace) -> int:
     return 0
 
 
+def _max_dispatch_seq(store: Any) -> int:
+    """Highest persisted dispatch sequence in a store (0 when empty)."""
+    seq = 0
+    for _, raw in store.scan("dispatch/"):
+        seq = max(seq, int(raw.get("seq", 0)))
+    return seq
+
+
+def _store_view_summary(store: Any) -> dict[str, Any] | None:
+    """Fresh read-model summary of one store, or ``None`` if absent/stale.
+
+    Fresh means every projection cursor agrees with the store's highest
+    dispatch seq — then the compact ``view/`` records answer the status
+    questions without scanning ``instance/`` or ``workitem/``.
+    """
+    seqs = set()
+    for name in ("by_state", "by_key", "def_stats", "worklist"):
+        raw = store.get(f"view/{name}/__cursor", None)
+        if raw is None:
+            return None
+        seqs.add(int(raw.get("seq", 0)))
+    if len(seqs) != 1:
+        return None
+    seq = seqs.pop()
+    if seq != _max_dispatch_seq(store):
+        return None
+    by_state: dict[str, int] = {}
+    instances = 0
+    for key, record in store.scan("view/def_stats/"):
+        if key.endswith("/__cursor"):
+            continue
+        instances += int(record.get("total", 0))
+        for state, count in record.get("states", {}).items():
+            if count:
+                by_state[state] = by_state.get(state, 0) + count
+    queues = store.get("view/worklist/__queues", None) or {}
+    return {
+        "seq": seq,
+        "instances": instances,
+        "by_state": by_state,
+        "open_work_items": int(queues.get("open", 0)),
+        "roles": dict(queues.get("roles", {})),
+    }
+
+
 def cmd_cluster_status(args: argparse.Namespace) -> int:
     """Offline inspection of a sharded cluster's store directories.
 
@@ -471,25 +516,36 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
     for directory in shard_dirs:
         store = DurableKV(os.path.join(args.store, directory), sync_writes=False)
         meta = store.get("cluster/meta", None)
-        by_state: dict[str, int] = {}
-        for _, raw in store.scan("instance/"):
-            state = raw.get("state", "?")
-            by_state[state] = by_state.get(state, 0) + 1
-        rows.append(
-            {
-                "directory": directory,
-                "topology": meta,
-                "instances": sum(by_state.values()),
-                "by_state": by_state,
-                "jobs": len(store.keys("jobs/")),
-                "workitems": len(store.keys("workitem/")),
-                "commands": len(store.keys("dispatch/")),
-                # outbox records persisted but not yet drained to their
-                # target shard — nonzero after a crash means recovery will
-                # redeliver these cross-shard messages
-                "pending_forwards": len(store.keys("outbox/")),
+        # prefer the materialized read models: a fresh view summary
+        # answers the census from O(definitions) compact records instead
+        # of scanning every instance — the CQRS win, offline too
+        summary = _store_view_summary(store)
+        if summary is not None:
+            by_state: dict[str, int] = dict(summary["by_state"])
+        else:
+            by_state = {}
+            for _, raw in store.scan("instance/"):
+                state = raw.get("state", "?")
+                by_state[state] = by_state.get(state, 0) + 1
+        row = {
+            "directory": directory,
+            "topology": meta,
+            "instances": sum(by_state.values()),
+            "by_state": by_state,
+            "jobs": len(store.keys("jobs/")),
+            "workitems": len(store.keys("workitem/")),
+            "commands": len(store.keys("dispatch/")),
+            # outbox records persisted but not yet drained to their
+            # target shard — nonzero after a crash means recovery will
+            # redeliver these cross-shard messages
+            "pending_forwards": len(store.keys("outbox/")),
+        }
+        if summary is not None:
+            row["views"] = {
+                "seq": summary["seq"],
+                "open_work_items": summary["open_work_items"],
             }
-        )
+        rows.append(row)
         store.close()
     widths = {row["topology"]["shards"] for row in rows if row["topology"]}
     consistent = (
@@ -532,6 +588,12 @@ def cmd_cluster_status(args: argparse.Namespace) -> int:
             + (
                 f" pending_forwards={row['pending_forwards']}"
                 if row["pending_forwards"]
+                else ""
+            )
+            + (
+                f" open_work_items={row['views']['open_work_items']}"
+                f" (views@{row['views']['seq']})"
+                if "views" in row
                 else ""
             )
         )
@@ -648,6 +710,173 @@ def cmd_dlq_requeue(args: argparse.Namespace) -> int:
         f"error: no dead-lettered invocation {args.invocation_id!r} "
         f"under {args.store}"
     )
+
+
+def cmd_views_status(args: argparse.Namespace) -> int:
+    """Projection cursors, record counts, and lag for one or N stores."""
+    from repro.storage.kvstore import DurableKV
+
+    rows = []
+    for label, path in _dlq_store_paths(args.store):
+        store = DurableKV(path, sync_writes=False)
+        dispatch_seq = _max_dispatch_seq(store)
+        cursors: dict[str, int] = {}
+        records: dict[str, int] = {}
+        for key, raw in store.scan("view/"):
+            name, _, suffix = key[len("view/"):].partition("/")
+            if suffix == "__cursor":
+                cursors[name] = int(raw.get("seq", 0))
+            else:
+                records[name] = records.get(name, 0) + 1
+        store.close()
+        rows.append(
+            {
+                "store": label,
+                "dispatch_seq": dispatch_seq,
+                "cursors": cursors,
+                "records": records,
+                "lag": (
+                    dispatch_seq - min(cursors.values()) if cursors else None
+                ),
+            }
+        )
+    if args.json:
+        print(json.dumps({"stores": rows}, indent=2, sort_keys=True))
+        return 0
+    for row in rows:
+        if not row["cursors"]:
+            print(
+                f"{row['store']}: no view records "
+                f"(dispatch_seq={row['dispatch_seq']}) — run `repro views "
+                f"rebuild` or recover with views enabled"
+            )
+            continue
+        print(
+            f"{row['store']}: dispatch_seq={row['dispatch_seq']} "
+            f"lag={row['lag']}"
+        )
+        for name in sorted(row["cursors"]):
+            print(
+                f"  {name:<10} cursor={row['cursors'][name]:>6} "
+                f"records={row['records'].get(name, 0)}"
+            )
+    return 0
+
+
+def cmd_views_query(args: argparse.Namespace) -> int:
+    """Query persisted view records offline (no engine, no recovery).
+
+    Cross-store results merge exactly like the live ``ClusterViews``
+    facade: instance lists interleave by creation rank, analytics
+    aggregate across shards.
+    """
+    from repro.analytics.kpis import CycleTimeAggregate
+    from repro.storage.kvstore import DurableKV
+    from repro.views.projections import creation_rank
+
+    def view_records(store: Any, name: str) -> list[tuple[str, Any]]:
+        prefix = f"view/{name}/"
+        return [
+            (key[len(prefix):], raw)
+            for key, raw in store.scan(prefix)
+            if not key.endswith("/__cursor")
+        ]
+
+    stores = _dlq_store_paths(args.store)
+    payload: dict[str, Any]
+    if args.view == "by_state":
+        collected = []
+        for _label, path in stores:
+            store = DurableKV(path, sync_writes=False)
+            for _suffix, record in view_records(store, "by_state"):
+                if args.state is None or record.get("state") == args.state:
+                    collected.append(record)
+            store.close()
+        collected.sort(key=lambda r: (r.get("rank", 0), r.get("id", "")))
+        payload = {"instances": collected}
+    elif args.view == "by_key":
+        if args.key is None:
+            raise SystemExit("error: --key is required for the by_key view")
+        ids: list[str] = []
+        for _label, path in stores:
+            store = DurableKV(path, sync_writes=False)
+            record = store.get(f"view/by_key/{args.key}", None)
+            if record is not None:
+                ids.extend(record.get("ids", []))
+            store.close()
+        ids.sort(key=lambda i: (creation_rank(i), i))
+        payload = {"business_key": args.key, "ids": ids}
+    elif args.view == "def_stats":
+        merged: dict[str, dict[str, Any]] = {}
+        for _label, path in stores:
+            store = DurableKV(path, sync_writes=False)
+            for definition, record in view_records(store, "def_stats"):
+                if args.definition is not None and definition != args.definition:
+                    continue
+                slot = merged.get(definition)
+                if slot is None:
+                    merged[definition] = {
+                        "total": record.get("total", 0),
+                        "states": dict(record.get("states", {})),
+                        "cycle": dict(record.get("cycle") or {}),
+                    }
+                    continue
+                slot["total"] += record.get("total", 0)
+                for state, count in record.get("states", {}).items():
+                    slot["states"][state] = slot["states"].get(state, 0) + count
+                slot["cycle"] = (
+                    CycleTimeAggregate.from_dict(slot["cycle"])
+                    .merge(CycleTimeAggregate.from_dict(record.get("cycle") or {}))
+                    .to_dict()
+                )
+            store.close()
+        payload = {
+            "definitions": {name: merged[name] for name in sorted(merged)}
+        }
+    else:  # worklist
+        open_total = 0
+        roles: dict[str, int] = {}
+        items = []
+        for _label, path in stores:
+            store = DurableKV(path, sync_writes=False)
+            for suffix, record in view_records(store, "worklist"):
+                if suffix == "__queues":
+                    open_total += int(record.get("open", 0))
+                    for role, count in record.get("roles", {}).items():
+                        roles[role] = roles.get(role, 0) + count
+                elif args.state is None or record.get("state") == args.state:
+                    items.append(record)
+            store.close()
+        items.sort(key=lambda r: (r.get("rank", 0), r.get("id", "")))
+        payload = {
+            "open": open_total,
+            "roles": {role: roles[role] for role in sorted(roles)},
+            "items": items,
+        }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_views_rebuild(args: argparse.Namespace) -> int:
+    """Offline full projection rebuild by store replay (linear in size)."""
+    from repro.storage.kvstore import DurableKV
+    from repro.views.rebuild import rebuild_store_views
+
+    for label, path in _dlq_store_paths(args.store):
+        store = DurableKV(path)
+        counts = rebuild_store_views(store)
+        store.close()
+        print(
+            f"{label}: rebuilt {counts['records']} view record(s) from "
+            f"{counts['instances']} instance(s) and {counts['work_items']} "
+            f"work item(s) at seq {counts['seq']}"
+            + (
+                f", deleted {counts['deleted']} stale"
+                if counts["deleted"]
+                else ""
+            )
+        )
+    return 0
 
 
 def cmd_patterns(args: argparse.Namespace) -> int:
@@ -834,6 +1063,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_dlq_requeue.add_argument("invocation_id")
     p_dlq_requeue.add_argument("--store", required=True, metavar="DIR")
     p_dlq_requeue.set_defaults(func=cmd_dlq_requeue)
+
+    p_views = sub.add_parser(
+        "views", help="read-model projection tools (see repro.views)"
+    )
+    views_sub = p_views.add_subparsers(dest="views_command", required=True)
+    p_views_status = views_sub.add_parser(
+        "status", help="projection cursors, record counts, and lag"
+    )
+    p_views_status.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="DurableKV directory, or a cluster directory of shard-<n> stores",
+    )
+    p_views_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_views_status.set_defaults(func=cmd_views_status)
+    p_views_query = views_sub.add_parser(
+        "query", help="query persisted view records offline"
+    )
+    p_views_query.add_argument(
+        "view", choices=("by_state", "by_key", "def_stats", "worklist"),
+    )
+    p_views_query.add_argument("--store", required=True, metavar="DIR")
+    p_views_query.add_argument(
+        "--state", metavar="STATE",
+        help="filter by_state/worklist records by state",
+    )
+    p_views_query.add_argument(
+        "--key", metavar="BUSINESS_KEY", help="business key for by_key"
+    )
+    p_views_query.add_argument(
+        "--definition", metavar="KEY", help="filter def_stats by definition"
+    )
+    p_views_query.set_defaults(func=cmd_views_query)
+    p_views_rebuild = views_sub.add_parser(
+        "rebuild",
+        help="rebuild all projections by store replay (offline, full scan)",
+    )
+    p_views_rebuild.add_argument("--store", required=True, metavar="DIR")
+    p_views_rebuild.set_defaults(func=cmd_views_rebuild)
     return parser
 
 

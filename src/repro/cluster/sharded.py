@@ -63,6 +63,8 @@ from repro.obs import Observability
 from repro.services.bus import Message, MessageBus
 from repro.services.registry import ServiceRegistry
 from repro.storage.kvstore import KeyValueStore, MemoryKV
+from repro.views.cluster import ClusterViews
+from repro.views.projections import merge_ranked
 from repro.worklist.allocation import Allocator
 from repro.worklist.items import WorkItem, WorkItemState
 from repro.worklist.resources import OrganizationalModel
@@ -142,6 +144,7 @@ class ShardedEngine:
         strict_references: bool = False,
         max_steps: int = 100_000,
         workers: Any = None,
+        views: bool = True,
     ) -> None:
         if shards < 1:
             raise EngineError(f"cluster needs at least one shard, got {shards}")
@@ -170,9 +173,14 @@ class ShardedEngine:
                 commit_interval=commit_interval,
                 dispatch_log_retention=dispatch_log_retention,
                 shard_tag=f"s{i}",
+                views=views,
             )
             for i in range(shards)
         )
+        # the CQRS read side: cross-shard queries served from each
+        # shard's materialized projections, pre-merged on creation rank —
+        # flat in shard count at equal total size (see repro.views)
+        self.views: ClusterViews | None = ClusterViews(self) if views else None
         try:
             self._check_or_stamp_topology()
         except EngineError:
@@ -586,11 +594,16 @@ class ShardedEngine:
         )
 
     def instances(self, state: InstanceState | None = None) -> list[ProcessInstance]:
-        """Scatter-gather across shards, merged in creation order.
+        """All instances (optionally by state), cluster creation order.
 
-        Creation ranks are per-shard sequences, so the merge is exact
-        within a shard and rank-interleaved across shards.
+        Served from the per-shard read models when enabled (per-shard
+        cost O(matches), see :class:`~repro.views.cluster.ClusterViews`);
+        otherwise scatter-gather.  Creation ranks are per-shard
+        sequences, so the merge is exact within a shard and
+        rank-interleaved across shards either way.
         """
+        if self.views is not None:
+            return self.views.instances(state)
         return self._merge_instances(
             shard.instances(state) for shard in self.shards
         )
@@ -600,12 +613,15 @@ class ShardedEngine:
 
         A ``business_key`` filter narrows to the key's home shard (starts
         co-locate by business key, and subprocess children inherit their
-        parent's key on the parent's shard); anything else scatter-gathers.
+        parent's key on the parent's shard); anything else reads the
+        per-shard views (or scatter-gathers when views are disabled).
         """
         business_key = filters.get("business_key")
         if business_key is not None:
             index = shard_of_key(business_key, self.shard_count)
             return self.shards[index].find_instances(**filters)
+        if self.views is not None:
+            return self.views.find_instances(**filters)
         return self._merge_instances(
             shard.find_instances(**filters) for shard in self.shards
         )
@@ -613,13 +629,17 @@ class ShardedEngine:
     def _merge_instances(
         self, per_shard: Iterable[list[ProcessInstance]]
     ) -> list[ProcessInstance]:
-        collected = [
-            (rank_index, instance)
-            for rank_index, shard_result in enumerate(per_shard)
-            for instance in shard_result
-        ]
-        collected.sort(key=lambda pair: (_creation_rank(pair[1].id), pair[0]))
-        return [instance for _, instance in collected]
+        """K-way merge of per-shard results (each already rank-ordered).
+
+        Engine queries return creation order per shard — live dicts
+        insert in creation order and recovery registers by rank — so the
+        heap merge is O(T log k) against the old collect-then-sort's
+        O(T log T), and both the view facade and this residual fallback
+        produce the same (rank, shard) interleaving.
+        """
+        return merge_ranked(
+            list(per_shard), lambda instance: _creation_rank(instance.id)
+        )
 
     def terminate_instance(
         self,
@@ -694,7 +714,13 @@ class ShardedEngine:
         )
 
     def work_items(self, state: WorkItemState | None = None) -> list[WorkItem]:
-        """All work items across shards (optionally by state)."""
+        """All work items across shards (optionally by state).
+
+        View-backed when enabled: a state filter reads each shard's
+        materialized bucket (O(matches)) instead of scanning every item.
+        """
+        if self.views is not None:
+            return self.views.work_items(state)
         items: list[WorkItem] = []
         for shard in self.shards:
             items.extend(shard.worklist.items(state))
@@ -844,7 +870,12 @@ class ShardedEngine:
     # -- introspection ----------------------------------------------------------
 
     def status(self) -> dict[str, Any]:
-        """Cluster topology and per-shard load (``repro cluster status``)."""
+        """Cluster topology and per-shard load (``repro cluster status``).
+
+        Every per-shard figure is O(1) off maintained counters/indexes —
+        the worklist's live open-item counter replaced the full-worklist
+        scan, so status cost no longer grows with item history.
+        """
         per_shard = []
         for index, shard in enumerate(self.shards):
             with shard._dispatch_lock:
@@ -853,30 +884,31 @@ class ShardedEngine:
                     for state, ids in shard._by_state.items()
                     if ids
                 }
-                per_shard.append(
-                    {
-                        "shard": index,
-                        "instances": len(shard._instances),
-                        "by_state": states,
-                        "scheduler_depth": len(shard.scheduler),
-                        "open_work_items": sum(
-                            1
-                            for item in shard.worklist.items()
-                            if not item.state.is_terminal
-                        ),
-                        "dispatches": self._c_dispatches[index].value,
-                        "retained_messages": shard.bus.retained_count,
-                        "pending_invocations": len(shard._invocations),
-                        "dead_letters": len(shard._dead_letters),
-                        "pending_forwards": len(shard._outbox),
+                entry = {
+                    "shard": index,
+                    "instances": len(shard._instances),
+                    "by_state": states,
+                    "scheduler_depth": len(shard.scheduler),
+                    "open_work_items": shard.worklist.open_count,
+                    "dispatches": self._c_dispatches[index].value,
+                    "retained_messages": shard.bus.retained_count,
+                    "pending_invocations": len(shard._invocations),
+                    "dead_letters": len(shard._dead_letters),
+                    "pending_forwards": len(shard._outbox),
+                }
+                if shard.views is not None:
+                    entry["views"] = {
+                        "applied_seq": shard.views.applied_seq,
+                        "lag": shard._dispatch_seq - shard.views.applied_seq,
                     }
-                )
+                per_shard.append(entry)
         return {
             "shards": self.shard_count,
             "pending_forwards": sum(
                 entry["pending_forwards"] for entry in per_shard
             ),
             "per_shard": per_shard,
+            "views_enabled": self.views is not None,
             "workers": (
                 self.workers.status() if self.workers is not None else None
             ),

@@ -136,6 +136,30 @@ def commit_middleware(
         engine._flush()
 
 
+#: above this many combined dirty ids, a log entry's ``touched`` stamp
+#: degrades to ``None`` ("unknown") and recovery falls back to a full
+#: view rebuild instead of tail replay — bounds per-entry log growth
+TOUCHED_STAMP_CAP = 64
+
+
+def _touched_snapshot(engine: "ProcessEngine") -> dict[str, list[str]] | None:
+    """The view-relevant dirty ids at log time, or ``None`` if over cap.
+
+    Dirty sets only grow between flushes, so the stamp on the *last*
+    entry of any un-flushed window is a superset of every earlier
+    entry's touches — which is exactly what makes replaying only the
+    tail's touched entities from final base state sufficient (see
+    ``ProjectionManager.recover``).
+    """
+    # raw dirty sets, not the sorted-tuple accessor: this runs on every
+    # logged record, and one sorted() per set is the whole cost
+    instance_ids = engine._dirty
+    item_ids = engine.worklist._dirty
+    if len(instance_ids) + len(item_ids) > TOUCHED_STAMP_CAP:
+        return None
+    return {"instances": sorted(instance_ids), "items": sorted(item_ids)}
+
+
 def dispatch_log_middleware(
     engine: "ProcessEngine", cmd: Command, call_next: Callable[[Command], Any]
 ) -> Any:
@@ -145,6 +169,11 @@ def dispatch_log_middleware(
     *and* left no dirty state behind — everything that mutated the engine
     is in the log, which is what makes a sequential replay of the log
     equivalent to the original concurrent run.
+
+    When read models are enabled, each entry is stamped with the
+    ``touched`` entity ids still dirty at log time, so view recovery can
+    replay only the tail of the log (cursor → head) instead of
+    rebuilding from scratch.
     """
     record: dict[str, Any] = {
         "command": cmd.to_dict(),
@@ -159,10 +188,14 @@ def dispatch_log_middleware(
     except BaseException as exc:
         record["status"] = "error"
         record["error"] = f"{type(exc).__name__}: {exc}"
+        if engine.views is not None:
+            record["touched"] = _touched_snapshot(engine)
         _log(engine, record)
         raise
     if cmd.loggable(result) or engine._has_pending_dirty():
         record["result"] = summarize_result(result)
+        if engine.views is not None:
+            record["touched"] = _touched_snapshot(engine)
         _log(engine, record)
     return result
 

@@ -60,6 +60,7 @@ from repro.services.bus import Message, MessageBus
 from repro.services.invoker import ServiceInvoker
 from repro.services.registry import ServiceRegistry
 from repro.storage.kvstore import KeyValueStore, MemoryKV
+from repro.views.manager import ProjectionManager
 from repro.worklist.allocation import Allocator
 from repro.worklist.items import WorkItem
 from repro.worklist.resources import OrganizationalModel
@@ -86,6 +87,8 @@ class ProcessEngine:
         commit_interval: int = 1,
         dispatch_log_retention: int = 256,
         shard_tag: str = "",
+        views: bool = True,
+        views_flush_lag: int | None = None,
     ) -> None:
         """``commit_interval`` sets the durable commit policy: ``1``
         (default) flushes dirty state after every public API call
@@ -95,8 +98,16 @@ class ProcessEngine:
         command log and with it the idempotency (dedup-key) window.
         ``shard_tag`` (e.g. ``"s2"``, set by the cluster layer) namespaces
         generated instance and work-item ids (``order-s2-7``, ``wi-s2-3``)
-        so several engines can coexist without id collisions.  See
-        DESIGN.md §Persistence & commit policies and §Command pipeline."""
+        so several engines can coexist without id collisions.  ``views``
+        maintains the materialized read models of :mod:`repro.views`
+        write-behind: commits note dirty entity ids, reads materialize
+        them, and the ``view/<name>/…`` records persist inside the first
+        group commit after the stored image lags ``views_flush_lag``
+        dispatch seqs (default: retention/4, always within the
+        tail-replay window) — forced flushes persist unconditionally.
+        Pass ``views=False`` to opt out — recovery rebuilds the records
+        on re-enable.  See DESIGN.md §Persistence & commit policies,
+        §Command pipeline, and §Read models."""
         # `is None` checks throughout: several of these are container-like
         # (empty store/org would be falsy under `or`)
         self.clock = clock if clock is not None else WallClock()
@@ -248,6 +259,19 @@ class ProcessEngine:
         self._dispatch_removed: set[int] = set()
         self._dispatcher = Dispatcher(
             self, handlers=self._command_handlers(), lock=self._dispatch_lock
+        )
+        # the CQRS read side (repro.views): write-behind materialized
+        # projections whose records persist inside the same store
+        # transaction as a group commit, so the read models are never
+        # ahead of durable state; the persist cadence is bounded by the
+        # tail-replay window (recovery re-applies the stamped log tail)
+        self.views: ProjectionManager | None = (
+            ProjectionManager(obs=self.obs) if views else None
+        )
+        self._views_flush_lag = (
+            max(1, self._dispatch_log_retention // 4)
+            if views_flush_lag is None
+            else max(1, int(views_flush_lag))
         )
 
     # -- the command pipeline --------------------------------------------------
@@ -1661,10 +1685,38 @@ class ProcessEngine:
             + (1 if self._waits_dirty else 0)
             + (1 if meta_dirty else 0)
         )
-        if records == 0:
-            return  # read-only call: zero store writes, zero syncs
+        views_relevant = self.views is not None and bool(
+            self._dirty or dirty_items or self.views.has_pending()
+        )
+        if records == 0 and not (force and views_relevant):
+            # read-only call: zero store writes, zero syncs (a *forced*
+            # flush still drains write-behind view dirt noted earlier)
+            return
         if not force and records < self._commit_interval:
             return  # defer until the record-count policy is met
+        # read-model maintenance is write-behind: flushes carrying dirty
+        # instances or work items note the ids (two set unions), and the
+        # view records join a commit transaction only when forced (an
+        # explicit flush / batch exit — the group-commit boundary) or
+        # when the persisted image has lagged `views_flush_lag` seqs.
+        # The lag stays strictly inside the retained dispatch-log tail,
+        # so a crash between drains recovers by touched-id tail replay.
+        view_writes: dict[str, Any] = {}
+        if views_relevant:
+            views = self.views
+            # ``views.note_flush(self, seq, dirty_items)`` inlined: this
+            # runs once per autocommitted dispatch, and the call frame is
+            # measurable against the F15 <10% maintenance gate
+            views._pending_instances.update(self._dirty)
+            views._pending_items.update(dirty_items)
+            views._source = self
+            views._noted_seq = self._dispatch_seq
+            if force or (
+                self._dispatch_seq - views.persisted_seq
+                >= self._views_flush_lag
+            ):
+                view_writes = views.drain(self, self._dispatch_seq)
+                records += len(view_writes)
         span = (
             self._tracer.start_span(
                 "engine.flush", parent=self._engine_span, records=records
@@ -1731,8 +1783,21 @@ class ProcessEngine:
                         "outbox_seq": self._outbox_seq,
                     },
                 )
+            for view_key in sorted(view_writes):
+                self.store.put(view_key, view_writes[view_key])
         # group-commit boundary for deferred-sync stores (no-op otherwise)
         self.store.sync()
+        if self.views is not None:
+            if view_writes:
+                self.views.confirm()
+            # whether this flush drained, deferred (write-behind), or was
+            # view-irrelevant (deploy, jobs, log pruning), the image —
+            # counting noted ids that reads will materialize — is current
+            # through this seq; any persisted-cursor lag is bounded and
+            # recovery catches it up by tail replay.  (This is
+            # ``views.note_applied`` inlined: one per autocommit dispatch.)
+            if self._dispatch_seq > self.views.applied_seq:
+                self.views.applied_seq = self._dispatch_seq
         self._dirty.clear()
         self.scheduler.clear_changes()
         self.worklist.clear_dirty()
@@ -1782,8 +1847,17 @@ class ProcessEngine:
             definition = definition_from_dict(raw)
             self._definitions[definition.identifier] = definition
             counts["definitions"] += 1
-        for key, raw in self.store.scan("instance/"):
-            instance = ProcessInstance.from_dict(raw)
+        # register in creation-rank order (store keys sort lexically, so
+        # "…-10" would otherwise precede "…-2"): _instances iteration —
+        # and with it instances(), the cluster merge, and the read-model
+        # rebuild — stays creation-ordered after a restart, exactly as in
+        # a live engine
+        recovered_instances = [
+            ProcessInstance.from_dict(raw)
+            for _, raw in self.store.scan("instance/")
+        ]
+        recovered_instances.sort(key=lambda inst: _creation_rank(inst.id))
+        for instance in recovered_instances:
             self._register_instance(instance, _creation_rank(instance.id))
             counts["instances"] += 1
         # jobs and work items: read the per-record layout (``jobs/<id>``,
@@ -1869,6 +1943,11 @@ class ProcessEngine:
         self.worklist.clear_dirty()
         if legacy_jobs is not None or legacy_items is not None:
             self._migrate_legacy_layout()
+        # the read models catch up last (they need base state + the log):
+        # cursor current → load; log tail covered → replay touched
+        # entities; otherwise → full rebuild, persisted before returning
+        if self.views is not None:
+            self.views.recover(self)
         if self.workers is not None:
             self._submit_pending_invocations()
         return counts

@@ -1,0 +1,52 @@
+"""CQRS read models over the engine's event-sourced write side.
+
+See DESIGN.md §Read models.  Layout:
+
+* :mod:`repro.views.projections` — the projection contract, the four
+  built-in projections, compact-record constructors, and the
+  ``merge_ranked`` k-way merge.
+* :mod:`repro.views.manager` — ``ProjectionManager``: the group-commit
+  apply hook, cursor bookkeeping, recovery (load / tail replay /
+  rebuild).
+* :mod:`repro.views.cluster` — ``ClusterViews``: cross-shard queries
+  served from per-shard read models, flat in shard count.
+* :mod:`repro.views.rebuild` — offline full rebuild for closed stores
+  (``repro views rebuild``).
+"""
+
+from repro.views.cluster import ClusterViews
+from repro.views.manager import VIEW_PREFIX, ProjectionManager
+from repro.views.projections import (
+    CURSOR_SUFFIX,
+    ByBusinessKey,
+    DefinitionStats,
+    InstancesByState,
+    Projection,
+    WorklistQueues,
+    compact_instance,
+    compact_instance_obj,
+    compact_item,
+    compact_item_obj,
+    creation_rank,
+    merge_ranked,
+)
+from repro.views.rebuild import rebuild_store_views
+
+__all__ = [
+    "CURSOR_SUFFIX",
+    "VIEW_PREFIX",
+    "ByBusinessKey",
+    "ClusterViews",
+    "DefinitionStats",
+    "InstancesByState",
+    "Projection",
+    "ProjectionManager",
+    "WorklistQueues",
+    "compact_instance",
+    "compact_instance_obj",
+    "compact_item",
+    "compact_item_obj",
+    "creation_rank",
+    "merge_ranked",
+    "rebuild_store_views",
+]

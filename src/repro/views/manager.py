@@ -1,0 +1,486 @@
+"""``ProjectionManager``: maintains the read models at group-commit time.
+
+The manager hangs off :meth:`ProcessEngine._flush` as a *write-behind*
+consumer of the engine's dirty sets.  Every flush that carries dirty
+instances or work items notes their ids (:meth:`note_flush` — two set
+unions, nothing else on the commit hot path); the noted entities are
+*materialized* into the in-memory projections lazily, the first time a
+query needs them or when the view write-set is persisted.  Persistence
+itself (:meth:`drain`) happens **inside the same store transaction** as
+a base flush, but only on flushes where the persisted image has fallen
+``views_flush_lag`` dispatch seqs behind — or on any forced flush
+(:meth:`ProcessEngine.flush`, batch exit), the group-commit boundary.
+
+That shape buys the consistency story and keeps maintenance off the
+per-dispatch critical path:
+
+* projections are never ahead of durable state — view records and
+  cursors commit atomically with (a subset of) the base records they
+  project, and a torn commit drops the whole batch;
+* the persisted image may lag by a bounded number of seqs (strictly
+  less than the retained dispatch-log tail), which recovery repairs by
+  replaying just the ``touched`` entity ids stamped on the log tail;
+* in-memory projection state is exact on read: queries materialize any
+  noted-but-unapplied entities first, so a quiesced engine serves
+  current data with no scatter-scan and no per-flush apply cost.
+
+Cursor semantics: every drain stamps each projection's
+``view/<name>/__cursor`` with the engine's dispatch sequence at commit
+time (all four move together).  On recovery the cursors tell the
+manager how much of the dispatch log the persisted image has seen:
+
+* **cursor == dispatch seq** → load the records, done (clean shutdown
+  went through a forced flush, so this is the common case);
+* **cursor < dispatch seq**, the log still retains every entry past the
+  cursor, and each carries a ``touched`` entity-id stamp → re-apply
+  just those entities from recovered base state (tail replay);
+* anything else (no cursors, diverged cursors, pruned tail, stamps
+  missing/over the cap) → full rebuild from recovered base state,
+  linear in state size.
+
+Failure handling mirrors the engine's dirty sets: per-projection dirty
+keys are cleared only by :meth:`confirm` — called after the store
+transaction and sync succeeded — so a failed flush re-emits the
+(converged, idempotent) records on retry.
+"""
+
+from __future__ import annotations
+
+import time
+from operator import itemgetter
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.views.projections import (
+    CURSOR_SUFFIX,
+    ByBusinessKey,
+    DefinitionStats,
+    InstancesByState,
+    Projection,
+    WorklistQueues,
+    compact_instance_obj,
+    compact_item_obj,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import ProcessEngine
+    from repro.obs import Observability
+
+#: store-key namespace for all view records
+VIEW_PREFIX = "view/"
+
+#: the batch-apply determinism order (C-level key extraction)
+_RANK_ID = itemgetter("rank", "id")
+
+
+class ProjectionManager:
+    """The four built-in projections plus apply/recover/rebuild plumbing."""
+
+    def __init__(
+        self,
+        obs: "Observability | None" = None,
+        extra_projections: Iterable[Projection] = (),
+    ) -> None:
+        self.by_state = InstancesByState()
+        self.by_key = ByBusinessKey()
+        self.def_stats = DefinitionStats()
+        self.worklist = WorklistQueues()
+        self.projections: tuple[Projection, ...] = (
+            self.by_state,
+            self.by_key,
+            self.def_stats,
+            self.worklist,
+        ) + tuple(extra_projections)
+        self._by_name = {p.name: p for p in self.projections}
+        # skip no-op batches: only projections that override a hook (the
+        # per-transition or the batch form) see that entity kind
+        self._instance_projections = tuple(
+            p for p in self.projections
+            if type(p).on_instance is not Projection.on_instance
+            or type(p).apply_instances is not Projection.apply_instances
+        )
+        self._item_projections = tuple(
+            p for p in self.projections
+            if type(p).on_item is not Projection.on_item
+            or type(p).apply_items is not Projection.apply_items
+        )
+        #: dispatch seq the in-memory image is current through (counting
+        #: noted-but-unmaterialized entities, which reads materialize)
+        self.applied_seq = 0
+        #: dispatch seq covered by the last *persisted* cursors
+        self.persisted_seq = 0
+        #: how the last recover() caught up: "load" | "tail" | "rebuild"
+        self.recovered_mode: str | None = None
+        # write-behind buffers: entity ids noted by flushes but not yet
+        # applied to the projections; materialized on read or drain
+        self._pending_instances: set[str] = set()
+        self._pending_items: set[str] = set()
+        self._source: "ProcessEngine | None" = None
+        self._noted_seq = 0
+        self._drained_seq = 0
+        self._h_apply = (
+            None if obs is None else obs.registry.histogram("views.apply_seconds")
+        )
+        self._g_lag = (
+            {}
+            if obs is None
+            else {
+                p.name: obs.registry.gauge(f"views.lag.{p.name}")
+                for p in self.projections
+            }
+        )
+
+    # -- the flush hook ---------------------------------------------------------
+
+    def note_flush(
+        self, engine: "ProcessEngine", seq: int, item_ids: Iterable[str]
+    ) -> None:
+        """Note this flush's dirty entity ids; defer the actual apply.
+
+        Called by :meth:`ProcessEngine._flush` under the dispatch lock on
+        every view-relevant flush.  Two set unions — the whole point is
+        that the per-commit cost of view maintenance is O(dirty ids), not
+        O(projection work).  The noted ids materialize lazily (first read
+        or next :meth:`drain`), pulling each entity's *current* state, so
+        an entity flushed five times between drains is applied once.
+        """
+        self._pending_instances.update(engine._dirty)
+        self._pending_items.update(item_ids)
+        self._source = engine
+        self._noted_seq = seq
+
+    def has_pending(self) -> bool:
+        """Whether noted entities await materialization or persistence.
+
+        The seq comparison matters when a *read* already materialized the
+        noted ids (clearing the pending sets): the in-memory image then
+        holds dirty records the store has never seen, and a forced flush
+        must still drain them.  After a confirmed drain the noted seq
+        never exceeds the persisted cursor, so steady-state forced
+        flushes stay write-free.
+        """
+        return bool(
+            self._pending_instances
+            or self._pending_items
+            or self._noted_seq > self.persisted_seq
+        )
+
+    def _materialize(self) -> None:
+        """Fold noted-but-unapplied entities into the in-memory image."""
+        if not self._pending_instances and not self._pending_items:
+            return
+        engine = self._source
+        if engine is None:  # pragma: no cover - pending implies a source
+            return
+        with engine._dispatch_lock:
+            started = time.perf_counter()
+            get_instance = engine._instances.get
+            instances = []
+            for instance_id in self._pending_instances:
+                instance = get_instance(instance_id)
+                if instance is not None:
+                    instances.append(compact_instance_obj(instance))
+            get_item = engine.worklist._items.get
+            items = []
+            for item_id in self._pending_items:
+                item = get_item(item_id)
+                if item is not None:
+                    items.append(compact_item_obj(item))
+            self._pending_instances.clear()
+            self._pending_items.clear()
+            self._apply_memory(instances, items, self._noted_seq)
+            if self._h_apply is not None:
+                self._h_apply.observe(time.perf_counter() - started)
+
+    def drain(self, engine: "ProcessEngine", seq: int) -> dict[str, Any]:
+        """Materialize pending entities; return the view write-set.
+
+        Called by :meth:`ProcessEngine._flush` under the dispatch lock,
+        before the store transaction opens, on flushes that persist the
+        view image (forced flushes and lag-threshold flushes).  The
+        returned ``{store_key: value}`` dict (changed view records plus
+        one cursor per projection) joins the flush transaction; the
+        engine calls :meth:`confirm` once the transaction and sync
+        succeeded.
+        """
+        self._noted_seq = max(self._noted_seq, seq)
+        self._materialize()
+        return self._write_set(seq)
+
+    def _apply_memory(
+        self,
+        instances: list[dict[str, Any]],
+        items: list[dict[str, Any]],
+        seq: int,
+    ) -> None:
+        """Apply one batch of compact records to the in-memory image.
+
+        Batches apply in ``(rank, id)`` order — the determinism contract
+        that makes incremental maintenance, tail replay, and rebuild
+        produce identical persisted bytes.
+        """
+        if instances:
+            if len(instances) > 1:
+                instances.sort(key=_RANK_ID)
+            # snapshot every pair's `old` before any projection mutates
+            # shared state — each entity appears at most once per batch,
+            # so the precomputed transitions match record-at-a-time apply
+            previous = self.by_state.records.get
+            pairs = [(previous(record["id"]), record) for record in instances]
+            for projection in self._instance_projections:
+                projection.apply_instances(pairs)
+        if items:
+            if len(items) > 1:
+                items.sort(key=_RANK_ID)
+            previous = self.worklist.records.get
+            pairs = [(previous(record["id"]), record) for record in items]
+            for projection in self._item_projections:
+                projection.apply_items(pairs)
+        if seq > self.applied_seq:
+            self.applied_seq = seq
+
+    def _write_set(self, seq: int) -> dict[str, Any]:
+        """Dirty view records plus one cursor per projection, at ``seq``."""
+        writes: dict[str, Any] = {}
+        for projection in self.projections:
+            prefix = f"{VIEW_PREFIX}{projection.name}/"
+            for suffix, value in projection.dirty_records().items():
+                writes[prefix + suffix] = value
+            writes[prefix + CURSOR_SUFFIX] = {"seq": seq}
+        self._drained_seq = seq
+        return writes
+
+    def _apply(
+        self,
+        instances: list[dict[str, Any]],
+        items: list[dict[str, Any]],
+        seq: int,
+    ) -> dict[str, Any]:
+        """Apply one batch and return its write-set (recovery/rebuild)."""
+        self._apply_memory(instances, items, seq)
+        self.applied_seq = seq
+        return self._write_set(seq)
+
+    def confirm(self) -> None:
+        """The drain's transaction committed: the persisted image is
+        current through the drained seq; drop the differential sets."""
+        for projection in self.projections:
+            projection.clear_dirty()
+        self.persisted_seq = self._drained_seq
+        self._set_lag_gauges(self._noted_seq - self.persisted_seq)
+
+    def note_applied(self, seq: int) -> None:
+        """Mark the image current through ``seq``.
+
+        Called after any committed flush: dirt this flush carried was
+        noted (and will materialize on read), and a flush with no
+        view-relevant dirt changes nothing the projections track — either
+        way the image reflects all state through the engine's dispatch
+        seq.  The persisted cursors may lag (deliberately — no gratuitous
+        writes); recovery catches them up by tail replay.
+        """
+        if seq > self.applied_seq:
+            self.applied_seq = seq
+
+    # -- rebuild ----------------------------------------------------------------
+
+    def rebuild(
+        self,
+        instances: list[dict[str, Any]],
+        items: list[dict[str, Any]],
+        seq: int,
+    ) -> dict[str, Any]:
+        """Reset and replay full base state; return the full write-set."""
+        for projection in self.projections:
+            projection.reset()
+        self.applied_seq = 0
+        self._pending_instances.clear()
+        self._pending_items.clear()
+        return self._apply(instances, items, seq)
+
+    # -- recovery ---------------------------------------------------------------
+
+    def recover(self, engine: "ProcessEngine") -> dict[str, Any]:
+        """Load, tail-replay, or rebuild the views after engine recovery.
+
+        Runs at the end of :meth:`ProcessEngine.recover`, once base state
+        and the dispatch log are restored.  Persists whatever catch-up it
+        performed (tail replay or rebuild) in one transaction + sync, so
+        the next recovery takes the fast load path.
+        """
+        store = engine.store
+        target = engine._dispatch_seq
+        self._pending_instances.clear()
+        self._pending_items.clear()
+        existing_keys: list[str] = []
+        cursors: dict[str, int] = {}
+        loaded = 0
+        for key, raw in store.scan(VIEW_PREFIX):
+            existing_keys.append(key)
+            name, sep, suffix = key[len(VIEW_PREFIX):].partition("/")
+            projection = self._by_name.get(name)
+            if projection is None or not sep:
+                continue  # a projection this build doesn't know: rebuilt below
+            if suffix == CURSOR_SUFFIX:
+                cursors[name] = int(raw.get("seq", 0))
+            else:
+                projection.load_record(suffix, raw)
+                loaded += 1
+        if not existing_keys and target == 0 and not engine._instances:
+            # pristine store: nothing to load, nothing worth stamping
+            self.recovered_mode = "load"
+            return {"mode": "load", "records": 0, "replayed": 0}
+        cursor_values = {cursors.get(p.name) for p in self.projections}
+        cursor = cursor_values.pop() if len(cursor_values) == 1 else None
+        if cursor is not None and 0 <= cursor <= target:
+            for projection in self.projections:
+                projection.finish_load()
+            self._set_lag_gauges(0)
+            if cursor == target:
+                self.applied_seq = target
+                self.persisted_seq = target
+                self.recovered_mode = "load"
+                return {"mode": "load", "records": loaded, "replayed": 0}
+            tail = [
+                record
+                for record in engine._dispatch_log
+                if record.get("seq", 0) > cursor
+            ]
+            covered = (
+                len(tail) == target - cursor
+                and bool(tail)
+                and tail[0].get("seq", 0) == cursor + 1
+                and all(record.get("touched") is not None for record in tail)
+            )
+            if covered:
+                self.applied_seq = cursor
+                writes = self._replay_touched(engine, tail, target)
+                self._persist(store, writes, deletes=())
+                self.recovered_mode = "tail"
+                return {
+                    "mode": "tail",
+                    "records": loaded,
+                    "replayed": len(tail),
+                }
+        # cursors missing, diverged, ahead of durable state, or the log
+        # tail is unusable: rebuild everything from recovered base state
+        writes = self.rebuild(
+            [
+                compact_instance_obj(instance)
+                for instance in engine._instances.values()
+            ],
+            [compact_item_obj(item) for item in engine.worklist.items()],
+            target,
+        )
+        deletes = [key for key in existing_keys if key not in writes]
+        self._persist(store, writes, deletes)
+        self._set_lag_gauges(0)
+        self.recovered_mode = "rebuild"
+        return {"mode": "rebuild", "records": len(writes), "replayed": 0}
+
+    def _replay_touched(
+        self,
+        engine: "ProcessEngine",
+        tail: list[dict[str, Any]],
+        target: int,
+    ) -> dict[str, Any]:
+        """Re-apply the entities the log tail touched, from base state.
+
+        Applies are idempotent transitions against the loaded image, so
+        entities that were already current converge to themselves.
+        """
+        instance_ids = sorted(
+            {
+                instance_id
+                for record in tail
+                for instance_id in record["touched"].get("instances", ())
+            }
+        )
+        item_ids = sorted(
+            {
+                item_id
+                for record in tail
+                for item_id in record["touched"].get("items", ())
+            }
+        )
+        instances = [
+            compact_instance_obj(instance)
+            for instance in (
+                engine._instances.get(instance_id) for instance_id in instance_ids
+            )
+            if instance is not None
+        ]
+        worklist_items = engine.worklist._items
+        items = [
+            compact_item_obj(item)
+            for item in (worklist_items.get(item_id) for item_id in item_ids)
+            if item is not None
+        ]
+        return self._apply(instances, items, target)
+
+    def _persist(
+        self, store: Any, writes: dict[str, Any], deletes: Iterable[str]
+    ) -> None:
+        with store.transaction():
+            for key in deletes:
+                store.delete(key)
+            for key in sorted(writes):
+                store.put(key, writes[key])
+        store.sync()
+        self.confirm()
+
+    def _set_lag_gauges(self, value: int) -> None:
+        # refreshed at drain/confirm boundaries and on status() reads —
+        # never on the per-commit note path, which stays O(dirty ids)
+        for gauge in self._g_lag.values():
+            gauge.set(value)
+
+    # -- queries ----------------------------------------------------------------
+    #
+    # every read materializes noted-but-unapplied entities first, so the
+    # image served is exact through the last committed flush even though
+    # maintenance is write-behind
+
+    def instance_ids(self, state: str | None = None) -> list[str]:
+        """Instance ids in creation-rank order, optionally by state."""
+        self._materialize()
+        if state is None:
+            return self.by_state.all_ids()
+        return self.by_state.ids_in_state(state)
+
+    def ids_for_business_key(self, business_key: str) -> list[str]:
+        self._materialize()
+        return self.by_key.ids_for_key(business_key)
+
+    def work_item_ids(self, state: str | None = None) -> list[str]:
+        self._materialize()
+        return self.worklist.item_ids(state)
+
+    def open_work_items(self) -> int:
+        self._materialize()
+        return self.worklist.open_total
+
+    def open_by_role(self) -> dict[str, int]:
+        self._materialize()
+        return {
+            role: count
+            for role, count in sorted(self.worklist.role_open.items())
+            if count > 0
+        }
+
+    def definition_stats(self) -> dict[str, dict[str, Any]]:
+        self._materialize()
+        return self.def_stats.report()
+
+    def status(self) -> dict[str, Any]:
+        """Projection bookkeeping for ``repro views status``."""
+        self._materialize()
+        self._set_lag_gauges(self._noted_seq - self.persisted_seq)
+        return {
+            "applied_seq": self.applied_seq,
+            "persisted_seq": self.persisted_seq,
+            "recovered_mode": self.recovered_mode,
+            "projections": {
+                projection.name: projection.record_count()
+                for projection in self.projections
+            },
+        }

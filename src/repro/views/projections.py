@@ -1,0 +1,683 @@
+"""Materialized read-model projections (the CQRS read side).
+
+The engine's write side is already event-sourced: every mutation is a
+typed command appended to the persisted dispatch log (``dispatch/<seq>``,
+PR 4) and committed as a differential write-set in one group commit
+(PR 3).  This module builds the read side: compact, incrementally-
+maintained projections of that state, each persisting records under
+``view/<name>/<key>`` plus a per-projection ``view/<name>/__cursor``
+holding the last applied dispatch sequence.
+
+The projection contract is *transition-based*: every apply receives
+``(old, new)`` compact records for one entity, where ``old`` is the
+snapshot the projection system last applied (``None`` on first sight)
+and ``new`` is the entity's current compact form.  Per-entity records
+are pure functions of ``new``; aggregates (counters, queue depths,
+cycle-time summaries) adjust by diffing ``old`` against ``new``.  Both
+properties together make a projection *rebuildable*: feeding the final
+base records through the same code path as ``(None, record)``
+transitions reproduces the incrementally-maintained image byte for
+byte — the invariant the F15 property test pins.
+
+Determinism rules the implementations below follow (and custom
+projections must follow) so that incremental maintenance, tail replay,
+and full rebuild converge on identical persisted bytes:
+
+* batches are applied in ``(rank, id)`` order (``creation_rank``);
+* ordered containers insert by ``(rank, id)``, never by arrival time;
+* persisted records are built with a fixed key order, aggregate maps
+  with sorted or fixed-enumeration keys.
+
+Suffixes beginning with ``__`` (``__cursor``, ``__queues``) are
+reserved for projection bookkeeping — a business key starting with
+``__`` is therefore not indexed by :class:`ByBusinessKey`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.analytics.kpis import CycleTimeAggregate
+
+T = TypeVar("T")
+
+#: reserved record suffix holding a projection's applied dispatch seq
+CURSOR_SUFFIX = "__cursor"
+
+#: instance states in persisted-record enumeration order
+INSTANCE_STATES = ("running", "suspended", "completed", "failed", "terminated")
+TERMINAL_INSTANCE_STATES = frozenset(("completed", "failed", "terminated"))
+
+#: work-item states in persisted-record enumeration order
+ITEM_STATES = (
+    "created", "offered", "allocated", "started", "completed", "cancelled",
+)
+TERMINAL_ITEM_STATES = frozenset(("completed", "cancelled"))
+
+
+def creation_rank(entity_id: str) -> int:
+    """Creation order of an entity (generated ids end in the sequence)."""
+    # slice after rfind, not rsplit: no list allocation on a call that
+    # runs twice per materialized entity (rfind < 0 slices from 0 — the
+    # whole id — matching rsplit's no-separator behaviour)
+    tail = entity_id[entity_id.rfind("-") + 1:]
+    return int(tail) if tail.isdigit() else 0
+
+
+#: memoized ``definition_id -> definition key`` (id minus the ``:version``
+#: suffix) — one entry per deployed definition version, split once instead
+#: of once per materialized instance record on the flush hot path
+_DEFINITION_KEYS: dict[str, str] = {}
+
+
+def _definition_key(definition_id: str) -> str:
+    key = _DEFINITION_KEYS.get(definition_id)
+    if key is None:
+        key = _DEFINITION_KEYS[definition_id] = definition_id.rsplit(":", 1)[0]
+    return key
+
+
+#: memoized ``enum member -> .value`` — ``.value`` is a
+#: ``DynamicClassAttribute`` descriptor call, and the flush hot path
+#: reads it twice per completed work item; a dict hit is ~3x cheaper.
+#: Keyed by member identity, so the map stays one-entry-per-state small.
+_ENUM_VALUES: dict[Any, str] = {}
+
+
+def _enum_value(member: Any) -> str:
+    value = _ENUM_VALUES.get(member)
+    if value is None:
+        value = _ENUM_VALUES[member] = member.value
+    return value
+
+
+def merge_ranked(
+    per_source: Iterable[Sequence[T]], rank_of: Callable[[T], int]
+) -> list[T]:
+    """K-way merge of per-source lists already ordered by rank.
+
+    Returns one flat list ordered by ``(rank, source_index)`` — the
+    cluster's canonical cross-shard creation order (ranks are per-shard
+    sequences: exact within a shard, interleaved across shards).  Each
+    source must be rank-nondecreasing; the merge is then O(T log k)
+    instead of the collect-then-sort O(T log T).
+    """
+    keyed = (
+        [(rank_of(entry), index, position, entry)
+         for position, entry in enumerate(source)]
+        for index, source in enumerate(per_source)
+    )
+    return [entry for _, _, _, entry in heapq.merge(*keyed)]
+
+
+# -- compact records ----------------------------------------------------------
+#
+# The two constructors per entity kind (live object / persisted raw dict)
+# MUST produce identical dicts — rebuild reads raw records from the
+# store, incremental maintenance reads live objects, and the byte-
+# identity invariant compares their persisted results.
+
+
+def compact_instance(raw: dict[str, Any]) -> dict[str, Any]:
+    """Compact view record from a persisted ``instance/<id>`` dict."""
+    return {
+        "id": raw["id"],
+        "rank": creation_rank(raw["id"]),
+        "state": raw["state"],
+        "definition": _definition_key(raw["definition_id"]),
+        "business_key": raw["business_key"],
+        "created_at": raw["created_at"],
+        "ended_at": raw["ended_at"],
+    }
+
+
+def compact_instance_obj(instance: Any) -> dict[str, Any]:
+    """Compact view record from a live ``ProcessInstance``."""
+    # rank is a pure function of the immutable id — stash it on the live
+    # object so an entity recompacted every drain window parses it once
+    try:
+        rank = instance._view_rank
+    except AttributeError:
+        rank = instance._view_rank = creation_rank(instance.id)
+    return {
+        "id": instance.id,
+        "rank": rank,
+        "state": _enum_value(instance.state),
+        "definition": _definition_key(instance.definition_id),
+        "business_key": instance.business_key,
+        "created_at": instance.created_at,
+        "ended_at": instance.ended_at,
+    }
+
+
+def compact_item(raw: dict[str, Any]) -> dict[str, Any]:
+    """Compact view record from a persisted ``workitem/<id>`` dict."""
+    return {
+        "id": raw["id"],
+        "rank": creation_rank(raw["id"]),
+        "instance_id": raw["instance_id"],
+        "node_id": raw["node_id"],
+        "role": raw["role"],
+        "priority": raw["priority"],
+        "state": raw["state"],
+        "created_at": raw["created_at"],
+        "allocated_to": raw["allocated_to"],
+    }
+
+
+def compact_item_obj(item: Any) -> dict[str, Any]:
+    """Compact view record from a live ``WorkItem``."""
+    try:
+        rank = item._view_rank
+    except AttributeError:
+        rank = item._view_rank = creation_rank(item.id)
+    return {
+        "id": item.id,
+        "rank": rank,
+        "instance_id": item.instance_id,
+        "node_id": item.node_id,
+        "role": item.role,
+        "priority": item.priority,
+        "state": _enum_value(item.state),
+        "created_at": item.created_at,
+        "allocated_to": item.allocated_to,
+    }
+
+
+# -- the projection contract --------------------------------------------------
+
+
+class Projection:
+    """Base class: transition consumers with a differential write-set.
+
+    ``on_instance``/``on_item`` receive ``(old, new)`` compact records
+    (``old is None`` on first sight).  ``dirty_records()`` materializes
+    the records changed since the last ``clear_dirty()`` — values are
+    built at call time, so a retried flush after a failed transaction
+    re-emits the *current* (converged) image.
+
+    The manager feeds whole batches through ``apply_instances`` /
+    ``apply_items`` (a list of ``(old, new)`` pairs in ``(rank, id)``
+    order, one pair per entity).  Custom projections usually just
+    override the per-transition hooks — the base batch methods loop
+    them.  The built-ins override the batch methods instead (binding
+    their hot state to locals once per batch rather than once per
+    record) and delegate the per-transition hooks to a one-pair batch,
+    so either entry point runs the same logic.
+    """
+
+    name: str = ""
+
+    def __init__(self) -> None:
+        self._dirty_keys: set[str] = set()
+
+    # -- maintenance
+    def on_instance(self, old: dict | None, new: dict) -> None:
+        pass
+
+    def on_item(self, old: dict | None, new: dict) -> None:
+        pass
+
+    def apply_instances(
+        self, pairs: Sequence[tuple[dict | None, dict]]
+    ) -> None:
+        on_instance = self.on_instance
+        for old, new in pairs:
+            on_instance(old, new)
+
+    def apply_items(self, pairs: Sequence[tuple[dict | None, dict]]) -> None:
+        on_item = self.on_item
+        for old, new in pairs:
+            on_item(old, new)
+
+    # -- persistence
+    def dirty_records(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def clear_dirty(self) -> None:
+        self._dirty_keys.clear()
+
+    # -- recovery
+    def load_record(self, suffix: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def finish_load(self) -> None:
+        """Rebuild derived in-memory structures after ``load_record``s."""
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def record_count(self) -> int:
+        raise NotImplementedError
+
+
+class InstancesByState(Projection):
+    """The applied-instance table, bucketed by state.
+
+    Persists one compact record per instance (``view/by_state/<id>``).
+    In memory it keeps the rank-ordered creation sequence and per-state
+    buckets, so ``instances(state=...)`` is O(matches log matches) and
+    the manager's transition computation (``previous()``) is O(1).
+    """
+
+    name = "by_state"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: dict[str, dict[str, Any]] = {}
+        # (rank, id) appended at first sight — ranks are per-engine
+        # creation sequences and batches apply in rank order, so the
+        # list stays sorted without re-sorting
+        self.order: list[tuple[int, str]] = []
+        self.buckets: dict[str, dict[str, int]] = {}
+        # memoized rank-ordered id lists per query key (state or None for
+        # all): repeated queries over a quiesced engine are the dashboard
+        # steady state, and re-sorting a bucket per call would hand back
+        # the scatter-scan cost the projection exists to avoid.  Entries
+        # invalidate only when a transition changes bucket membership.
+        self._id_cache: dict[str | None, list[str]] = {}
+
+    def previous(self, instance_id: str) -> dict[str, Any] | None:
+        return self.records.get(instance_id)
+
+    def on_instance(self, old: dict | None, new: dict) -> None:
+        self.apply_instances(((old, new),))
+
+    def apply_instances(
+        self, pairs: Sequence[tuple[dict | None, dict]]
+    ) -> None:
+        if not pairs:
+            return
+        records = self.records
+        buckets = self.buckets
+        order = self.order
+        dirty = self._dirty_keys
+        for old, new in pairs:
+            instance_id = new["id"]
+            new_state = new["state"]
+            if old is None:
+                order.append((new["rank"], instance_id))
+            elif old["state"] != new_state:
+                buckets.get(old["state"], {}).pop(instance_id, None)
+            bucket = buckets.get(new_state)
+            if bucket is None:
+                bucket = buckets[new_state] = {}
+            bucket[instance_id] = new["rank"]
+            records[instance_id] = new
+            dirty.add(instance_id)
+        self._id_cache.clear()
+
+    def dirty_records(self) -> dict[str, Any]:
+        return {key: self.records[key] for key in self._dirty_keys}
+
+    def load_record(self, suffix: str, value: Any) -> None:
+        self.records[suffix] = value
+
+    def finish_load(self) -> None:
+        self.order = sorted(
+            (record["rank"], record["id"]) for record in self.records.values()
+        )
+        self.buckets = {}
+        self._id_cache = {}
+        for rank, instance_id in self.order:
+            record = self.records[instance_id]
+            self.buckets.setdefault(record["state"], {})[instance_id] = rank
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.order = []
+        self.buckets = {}
+        self._id_cache = {}
+        self._dirty_keys.clear()
+
+    def record_count(self) -> int:
+        return len(self.records)
+
+    # -- queries (returned lists are cached — callers must not mutate)
+    def all_ids(self) -> list[str]:
+        ids = self._id_cache.get(None)
+        if ids is None:
+            ids = self._id_cache[None] = [
+                instance_id for _, instance_id in self.order
+            ]
+        return ids
+
+    def ids_in_state(self, state: str) -> list[str]:
+        ids = self._id_cache.get(state)
+        if ids is None:
+            bucket = self.buckets.get(state) or {}
+            ids = self._id_cache[state] = [
+                instance_id
+                for _, instance_id in sorted(
+                    (rank, instance_id) for instance_id, rank in bucket.items()
+                )
+            ]
+        return ids
+
+
+class ByBusinessKey(Projection):
+    """Instance ids per business key (``view/by_key/<key>``).
+
+    Each record is ``{"ids": [...]}`` in creation-rank order; inserts go
+    through ``bisect.insort`` on ``(rank, id)`` so incremental
+    maintenance and rebuild produce the same ordering whatever the
+    arrival order.
+    """
+
+    name = "by_key"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.keys: dict[str, list[tuple[int, str]]] = {}
+
+    def on_instance(self, old: dict | None, new: dict) -> None:
+        self.apply_instances(((old, new),))
+
+    def apply_instances(
+        self, pairs: Sequence[tuple[dict | None, dict]]
+    ) -> None:
+        keys = self.keys
+        dirty = self._dirty_keys
+        for old, new in pairs:
+            new_key = new["business_key"]
+            old_key = old["business_key"] if old is not None else None
+            if new_key is None and old_key is None:
+                continue  # the common keyless case: nothing to index
+            if old is not None and old_key == new_key:
+                continue  # keys are assigned at start; nothing to reindex
+            if old_key is not None and not old_key.startswith("__"):
+                bucket = keys.get(old_key, [])
+                entry = (old["rank"], old["id"])
+                if entry in bucket:
+                    bucket.remove(entry)
+                dirty.add(old_key)
+            if new_key is not None and not new_key.startswith("__"):
+                bisect.insort(
+                    keys.setdefault(new_key, []), (new["rank"], new["id"])
+                )
+                dirty.add(new_key)
+
+    def dirty_records(self) -> dict[str, Any]:
+        return {
+            key: {"ids": [entry_id for _, entry_id in self.keys.get(key, [])]}
+            for key in self._dirty_keys
+        }
+
+    def load_record(self, suffix: str, value: Any) -> None:
+        self.keys[suffix] = [
+            (creation_rank(entry_id), entry_id) for entry_id in value["ids"]
+        ]
+
+    def reset(self) -> None:
+        self.keys.clear()
+        self._dirty_keys.clear()
+
+    def record_count(self) -> int:
+        return len(self.keys)
+
+    # -- queries
+    def ids_for_key(self, business_key: str) -> list[str]:
+        return [entry_id for _, entry_id in self.keys.get(business_key, [])]
+
+
+class DefinitionStats(Projection):
+    """Per-definition analytics (``view/def_stats/<key>``).
+
+    Tracks total instances started, a per-state census maintained by
+    +1/-1 state-transition diffs (always consistent with a final-state
+    rebuild), and a :class:`CycleTimeAggregate` over completed
+    instances' ``ended_at - created_at``.
+    """
+
+    name = "def_stats"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stats: dict[str, dict[str, Any]] = {}
+
+    def _slot(self, definition: str) -> dict[str, Any]:
+        slot = self.stats.get(definition)
+        if slot is None:
+            slot = self.stats[definition] = {
+                "total": 0,
+                "states": {state: 0 for state in INSTANCE_STATES},
+                "cycle": CycleTimeAggregate(),
+            }
+        return slot
+
+    def on_instance(self, old: dict | None, new: dict) -> None:
+        self.apply_instances(((old, new),))
+
+    def apply_instances(
+        self, pairs: Sequence[tuple[dict | None, dict]]
+    ) -> None:
+        slot_of = self._slot
+        observe_cycle = self._observe_cycle
+        dirty = self._dirty_keys
+        for old, new in pairs:
+            definition = new["definition"]
+            state = new["state"]
+            if old is None:
+                slot = slot_of(definition)
+                slot["total"] += 1
+                states = slot["states"]
+                states[state] = states.get(state, 0) + 1
+                if state == "completed":
+                    observe_cycle(slot, new)
+                dirty.add(definition)
+                continue
+            old_definition = old["definition"]
+            old_state = old["state"]
+            if old_definition == definition and old_state == state:
+                continue  # record-only change (variables, tokens): no stat moves
+            if old_definition != definition:
+                old_slot = slot_of(old_definition)
+                old_slot["total"] -= 1
+                old_states = old_slot["states"]
+                old_states[old_state] = old_states.get(old_state, 1) - 1
+                slot = slot_of(definition)
+                slot["total"] += 1
+                states = slot["states"]
+                states[state] = states.get(state, 0) + 1
+                dirty.add(old_definition)
+            else:
+                slot = slot_of(definition)
+                states = slot["states"]
+                states[old_state] = states.get(old_state, 1) - 1
+                states[state] = states.get(state, 0) + 1
+            if state == "completed" and old_state != "completed":
+                observe_cycle(slot, new)
+            dirty.add(definition)
+
+    @staticmethod
+    def _observe_cycle(slot: dict[str, Any], record: dict[str, Any]) -> None:
+        if record["ended_at"] is not None:
+            slot["cycle"].observe(record["ended_at"] - record["created_at"])
+
+    def dirty_records(self) -> dict[str, Any]:
+        return {key: self._record(key) for key in self._dirty_keys}
+
+    def _record(self, definition: str) -> dict[str, Any]:
+        slot = self._slot(definition)
+        return {
+            "total": slot["total"],
+            "states": {
+                state: slot["states"].get(state, 0) for state in INSTANCE_STATES
+            },
+            "cycle": slot["cycle"].to_dict(),
+        }
+
+    def load_record(self, suffix: str, value: Any) -> None:
+        self.stats[suffix] = {
+            "total": int(value.get("total", 0)),
+            "states": {
+                state: int(value.get("states", {}).get(state, 0))
+                for state in INSTANCE_STATES
+            },
+            "cycle": CycleTimeAggregate.from_dict(value.get("cycle") or {}),
+        }
+
+    def reset(self) -> None:
+        self.stats.clear()
+        self._dirty_keys.clear()
+
+    def record_count(self) -> int:
+        return len(self.stats)
+
+    # -- queries
+    def report(self) -> dict[str, dict[str, Any]]:
+        """All per-definition records, definition-sorted."""
+        return {key: self._record(key) for key in sorted(self.stats)}
+
+
+class WorklistQueues(Projection):
+    """The worklist queue view (``view/worklist/<id>`` + ``__queues``).
+
+    Persists one compact record per work item plus a single ``__queues``
+    aggregate: total open items, open count per role, and a per-state
+    census — the record ``repro cluster status`` and the allocator
+    dashboards read instead of scanning every item.
+    """
+
+    name = "worklist"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: dict[str, dict[str, Any]] = {}
+        self.order: list[tuple[int, str]] = []
+        self.buckets: dict[str, dict[str, int]] = {}
+        self.role_open: dict[str, int] = {}
+        self.state_counts: dict[str, int] = {}
+        self.open_total = 0
+        # memoized id lists per query key, as in InstancesByState
+        self._id_cache: dict[str | None, list[str]] = {}
+
+    def previous(self, item_id: str) -> dict[str, Any] | None:
+        return self.records.get(item_id)
+
+    def on_item(self, old: dict | None, new: dict) -> None:
+        self.apply_items(((old, new),))
+
+    def apply_items(self, pairs: Sequence[tuple[dict | None, dict]]) -> None:
+        if not pairs:
+            return
+        records = self.records
+        buckets = self.buckets
+        counts = self.state_counts
+        role_open = self.role_open
+        order = self.order
+        dirty = self._dirty_keys
+        open_total = self.open_total
+        for old, new in pairs:
+            item_id = new["id"]
+            new_state = new["state"]
+            if old is None:
+                old_state = None
+                changed = True
+                order.append((new["rank"], item_id))
+            else:
+                old_state = old["state"]
+                changed = old_state != new_state
+                if changed:
+                    buckets.get(old_state, {}).pop(item_id, None)
+                    counts[old_state] = counts.get(old_state, 1) - 1
+            if changed:
+                bucket = buckets.get(new_state)
+                if bucket is None:
+                    bucket = buckets[new_state] = {}
+                bucket[item_id] = new["rank"]
+                counts[new_state] = counts.get(new_state, 0) + 1
+            was_open = old is not None and old_state not in TERMINAL_ITEM_STATES
+            is_open = new_state not in TERMINAL_ITEM_STATES
+            if is_open and not was_open:
+                open_total += 1
+                role_open[new["role"]] = role_open.get(new["role"], 0) + 1
+            elif was_open and not is_open:
+                open_total -= 1
+                role_open[old["role"]] = role_open.get(old["role"], 1) - 1
+            records[item_id] = new
+            dirty.add(item_id)
+        self.open_total = open_total
+        dirty.add("__queues")
+        self._id_cache.clear()
+
+    def dirty_records(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for key in self._dirty_keys:
+            if key == "__queues":
+                out[key] = self._queues_record()
+            else:
+                out[key] = self.records[key]
+        return out
+
+    def _queues_record(self) -> dict[str, Any]:
+        return {
+            "open": self.open_total,
+            "roles": {
+                role: count
+                for role, count in sorted(self.role_open.items())
+                if count > 0
+            },
+            "states": {
+                state: self.state_counts.get(state, 0) for state in ITEM_STATES
+            },
+        }
+
+    def load_record(self, suffix: str, value: Any) -> None:
+        if suffix == "__queues":
+            return  # derived below from the item records
+        self.records[suffix] = value
+
+    def finish_load(self) -> None:
+        self.order = sorted(
+            (record["rank"], record["id"]) for record in self.records.values()
+        )
+        self.buckets = {}
+        self.role_open = {}
+        self.state_counts = {}
+        self.open_total = 0
+        self._id_cache = {}
+        for rank, item_id in self.order:
+            record = self.records[item_id]
+            self.buckets.setdefault(record["state"], {})[item_id] = rank
+            self.state_counts[record["state"]] = (
+                self.state_counts.get(record["state"], 0) + 1
+            )
+            if record["state"] not in TERMINAL_ITEM_STATES:
+                self.open_total += 1
+                self.role_open[record["role"]] = (
+                    self.role_open.get(record["role"], 0) + 1
+                )
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.order = []
+        self.buckets = {}
+        self.role_open = {}
+        self.state_counts = {}
+        self.open_total = 0
+        self._id_cache = {}
+        self._dirty_keys.clear()
+
+    def record_count(self) -> int:
+        return len(self.records)
+
+    # -- queries (returned lists are cached — callers must not mutate)
+    def item_ids(self, state: str | None = None) -> list[str]:
+        ids = self._id_cache.get(state)
+        if ids is not None:
+            return ids
+        if state is None:
+            ids = [item_id for _, item_id in self.order]
+        else:
+            bucket = self.buckets.get(state) or {}
+            ids = [
+                item_id
+                for _, item_id in sorted(
+                    (rank, item_id) for item_id, rank in bucket.items()
+                )
+            ]
+        self._id_cache[state] = ids
+        return ids

@@ -71,6 +71,11 @@ class WorklistService:
         # ids of items created or mutated since the last flush (items are
         # never deleted, so there is no removed-set)
         self._dirty: set[str] = set()
+        # live open-item counter (create +1, complete/cancel -1): O(1)
+        # answer to "how loaded is this worklist" for cluster status —
+        # escalation reoffers don't close items, so no other transition
+        # moves it
+        self._open_count = 0
 
     # -- wiring -----------------------------------------------------------------
 
@@ -126,6 +131,7 @@ class WorklistService:
                 raise WorklistError(f"duplicate work item id {item.id!r}")
             self._items[item.id] = item
             self._dirty.add(item.id)
+            self._open_count += 1
             if self._g_open is not None:
                 self._g_open.inc()
             self._record(item, EventTypes.WORKITEM_CREATED, priority=priority)
@@ -261,6 +267,7 @@ class WorklistService:
             item = self.item(item_id)
             item.complete(result, self.clock.now())
             self._dirty.add(item.id)
+            self._open_count -= 1
             if self._g_open is not None:
                 self._g_open.dec()
             self._record(
@@ -282,6 +289,7 @@ class WorklistService:
             item = self.item(item_id)
             item.cancel(self.clock.now())
             self._dirty.add(item.id)
+            self._open_count -= 1
             if self._g_open is not None:
                 self._g_open.dec()
             self._record(item, EventTypes.WORKITEM_CANCELLED)
@@ -328,6 +336,11 @@ class WorklistService:
 
     # -- persistence hooks -----------------------------------------------------------
 
+    @property
+    def open_count(self) -> int:
+        """Open (non-terminal) items, O(1) — no scan of ``items()``."""
+        return self._open_count
+
     def dirty_item_ids(self) -> tuple[str, ...]:
         """Ids of items changed since :meth:`clear_dirty` (sorted).
 
@@ -349,6 +362,9 @@ class WorklistService:
         for raw in raw_items:
             item = WorkItem.from_dict(raw)
             self._items[item.id] = item
+        self._open_count = sum(
+            1 for item in self._items.values() if not item.state.is_terminal
+        )
         # keep generated ids unique after recovery: the counter is the
         # trailing segment (``wi-7`` and namespaced ``wi-s2-7`` alike)
         numeric = [

@@ -101,6 +101,7 @@ class TestDeadGuardFix:
         engine = build_engine(store)
         engine.deploy(approval_model())
         engine.start_instance("approval")
+        engine.flush()  # drain the write-behind view dirt the start noted
         store.reset_counts()
         engine.flush()
         assert store.puts == 0

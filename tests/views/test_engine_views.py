@@ -1,0 +1,250 @@
+"""Engine-level view maintenance: the flush hook, cursors, write gating."""
+
+from repro.storage.kvstore import MemoryKV
+from repro.views.manager import ProjectionManager
+
+from tests.views.conftest import (
+    approval_model,
+    assert_byte_identical,
+    auto_model,
+    build_engine,
+)
+
+
+class CountingKV(MemoryKV):
+    def __init__(self):
+        super().__init__()
+        self.puts = 0
+        self.put_keys = []
+
+    def put(self, key, value):
+        self.puts += 1
+        self.put_keys.append(key)
+        super().put(key, value)
+
+    def reset_counts(self):
+        self.puts = 0
+        self.put_keys = []
+
+
+class TestFlushHook:
+    def test_forced_flush_persists_views_with_current_cursor(self):
+        store = MemoryKV()
+        engine = build_engine(store=store)
+        engine.deploy(approval_model())
+        instance = engine.start_instance("approval", business_key="bk-1")
+        engine.flush()  # the group-commit boundary drains view dirt
+        record = store.get(f"view/by_state/{instance.id}")
+        assert record["state"] == "running"
+        assert record["business_key"] == "bk-1"
+        cursor = store.get("view/by_state/__cursor")
+        assert cursor == {"seq": engine._dispatch_seq}
+        assert store.get("view/by_key/bk-1") == {"ids": [instance.id]}
+
+    def test_lifecycle_updates_propagate_to_all_projections(self):
+        store = MemoryKV()
+        engine = build_engine(store=store)
+        engine.deploy(approval_model())
+        instance = engine.start_instance("approval")
+        engine.clock.advance(30)
+        item = engine.worklist.items()[0]
+        engine.worklist.start(item.id)
+        engine.complete_work_item(item.id)
+        engine.flush()
+        assert store.get(f"view/by_state/{instance.id}")["state"] == "completed"
+        stats = store.get("view/def_stats/approval")
+        assert stats["total"] == 1
+        assert stats["states"]["completed"] == 1
+        assert stats["cycle"]["count"] == 1
+        assert stats["cycle"]["total"] == 30.0
+        queues = store.get("view/worklist/__queues")
+        assert queues["open"] == 0
+        assert queues["states"]["completed"] == 1
+        assert_byte_identical(store, engine)
+
+    def test_in_memory_queries_match_engine_scans(self):
+        engine = build_engine(store=MemoryKV())
+        engine.deploy(approval_model())
+        engine.deploy(auto_model())
+        for k in range(3):
+            engine.start_instance("approval", business_key=f"bk-{k}")
+        engine.start_instance("auto", {"n": 2})
+        views = engine.views
+        running = [i.id for i in engine.instances() if i.state.value == "running"]
+        assert views.instance_ids("running") == running
+        assert views.instance_ids() == [i.id for i in engine.instances()]
+        assert views.ids_for_business_key("bk-1") == [
+            i.id for i in engine.find_instances(business_key="bk-1")
+        ]
+        assert views.open_work_items() == engine.worklist.open_count == 3
+        assert views.open_by_role() == {"clerk": 3}
+
+    def test_status_reports_seq_and_record_counts(self):
+        engine = build_engine(store=MemoryKV())
+        engine.deploy(approval_model())
+        engine.start_instance("approval", business_key="bk-1")
+        status = engine.views.status()
+        assert status["applied_seq"] == engine._dispatch_seq
+        assert status["projections"]["by_state"] == 1
+        assert status["projections"]["by_key"] == 1
+        assert status["projections"]["worklist"] == 1
+
+
+class TestWriteGating:
+    def test_views_disabled_writes_no_view_keys(self):
+        store = MemoryKV()
+        engine = build_engine(store=store, views=False)
+        assert engine.views is None
+        engine.deploy(approval_model())
+        engine.start_instance("approval", business_key="bk-1")
+        assert list(store.scan("view/")) == []
+
+    def test_read_only_dispatch_writes_nothing(self):
+        # pins the flush-policy contract: an unmatched publish must not
+        # grow into view writes either
+        store = CountingKV()
+        engine = build_engine(store=store)
+        engine.deploy(approval_model())
+        engine.start_instance("approval")
+        store.reset_counts()
+        engine.correlate_message("go", "nobody-waiting", {})
+        assert store.puts == 0
+
+    def test_cursor_only_advances_on_view_relevant_flushes(self):
+        store = MemoryKV()
+        engine = build_engine(store=store)
+        engine.deploy(approval_model())
+        engine.start_instance("approval")
+        engine.flush()
+        cursor = store.get("view/by_state/__cursor")["seq"]
+        engine.deploy(auto_model())  # logs a dispatch, dirties no entities
+        assert engine._dispatch_seq > cursor
+        assert store.get("view/by_state/__cursor")["seq"] == cursor
+
+
+class TestWriteBehind:
+    """Maintenance is write-behind: commits note ids, reads materialize,
+    persistence waits for a forced flush or the lag threshold."""
+
+    def test_deferred_until_lag_threshold_then_drained(self):
+        store = CountingKV()
+        engine = build_engine(store=store, views_flush_lag=4)
+        engine.deploy(approval_model())  # seq 1
+        engine.start_instance("approval", business_key="bk-0")  # seq 2
+        engine.start_instance("approval", business_key="bk-1")  # seq 3
+        assert not any(k.startswith("view/") for k in store.put_keys)
+        # in-memory queries are exact while the store lags
+        assert engine.views.instance_ids("running") == [
+            "approval-1", "approval-2",
+        ]
+        engine.start_instance("approval", business_key="bk-2")  # seq 4: drain
+        assert store.get("view/by_state/__cursor") == {"seq": 4}
+        assert store.get("view/by_state/approval-1")["state"] == "running"
+        assert engine.views.persisted_seq == 4
+
+    def test_autocommit_flushes_between_drains_write_no_view_keys(self):
+        store = CountingKV()
+        engine = build_engine(store=store, views_flush_lag=1_000_000)
+        engine.deploy(approval_model())
+        engine.start_instance("approval")
+        store.reset_counts()
+        engine.start_instance("approval")  # base records commit, views defer
+        assert store.puts > 0
+        assert not any(k.startswith("view/") for k in store.put_keys)
+        engine.flush()  # force: the deferred dirt drains in one batch
+        assert any(k.startswith("view/") for k in store.put_keys)
+        assert store.get("view/by_state/__cursor")["seq"] == engine._dispatch_seq
+
+    def test_read_then_forced_flush_still_persists(self):
+        # a read materializes the noted dirt (clearing the pending sets);
+        # the forced flush that follows must still drain the in-memory
+        # records the store has never seen — and stay write-free after
+        store = CountingKV()
+        engine = build_engine(store=store, views_flush_lag=1_000_000)
+        engine.deploy(approval_model())
+        instance = engine.start_instance("approval", business_key="bk-1")
+        assert engine.views.instance_ids("running") == [instance.id]
+        engine.flush()
+        assert store.get(f"view/by_state/{instance.id}")["state"] == "running"
+        assert store.get("view/by_state/__cursor") == {
+            "seq": engine._dispatch_seq
+        }
+        store.reset_counts()
+        engine.flush()  # drained and confirmed: nothing left to persist
+        assert store.puts == 0
+
+    def test_drain_dedupes_entities_flushed_many_times(self):
+        store = CountingKV()
+        engine = build_engine(store=store, views_flush_lag=1_000_000)
+        engine.deploy(approval_model())
+        engine.start_instance("approval")
+        item = engine.worklist.items()[0]
+        engine.worklist.start(item.id)
+        engine.complete_work_item(item.id)
+        store.reset_counts()
+        engine.flush()
+        view_puts = [k for k in store.put_keys if k.startswith("view/")]
+        # the item changed state three times but persists once
+        assert view_puts.count(f"view/worklist/{item.id}") == 1
+        assert store.get(f"view/worklist/{item.id}")["state"] == "completed"
+
+
+class TestWorklistOpenCount:
+    def test_open_count_tracks_lifecycle(self):
+        engine = build_engine(store=MemoryKV())
+        engine.deploy(approval_model())
+        engine.start_instance("approval")
+        engine.start_instance("approval")
+        assert engine.worklist.open_count == 2
+        item = engine.worklist.items()[0]
+        engine.worklist.start(item.id)
+        assert engine.worklist.open_count == 2
+        engine.complete_work_item(item.id)
+        assert engine.worklist.open_count == 1
+        second = [i for i in engine.worklist.items() if not i.state.is_terminal]
+        engine.worklist.cancel(second[0].id)
+        assert engine.worklist.open_count == 0
+        assert engine.worklist.open_count == sum(
+            1 for i in engine.worklist.items() if not i.state.is_terminal
+        )
+
+
+class TestExtraProjections:
+    def test_custom_projection_rides_the_same_flush(self):
+        from repro.views.projections import Projection
+
+        class StartedCounter(Projection):
+            name = "started"
+
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            def on_instance(self, old, new):
+                if old is None:
+                    self.count += 1
+                    self._dirty_keys.add("total")
+
+            def dirty_records(self):
+                return {"total": {"count": self.count}}
+
+            def load_record(self, suffix, value):
+                self.count = value["count"]
+
+            def reset(self):
+                self.count = 0
+                self._dirty_keys.clear()
+
+            def record_count(self):
+                return 1
+
+        store = MemoryKV()
+        counter = StartedCounter()
+        engine = build_engine(store=store, views=False)
+        engine.views = ProjectionManager(extra_projections=(counter,))
+        engine.deploy(approval_model())
+        engine.start_instance("approval")
+        engine.start_instance("approval")
+        engine.flush()
+        assert store.get("view/started/total") == {"count": 2}
+        assert store.get("view/started/__cursor")["seq"] == engine._dispatch_seq

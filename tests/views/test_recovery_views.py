@@ -1,0 +1,207 @@
+"""View recovery: load fast path, tail replay, rebuild, torn commits.
+
+The contract under test (see ProjectionManager.recover): the persisted
+view image is never *ahead* of durable base state, and after any
+recovery it equals a from-scratch rebuild of that state byte for byte.
+"""
+
+import os
+
+from repro.storage.kvstore import DurableKV
+from repro.views.rebuild import rebuild_store_views
+
+from tests.views.conftest import (
+    approval_model,
+    assert_byte_identical,
+    auto_model,
+    build_engine,
+)
+
+
+def reopen(path):
+    engine = build_engine(store=DurableKV(path))
+    engine.recover()
+    return engine
+
+
+def run_some_work(engine, instances=3):
+    engine.deploy(approval_model())
+    started = [
+        engine.start_instance("approval", business_key=f"bk-{k}")
+        for k in range(instances)
+    ]
+    item = engine.worklist.items()[0]
+    engine.worklist.start(item.id)
+    engine.clock.advance(10)
+    engine.complete_work_item(item.id)
+    # orderly shutdown: the forced flush drains write-behind view dirt,
+    # so a clean close leaves cursors at the dispatch seq
+    engine.flush()
+    return started
+
+
+class TestRecoveryModes:
+    def test_clean_reopen_takes_the_load_path(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = build_engine(store=DurableKV(path))
+        run_some_work(engine)
+        seq = engine._dispatch_seq
+        engine.store.close()
+
+        recovered = reopen(path)
+        assert recovered.views.recovered_mode == "load"
+        assert recovered.views.applied_seq == seq == recovered._dispatch_seq
+        assert recovered.views.instance_ids("completed") == ["approval-1"]
+        assert recovered.views.open_work_items() == 2
+        assert_byte_identical(recovered.store, recovered)
+        recovered.store.close()
+
+    def test_pristine_store_loads_without_writing(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = build_engine(store=DurableKV(path))
+        engine.recover()
+        assert engine.views.recovered_mode == "load"
+        assert list(engine.store.scan("view/")) == []
+        engine.store.close()
+
+    def test_lagging_cursor_with_retained_tail_replays_the_tail(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "store")
+        engine = build_engine(store=DurableKV(path))
+        run_some_work(engine)
+        # a logged dispatch that dirties no instances/items leaves the
+        # cursor behind the dispatch seq (the exact shape an older build
+        # or a views-irrelevant tail produces)
+        engine.deploy(auto_model())
+        cursor = engine.store.get("view/by_state/__cursor")["seq"]
+        assert cursor < engine._dispatch_seq
+        engine.store.close()
+
+        recovered = reopen(path)
+        assert recovered.views.recovered_mode == "tail"
+        assert recovered.views.applied_seq == recovered._dispatch_seq
+        # the catch-up was persisted: next open is a plain load
+        recovered.store.close()
+        third = reopen(path)
+        assert third.views.recovered_mode == "load"
+        assert_byte_identical(third.store, third)
+        third.store.close()
+
+    def test_rewound_cursors_converge_by_touched_replay(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = build_engine(store=DurableKV(path))
+        run_some_work(engine)
+        seq = engine._dispatch_seq
+        engine.store.close()
+
+        offline = DurableKV(path)
+        for name in ("by_state", "by_key", "def_stats", "worklist"):
+            offline.put(f"view/{name}/__cursor", {"seq": seq - 1})
+        offline.sync()
+        offline.close()
+
+        recovered = reopen(path)
+        assert recovered.views.recovered_mode == "tail"
+        assert recovered.views.applied_seq == seq
+        assert_byte_identical(recovered.store, recovered)
+        recovered.store.close()
+
+    def test_legacy_store_without_views_rebuilds(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = build_engine(store=DurableKV(path), views=False)
+        run_some_work(engine)
+        assert list(engine.store.scan("view/")) == []
+        engine.store.close()
+
+        recovered = reopen(path)
+        assert recovered.views.recovered_mode == "rebuild"
+        assert recovered.views.applied_seq == recovered._dispatch_seq
+        assert recovered.views.instance_ids("completed") == ["approval-1"]
+        assert_byte_identical(recovered.store, recovered)
+        recovered.store.close()
+
+    def test_diverged_cursors_force_rebuild(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = build_engine(store=DurableKV(path))
+        run_some_work(engine)
+        engine.store.close()
+
+        offline = DurableKV(path)
+        offline.put("view/by_state/__cursor", {"seq": 1})
+        offline.sync()
+        offline.close()
+
+        recovered = reopen(path)
+        assert recovered.views.recovered_mode == "rebuild"
+        assert_byte_identical(recovered.store, recovered)
+        recovered.store.close()
+
+    def test_stale_view_keys_deleted_on_rebuild(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = build_engine(store=DurableKV(path))
+        run_some_work(engine)
+        engine.store.close()
+
+        offline = DurableKV(path)
+        offline.put("view/by_state/ghost-99", {"id": "ghost-99"})
+        offline.put("view/by_state/__cursor", {"seq": 1})  # force rebuild
+        offline.sync()
+        offline.close()
+
+        recovered = reopen(path)
+        assert recovered.views.recovered_mode == "rebuild"
+        assert recovered.store.get("view/by_state/ghost-99", None) is None
+        recovered.store.close()
+
+
+class TestTornCommit:
+    """A torn group commit drops base records, view records, and the
+    cursor together — the view image can lag, never lead."""
+
+    def _tear(self, path, cut):
+        journal = os.path.join(path, "journal.log")
+        size = os.path.getsize(journal)
+        with open(journal, "r+b") as fh:
+            fh.truncate(size - min(cut, size - 8))
+
+    def test_torn_tail_never_leaves_cursor_ahead(self, tmp_path):
+        for cut in (1, 16, 64, 512):
+            path = str(tmp_path / f"store-{cut}")
+            engine = build_engine(store=DurableKV(path))
+            run_some_work(engine, instances=4)
+            full_seq = engine._dispatch_seq
+            engine.store.close()
+            self._tear(path, cut)
+
+            recovered = reopen(path)
+            assert recovered._dispatch_seq <= full_seq
+            assert recovered.views.applied_seq == recovered._dispatch_seq
+            assert_byte_identical(recovered.store, recovered)
+            recovered.store.close()
+
+
+class TestOfflineRebuild:
+    def test_rebuild_store_views_recreates_image_from_base_records(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "store")
+        engine = build_engine(store=DurableKV(path))
+        run_some_work(engine)
+        before = {
+            key: value
+            for key, value in engine.store.scan("view/")
+        }
+        engine.store.close()
+
+        offline = DurableKV(path)
+        with offline.transaction():
+            for key in list(before):
+                offline.delete(key)
+            offline.put("view/by_state/stale-1", {"id": "stale-1"})
+        counts = rebuild_store_views(offline)
+        after = dict(offline.scan("view/"))
+        offline.close()
+        assert counts["instances"] == 3
+        assert counts["deleted"] == 1
+        assert after == before
